@@ -1,0 +1,61 @@
+//! Criterion counterparts of the design-choice ablations: wall-clock cost
+//! of the two overtake-adjustment modes and of loss compensation, each on
+//! one representative cell (accuracy numbers come from the `ablations`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcount_core::CheckpointConfig;
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{Goal, Runner, Scenario};
+use vcount_v2x::{AdjustMode, ChannelKind};
+
+fn scenario(adjust_mode: AdjustMode, p_fail: f64, compensate: bool) -> Scenario {
+    let mut s = Scenario::paper_closed(ManhattanConfig::small(), 60.0, 1, 21);
+    s.protocol = CheckpointConfig {
+        adjust_mode,
+        compensate_loss: compensate,
+        ..s.protocol
+    };
+    s.sim.detect_overtakes = adjust_mode == AdjustMode::PerEvent;
+    s.channel = ChannelKind::Bernoulli(p_fail);
+    s
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    for (name, mode) in [
+        ("net_inversion", AdjustMode::NetInversion),
+        ("per_event", AdjustMode::PerEvent),
+    ] {
+        g.bench_function(BenchmarkId::new("adjust_mode", name), |b| {
+            let s = scenario(mode, 0.3, true);
+            b.iter(|| {
+                let mut r = Runner::new(&s);
+                let m = r.run(Goal::Constitution, s.max_time_s);
+                assert!(m.constitution_done_s.is_some());
+                m.overtake_adjustments
+            });
+        });
+    }
+
+    for (name, p, compensate) in [
+        ("lossless", 0.0, true),
+        ("paper_30pct", 0.3, true),
+        ("uncompensated_30pct", 0.3, false),
+    ] {
+        g.bench_function(BenchmarkId::new("loss", name), |b| {
+            let s = scenario(AdjustMode::NetInversion, p, compensate);
+            b.iter(|| {
+                let mut r = Runner::new(&s);
+                let m = r.run(Goal::Constitution, s.max_time_s);
+                m.handoff_failures
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

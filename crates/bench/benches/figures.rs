@@ -1,0 +1,71 @@
+//! Criterion wall-clock benches: one representative grid cell per paper
+//! figure, on the reduced midtown map so `cargo bench` stays quick. The
+//! full simulated-minutes series are produced by the `fig2`…`fig5`
+//! binaries; these benches track the *cost of reproducing* each figure
+//! cell and assert exactness on every measured run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{Goal, Runner, Scenario};
+
+fn small_closed(volume: f64, seeds: usize, seed: u64) -> Scenario {
+    Scenario::paper_closed(ManhattanConfig::small(), volume, seeds, seed)
+}
+
+fn small_open(volume: f64, seeds: usize, seed: u64) -> Scenario {
+    Scenario::paper_open(ManhattanConfig::small(), volume, seeds, seed)
+}
+
+fn run_cell(s: &Scenario, goal: Goal) {
+    let mut r = Runner::new(s);
+    let m = r.run(goal, s.max_time_s);
+    assert_eq!(m.oracle_violations, 0, "exactness violated during bench");
+    match goal {
+        Goal::Constitution => assert!(m.constitution_done_s.is_some()),
+        Goal::Collection => assert!(m.collection_done_s.is_some()),
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("fig2_constitution_closed", "v60_s1"), |b| {
+        b.iter(|| run_cell(&small_closed(60.0, 1, 1), Goal::Constitution));
+    });
+    g.bench_function(BenchmarkId::new("fig3_collection_closed", "v60_s1"), |b| {
+        b.iter(|| run_cell(&small_closed(60.0, 1, 2), Goal::Collection));
+    });
+    g.bench_function(BenchmarkId::new("fig4_open_complete_status", "v60_s1"), |b| {
+        b.iter(|| run_cell(&small_open(60.0, 1, 3), Goal::Constitution));
+    });
+    g.bench_function(
+        BenchmarkId::new("fig4_closed_25mph", "v60_s1"),
+        |b| {
+            let map = ManhattanConfig {
+                speed_mph: 25.0,
+                ..ManhattanConfig::small()
+            };
+            let s = Scenario::paper_closed(map, 60.0, 1, 4);
+            b.iter(|| run_cell(&s, Goal::Constitution));
+        },
+    );
+    g.bench_function(BenchmarkId::new("fig5_open_collection", "v60_s1"), |b| {
+        b.iter(|| run_cell(&small_open(60.0, 1, 5), Goal::Collection));
+    });
+    g.bench_function(
+        BenchmarkId::new("fig5_open_collection_25mph", "v60_s1"),
+        |b| {
+            let map = ManhattanConfig {
+                speed_mph: 25.0,
+                ..ManhattanConfig::small()
+            };
+            let s = Scenario::paper_open(map, 60.0, 1, 6);
+            b.iter(|| run_cell(&s, Goal::Collection));
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 2 — elapsed time of Alg. 3 (constitution of stable local views)
+//! in the **closed** midtown system, sweeping traffic volume × seed count.
+//!
+//! The paper's three panels are (a) maximum, (b) minimum, (c) average of
+//! the per-checkpoint stabilization times; the CSV emits all three per
+//! cell. Paper range: 9–30 minutes.
+//!
+//! Run: `cargo run --release -p vcount-bench --bin fig2`
+//! (`VCOUNT_GRID=full` for the paper's full 10×10 grid.)
+
+use vcount_bench::{
+    assert_exactness, emit_panel_csv, grid_from_env, panel_range, run_panel, Panel, System,
+};
+use vcount_sim::Goal;
+
+fn main() {
+    let grid = grid_from_env();
+    let panel = Panel {
+        system: System::Closed,
+        speed_mph: 15.0,
+        goal: Goal::Constitution,
+    };
+    eprintln!(
+        "fig2: closed midtown, Alg.3 constitution, {} cells x {} reps",
+        grid.volumes.len() * grid.seed_counts.len(),
+        grid.replicates
+    );
+    let results = run_panel(panel, &grid);
+    emit_panel_csv("fig2", "abc", panel, &results);
+    assert_exactness("fig2", &results);
+    if let Some((lo, hi)) = panel_range(panel, &results) {
+        println!("fig2 headline: constitution time {lo:.1}..{hi:.1} min (paper: 9..30 min)");
+    }
+}

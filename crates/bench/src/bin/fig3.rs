@@ -1,0 +1,32 @@
+//! Figure 3 — time until the seed(s) hold the global view (Alg. 3
+//! constitution + Alg. 4 collection) in the **closed** midtown system.
+//!
+//! Panels (a/b/c) are max/min/avg across replicate runs of the seed
+//! collection-complete time. Paper range: 20–50 minutes.
+//!
+//! Run: `cargo run --release -p vcount-bench --bin fig3`
+
+use vcount_bench::{
+    assert_exactness, emit_panel_csv, grid_from_env, panel_range, run_panel, Panel, System,
+};
+use vcount_sim::Goal;
+
+fn main() {
+    let grid = grid_from_env();
+    let panel = Panel {
+        system: System::Closed,
+        speed_mph: 15.0,
+        goal: Goal::Collection,
+    };
+    eprintln!(
+        "fig3: closed midtown, Alg.3+4 collection, {} cells x {} reps",
+        grid.volumes.len() * grid.seed_counts.len(),
+        grid.replicates
+    );
+    let results = run_panel(panel, &grid);
+    emit_panel_csv("fig3", "abc", panel, &results);
+    assert_exactness("fig3", &results);
+    if let Some((lo, hi)) = panel_range(panel, &results) {
+        println!("fig3 headline: global-view time {lo:.1}..{hi:.1} min (paper: 20..50 min)");
+    }
+}

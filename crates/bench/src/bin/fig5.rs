@@ -1,0 +1,75 @@
+//! Figure 5 — time for the seed(s) to *fetch* the complete status (Alg. 5
+//! + Alg. 4) in the open system, plus the speed-limit comparison:
+//!
+//! * (a) open midtown at 15 mph;
+//! * (b) the same at 25 mph (paper: 34–40 % quicker);
+//! * (c) the closed system (Alg. 3 + Alg. 4) at 25 mph (paper: up to 57 %
+//!   quicker than Fig. 3(c)).
+//!
+//! Run: `cargo run --release -p vcount-bench --bin fig5`
+
+use vcount_bench::{
+    assert_exactness, emit_panel_csv, grid_from_env, max_speedup_pct, mean_speedup_pct,
+    panel_range, run_panel, Panel, System,
+};
+use vcount_sim::Goal;
+
+fn main() {
+    let grid = grid_from_env();
+    let open15 = Panel {
+        system: System::Open,
+        speed_mph: 15.0,
+        goal: Goal::Collection,
+    };
+    let open25 = Panel {
+        speed_mph: 25.0,
+        ..open15
+    };
+    let closed15 = Panel {
+        system: System::Closed,
+        ..open15
+    };
+    let closed25 = Panel {
+        speed_mph: 25.0,
+        ..closed15
+    };
+
+    eprintln!("fig5: open/closed collection times at 15 vs 25 mph");
+    let r_open15 = run_panel(open15, &grid);
+    let r_open25 = run_panel(open25, &grid);
+    let r_closed15 = run_panel(closed15, &grid);
+    let r_closed25 = run_panel(closed25, &grid);
+
+    emit_panel_csv("fig5", "a_open15", open15, &r_open15);
+    emit_panel_csv("fig5", "b_open25", open25, &r_open25);
+    emit_panel_csv("fig5", "c_closed25", closed25, &r_closed25);
+    for (name, r) in [
+        ("a_open15", &r_open15),
+        ("b_open25", &r_open25),
+        ("c_closed25", &r_closed25),
+    ] {
+        assert_exactness(&format!("fig5/{name}"), r);
+    }
+
+    if let (Some((alo, ahi)), Some((clo, chi))) = (
+        panel_range(open15, &r_open15),
+        panel_range(closed15, &r_closed15),
+    ) {
+        println!(
+            "fig5(a) vs fig3(c): open {alo:.1}..{ahi:.1} min vs closed {clo:.1}..{chi:.1} min \
+             (paper: open slower but within a limited range)"
+        );
+    }
+    if let Some(s) = mean_speedup_pct(open15, &r_open15, open25, &r_open25) {
+        println!(
+            "fig5(b): 25 mph open collection is {s:.0}% quicker on average \
+             (paper: 34-40% quicker)"
+        );
+    }
+    if let Some(s) = max_speedup_pct(closed15, &r_closed15, closed25, &r_closed25) {
+        println!(
+            "fig5(c): 25 mph closed collection is up to {s:.0}% quicker \
+             (paper: up to 57% quicker)"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared harness behind the figure-regeneration binaries (`fig2`…`fig5`,
+//! `ablations`) and the criterion benches.
+//!
+//! Every binary sweeps the paper's evaluation grid — traffic volume
+//! 10–100 % × seed count 1–10 on the synthetic midtown map, 30 % lossy
+//! V2X — and prints one CSV row per grid cell plus the paper-comparison
+//! headlines. Environment knobs:
+//!
+//! * `VCOUNT_GRID=full|default|quick` — grid resolution (default:
+//!   `default` = 4×4 cells; `full` = the paper's 10×10).
+//! * `VCOUNT_REPS=<n>` — replicates per cell (default 2).
+//! * `VCOUNT_MAP=paper|small` — midtown size (default `paper` = 12
+//!   avenues × 37 streets).
+
+#![warn(missing_docs)]
+
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{sweep, Cell, CellResult, Goal, Scenario, Summary, SweepConfig};
+
+/// Which system (Alg. stack) a figure panel measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Closed system, Alg. 3 (+ Alg. 4 when collecting).
+    Closed,
+    /// Open system, Alg. 5 (+ Alg. 4 when collecting).
+    Open,
+}
+
+/// One figure panel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Panel {
+    /// Closed or open system.
+    pub system: System,
+    /// Speed limit in mph (paper: 15, and 25 for the speed-up panels).
+    pub speed_mph: f64,
+    /// What the elapsed time measures.
+    pub goal: Goal,
+}
+
+/// The midtown map at a given speed limit, sized per `VCOUNT_MAP`.
+pub fn midtown(speed_mph: f64) -> ManhattanConfig {
+    let base = match std::env::var("VCOUNT_MAP").as_deref() {
+        Ok("small") => ManhattanConfig::small(),
+        _ => ManhattanConfig::default(),
+    };
+    ManhattanConfig { speed_mph, ..base }
+}
+
+/// The sweep grid per `VCOUNT_GRID` / `VCOUNT_REPS`.
+pub fn grid_from_env() -> SweepConfig {
+    let reps = std::env::var("VCOUNT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    match std::env::var("VCOUNT_GRID").as_deref() {
+        Ok("full") => SweepConfig::paper_grid(reps),
+        Ok("quick") => SweepConfig {
+            replicates: reps,
+            ..SweepConfig::quick()
+        },
+        _ => SweepConfig {
+            volumes: vec![10.0, 40.0, 70.0, 100.0],
+            seed_counts: vec![1, 4, 7, 10],
+            replicates: reps,
+            threads: 0,
+        },
+    }
+}
+
+/// Builds the scenario for one grid cell of a panel.
+pub fn panel_scenario(panel: Panel, cell: Cell, rep: u64) -> Scenario {
+    let map = midtown(panel.speed_mph);
+    let rng_seed = rep
+        .wrapping_mul(1_000_003)
+        .wrapping_add((cell.volume_pct as u64) << 8)
+        .wrapping_add(cell.seeds as u64);
+    match panel.system {
+        System::Closed => Scenario::paper_closed(map, cell.volume_pct, cell.seeds, rng_seed),
+        System::Open => Scenario::paper_open(map, cell.volume_pct, cell.seeds, rng_seed),
+    }
+}
+
+/// Runs one panel over the grid.
+pub fn run_panel(panel: Panel, grid: &SweepConfig) -> Vec<CellResult> {
+    sweep(grid, panel.goal, |cell, rep| panel_scenario(panel, cell, rep))
+}
+
+/// The per-cell headline value of a panel: mean elapsed minutes of the
+/// panel's goal metric.
+pub fn cell_mean_minutes(panel: Panel, r: &CellResult) -> Option<f64> {
+    let s = match panel.goal {
+        Goal::Constitution => r.constitution_min,
+        Goal::Collection => r.collection_min,
+    };
+    s.map(|s| s.mean)
+}
+
+/// Prints the CSV block for a panel: one row per cell with the
+/// figure-style statistics (max/min/avg across the stated population).
+pub fn emit_panel_csv(figure: &str, panel_name: &str, panel: Panel, results: &[CellResult]) {
+    println!("figure,panel,volume_pct,seeds,max_min,min_min,avg_min,violations,unconverged");
+    for r in results {
+        let s = match panel.goal {
+            Goal::Constitution => r.per_checkpoint_min,
+            Goal::Collection => r.collection_min,
+        }
+        .unwrap_or(Summary {
+            min: f64::NAN,
+            max: f64::NAN,
+            mean: f64::NAN,
+            n: 0,
+        });
+        println!(
+            "{figure},{panel_name},{:.0},{},{:.2},{:.2},{:.2},{},{}",
+            r.cell.volume_pct, r.cell.seeds, s.max, s.min, s.mean, r.violations, r.unconverged
+        );
+    }
+}
+
+/// Range of the mean metric across all cells of a panel, in minutes.
+pub fn panel_range(panel: Panel, results: &[CellResult]) -> Option<(f64, f64)> {
+    let vals: Vec<f64> = results
+        .iter()
+        .filter_map(|r| cell_mean_minutes(panel, r))
+        .collect();
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (!vals.is_empty()).then_some((min, max))
+}
+
+/// Mean speed-up of `fast` over `slow` across matching cells, as a
+/// percentage time reduction (the paper's "X% quicker").
+pub fn mean_speedup_pct(
+    panel_slow: Panel,
+    slow: &[CellResult],
+    panel_fast: Panel,
+    fast: &[CellResult],
+) -> Option<f64> {
+    let mut ratios = Vec::new();
+    for (a, b) in slow.iter().zip(fast.iter()) {
+        debug_assert_eq!(a.cell.volume_pct, b.cell.volume_pct);
+        debug_assert_eq!(a.cell.seeds, b.cell.seeds);
+        if let (Some(ta), Some(tb)) = (
+            cell_mean_minutes(panel_slow, a),
+            cell_mean_minutes(panel_fast, b),
+        ) {
+            if ta > 0.0 {
+                ratios.push(100.0 * (1.0 - tb / ta));
+            }
+        }
+    }
+    (!ratios.is_empty()).then(|| ratios.iter().sum::<f64>() / ratios.len() as f64)
+}
+
+/// Maximum speed-up across cells (the paper reports "up to X% quicker").
+pub fn max_speedup_pct(
+    panel_slow: Panel,
+    slow: &[CellResult],
+    panel_fast: Panel,
+    fast: &[CellResult],
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for (a, b) in slow.iter().zip(fast.iter()) {
+        if let (Some(ta), Some(tb)) = (
+            cell_mean_minutes(panel_slow, a),
+            cell_mean_minutes(panel_fast, b),
+        ) {
+            if ta > 0.0 {
+                let s = 100.0 * (1.0 - tb / ta);
+                best = Some(best.map_or(s, |b: f64| b.max(s)));
+            }
+        }
+    }
+    best
+}
+
+/// Asserts the paper's headline correctness claim over a panel's results:
+/// zero oracle violations in every cell.
+pub fn assert_exactness(figure: &str, results: &[CellResult]) {
+    let violations: usize = results.iter().map(|r| r.violations).sum();
+    assert_eq!(
+        violations, 0,
+        "{figure}: the paper's no-mis/double-counting claim failed"
+    );
+    println!("{figure}: 0 oracle violations across {} cells — counting is exact", results.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_default_is_4x4() {
+        std::env::remove_var("VCOUNT_GRID");
+        let g = grid_from_env();
+        assert_eq!(g.volumes.len() * g.seed_counts.len(), 16);
+    }
+
+    #[test]
+    fn panel_scenarios_differ_by_system() {
+        let p_open = Panel {
+            system: System::Open,
+            speed_mph: 15.0,
+            goal: Goal::Constitution,
+        };
+        let p_closed = Panel {
+            system: System::Closed,
+            speed_mph: 15.0,
+            goal: Goal::Constitution,
+        };
+        let cell = Cell {
+            volume_pct: 50.0,
+            seeds: 2,
+        };
+        assert!(!panel_scenario(p_open, cell, 0).closed);
+        assert!(panel_scenario(p_closed, cell, 0).closed);
+    }
+
+    #[test]
+    fn speedup_math() {
+        // Hand-built results: slow 10 min vs fast 5 min = 50% quicker.
+        let mk = |mins: f64| CellResult {
+            cell: Cell {
+                volume_pct: 50.0,
+                seeds: 1,
+            },
+            constitution_min: Summary::of([mins]),
+            collection_min: None,
+            per_checkpoint_min: None,
+            violations: 0,
+            unconverged: 0,
+            runs: vec![],
+        };
+        let p = Panel {
+            system: System::Closed,
+            speed_mph: 15.0,
+            goal: Goal::Constitution,
+        };
+        let s = mean_speedup_pct(p, &[mk(10.0)], p, &[mk(5.0)]).unwrap();
+        assert!((s - 50.0).abs() < 1e-9);
+        assert_eq!(max_speedup_pct(p, &[mk(10.0)], p, &[mk(5.0)]), Some(50.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed positionals + `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand). `--key value` pairs become
+    /// flags; a trailing `--key` with no value (or followed by another
+    /// flag) is a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare `--` is not a flag".into());
+                }
+                let next_is_value = argv
+                    .get(i + 1)
+                    .is_some_and(|n| !n.starts_with("--"));
+                if next_is_value {
+                    out.flags.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `n`-th positional argument.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// A string flag value.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A parsed flag value with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_flags_and_switches() {
+        let a = Args::parse(&argv(&[
+            "scenario.json",
+            "--goal",
+            "collection",
+            "--progress",
+            "--volume",
+            "60",
+        ]))
+        .unwrap();
+        assert_eq!(a.positional(0), Some("scenario.json"));
+        assert_eq!(a.flag("goal"), Some("collection"));
+        assert!(a.switch("progress"));
+        assert_eq!(a.flag_or("volume", 0.0).unwrap(), 60.0);
+        assert_eq!(a.flag_or("seeds", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn invalid_number_is_an_error() {
+        let a = Args::parse(&argv(&["--volume", "sixty"])).unwrap();
+        assert!(a.flag_or::<f64>("volume", 1.0).is_err());
+    }
+
+    #[test]
+    fn switch_before_flag_is_not_swallowed() {
+        let a = Args::parse(&argv(&["--progress", "--goal", "constitution"])).unwrap();
+        assert!(a.switch("progress"));
+        assert_eq!(a.flag("goal"), Some("constitution"));
+    }
+}

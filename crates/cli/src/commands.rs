@@ -1,0 +1,108 @@
+//! The `vcount` subcommands.
+
+use crate::args::Args;
+use crate::{build_scenario, run_with_progress};
+use vcount_roadnet::builders::{manhattan, ManhattanConfig};
+use vcount_roadnet::travel_time_diameter;
+use vcount_sim::{Goal, Scenario};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+vcount — infrastructure-less vehicle counting (ICPP 2014 reproduction)
+
+USAGE:
+  vcount scenario --preset closed|open [--volume PCT] [--seeds K]
+                  [--rng SEED] [--out FILE]
+      Emit a ready-to-run scenario JSON (midtown map, paper settings).
+
+  vcount run SCENARIO.json [--goal constitution|collection] [--progress]
+      Run a scenario to convergence and print the metrics as JSON.
+      --progress streams wave progress to stderr.
+
+  vcount map [--preset paper|small] [--speed-mph MPH]
+      Build the synthetic midtown map and print its statistics.
+
+  vcount help
+      Show this text.";
+
+/// `vcount scenario`.
+pub fn scenario(args: &Args) -> Result<(), String> {
+    let preset = args.flag("preset").unwrap_or("closed");
+    let volume = args.flag_or("volume", 60.0)?;
+    let seeds = args.flag_or("seeds", 1usize)?;
+    let rng = args.flag_or("rng", 1u64)?;
+    let s = build_scenario(preset, volume, seeds, rng)?;
+    let json = serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?;
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `vcount run`.
+pub fn run(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional(0)
+        .ok_or("missing SCENARIO.json argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let goal = match args.flag("goal").unwrap_or("collection") {
+        "constitution" => Goal::Constitution,
+        "collection" => Goal::Collection,
+        other => return Err(format!("unknown goal `{other}`")),
+    };
+    let metrics = run_with_progress(&scenario, goal, args.switch("progress"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?
+    );
+    if metrics.oracle_violations > 0 {
+        return Err(format!(
+            "{} per-vehicle oracle violations — counting was not exact",
+            metrics.oracle_violations
+        ));
+    }
+    Ok(())
+}
+
+/// `vcount map`.
+pub fn map(args: &Args) -> Result<(), String> {
+    let base = match args.flag("preset").unwrap_or("paper") {
+        "paper" => ManhattanConfig::default(),
+        "small" => ManhattanConfig::small(),
+        other => return Err(format!("unknown map preset `{other}`")),
+    };
+    let cfg = ManhattanConfig {
+        speed_mph: args.flag_or("speed-mph", base.speed_mph)?,
+        ..base
+    };
+    let net = manhattan(&cfg);
+    let bounds = net.bounds().expect("non-empty map");
+    println!("synthetic midtown map");
+    println!("  intersections:       {}", net.node_count());
+    println!("  directed segments:   {}", net.edge_count());
+    println!(
+        "  one-way share:       {:.0}%",
+        net.one_way_fraction() * 100.0
+    );
+    println!(
+        "  extent:              {:.0} m x {:.0} m",
+        bounds.width(),
+        bounds.height()
+    );
+    println!(
+        "  border checkpoints:  {}",
+        net.border_nodes().len()
+    );
+    println!(
+        "  travel-time diameter: {:.1} min at {} mph",
+        travel_time_diameter(&net, 37) / 60.0,
+        cfg.speed_mph
+    );
+    Ok(())
+}

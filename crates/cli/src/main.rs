@@ -1,0 +1,94 @@
+//! `vcount` — command-line front end for the infrastructure-less vehicle
+//! counting reproduction.
+//!
+//! ```text
+//! vcount scenario --preset closed|open [--volume N] [--seeds K] [--rng R] [--out FILE]
+//! vcount run SCENARIO.json [--goal constitution|collection] [--progress]
+//! vcount map --preset manhattan|small [--stats]
+//! vcount help
+//! ```
+
+use std::process::ExitCode;
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{Goal, Runner, Scenario};
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "scenario" => commands::scenario(&args),
+        "run" => commands::run(&args),
+        "map" => commands::map(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Shared helpers for subcommands.
+pub(crate) fn build_scenario(preset: &str, volume: f64, seeds: usize, rng: u64) -> Result<Scenario, String> {
+    let map = ManhattanConfig::default();
+    match preset {
+        "closed" => Ok(Scenario::paper_closed(map, volume, seeds, rng)),
+        "open" => Ok(Scenario::paper_open(map, volume, seeds, rng)),
+        other => Err(format!("unknown preset `{other}` (want closed|open)")),
+    }
+}
+
+pub(crate) fn run_with_progress(scenario: &Scenario, goal: Goal, progress: bool) -> vcount_sim::RunMetrics {
+    let mut runner = Runner::new(scenario);
+    if !progress {
+        return runner.run(goal, scenario.max_time_s);
+    }
+    // Re-implement the run loop with periodic progress lines.
+    let mut next_tick = 0.0;
+    loop {
+        runner.step();
+        if runner.time_s() >= next_tick {
+            let p = runner.progress();
+            eprintln!(
+                "t={:>6.1}min active={}/{} stable={}/{} count={} truth={}",
+                p.time_s / 60.0,
+                p.active,
+                p.checkpoints,
+                p.stable,
+                p.checkpoints,
+                p.distributed_count,
+                p.population
+            );
+            next_tick = runner.time_s() + 300.0;
+        }
+        let done = match goal {
+            Goal::Constitution => runner.all_stable(),
+            Goal::Collection => {
+                runner.all_stable() && runner.all_collected() && !runner.reports_in_flight()
+            }
+        };
+        if done || runner.time_s() >= scenario.max_time_s {
+            break;
+        }
+    }
+    runner.metrics_now()
+}

@@ -1,0 +1,75 @@
+//! Drive the `vcount` binary end to end through its public interface.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vcount"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vcount scenario"));
+    assert!(text.contains("vcount run"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn map_stats_report_the_paper_map() {
+    let out = bin().args(["map", "--preset", "paper"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("intersections:       444"), "got: {text}");
+    assert!(text.contains("border checkpoints"));
+}
+
+#[test]
+fn scenario_then_run_round_trips() {
+    let dir = std::env::temp_dir().join(format!("vcount-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.json");
+    let out = bin()
+        .args([
+            "scenario",
+            "--preset",
+            "closed",
+            "--volume",
+            "80",
+            "--seeds",
+            "3",
+            "--rng",
+            "5",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["run", path.to_str().unwrap(), "--goal", "constitution"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("run prints metrics JSON");
+    assert_eq!(metrics["oracle_violations"], 0);
+    assert_eq!(metrics["global_count"], metrics["true_population"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_rejects_missing_file() {
+    let out = bin().args(["run", "/nonexistent/nope.json"]).output().unwrap();
+    assert!(!out.status.success());
+}

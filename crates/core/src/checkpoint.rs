@@ -1,0 +1,910 @@
+//! The checkpoint state machine — Algorithms 1, 3 and 5 under the
+//! "everyone" model: every intersection runs this same generic process.
+//!
+//! The machine is pure and event-driven. It consumes exactly what real
+//! checkpoint equipment observes — vehicle entries (with carried label, if
+//! any), departures (label handoff opportunities), border exits, patrol
+//! status snapshots, relayed announcements and reports — and produces
+//! counter updates plus transport [`Command`]s. All timing comes from the
+//! caller-provided `now` values, so the machine is equally at home under
+//! the simulator or on a wall clock.
+
+use crate::command::{Command, EnterOutcome};
+use crate::config::{CheckpointConfig, ProtocolVariant};
+use crate::counter::Counters;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vcount_roadnet::{EdgeId, Interaction, NodeId, RoadNetwork};
+use vcount_v2x::{Label, PatrolStatus, VehicleClass};
+
+/// Counting state of one inbound direction `u ← v` (phase 1/3/4/5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InboundState {
+    /// Not yet activated (checkpoint inactive).
+    Idle,
+    /// Counting every unlabeled matching vehicle (phase 5).
+    Counting,
+    /// Counting ended: the direction's label arrived (phase 4), or the
+    /// direction comes from the predecessor and never started (phase 3).
+    Stopped,
+}
+
+/// Labelling state of one outbound direction (phase 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelState {
+    /// Checkpoint inactive — nothing to propagate yet.
+    Idle,
+    /// Waiting for the next vehicle to join this direction (retrying after
+    /// failed handoffs, Alg. 3 line 3).
+    Pending,
+    /// Exactly one label was delivered on this direction.
+    Done,
+}
+
+/// One checkpoint of the deployment. See module docs.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    id: NodeId,
+    cfg: CheckpointConfig,
+    /// Inbound directions `(edge v->u, v)`.
+    inbound: Vec<(EdgeId, NodeId)>,
+    /// Outbound directions `(edge u->v, v)`.
+    outbound: Vec<(EdgeId, NodeId)>,
+    /// Inbound neighbours unreachable by our label (no edge `u -> w`):
+    /// they learn our predecessor via `SendPredAnnounce`.
+    oneway_in: Vec<NodeId>,
+    /// Outbound neighbours with no reverse edge: their labels cannot reach
+    /// us, so we learn their predecessor from announcements instead.
+    oneway_out: Vec<NodeId>,
+    interaction: Interaction,
+
+    active: bool,
+    is_seed: bool,
+    pred: Option<NodeId>,
+    wave_seed: Option<NodeId>,
+    inbound_state: BTreeMap<EdgeId, InboundState>,
+    label_state: BTreeMap<EdgeId, LabelState>,
+    counters: Counters,
+
+    /// Learned predecessor of each neighbour (from labels, announcements,
+    /// patrol snapshots, or reports).
+    known_preds: BTreeMap<NodeId, Option<NodeId>>,
+    /// Highest-sequence report received per child: `(seq, total)`.
+    child_reports: BTreeMap<NodeId, (u32, i64)>,
+    /// Last subtree total reported to the predecessor, if any.
+    last_report: Option<i64>,
+    /// Sequence number of the next outgoing report.
+    report_seq: u32,
+    tree_total: Option<i64>,
+
+    activated_at: Option<f64>,
+    stable_at: Option<f64>,
+    collected_at: Option<f64>,
+}
+
+impl Checkpoint {
+    /// Builds the checkpoint for intersection `node`, extracting its local
+    /// topology view from the network.
+    pub fn new(net: &RoadNetwork, node: NodeId, cfg: CheckpointConfig) -> Self {
+        let inbound: Vec<(EdgeId, NodeId)> = net
+            .in_edges(node)
+            .iter()
+            .map(|&e| (e, net.edge(e).from))
+            .collect();
+        let outbound: Vec<(EdgeId, NodeId)> = net
+            .out_edges(node)
+            .iter()
+            .map(|&e| (e, net.edge(e).to))
+            .collect();
+        let oneway_in = inbound
+            .iter()
+            .filter(|(_, w)| net.edge_between(node, *w).is_none())
+            .map(|(_, w)| *w)
+            .collect();
+        let oneway_out = outbound
+            .iter()
+            .filter(|(_, v)| net.edge_between(*v, node).is_none())
+            .map(|(_, v)| *v)
+            .collect();
+        let inbound_state = inbound
+            .iter()
+            .map(|(e, _)| (*e, InboundState::Idle))
+            .collect();
+        let label_state = outbound
+            .iter()
+            .map(|(e, _)| (*e, LabelState::Idle))
+            .collect();
+        Checkpoint {
+            id: node,
+            cfg,
+            inbound,
+            outbound,
+            oneway_in,
+            oneway_out,
+            interaction: net.interaction(node),
+            active: false,
+            is_seed: false,
+            pred: None,
+            wave_seed: None,
+            inbound_state,
+            label_state,
+            counters: Counters::default(),
+            known_preds: BTreeMap::new(),
+            child_reports: BTreeMap::new(),
+            last_report: None,
+            report_seq: 0,
+            tree_total: None,
+            activated_at: None,
+            stable_at: None,
+            collected_at: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1 & 3: activation
+    // ------------------------------------------------------------------
+
+    /// Phase 1: initialize this checkpoint as a seed (and data sink). All
+    /// inbound counting starts; labels become pending on every outbound
+    /// direction.
+    pub fn activate_as_seed(&mut self, now: f64) -> Vec<Command> {
+        assert!(!self.active, "seed activation on an already active checkpoint");
+        self.is_seed = true;
+        self.wave_seed = Some(self.id);
+        let mut cmds = Vec::new();
+        self.activate(now, None, &mut cmds);
+        cmds
+    }
+
+    fn activate(&mut self, now: f64, pred: Option<NodeId>, cmds: &mut Vec<Command>) {
+        self.active = true;
+        self.pred = pred;
+        self.activated_at = Some(now);
+        for (e, origin) in &self.inbound {
+            let state = if Some(*origin) == pred {
+                // Traffic from the predecessor is already counted upstream
+                // (phase 3 activates only `s(u)` directions).
+                InboundState::Stopped
+            } else {
+                InboundState::Counting
+            };
+            self.inbound_state.insert(*e, state);
+        }
+        for (e, _) in &self.outbound {
+            self.label_state.insert(*e, LabelState::Pending);
+        }
+        // Upstream one-way neighbours cannot receive our label; announce
+        // our predecessor so their spanning-tree child discovery completes.
+        for w in self.oneway_in.clone() {
+            cmds.push(Command::SendPredAnnounce { to: w, pred });
+        }
+        self.after_change(now, cmds);
+    }
+
+    // ------------------------------------------------------------------
+    // Phases 3, 4, 5: vehicle entry
+    // ------------------------------------------------------------------
+
+    /// A vehicle entered the surveillance: `via` is the inbound direction
+    /// (`None` for an entry from outside the region at a border
+    /// checkpoint), `label` any label it carries (now delivered).
+    pub fn on_vehicle_entered(
+        &mut self,
+        now: f64,
+        via: Option<EdgeId>,
+        class: &VehicleClass,
+        label: Option<Label>,
+    ) -> EnterOutcome {
+        let mut out = EnterOutcome::default();
+        match via {
+            None => {
+                // Inbound interaction (Alg. 5): active border checkpoints
+                // count every matching vehicle coming in from outside.
+                if self.active
+                    && self.cfg.variant.counts_interaction()
+                    && self.interaction.inbound
+                    && self.cfg.filter.matches(class)
+                {
+                    self.counters.count_interaction_in();
+                    out.counted = true;
+                }
+            }
+            Some(e) => {
+                debug_assert!(
+                    self.inbound_state.contains_key(&e),
+                    "entry via unknown inbound edge {e}"
+                );
+                if let Some(label) = label {
+                    self.learn_pred(label.origin, label.origin_pred);
+                    if !self.active {
+                        // Phase 3: propagation to an inactive checkpoint.
+                        self.wave_seed = Some(label.seed);
+                        out.activated = true;
+                        let mut cmds = std::mem::take(&mut out.commands);
+                        self.activate(now, Some(label.origin), &mut cmds);
+                        out.commands = cmds;
+                    } else if self.inbound_state.get(&e) == Some(&InboundState::Counting) {
+                        // Phase 4: the backwash stops this direction.
+                        self.inbound_state.insert(e, InboundState::Stopped);
+                        out.stopped = Some(e);
+                    }
+                    // The labeled vehicle itself is never counted (phase 5
+                    // counts unlabeled vehicles only).
+                } else if self.active
+                    && self.inbound_state.get(&e) == Some(&InboundState::Counting)
+                    && self.cfg.filter.matches(class)
+                {
+                    // Phase 5: count the unlabeled matching vehicle.
+                    self.counters.count_inbound(e);
+                    out.counted = true;
+                }
+            }
+        }
+        let mut cmds = std::mem::take(&mut out.commands);
+        self.after_change(now, &mut cmds);
+        out.commands = cmds;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: labelling departures
+    // ------------------------------------------------------------------
+
+    /// Phase 2: a vehicle is joining outbound direction `onto`; returns the
+    /// label to hand it when one is pending. The caller performs the lossy
+    /// handoff and reports the outcome via [`Checkpoint::label_delivered`]
+    /// or [`Checkpoint::label_handoff_failed`].
+    pub fn offer_label(&self, onto: EdgeId) -> Option<Label> {
+        if self.active && self.label_state.get(&onto) == Some(&LabelState::Pending) {
+            Some(Label {
+                origin: self.id,
+                origin_pred: self.pred,
+                seed: self.wave_seed.expect("active checkpoint has a wave seed"),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The handoff for `onto` was acknowledged: exactly one label is now in
+    /// flight on that direction.
+    pub fn label_delivered(&mut self, onto: EdgeId) {
+        debug_assert_eq!(self.label_state.get(&onto), Some(&LabelState::Pending));
+        self.label_state.insert(onto, LabelState::Done);
+    }
+
+    /// The handoff failed (Alg. 3 line 3): the labelling will retry with
+    /// the next vehicle; when the escaping vehicle is one we count
+    /// (`matches_filter`), compensate the future double count with −1.
+    pub fn label_handoff_failed(&mut self, now: f64, onto: EdgeId, matches_filter: bool) -> Vec<Command> {
+        debug_assert_eq!(self.label_state.get(&onto), Some(&LabelState::Pending));
+        let mut cmds = Vec::new();
+        if matches_filter && self.cfg.compensate_loss {
+            self.counters.compensate_loss();
+            self.after_change(now, &mut cmds);
+        }
+        cmds
+    }
+
+    // ------------------------------------------------------------------
+    // Alg. 5: border exits
+    // ------------------------------------------------------------------
+
+    /// A vehicle left the region through this border checkpoint (outbound
+    /// interaction): −1 to the live population view when we are active.
+    /// Returns whether the exit was counted.
+    pub fn on_vehicle_exited(&mut self, now: f64, class: &VehicleClass) -> bool {
+        let counted = self.active
+            && self.cfg.variant.counts_interaction()
+            && self.interaction.outbound
+            && self.cfg.filter.matches(class);
+        if counted {
+            self.counters.count_interaction_out();
+        }
+        let mut cmds = Vec::new();
+        self.after_change(now, &mut cmds);
+        debug_assert!(cmds.is_empty(), "exit cannot complete collection");
+        counted
+    }
+
+    // ------------------------------------------------------------------
+    // Alg. 3 lines 5-8: overtake adjustment
+    // ------------------------------------------------------------------
+
+    /// Applies a finalized segment-watch adjustment to `c(u)` — `plus` and
+    /// `minus` are the counts *after* filtering to matching vehicles.
+    /// Returns re-report commands when the adjustment lands after the
+    /// subtree total was already sent.
+    pub fn apply_overtake_adjustment(&mut self, now: f64, plus: usize, minus: usize) -> Vec<Command> {
+        self.counters
+            .adjust_overtake(plus as i64 - minus as i64);
+        let mut cmds = Vec::new();
+        self.after_change(now, &mut cmds);
+        cmds
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 3 (ablation) and collection transport inputs
+    // ------------------------------------------------------------------
+
+    /// A patrol car arrived carrying a status snapshot. In the default
+    /// integration patrol cars act as label carriers and this only harvests
+    /// predecessor knowledge; with `patrol_stale_stop` it additionally
+    /// stops any counting direction whose origin the patrol saw active
+    /// (the paper's literal Theorem 3 reading — unsafe under slow traffic,
+    /// see DESIGN.md §4).
+    pub fn on_patrol_status(&mut self, now: f64, status: &PatrolStatus) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        if self.cfg.patrol_stale_stop {
+            for (e, origin) in self.inbound.clone() {
+                if self.inbound_state.get(&e) == Some(&InboundState::Counting)
+                    && status.status_of(origin) == Some(true)
+                {
+                    self.inbound_state.insert(e, InboundState::Stopped);
+                }
+            }
+        }
+        self.after_change(now, &mut cmds);
+        cmds
+    }
+
+    /// A relayed (or patrol-carried) predecessor announcement from a
+    /// one-way downstream neighbour.
+    pub fn on_pred_announce(&mut self, now: f64, from: NodeId, pred: Option<NodeId>) -> Vec<Command> {
+        self.learn_pred(from, pred);
+        let mut cmds = Vec::new();
+        self.after_change(now, &mut cmds);
+        cmds
+    }
+
+    /// A child's subtree report arrived (Alg. 2 phase 1 / Alg. 4 phase 2).
+    /// Reports may be re-issued when late adjustments land after phase 6;
+    /// the highest sequence number wins, so out-of-order transport is safe.
+    pub fn on_report(&mut self, now: f64, from: NodeId, total: i64, seq: u32) -> Vec<Command> {
+        // A report is itself proof that `from` chose us as predecessor.
+        self.learn_pred(from, Some(self.id));
+        let entry = self.child_reports.entry(from).or_insert((seq, total));
+        if seq >= entry.0 {
+            *entry = (seq, total);
+        }
+        let mut cmds = Vec::new();
+        self.after_change(now, &mut cmds);
+        cmds
+    }
+
+    fn learn_pred(&mut self, node: NodeId, pred: Option<NodeId>) {
+        self.known_preds.entry(node).or_insert(pred);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 6 + Alg. 2: stabilization and collection
+    // ------------------------------------------------------------------
+
+    fn after_change(&mut self, now: f64, cmds: &mut Vec<Command>) {
+        if self.active && self.stable_at.is_none() && self.all_stopped() {
+            self.stable_at = Some(now);
+        }
+        if self.stable_at.is_some() && self.children_known() {
+            let children = self.children();
+            if children
+                .iter()
+                .all(|c| self.child_reports.contains_key(c))
+            {
+                let total: i64 = self.counters.local_count()
+                    + children
+                        .iter()
+                        .map(|c| self.child_reports[c].1)
+                        .sum::<i64>();
+                if self.tree_total != Some(total) {
+                    self.tree_total = Some(total);
+                    if self.collected_at.is_none() {
+                        self.collected_at = Some(now);
+                    }
+                    if let Some(p) = self.pred {
+                        if self.last_report != Some(total) {
+                            self.report_seq += 1;
+                            self.last_report = Some(total);
+                            cmds.push(Command::SendReport {
+                                to: p,
+                                total,
+                                seq: self.report_seq,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn all_stopped(&self) -> bool {
+        self.inbound_state
+            .values()
+            .all(|s| *s == InboundState::Stopped)
+    }
+
+    /// Whether all outbound neighbours' predecessors are known, i.e. the
+    /// spanning-tree children set is final.
+    fn children_known(&self) -> bool {
+        self.outbound
+            .iter()
+            .all(|(_, v)| self.known_preds.contains_key(v))
+    }
+
+    /// The spanning-tree children discovered so far (outbound neighbours
+    /// that chose us as predecessor).
+    pub fn children(&self) -> Vec<NodeId> {
+        self.outbound
+            .iter()
+            .filter(|(_, v)| self.known_preds.get(v) == Some(&Some(self.id)))
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This checkpoint's intersection.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the local counting has been activated.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether this checkpoint is a seed.
+    pub fn is_seed(&self) -> bool {
+        self.is_seed
+    }
+
+    /// `p(u)` — the predecessor whose label activated us.
+    pub fn pred(&self) -> Option<NodeId> {
+        self.pred
+    }
+
+    /// Phase 6: the local non-interaction count has stabilized (every
+    /// activated inbound direction has ended).
+    pub fn is_stable(&self) -> bool {
+        self.stable_at.is_some()
+    }
+
+    /// When the checkpoint activated (simulated seconds).
+    pub fn activated_at(&self) -> Option<f64> {
+        self.activated_at
+    }
+
+    /// When the local view stabilized (simulated seconds).
+    pub fn stable_at(&self) -> Option<f64> {
+        self.stable_at
+    }
+
+    /// When the subtree total was finalized / reported (simulated seconds).
+    pub fn collected_at(&self) -> Option<f64> {
+        self.collected_at
+    }
+
+    /// The stabilizable local count `c(u)` (non-interaction).
+    pub fn local_count(&self) -> i64 {
+        self.counters.local_count()
+    }
+
+    /// Net border interaction (`in − out`, Alg. 5).
+    pub fn interaction_net(&self) -> i64 {
+        self.counters.interaction_net()
+    }
+
+    /// Raw counter state (diagnostics).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The aggregated subtree total, available once all children reported.
+    /// At a seed this is the tree's share of the global view.
+    pub fn tree_total(&self) -> Option<i64> {
+        self.tree_total
+    }
+
+    /// Counting state of an inbound direction.
+    pub fn inbound_state(&self, e: EdgeId) -> InboundState {
+        self.inbound_state
+            .get(&e)
+            .copied()
+            .unwrap_or(InboundState::Idle)
+    }
+
+    /// Label state of an outbound direction.
+    pub fn label_state(&self, e: EdgeId) -> LabelState {
+        self.label_state
+            .get(&e)
+            .copied()
+            .unwrap_or(LabelState::Idle)
+    }
+
+    /// Downstream neighbours whose labels cannot reach us (one-way
+    /// segments); their predecessors arrive via announcements instead.
+    pub fn oneway_out_neighbors(&self) -> &[NodeId] {
+        &self.oneway_out
+    }
+
+    /// Upstream neighbours our label cannot reach; they receive
+    /// [`Command::SendPredAnnounce`] at activation instead.
+    pub fn oneway_in_neighbors(&self) -> &[NodeId] {
+        &self.oneway_in
+    }
+
+    /// Whether this checkpoint sits on the open-system border.
+    pub fn is_border(&self) -> bool {
+        self.interaction.any()
+    }
+
+    /// Protocol configuration in force.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.cfg
+    }
+
+    /// The variant this deployment runs.
+    pub fn variant(&self) -> ProtocolVariant {
+        self.cfg.variant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcount_roadnet::builders::fig1_triangle;
+    use vcount_v2x::{ClassFilter, VehicleClass};
+
+    const CAR: VehicleClass = VehicleClass {
+        color: vcount_v2x::Color::Red,
+        brand: vcount_v2x::Brand::Apex,
+        body: vcount_v2x::BodyType::Sedan,
+    };
+
+    fn triangle_checkpoints(cfg: CheckpointConfig) -> (RoadNetwork, Vec<Checkpoint>) {
+        let net = fig1_triangle(200.0, 1, 6.7);
+        let cps = net
+            .node_ids()
+            .map(|n| Checkpoint::new(&net, n, cfg))
+            .collect();
+        (net, cps)
+    }
+
+    #[test]
+    fn seed_activation_starts_all_inbound_counting() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        let cmds = cps[0].activate_as_seed(0.0);
+        assert!(cmds.is_empty(), "bidirectional triangle needs no announces");
+        assert!(cps[0].is_active() && cps[0].is_seed());
+        for &e in net.in_edges(NodeId(0)) {
+            assert_eq!(cps[0].inbound_state(e), InboundState::Counting);
+        }
+        for &e in net.out_edges(NodeId(0)) {
+            assert_eq!(cps[0].label_state(e), LabelState::Pending);
+            assert!(cps[0].offer_label(e).is_some());
+        }
+    }
+
+    #[test]
+    fn unlabeled_vehicle_is_counted_once_active() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        let e = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        // Inactive: not counted.
+        let out = cps[0].on_vehicle_entered(0.0, Some(e), &CAR, None);
+        assert!(!out.counted);
+        cps[0].activate_as_seed(1.0);
+        let out = cps[0].on_vehicle_entered(2.0, Some(e), &CAR, None);
+        assert!(out.counted);
+        assert_eq!(cps[0].local_count(), 1);
+        assert_eq!(cps[0].counters().inbound(e), 1);
+    }
+
+    #[test]
+    fn label_activates_inactive_checkpoint_and_skips_pred_direction() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let label = cps[0]
+            .offer_label(net.edge_between(NodeId(0), NodeId(1)).unwrap())
+            .unwrap();
+        let via = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let out = cps[1].on_vehicle_entered(5.0, Some(via), &CAR, Some(label));
+        assert!(out.activated);
+        assert!(!out.counted, "labeled vehicle is never counted");
+        assert_eq!(cps[1].pred(), Some(NodeId(0)));
+        // Direction from the predecessor never counts.
+        assert_eq!(cps[1].inbound_state(via), InboundState::Stopped);
+        // Direction from node 2 counts.
+        let from2 = net.edge_between(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(cps[1].inbound_state(from2), InboundState::Counting);
+    }
+
+    #[test]
+    fn label_stops_counting_at_active_checkpoint() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        // Count two cars first.
+        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
+        cps[0].on_vehicle_entered(2.0, Some(from1), &CAR, None);
+        // Node 1's backwash label arrives.
+        let label = Label {
+            origin: NodeId(1),
+            origin_pred: Some(NodeId(0)),
+            seed: NodeId(0),
+        };
+        let out = cps[0].on_vehicle_entered(3.0, Some(from1), &CAR, Some(label));
+        assert_eq!(out.stopped, Some(from1));
+        // Further arrivals on that direction are not counted.
+        let out = cps[0].on_vehicle_entered(4.0, Some(from1), &CAR, None);
+        assert!(!out.counted);
+        assert_eq!(cps[0].local_count(), 2);
+    }
+
+    #[test]
+    fn stability_requires_all_directions_stopped() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        assert!(!cps[0].is_stable());
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        let from2 = net.edge_between(NodeId(2), NodeId(0)).unwrap();
+        let l1 = Label {
+            origin: NodeId(1),
+            origin_pred: Some(NodeId(0)),
+            seed: NodeId(0),
+        };
+        cps[0].on_vehicle_entered(5.0, Some(from1), &CAR, Some(l1));
+        assert!(!cps[0].is_stable());
+        let l2 = Label {
+            origin: NodeId(2),
+            origin_pred: Some(NodeId(1)),
+            seed: NodeId(0),
+        };
+        cps[0].on_vehicle_entered(7.0, Some(from2), &CAR, Some(l2));
+        assert!(cps[0].is_stable());
+        assert_eq!(cps[0].stable_at(), Some(7.0));
+    }
+
+    #[test]
+    fn full_wave_and_collection_on_triangle() {
+        // Hand-drive Fig. 1 end to end: seed 0, wave 0→1→2, backwash,
+        // reports 2→1→0, global view at the seed.
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        let e = |a: u32, b: u32| net.edge_between(NodeId(a), NodeId(b)).unwrap();
+        cps[0].activate_as_seed(0.0);
+
+        // Seed counts one car from each side.
+        cps[0].on_vehicle_entered(1.0, Some(e(1, 0)), &CAR, None);
+        cps[0].on_vehicle_entered(1.0, Some(e(2, 0)), &CAR, None);
+
+        // Wave to 1.
+        let l01 = cps[0].offer_label(e(0, 1)).unwrap();
+        cps[0].label_delivered(e(0, 1));
+        cps[1].on_vehicle_entered(3.0, Some(e(0, 1)), &CAR, Some(l01));
+        // 1 counts a car arriving from 2.
+        cps[1].on_vehicle_entered(4.0, Some(e(2, 1)), &CAR, None);
+
+        // Wave to 2 (from 1).
+        let l12 = cps[1].offer_label(e(1, 2)).unwrap();
+        cps[1].label_delivered(e(1, 2));
+        cps[2].on_vehicle_entered(5.0, Some(e(1, 2)), &CAR, Some(l12));
+        // Seed's label on 0→2 stops 2's remaining counting direction and
+        // completes 2's child discovery: 2 reports (no children).
+        let l02 = cps[0].offer_label(e(0, 2)).unwrap();
+        cps[0].label_delivered(e(0, 2));
+        let out2 = cps[2].on_vehicle_entered(5.5, Some(e(0, 2)), &CAR, Some(l02));
+        assert!(cps[2].is_stable());
+        assert_eq!(
+            out2.commands,
+            vec![Command::SendReport {
+                to: NodeId(1),
+                total: 0,
+                seq: 1
+            }]
+        );
+
+        // Backwash labels: 1→0, 2→0, 2→1.
+        let l10 = cps[1].offer_label(e(1, 0)).unwrap();
+        cps[1].label_delivered(e(1, 0));
+        cps[0].on_vehicle_entered(6.0, Some(e(1, 0)), &CAR, Some(l10));
+        let l20 = cps[2].offer_label(e(2, 0)).unwrap();
+        cps[2].label_delivered(e(2, 0));
+        cps[0].on_vehicle_entered(7.0, Some(e(2, 0)), &CAR, Some(l20));
+        let l21 = cps[2].offer_label(e(2, 1)).unwrap();
+        cps[2].label_delivered(e(2, 1));
+        let out = cps[1].on_vehicle_entered(8.0, Some(e(2, 1)), &CAR, Some(l21));
+        assert!(cps[0].is_stable() && cps[1].is_stable());
+        assert!(out.commands.is_empty(), "1 still waits for 2's report");
+        assert_eq!(cps[2].tree_total(), Some(0));
+
+        // Transport 2's report to 1, then 1's to the seed.
+        let cmds = cps[1].on_report(9.0, NodeId(2), 0, 1);
+        assert_eq!(
+            cmds,
+            vec![Command::SendReport {
+                to: NodeId(0),
+                total: 1,
+                seq: 1
+            }]
+        );
+        cps[0].on_report(10.0, NodeId(1), 1, 1);
+        // Global view at the seed: 2 counted at 0, 1 at 1, 0 at 2.
+        assert_eq!(cps[0].tree_total(), Some(3));
+        assert_eq!(cps[0].collected_at(), Some(10.0));
+    }
+
+    #[test]
+    fn failed_handoff_compensates_and_retries() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+        assert!(cps[0].offer_label(e01).is_some());
+        cps[0].label_handoff_failed(0.5, e01, true);
+        assert_eq!(cps[0].local_count(), -1, "Alg. 3 line 3 compensation");
+        // Still pending: retry with the next vehicle.
+        assert!(cps[0].offer_label(e01).is_some());
+        cps[0].label_delivered(e01);
+        assert!(cps[0].offer_label(e01).is_none(), "exactly one label per direction");
+    }
+
+    #[test]
+    fn failed_handoff_to_non_matching_vehicle_costs_nothing() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig {
+            filter: ClassFilter::white_vans(),
+            ..Default::default()
+        });
+        cps[0].activate_as_seed(0.0);
+        let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+        cps[0].label_handoff_failed(0.5, e01, false);
+        assert_eq!(cps[0].local_count(), 0);
+    }
+
+    #[test]
+    fn filter_limits_counting_to_matching_vehicles() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig {
+            filter: ClassFilter::white_vans(),
+            ..Default::default()
+        });
+        cps[0].activate_as_seed(0.0);
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
+        cps[0].on_vehicle_entered(2.0, Some(from1), &VehicleClass::WHITE_VAN, None);
+        assert_eq!(cps[0].local_count(), 1);
+    }
+
+    #[test]
+    fn patrol_cars_are_never_counted() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        let out = cps[0].on_vehicle_entered(1.0, Some(from1), &VehicleClass::PATROL, None);
+        assert!(!out.counted);
+        assert_eq!(cps[0].local_count(), 0);
+    }
+
+    #[test]
+    fn overtake_adjustments_shift_local_count() {
+        let (_, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        cps[0].apply_overtake_adjustment(1.0, 2, 1);
+        assert_eq!(cps[0].local_count(), 1);
+        cps[0].apply_overtake_adjustment(2.0, 0, 3);
+        assert_eq!(cps[0].local_count(), -2);
+    }
+
+    #[test]
+    fn open_variant_counts_interaction_at_active_border() {
+        let net = {
+            let mut net = fig1_triangle(200.0, 1, 6.7);
+            net.set_interaction(
+                NodeId(0),
+                Interaction {
+                    inbound: true,
+                    outbound: true,
+                },
+            );
+            net
+        };
+        let cfg = CheckpointConfig::for_variant(ProtocolVariant::Open);
+        let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
+        // Inactive: escapes are allowed (Cor. 2).
+        assert!(!cp.on_vehicle_exited(0.0, &CAR));
+        cp.on_vehicle_entered(0.5, None, &CAR, None);
+        assert_eq!(cp.interaction_net(), 0);
+        cp.activate_as_seed(1.0);
+        cp.on_vehicle_entered(2.0, None, &CAR, None);
+        assert!(cp.on_vehicle_exited(3.0, &CAR));
+        cp.on_vehicle_entered(4.0, None, &CAR, None);
+        assert_eq!(cp.interaction_net(), 1);
+        assert_eq!(cp.local_count(), 0, "interaction is separate");
+    }
+
+    #[test]
+    fn closed_variant_ignores_interaction_flags() {
+        let mut net = fig1_triangle(200.0, 1, 6.7);
+        net.set_interaction(
+            NodeId(0),
+            Interaction {
+                inbound: true,
+                outbound: true,
+            },
+        );
+        let mut cp = Checkpoint::new(&net, NodeId(0), CheckpointConfig::default());
+        cp.activate_as_seed(0.0);
+        cp.on_vehicle_entered(1.0, None, &CAR, None);
+        assert!(!cp.on_vehicle_exited(2.0, &CAR));
+        assert_eq!(cp.interaction_net(), 0);
+    }
+
+    #[test]
+    fn duplicate_labels_on_stopped_direction_are_idempotent() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        let l = Label {
+            origin: NodeId(1),
+            origin_pred: Some(NodeId(0)),
+            seed: NodeId(0),
+        };
+        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, Some(l));
+        let before = cps[0].local_count();
+        let out = cps[0].on_vehicle_entered(2.0, Some(from1), &CAR, Some(l));
+        assert_eq!(out.stopped, None);
+        assert_eq!(cps[0].local_count(), before);
+    }
+
+    #[test]
+    fn patrol_stale_stop_mode_stops_from_status() {
+        let (net, _) = triangle_checkpoints(CheckpointConfig::default());
+        let cfg = CheckpointConfig {
+            patrol_stale_stop: true,
+            ..Default::default()
+        };
+        let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
+        cp.activate_as_seed(0.0);
+        let mut status = PatrolStatus::default();
+        status.observe(NodeId(1), true);
+        status.observe(NodeId(2), true);
+        cp.on_patrol_status(5.0, &status);
+        assert!(cp.is_stable(), "statuses stopped every inbound direction");
+    }
+
+    #[test]
+    fn stale_stop_disabled_by_default() {
+        let (_net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let mut status = PatrolStatus::default();
+        status.observe(NodeId(1), true);
+        status.observe(NodeId(2), true);
+        cps[0].on_patrol_status(5.0, &status);
+        assert!(!cps[0].is_stable());
+    }
+
+    #[test]
+    fn seed_with_no_children_finishes_immediately_on_stability() {
+        // A 2-node network: seed 0 and node 1.
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(vcount_roadnet::Point::new(0.0, 0.0));
+        let b = net.add_node(vcount_roadnet::Point::new(100.0, 0.0));
+        net.add_two_way(a, b, 1, 6.7);
+        let cfg = CheckpointConfig::default();
+        let mut cp0 = Checkpoint::new(&net, a, cfg);
+        let mut cp1 = Checkpoint::new(&net, b, cfg);
+        cp0.activate_as_seed(0.0);
+        // Wave to 1 and backwash.
+        let e01 = net.edge_between(a, b).unwrap();
+        let e10 = net.edge_between(b, a).unwrap();
+        let l = cp0.offer_label(e01).unwrap();
+        cp0.label_delivered(e01);
+        cp1.on_vehicle_entered(1.0, Some(e01), &CAR, Some(l));
+        let l_back = cp1.offer_label(e10).unwrap();
+        cp1.label_delivered(e10);
+        cp0.on_vehicle_entered(2.0, Some(e10), &CAR, Some(l_back));
+        assert!(cp0.is_stable());
+        // 1 is also stable (its only non-pred inbound set is empty).
+        assert!(cp1.is_stable());
+        // 1 reports 0 vehicles; 0 aggregates.
+        cp0.on_report(3.0, b, 0, 1);
+        assert_eq!(cp0.tree_total(), Some(0));
+    }
+}

@@ -1,0 +1,50 @@
+//! Commands a checkpoint asks its communication layer to perform, and the
+//! outcome summary of a vehicle-entry observation.
+//!
+//! The checkpoint state machine is pure: it consumes observations and
+//! returns [`Command`]s; the harness (or real roadside hardware) performs
+//! the transport. This keeps Alg. 1/3/5 testable without any simulator.
+
+use serde::{Deserialize, Serialize};
+use vcount_roadnet::{EdgeId, NodeId};
+
+/// A transport request emitted by the checkpoint state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Announce this checkpoint's predecessor choice to an upstream
+    /// neighbour that cannot receive our label because the connecting
+    /// street is one-way toward us (delivered via the directional V2V
+    /// relay of ref [7], or by patrol under Alg. 4).
+    SendPredAnnounce {
+        /// The neighbour that needs to learn our predecessor.
+        to: NodeId,
+        /// Our predecessor (`None` at a seed).
+        pred: Option<NodeId>,
+    },
+    /// Carry the stabilized subtree total to the predecessor (Alg. 2
+    /// phase 2 / Alg. 4 phase 4). Re-issued with a higher sequence number
+    /// when a late adjustment (lossy-handoff compensation or overtake
+    /// correction landing after phase 6) changes the subtree total; the
+    /// receiver keeps the highest-sequence value per child.
+    SendReport {
+        /// Destination: `p(u)`.
+        to: NodeId,
+        /// `c(u) + Σ_{v ∈ children} subtree(v)`.
+        total: i64,
+        /// Monotone per-sender sequence number (last writer wins).
+        seq: u32,
+    },
+}
+
+/// What happened when a vehicle entered the checkpoint's surveillance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnterOutcome {
+    /// The vehicle was counted here (phase 5, or inbound interaction).
+    pub counted: bool,
+    /// This entry activated the checkpoint (phase 3).
+    pub activated: bool,
+    /// This entry stopped counting on an inbound direction (phase 4).
+    pub stopped: Option<EdgeId>,
+    /// Transport requests produced by the state change.
+    pub commands: Vec<Command>,
+}

@@ -1,0 +1,37 @@
+//! # vcount-core — the infrastructure-less vehicle counting protocol
+//!
+//! Reproduction of the primary contribution of Wu, Sabatino, Tsan, Jiang —
+//! *An Infrastructure-less Vehicle Counting without Disruption* (ICPP
+//! 2014): a fully-distributed, Chandy–Lamport-style protocol that counts
+//! every vehicle in a region exactly once using only checkpoint
+//! surveillance and the traffic flow as the message carrier.
+//!
+//! * [`checkpoint::Checkpoint`] — the per-intersection state machine
+//!   covering Alg. 1 (simple closed systems), Alg. 3 (overtakes, lossy
+//!   channels, one-way streets, patrol) and Alg. 5 (open systems), plus
+//!   the collection logic of Alg. 2/4 (spanning-tree aggregation to the
+//!   seed).
+//! * [`config`] — protocol variants and the specified-type filter.
+//! * [`counter::Counters`] — `c(u, v)` with overtake/loss/interaction
+//!   components.
+//! * [`baseline`] — the unsynchronized baselines the paper argues against.
+//!
+//! The state machine is pure (no I/O, no clock, no RNG): a harness feeds
+//! observations and performs the returned transport [`command::Command`]s.
+//! `vcount-sim` wires it to the traffic and V2X substrates; the unit tests
+//! here drive it directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod checkpoint;
+pub mod command;
+pub mod config;
+pub mod counter;
+
+pub use baseline::{ClassDedupCounter, NaiveIntervalCounter};
+pub use checkpoint::{Checkpoint, InboundState, LabelState};
+pub use command::{Command, EnterOutcome};
+pub use config::{CheckpointConfig, ProtocolVariant};
+pub use counter::Counters;

@@ -1,0 +1,243 @@
+//! Hand-driven protocol scenarios exercising the extensions: one-way
+//! streets (Theorem 2), multi-seed waves, report re-issue ordering, and
+//! open-system interaction accounting.
+
+use vcount_core::{Checkpoint, CheckpointConfig, Command, InboundState, ProtocolVariant};
+use vcount_roadnet::{Interaction, NodeId, Point, RoadNetwork};
+use vcount_v2x::{BodyType, Brand, Color, Label, VehicleClass};
+
+const CAR: VehicleClass = VehicleClass {
+    color: Color::Black,
+    brand: Brand::Everest,
+    body: BodyType::Suv,
+};
+
+/// u --> v one-way, plus a return path v -> w -> u (all one-way): the
+/// minimal network exercising Alg. 3's one-way handling end to end.
+fn oneway_triangle() -> (RoadNetwork, [NodeId; 3]) {
+    let mut net = RoadNetwork::new();
+    let u = net.add_node(Point::new(0.0, 0.0));
+    let v = net.add_node(Point::new(100.0, 0.0));
+    let w = net.add_node(Point::new(50.0, 80.0));
+    net.add_one_way(u, v, 1, 7.0);
+    net.add_one_way(v, w, 1, 7.0);
+    net.add_one_way(w, u, 1, 7.0);
+    net.validate().unwrap();
+    (net, [u, v, w])
+}
+
+#[test]
+fn one_way_wave_propagates_and_stabilizes() {
+    let (net, [u, v, w]) = oneway_triangle();
+    let cfg = CheckpointConfig::default();
+    let mut cu = Checkpoint::new(&net, u, cfg);
+    let mut cv = Checkpoint::new(&net, v, cfg);
+    let mut cw = Checkpoint::new(&net, w, cfg);
+    let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
+
+    // Seed at u. Its only inbound is w->u; outbound u->v.
+    let cmds = cu.activate_as_seed(0.0);
+    // u cannot label back to w (no edge u->w): it announces its pred to w.
+    assert_eq!(
+        cmds,
+        vec![Command::SendPredAnnounce { to: w, pred: None }]
+    );
+
+    // Wave u -> v.
+    let l_uv = cu.offer_label(e(u, v)).unwrap();
+    cu.label_delivered(e(u, v));
+    let out = cv.on_vehicle_entered(10.0, Some(e(u, v)), &CAR, Some(l_uv));
+    assert!(out.activated);
+    assert_eq!(cv.pred(), Some(u));
+    // v's only inbound came from its predecessor: v is stable immediately
+    // (Theorem 2: no labeling needed on the opposite direction).
+    assert!(cv.is_stable());
+    // v announces its pred to u (edge v->u missing).
+    assert_eq!(
+        out.commands,
+        vec![Command::SendPredAnnounce { to: u, pred: Some(u) }]
+    );
+
+    // Wave v -> w.
+    let l_vw = cv.offer_label(e(v, w)).unwrap();
+    cv.label_delivered(e(v, w));
+    let out = cw.on_vehicle_entered(20.0, Some(e(v, w)), &CAR, Some(l_vw));
+    assert!(out.activated && cw.is_stable());
+    assert_eq!(
+        out.commands,
+        vec![Command::SendPredAnnounce { to: v, pred: Some(v) }]
+    );
+
+    // Wave w -> u closes the loop and stops u's counting.
+    let l_wu = cw.offer_label(e(w, u)).unwrap();
+    cw.label_delivered(e(w, u));
+    let out = cu.on_vehicle_entered(30.0, Some(e(w, u)), &CAR, Some(l_wu));
+    assert_eq!(out.stopped, Some(e(w, u)));
+    assert!(cu.is_stable());
+
+    // Child discovery across one-way links: deliver the announces.
+    cu.on_pred_announce(35.0, v, Some(u));
+    cv.on_pred_announce(35.0, w, Some(v));
+    let cmds = cw.on_pred_announce(35.0, u, None);
+    // w has no children (u's pred is None): its report goes to pred v.
+    assert!(matches!(
+        cmds.as_slice(),
+        [Command::SendReport { to, .. }] if *to == v
+    ));
+}
+
+#[test]
+fn two_seeds_stop_each_other() {
+    // Line u - v (bidirectional), both ends seeds: each stops the other's
+    // counting; both trees are singletons.
+    let mut net = RoadNetwork::new();
+    let u = net.add_node(Point::new(0.0, 0.0));
+    let v = net.add_node(Point::new(100.0, 0.0));
+    net.add_two_way(u, v, 1, 7.0);
+    let cfg = CheckpointConfig::default();
+    let mut cu = Checkpoint::new(&net, u, cfg);
+    let mut cv = Checkpoint::new(&net, v, cfg);
+    cu.activate_as_seed(0.0);
+    cv.activate_as_seed(0.0);
+    let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
+
+    // Count one vehicle at each side first.
+    assert!(cu.on_vehicle_entered(1.0, Some(e(v, u)), &CAR, None).counted);
+    assert!(cv.on_vehicle_entered(1.0, Some(e(u, v)), &CAR, None).counted);
+
+    // Exchange labels.
+    let l_uv = cu.offer_label(e(u, v)).unwrap();
+    cu.label_delivered(e(u, v));
+    let out = cv.on_vehicle_entered(5.0, Some(e(u, v)), &CAR, Some(l_uv));
+    assert_eq!(out.stopped, Some(e(u, v)));
+    assert!(!out.activated, "an active seed does not re-activate");
+    let l_vu = cv.offer_label(e(v, u)).unwrap();
+    cv.label_delivered(e(v, u));
+    cu.on_vehicle_entered(5.0, Some(e(v, u)), &CAR, Some(l_vu));
+
+    assert!(cu.is_stable() && cv.is_stable());
+    // Forest: both remain roots; no reports flow; totals are local.
+    assert_eq!(cu.pred(), None);
+    assert_eq!(cv.pred(), None);
+    assert_eq!(cu.tree_total(), Some(1));
+    assert_eq!(cv.tree_total(), Some(1));
+}
+
+#[test]
+fn late_loss_compensation_triggers_re_report() {
+    // Star: seed s with child u; u has an outbound one-way spur u -> x
+    // whose label fails repeatedly after u already reported.
+    let mut net = RoadNetwork::new();
+    let s = net.add_node(Point::new(0.0, 0.0));
+    let u = net.add_node(Point::new(100.0, 0.0));
+    let x = net.add_node(Point::new(200.0, 0.0));
+    net.add_two_way(s, u, 1, 7.0);
+    net.add_two_way(u, x, 1, 7.0);
+    let cfg = CheckpointConfig::default();
+    let mut cs = Checkpoint::new(&net, s, cfg);
+    let mut cu = Checkpoint::new(&net, u, cfg);
+    let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
+
+    cs.activate_as_seed(0.0);
+    let l = cs.offer_label(e(s, u)).unwrap();
+    cs.label_delivered(e(s, u));
+    cu.on_vehicle_entered(1.0, Some(e(s, u)), &CAR, Some(l));
+    // u's backwash label stops the seed's counting of s<-u.
+    let l_us = cu.offer_label(e(u, s)).unwrap();
+    cu.label_delivered(e(u, s));
+    cs.on_vehicle_entered(1.5, Some(e(u, s)), &CAR, Some(l_us));
+    assert!(cs.is_stable());
+    // u counts one vehicle from x, then x's backwash label stops it.
+    cu.on_vehicle_entered(2.0, Some(e(x, u)), &CAR, None);
+    let lx = Label {
+        origin: x,
+        origin_pred: Some(u),
+        seed: s,
+    };
+    let out = cu.on_vehicle_entered(3.0, Some(e(x, u)), &CAR, Some(lx));
+    assert!(cu.is_stable());
+    // u knows x is its child; x reports 0: u reports 1 to s.
+    assert!(out.commands.is_empty());
+    let cmds = cu.on_report(4.0, x, 0, 1);
+    assert_eq!(
+        cmds,
+        vec![Command::SendReport {
+            to: s,
+            total: 1,
+            seq: 1
+        }]
+    );
+    cs.on_report(5.0, u, 1, 1);
+    assert_eq!(cs.tree_total(), Some(1 /* at u */));
+
+    // NOW a label handoff on u -> x fails (it was still pending): the
+    // compensation lands after u's report, so u must re-report.
+    let cmds = cu.label_handoff_failed(6.0, e(u, x), true);
+    assert_eq!(
+        cmds,
+        vec![Command::SendReport {
+            to: s,
+            total: 0,
+            seq: 2
+        }]
+    );
+    // An out-of-order stale report (seq 1) must not clobber seq 2.
+    cs.on_report(7.0, u, 1, 1);
+    cs.on_report(8.0, u, 0, 2);
+    assert_eq!(cs.tree_total(), Some(0));
+    // Replaying the stale one after the fresh one is ignored.
+    cs.on_report(9.0, u, 1, 1);
+    assert_eq!(cs.tree_total(), Some(0));
+}
+
+#[test]
+fn open_border_checkpoint_full_lifecycle() {
+    let mut net = RoadNetwork::new();
+    let b = net.add_node(Point::new(0.0, 0.0));
+    let i = net.add_node(Point::new(100.0, 0.0));
+    net.add_two_way(b, i, 1, 7.0);
+    net.set_interaction(
+        b,
+        Interaction {
+            inbound: true,
+            outbound: true,
+        },
+    );
+    let cfg = CheckpointConfig::for_variant(ProtocolVariant::Open);
+    let mut cb = Checkpoint::new(&net, b, cfg);
+    let e = |a: NodeId, bb: NodeId| net.edge_between(a, bb).unwrap();
+
+    cb.activate_as_seed(0.0);
+    // Interior counting runs alongside interaction counting.
+    assert!(cb.on_vehicle_entered(1.0, Some(e(i, b)), &CAR, None).counted);
+    assert!(cb.on_vehicle_entered(2.0, None, &CAR, None).counted); // from outside
+    assert!(cb.on_vehicle_exited(3.0, &CAR));
+    assert_eq!(cb.local_count(), 1);
+    assert_eq!(cb.interaction_net(), 0);
+
+    // Stability concerns only the non-interaction inbound directions.
+    let li = Label {
+        origin: i,
+        origin_pred: Some(b),
+        seed: b,
+    };
+    cb.on_vehicle_entered(4.0, Some(e(i, b)), &CAR, Some(li));
+    assert!(cb.is_stable());
+    // Interaction counting NEVER stops (Alg. 5): more border traffic still
+    // counts after stability.
+    assert!(cb.on_vehicle_entered(5.0, None, &CAR, None).counted);
+    assert_eq!(cb.interaction_net(), 1);
+}
+
+#[test]
+fn inbound_state_accessor_tracks_lifecycle() {
+    let (net, [u, v, _w]) = oneway_triangle();
+    let mut cu = Checkpoint::new(&net, u, CheckpointConfig::default());
+    let inbound = net.in_edges(u)[0];
+    assert_eq!(cu.inbound_state(inbound), InboundState::Idle);
+    cu.activate_as_seed(0.0);
+    assert_eq!(cu.inbound_state(inbound), InboundState::Counting);
+    // Unknown edge (an outbound one) reads Idle.
+    let out = net.edge_between(u, v).unwrap();
+    assert_eq!(cu.inbound_state(out), InboundState::Idle);
+}

@@ -1,0 +1,237 @@
+//! Connectivity analysis and repair.
+//!
+//! The counting wave (Alg. 1/3) reaches every checkpoint only when every
+//! checkpoint is reachable from the seed, and the collection phase
+//! (Alg. 2/4) plus the patrol cycle (Theorem 4) additionally need the seed
+//! (resp. every node) to be reachable *from* every checkpoint — i.e. strong
+//! connectivity of the directed road graph. Map builders call
+//! [`make_strongly_connected`] after assigning one-way directions, mirroring
+//! how cities upgrade one-way streets when they strand traffic (the paper's
+//! ref [10]).
+
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+
+/// Tarjan's strongly-connected-components algorithm (iterative, so deep
+/// grids cannot overflow the stack). Components are returned in reverse
+/// topological order of the condensation.
+pub fn strongly_connected_components(net: &RoadNetwork) -> Vec<Vec<NodeId>> {
+    let n = net.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comps: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frames: (node, next out-edge position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let vi = v as usize;
+            let out = net.out_edges(NodeId(v));
+            if *pos < out.len() {
+                let e = out[*pos];
+                *pos += 1;
+                let w = net.edge(e).to.0;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    index[wi] = next_index;
+                    low[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pi = parent as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Whether the directed road graph is strongly connected.
+pub fn is_strongly_connected(net: &RoadNetwork) -> bool {
+    net.node_count() > 0 && strongly_connected_components(net).len() == 1
+}
+
+/// Whether the underlying undirected graph is connected ("the road system is
+/// connected", Section III-A).
+pub fn is_weakly_connected(net: &RoadNetwork) -> bool {
+    let n = net.node_count();
+    if n == 0 {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(v) = stack.pop() {
+        let node = NodeId(v);
+        let fwd = net.out_edges(node).iter().map(|e| net.edge(*e).to);
+        let back = net.in_edges(node).iter().map(|e| net.edge(*e).from);
+        for w in fwd.chain(back) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                visited += 1;
+                stack.push(w.0);
+            }
+        }
+    }
+    visited == n
+}
+
+/// Repairs strong connectivity by upgrading one-way edges to bidirectional
+/// segments (twinning) until the graph is strongly connected.
+///
+/// Strategy: while more than one SCC remains, find a one-way edge whose
+/// endpoints lie in different SCCs and twin it — each such twin merges at
+/// least the cycle it closes. Requires the underlying undirected graph to be
+/// connected; panics otherwise (a builder bug, not a runtime condition).
+/// Returns the edges that were added.
+pub fn make_strongly_connected(net: &mut RoadNetwork) -> Vec<EdgeId> {
+    assert!(
+        is_weakly_connected(net),
+        "cannot repair a weakly disconnected road network"
+    );
+    let mut added = Vec::new();
+    loop {
+        let comps = strongly_connected_components(net);
+        if comps.len() <= 1 {
+            break;
+        }
+        let mut comp_of = vec![0usize; net.node_count()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for nid in comp {
+                comp_of[nid.index()] = ci;
+            }
+        }
+        let crossing = net
+            .edge_ids()
+            .find(|e| {
+                let ed = net.edge(*e);
+                ed.is_one_way() && comp_of[ed.from.index()] != comp_of[ed.to.index()]
+            })
+            .expect("weakly connected graph with >1 SCC must have a crossing one-way edge");
+        added.push(net.twin_edge(crossing));
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn line_one_way(n: usize) -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| net.add_node(Point::new(i as f64 * 10.0, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            net.add_one_way(w[0], w[1], 1, 5.0);
+        }
+        net
+    }
+
+    #[test]
+    fn one_way_line_has_n_components() {
+        let net = line_one_way(5);
+        assert_eq!(strongly_connected_components(&net).len(), 5);
+        assert!(!is_strongly_connected(&net));
+        assert!(is_weakly_connected(&net));
+    }
+
+    #[test]
+    fn directed_ring_is_strong() {
+        let mut net = line_one_way(5);
+        let last = NodeId(4);
+        let first = NodeId(0);
+        net.add_one_way(last, first, 1, 5.0);
+        assert!(is_strongly_connected(&net));
+    }
+
+    #[test]
+    fn repair_twins_until_strong() {
+        let mut net = line_one_way(6);
+        let added = make_strongly_connected(&mut net);
+        assert!(is_strongly_connected(&net));
+        // A one-way line of n nodes needs every edge twinned.
+        assert_eq!(added.len(), 5);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn repair_is_noop_on_strong_graph() {
+        let mut net = line_one_way(4);
+        net.add_one_way(NodeId(3), NodeId(0), 1, 5.0);
+        let added = make_strongly_connected(&mut net);
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        // Two directed triangles joined by a single one-way edge.
+        let mut net = RoadNetwork::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| net.add_node(Point::new(i as f64, (i % 2) as f64)))
+            .collect();
+        for t in [[0, 1, 2], [3, 4, 5]] {
+            for k in 0..3 {
+                net.add_one_way(ids[t[k]], ids[t[(k + 1) % 3]], 1, 5.0);
+            }
+        }
+        net.add_one_way(ids[2], ids[3], 1, 5.0);
+        let comps = strongly_connected_components(&net);
+        assert_eq!(comps.len(), 2);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn weak_connectivity_detects_islands() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(1.0, 0.0));
+        net.add_two_way(a, b, 1, 5.0);
+        net.add_node(Point::new(9.0, 9.0));
+        assert!(!is_weakly_connected(&net));
+    }
+
+    #[test]
+    fn empty_graph_is_not_connected() {
+        let net = RoadNetwork::new();
+        assert!(!is_strongly_connected(&net));
+        assert!(!is_weakly_connected(&net));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based invariants of the road-network substrate.
+
+use proptest::prelude::*;
+use vcount_roadnet::builders::{grid, random_city, thin_to_one_way, RandomCityConfig};
+use vcount_roadnet::connectivity::is_strongly_connected;
+use vcount_roadnet::{covering_cycle, shortest_path, travel_times_from, NodeId};
+
+fn arb_city() -> impl Strategy<Value = RandomCityConfig> {
+    (2usize..60, 1usize..5, 0.0f64..=1.0, any::<u64>(), 0.0f64..0.5).prop_map(
+        |(nodes, neighbors, one_way, seed, border)| RandomCityConfig {
+            nodes,
+            neighbors,
+            one_way_fraction: one_way,
+            seed,
+            border_fraction: border,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated city validates and is strongly connected — the
+    /// precondition of the counting wave and of Theorem 4.
+    #[test]
+    fn random_cities_validate(cfg in arb_city()) {
+        let net = random_city(&cfg);
+        prop_assert!(net.validate().is_ok());
+        prop_assert!(is_strongly_connected(&net));
+    }
+
+    /// Theorem 4 as a property: every strongly connected city admits a
+    /// covering patrol cycle from every start node (sampled).
+    #[test]
+    fn covering_cycle_exists(cfg in arb_city()) {
+        let net = random_city(&cfg);
+        let start = NodeId((cfg.seed % cfg.nodes as u64) as u32);
+        let cycle = covering_cycle(&net, start).expect("strong graph must admit cycle");
+        prop_assert!(cycle.verify(&net).is_ok());
+    }
+
+    /// Shortest-path times satisfy the triangle inequality through any
+    /// intermediate node.
+    #[test]
+    fn shortest_path_triangle_inequality(cfg in arb_city(), a in 0u32..60, b in 0u32..60, c in 0u32..60) {
+        let net = random_city(&cfg);
+        let n = net.node_count() as u32;
+        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+        let via = travel_times_from(&net, a)[c.index()] + travel_times_from(&net, c)[b.index()];
+        let direct = travel_times_from(&net, a)[b.index()];
+        prop_assert!(direct <= via + 1e-6);
+    }
+
+    /// A reconstructed shortest path is contiguous and its cost equals the
+    /// distance array entry.
+    #[test]
+    fn path_cost_matches_distance(cfg in arb_city(), a in 0u32..60, b in 0u32..60) {
+        let net = random_city(&cfg);
+        let n = net.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let p = shortest_path(&net, a, b).expect("strongly connected");
+        let d = travel_times_from(&net, a)[b.index()];
+        prop_assert!((p.travel_time_s(&net) - d).abs() < 1e-6);
+        let seq = p.node_sequence(&net, a);
+        prop_assert_eq!(*seq.last().unwrap(), b);
+    }
+
+    /// Thinning a bidirectional grid to one-way streets preserves strong
+    /// connectivity (the repair pass works for any keep period).
+    #[test]
+    fn thinning_preserves_strength(cols in 2usize..7, rows in 2usize..7, keep in 0usize..6) {
+        let net = grid(cols, rows, 100.0, 1, 6.7);
+        let thin = thin_to_one_way(&net, keep);
+        prop_assert!(is_strongly_connected(&thin));
+        prop_assert!(thin.validate().is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Serialization round-trips: maps and configs are plain data, so a
+//! network serialized to JSON must rebuild identically (scenario files and
+//! reproducibility depend on it).
+
+use vcount_roadnet::builders::{manhattan, random_city, ManhattanConfig, RandomCityConfig};
+use vcount_roadnet::{NodeKind, RoadNetwork};
+
+fn assert_same(a: &RoadNetwork, b: &RoadNetwork) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for (na, nb) in a.nodes().zip(b.nodes()) {
+        assert_eq!(na.id, nb.id);
+        assert_eq!(na.pos, nb.pos);
+        match (na.kind, nb.kind) {
+            (NodeKind::Plain, NodeKind::Plain) => {}
+            (NodeKind::Roundabout { radius_m: ra }, NodeKind::Roundabout { radius_m: rb }) => {
+                assert_eq!(ra, rb)
+            }
+            other => panic!("node kind mismatch: {other:?}"),
+        }
+    }
+    for (ea, eb) in a.edges().zip(b.edges()) {
+        assert_eq!((ea.from, ea.to, ea.lanes, ea.twin), (eb.from, eb.to, eb.lanes, eb.twin));
+        assert_eq!(ea.length_m, eb.length_m);
+        assert_eq!(ea.speed_mps, eb.speed_mps);
+    }
+    for n in a.node_ids() {
+        assert_eq!(a.interaction(n), b.interaction(n));
+        assert_eq!(a.out_edges(n), b.out_edges(n));
+        assert_eq!(a.in_edges(n), b.in_edges(n));
+    }
+}
+
+#[test]
+fn midtown_round_trips_through_json() {
+    let net = manhattan(&ManhattanConfig::small());
+    let json = serde_json::to_string(&net).unwrap();
+    let back: RoadNetwork = serde_json::from_str(&json).unwrap();
+    assert_same(&net, &back);
+    back.validate().unwrap();
+    assert!(back.is_open());
+}
+
+#[test]
+fn random_city_round_trips_through_json() {
+    for seed in [1u64, 42, 999] {
+        let net = random_city(&RandomCityConfig {
+            seed,
+            border_fraction: 0.2,
+            ..Default::default()
+        });
+        let json = serde_json::to_string(&net).unwrap();
+        let back: RoadNetwork = serde_json::from_str(&json).unwrap();
+        assert_same(&net, &back);
+        back.validate().unwrap();
+    }
+}
+
+#[test]
+fn manhattan_config_round_trips() {
+    let cfg = ManhattanConfig {
+        speed_mph: 25.0,
+        broadway: false,
+        ..ManhattanConfig::default()
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: ManhattanConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.speed_mph, 25.0);
+    assert!(!back.broadway);
+    assert_eq!(back.avenues, cfg.avenues);
+    // Building from the round-tripped config yields the identical map.
+    assert_same(&manhattan(&cfg), &manhattan(&back));
+}

@@ -1,0 +1,225 @@
+//! Parameter sweeps: the paper's evaluation grid (traffic volume ×
+//! seed count), run in parallel across worker threads.
+
+use crate::metrics::{RunMetrics, Summary};
+use crate::runner::{Goal, Runner};
+use crate::scenario::Scenario;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Traffic volume, percent of the daily average (paper: 10..=100).
+    pub volume_pct: f64,
+    /// Number of seed checkpoints (paper: 1..=10).
+    pub seeds: usize,
+}
+
+/// Aggregated replicate results for one grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell coordinates.
+    pub cell: Cell,
+    /// Constitution-time statistics across replicates, minutes.
+    pub constitution_min: Option<Summary>,
+    /// Collection-time statistics across replicates, minutes (collection
+    /// goals only).
+    pub collection_min: Option<Summary>,
+    /// Per-checkpoint stabilization statistics pooled over replicates,
+    /// minutes (the Fig. 2 max/min/avg reading).
+    pub per_checkpoint_min: Option<Summary>,
+    /// Total oracle violations across replicates (must be 0).
+    pub violations: usize,
+    /// Replicates that failed to converge within the time limit.
+    pub unconverged: usize,
+    /// All replicate metrics, for deeper analysis.
+    pub runs: Vec<RunMetrics>,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Volumes to test (percent).
+    pub volumes: Vec<f64>,
+    /// Seed counts to test.
+    pub seed_counts: Vec<usize>,
+    /// Replicates per cell (different traffic RNG seeds).
+    pub replicates: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// The paper's full grid: volume ∈ {10,…,100} × seeds ∈ {1..=10}.
+    pub fn paper_grid(replicates: u64) -> Self {
+        SweepConfig {
+            volumes: (1..=10).map(|v| v as f64 * 10.0).collect(),
+            seed_counts: (1..=10).collect(),
+            replicates,
+            threads: 0,
+        }
+    }
+
+    /// A reduced grid for quick runs and CI.
+    pub fn quick() -> Self {
+        SweepConfig {
+            volumes: vec![20.0, 60.0, 100.0],
+            seed_counts: vec![1, 4, 10],
+            replicates: 2,
+            threads: 0,
+        }
+    }
+}
+
+/// Runs `goal` for every cell of the grid. `make_scenario(cell, replicate)`
+/// builds each run; cells execute in parallel on worker threads
+/// (crossbeam-scoped, no unsafe, data-race-free by construction).
+pub fn sweep<F>(cfg: &SweepConfig, goal: Goal, make_scenario: F) -> Vec<CellResult>
+where
+    F: Fn(Cell, u64) -> Scenario + Sync,
+{
+    let cells: Vec<Cell> = cfg
+        .volumes
+        .iter()
+        .flat_map(|&volume_pct| {
+            cfg.seed_counts.iter().map(move |&seeds| Cell {
+                volume_pct,
+                seeds,
+            })
+        })
+        .collect();
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<CellResult>> = Mutex::new(Vec::with_capacity(cells.len()));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(cells.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = cells[i];
+                let result = run_cell(cell, cfg.replicates, goal, &make_scenario);
+                results.lock().push(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by(|a, b| {
+        (a.cell.volume_pct, a.cell.seeds)
+            .partial_cmp(&(b.cell.volume_pct, b.cell.seeds))
+            .unwrap()
+    });
+    out
+}
+
+fn run_cell<F>(cell: Cell, replicates: u64, goal: Goal, make_scenario: &F) -> CellResult
+where
+    F: Fn(Cell, u64) -> Scenario,
+{
+    let mut runs = Vec::with_capacity(replicates as usize);
+    for r in 0..replicates {
+        let scenario = make_scenario(cell, r);
+        let max = scenario.max_time_s;
+        let mut runner = Runner::new(&scenario);
+        runs.push(runner.run(goal, max));
+    }
+    let constitution_min = Summary::of(
+        runs.iter()
+            .filter_map(|r| r.constitution_done_s)
+            .map(|s| s / 60.0),
+    );
+    let collection_min = Summary::of(
+        runs.iter()
+            .filter_map(|r| r.collection_done_s)
+            .map(|s| s / 60.0),
+    );
+    let per_checkpoint_min = Summary::of(
+        runs.iter()
+            .flat_map(|r| r.checkpoint_stable_s.iter().map(|s| s / 60.0)),
+    );
+    let violations = runs.iter().map(|r| r.oracle_violations).sum();
+    let unconverged = runs
+        .iter()
+        .filter(|r| match goal {
+            Goal::Constitution => r.constitution_done_s.is_none(),
+            Goal::Collection => r.collection_done_s.is_none(),
+        })
+        .count();
+    CellResult {
+        cell,
+        constitution_min,
+        collection_min,
+        per_checkpoint_min,
+        violations,
+        unconverged,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MapSpec, Scenario, SeedSpec};
+    use vcount_core::CheckpointConfig;
+    use vcount_traffic::{Demand, SimConfig};
+    use vcount_v2x::ChannelKind;
+
+    fn tiny_scenario(cell: Cell, rep: u64) -> Scenario {
+        Scenario {
+            map: MapSpec::Grid {
+                cols: 3,
+                rows: 3,
+                spacing_m: 120.0,
+                lanes: 1,
+                speed_mps: 10.0,
+            },
+            closed: true,
+            sim: SimConfig {
+                seed: rep.wrapping_mul(1000) + cell.seeds as u64,
+                ..Default::default()
+            },
+            demand: Demand::at_volume(cell.volume_pct),
+            protocol: CheckpointConfig::default(),
+            channel: ChannelKind::Perfect,
+            seeds: SeedSpec::Random { count: cell.seeds },
+            transport: Default::default(),
+            patrol: Default::default(),
+            max_time_s: 1800.0,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid_in_order() {
+        let cfg = SweepConfig {
+            volumes: vec![50.0, 100.0],
+            seed_counts: vec![1, 2],
+            replicates: 1,
+            threads: 2,
+        };
+        let results = sweep(&cfg, Goal::Constitution, tiny_scenario);
+        assert_eq!(results.len(), 4);
+        let cells: Vec<(f64, usize)> = results
+            .iter()
+            .map(|r| (r.cell.volume_pct, r.cell.seeds))
+            .collect();
+        assert_eq!(cells, vec![(50.0, 1), (50.0, 2), (100.0, 1), (100.0, 2)]);
+        for r in &results {
+            assert_eq!(r.violations, 0, "oracle violation in sweep cell");
+            assert_eq!(r.unconverged, 0);
+            assert!(r.constitution_min.is_some());
+        }
+    }
+}

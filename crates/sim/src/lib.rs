@@ -1,0 +1,32 @@
+//! # vcount-sim — deployment orchestration and evaluation harness
+//!
+//! Wires the three substrates (road network, traffic microsimulation, V2X
+//! channel) to one [`vcount_core::Checkpoint`] per intersection, exactly as
+//! the paper's simulation does, and adds what a reproduction needs on top:
+//!
+//! * [`runner::Runner`] — event-driven integration: labels ride vehicles,
+//!   handoffs go through the lossy channel, segment watches convert
+//!   overtakes into counter adjustments, reports ride vehicles (or the
+//!   directional relay / patrol cars) back up the spanning tree;
+//! * [`oracle::Oracle`] — per-vehicle ground-truth attribution proving the
+//!   no-mis/double-counting claims on every run;
+//! * [`scenario`] — serializable run descriptions, including the paper's
+//!   closed and open midtown setups;
+//! * [`experiment`] — the volume × seed-count sweep grid behind
+//!   Figs. 2–5, parallelized across worker threads;
+//! * [`metrics`] — the reported quantities.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+
+pub use experiment::{sweep, Cell, CellResult, SweepConfig};
+pub use metrics::{ProgressSnapshot, RunMetrics, Summary};
+pub use oracle::{Attribution, Oracle, Violation};
+pub use runner::{Goal, Runner};
+pub use scenario::{MapSpec, PatrolSpec, Scenario, SeedSpec, TransportMode};

@@ -1,0 +1,159 @@
+//! Run metrics: the quantities the paper's figures report.
+
+use serde::{Deserialize, Serialize};
+
+/// Simple summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample; `None` when empty.
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Option<Summary> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+            n += 1;
+        }
+        (n > 0).then(|| Summary {
+            min,
+            max,
+            mean: sum / n as f64,
+            n,
+        })
+    }
+}
+
+/// A point-in-time view of a running deployment (see
+/// [`crate::runner::Runner::progress`]): how far the wave and the
+/// collection have spread. Useful for live dashboards and the wave-trace
+/// example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Checkpoints activated so far.
+    pub active: usize,
+    /// Checkpoints whose local count stabilized.
+    pub stable: usize,
+    /// Seeds holding a tree total.
+    pub collected_seeds: usize,
+    /// Total checkpoints.
+    pub checkpoints: usize,
+    /// Current distributed count (Σ local + interaction net).
+    pub distributed_count: i64,
+    /// Ground-truth matching population inside.
+    pub population: usize,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Simulated time when every checkpoint's non-interaction counting
+    /// stabilized (Alg. 3 constitution / Alg. 5 "complete status"), or
+    /// `None` if the run hit its time limit first.
+    pub constitution_done_s: Option<f64>,
+    /// Simulated time when every seed held its tree's global view
+    /// (Alg. 2/4 collection), or `None`.
+    pub collection_done_s: Option<f64>,
+    /// Per-checkpoint stabilization times, seconds (Fig. 2's max/min/avg
+    /// are statistics over these).
+    pub checkpoint_stable_s: Vec<f64>,
+    /// Per-checkpoint activation times, seconds.
+    pub checkpoint_activated_s: Vec<f64>,
+    /// The global count collected at the seeds (sum of tree totals plus
+    /// live interaction net for open systems).
+    pub global_count: Option<i64>,
+    /// Ground-truth matching civilian population inside at evaluation time.
+    pub true_population: usize,
+    /// Number of per-vehicle oracle violations (0 = mis/double-counting
+    /// free, the paper's headline claim).
+    pub oracle_violations: usize,
+    /// Total label handoff failures compensated (30% channel).
+    pub handoff_failures: u64,
+    /// Net overtake adjustments applied across all checkpoints.
+    pub overtake_adjustments: i64,
+    /// Naive per-checkpoint interval counting baseline (double-counts).
+    pub baseline_naive: u64,
+    /// Image-recognition dedup baseline (undercounts).
+    pub baseline_dedup: u64,
+    /// Simulated seconds actually run.
+    pub elapsed_s: f64,
+    /// Simulation steps executed.
+    pub steps: u64,
+}
+
+impl RunMetrics {
+    /// Fig. 2 style statistics over per-checkpoint stabilization times.
+    pub fn stable_summary(&self) -> Option<Summary> {
+        Summary::of(self.checkpoint_stable_s.iter().copied())
+    }
+
+    /// Whether the protocol's global view matches ground truth exactly.
+    pub fn exact(&self) -> bool {
+        self.oracle_violations == 0
+            && self.global_count == Some(self.true_population as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_samples() {
+        let s = Summary::of([2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn exactness_requires_zero_violations_and_matching_count() {
+        let m = RunMetrics {
+            constitution_done_s: Some(100.0),
+            collection_done_s: Some(200.0),
+            checkpoint_stable_s: vec![50.0, 100.0],
+            checkpoint_activated_s: vec![10.0, 20.0],
+            global_count: Some(42),
+            true_population: 42,
+            oracle_violations: 0,
+            handoff_failures: 3,
+            overtake_adjustments: -1,
+            baseline_naive: 400,
+            baseline_dedup: 17,
+            elapsed_s: 300.0,
+            steps: 600,
+        };
+        assert!(m.exact());
+        let bad = RunMetrics {
+            global_count: Some(41),
+            ..m.clone()
+        };
+        assert!(!bad.exact());
+        let viol = RunMetrics {
+            oracle_violations: 1,
+            ..m
+        };
+        assert!(!viol.exact());
+    }
+}

@@ -1,0 +1,208 @@
+//! The ground-truth correctness oracle.
+//!
+//! The paper validates its scheme by checking the aggregate count. This
+//! oracle is stronger: it tracks every +1/−1 the protocol attributes to
+//! every individual vehicle — direct phase-5 counts, border interaction
+//! counts, overtake adjustments, and lossy-handoff compensations — and at
+//! convergence asserts the per-vehicle invariant behind Theorems 1/2 and
+//! Corollaries 1/2:
+//!
+//! * a matching civilian **inside** the region has net attribution **1**
+//!   (counted exactly once),
+//! * a matching civilian **outside** has net attribution **0** (its entry
+//!   and exit cancelled, or it was never counted),
+//!
+//! which implies the aggregate check `Σ_u c(u) (+ interaction) == inside
+//! population` but also catches compensating-error pairs the aggregate
+//! would miss.
+
+use std::collections::BTreeMap;
+use vcount_v2x::VehicleId;
+
+/// Why an attribution was recorded (kept for diagnostics and error
+/// reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attribution {
+    /// Phase-5 count at a checkpoint.
+    Counted,
+    /// Inbound interaction (+1) at a border checkpoint.
+    InteractionIn,
+    /// Outbound interaction (−1) at a border checkpoint.
+    InteractionOut,
+    /// Overtake adjustment +1 (fell behind a label).
+    AdjustPlus,
+    /// Overtake adjustment −1 (jumped ahead of a label).
+    AdjustMinus,
+    /// Lossy handoff compensation −1 (Alg. 3 line 3).
+    LossCompensation,
+}
+
+impl Attribution {
+    /// The counter delta this attribution carries.
+    pub fn delta(self) -> i64 {
+        match self {
+            Attribution::Counted | Attribution::InteractionIn | Attribution::AdjustPlus => 1,
+            Attribution::InteractionOut
+            | Attribution::AdjustMinus
+            | Attribution::LossCompensation => -1,
+        }
+    }
+}
+
+/// One oracle violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The vehicle whose ledger is wrong.
+    pub vehicle: VehicleId,
+    /// Net attribution found.
+    pub net: i64,
+    /// Net attribution expected (1 inside, 0 outside).
+    pub expected: i64,
+    /// The ledger entries, in order.
+    pub history: Vec<Attribution>,
+}
+
+/// The attribution ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    ledger: BTreeMap<VehicleId, Vec<Attribution>>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one attribution for `vehicle`.
+    pub fn record(&mut self, vehicle: VehicleId, a: Attribution) {
+        self.ledger.entry(vehicle).or_default().push(a);
+    }
+
+    /// Net attribution of a vehicle so far.
+    pub fn net(&self, vehicle: VehicleId) -> i64 {
+        self.ledger
+            .get(&vehicle)
+            .map(|h| h.iter().map(|a| a.delta()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Whether the vehicle has ever received a direct count (phase 5 or
+    /// interaction-in). Used by the per-event adjustment ablation.
+    pub fn ever_counted(&self, vehicle: VehicleId) -> bool {
+        self.ledger.get(&vehicle).is_some_and(|h| {
+            h.iter()
+                .any(|a| matches!(a, Attribution::Counted | Attribution::InteractionIn))
+        })
+    }
+
+    /// Sum of net attributions over all vehicles — must equal the
+    /// protocol's aggregate count.
+    pub fn total(&self) -> i64 {
+        self.ledger.keys().map(|v| self.net(*v)).sum()
+    }
+
+    /// Final verification: `population` maps every matching civilian that
+    /// ever existed to whether it is currently inside the region. Returns
+    /// all per-vehicle violations (empty = Theorems 1/2 hold on this run).
+    pub fn verify(&self, population: impl IntoIterator<Item = (VehicleId, bool)>) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (vehicle, inside) in population {
+            let expected = i64::from(inside);
+            let net = self.net(vehicle);
+            if net != expected {
+                violations.push(Violation {
+                    vehicle,
+                    net,
+                    expected,
+                    history: self.ledger.get(&vehicle).cloned().unwrap_or_default(),
+                });
+            }
+        }
+        violations
+    }
+
+    /// Count of vehicles with at least two direct counts and no
+    /// compensating entries — the classic "double counting" the paper's
+    /// baselines suffer. Diagnostic for ablations that intentionally break
+    /// the protocol.
+    pub fn raw_double_counts(&self) -> usize {
+        self.ledger
+            .values()
+            .filter(|h| {
+                h.iter()
+                    .filter(|a| matches!(a, Attribution::Counted))
+                    .count()
+                    >= 2
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: VehicleId = VehicleId(1);
+
+    #[test]
+    fn clean_single_count_passes() {
+        let mut o = Oracle::new();
+        o.record(V, Attribution::Counted);
+        assert!(o.verify([(V, true)]).is_empty());
+        assert_eq!(o.total(), 1);
+    }
+
+    #[test]
+    fn uncounted_inside_vehicle_is_a_miscount() {
+        let o = Oracle::new();
+        let v = o.verify([(V, true)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].net, 0);
+        assert_eq!(v[0].expected, 1);
+    }
+
+    #[test]
+    fn double_count_is_flagged() {
+        let mut o = Oracle::new();
+        o.record(V, Attribution::Counted);
+        o.record(V, Attribution::Counted);
+        assert_eq!(o.verify([(V, true)]).len(), 1);
+        assert_eq!(o.raw_double_counts(), 1);
+    }
+
+    #[test]
+    fn compensated_double_count_passes() {
+        // Failed handoff: count, −1 compensation, second count downstream.
+        let mut o = Oracle::new();
+        o.record(V, Attribution::Counted);
+        o.record(V, Attribution::LossCompensation);
+        o.record(V, Attribution::Counted);
+        assert!(o.verify([(V, true)]).is_empty());
+    }
+
+    #[test]
+    fn entered_and_left_open_system_nets_zero() {
+        let mut o = Oracle::new();
+        o.record(V, Attribution::InteractionIn);
+        o.record(V, Attribution::InteractionOut);
+        assert!(o.verify([(V, false)]).is_empty());
+    }
+
+    #[test]
+    fn overtake_adjustments_balance() {
+        // Fell behind a label after being counted-and-compensated.
+        let mut o = Oracle::new();
+        o.record(V, Attribution::Counted);
+        o.record(V, Attribution::LossCompensation);
+        o.record(V, Attribution::AdjustPlus);
+        assert!(o.verify([(V, true)]).is_empty());
+    }
+
+    #[test]
+    fn never_seen_vehicle_outside_is_fine() {
+        let o = Oracle::new();
+        assert!(o.verify([(V, false)]).is_empty());
+        assert!(!o.ever_counted(V));
+    }
+}

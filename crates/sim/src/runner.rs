@@ -1,0 +1,797 @@
+//! The run orchestrator: wires the traffic microsimulator, the lossy V2X
+//! channel, and one checkpoint state machine per intersection into a full
+//! deployment, tracks ground truth in the [`Oracle`], and measures the
+//! times the paper's figures report.
+//!
+//! ## Intra-step ordering
+//!
+//! The simulator emits its step's events in deterministic order. A label
+//! handoff at a `Departed` event needs the set of vehicles *ahead* of the
+//! label on the joined segment at that instant; the runner reconstructs it
+//! from the end-of-step `in_transit` snapshot by adding vehicles whose
+//! same-step `Entered` (via that edge) events come later — they were still
+//! on the segment at the departure instant — and removing vehicles whose
+//! same-step `Departed` (onto that edge) events come later — they joined
+//! behind the label.
+
+use crate::metrics::{ProgressSnapshot, RunMetrics};
+use crate::oracle::{Attribution, Oracle};
+use crate::scenario::{Scenario, SeedSpec, TransportMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use vcount_core::{Checkpoint, Command};
+use vcount_roadnet::{edge_covering_cycle, EdgeId, NodeId, RoadNetwork};
+use vcount_traffic::{Simulator, TrafficEvent};
+use vcount_v2x::{
+    AdjustMode, ClassFilter, Label, LossModel, PatrolStatus, SegmentWatch, VehicleId,
+};
+use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
+
+/// What a run is trying to reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Every checkpoint's non-interaction counting stabilized
+    /// (Fig. 2 constitution; Fig. 4 "complete status" when open).
+    Constitution,
+    /// Additionally, every seed holds its tree's global view
+    /// (Fig. 3 / Fig. 5 collection).
+    Collection,
+}
+
+struct Watch {
+    origin: NodeId,
+    sw: SegmentWatch,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RelayMsg {
+    Announce {
+        to: NodeId,
+        from: NodeId,
+        pred: Option<NodeId>,
+    },
+    Report {
+        to: NodeId,
+        from: NodeId,
+        total: i64,
+        seq: u32,
+    },
+}
+
+struct RelayInFlight {
+    due_s: f64,
+    msg: RelayMsg,
+}
+
+/// A fully wired deployment under simulation.
+pub struct Runner {
+    sim: Simulator,
+    cps: Vec<Checkpoint>,
+    channel: Box<dyn LossModel + Send>,
+    proto_rng: StdRng,
+    oracle: Oracle,
+    transport: TransportMode,
+    filter: ClassFilter,
+    adjust_mode: AdjustMode,
+    compensate_loss: bool,
+    seeds: Vec<NodeId>,
+
+    carried_label: Vec<Option<Label>>,
+    /// (destination, reporting checkpoint, subtree total, seq) per vehicle.
+    carried_reports: Vec<Vec<(NodeId, NodeId, i64, u32)>>,
+    watches: HashMap<EdgeId, Watch>,
+    /// Reports waiting at a node for a carrier onto a specific edge.
+    pending_reports: Vec<Vec<(EdgeId, NodeId, i64, u32)>>,
+    /// Circuitous messages waiting for a patrol car (Alg. 4 mode).
+    pending_patrol: Vec<Vec<RelayMsg>>,
+    relay: Vec<RelayInFlight>,
+    patrol_status: HashMap<VehicleId, PatrolStatus>,
+    patrol_carried: HashMap<VehicleId, Vec<RelayMsg>>,
+
+    naive: NaiveIntervalCounter,
+    dedup: ClassDedupCounter,
+    handoff_failures: u64,
+    events_scratch: Vec<TrafficEvent>,
+}
+
+impl Runner {
+    /// Builds the deployment from a scenario: map, traffic, checkpoints,
+    /// patrol cars, seed activation at t = 0.
+    pub fn new(scenario: &Scenario) -> Self {
+        let net = scenario.map.build(scenario.closed);
+        net.validate().expect("scenario map must be valid");
+        let mut sim = Simulator::new(net, scenario.sim.clone(), scenario.demand.clone());
+        let n = sim.net().node_count();
+        let cps: Vec<Checkpoint> = sim
+            .net()
+            .node_ids()
+            .map(|node| Checkpoint::new(sim.net(), node, scenario.protocol))
+            .collect();
+        // Protocol-side randomness (seed selection, channel draws) is
+        // decoupled from traffic randomness but derived from the same seed
+        // for whole-run reproducibility.
+        let mut proto_rng = StdRng::seed_from_u64(scenario.sim.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+
+        if scenario.patrol.cars > 0 {
+            let cycle = edge_covering_cycle(sim.net(), NodeId(0))
+                .expect("validated map admits an edge-covering patrol cycle");
+            for off in cycle.even_offsets(scenario.patrol.cars) {
+                sim.add_patrol_car(cycle.edges.clone(), off);
+            }
+        }
+
+        let seeds: Vec<NodeId> = match &scenario.seeds {
+            SeedSpec::Explicit(list) => list.iter().map(|i| NodeId(*i)).collect(),
+            SeedSpec::AllBorder => {
+                let border = sim.net().border_nodes();
+                if border.is_empty() {
+                    vec![NodeId(proto_rng.gen_range(0..n as u32))]
+                } else {
+                    border
+                }
+            }
+            SeedSpec::Random { count } => {
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                for i in (1..ids.len()).rev() {
+                    let j = proto_rng.gen_range(0..=i);
+                    ids.swap(i, j);
+                }
+                ids.truncate((*count).max(1).min(n));
+                ids.into_iter().map(NodeId).collect()
+            }
+        };
+
+        let vehicles = sim.vehicles().len();
+        let mut runner = Runner {
+            sim,
+            cps,
+            channel: scenario.channel.build(),
+            proto_rng,
+            oracle: Oracle::new(),
+            transport: scenario.transport,
+            filter: scenario.protocol.filter,
+            adjust_mode: scenario.protocol.adjust_mode,
+            compensate_loss: scenario.protocol.compensate_loss,
+            seeds: seeds.clone(),
+            carried_label: vec![None; vehicles],
+            carried_reports: vec![Vec::new(); vehicles],
+            watches: HashMap::new(),
+            pending_reports: vec![Vec::new(); n],
+            pending_patrol: vec![Vec::new(); n],
+            relay: Vec::new(),
+            patrol_status: HashMap::new(),
+            patrol_carried: HashMap::new(),
+            naive: NaiveIntervalCounter::new(scenario.protocol.filter),
+            dedup: ClassDedupCounter::new(scenario.protocol.filter),
+            handoff_failures: 0,
+            events_scratch: Vec::new(),
+        };
+        for s in seeds {
+            let cmds = runner.cps[s.index()].activate_as_seed(0.0);
+            runner.dispatch(s, cmds);
+        }
+        runner
+    }
+
+    /// The road network under simulation.
+    pub fn net(&self) -> &RoadNetwork {
+        self.sim.net()
+    }
+
+    /// The traffic simulator (read access for examples and tests).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// A checkpoint's state machine.
+    pub fn checkpoint(&self, node: NodeId) -> &Checkpoint {
+        &self.cps[node.index()]
+    }
+
+    /// The seed checkpoints of this deployment.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The ground-truth oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Simulated time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.sim.time_s()
+    }
+
+    /// Whether every checkpoint's non-interaction counting stabilized.
+    pub fn all_stable(&self) -> bool {
+        self.cps.iter().all(Checkpoint::is_stable)
+    }
+
+    /// Whether every seed holds its tree total.
+    pub fn all_collected(&self) -> bool {
+        self.seeds
+            .iter()
+            .all(|s| self.cps[s.index()].tree_total().is_some())
+    }
+
+    /// The distributed sum of all local counts plus (for open systems) the
+    /// live interaction net — the protocol's region-wide vehicle count.
+    pub fn distributed_count(&self) -> i64 {
+        self.cps
+            .iter()
+            .map(|c| c.local_count() + c.interaction_net())
+            .sum()
+    }
+
+    /// The count as collected at the seeds (available once
+    /// [`Runner::all_collected`]), plus the live interaction net.
+    pub fn collected_count(&self) -> Option<i64> {
+        let tree: Option<i64> = self
+            .seeds
+            .iter()
+            .map(|s| self.cps[s.index()].tree_total())
+            .sum();
+        tree.map(|t| {
+            t + self
+                .cps
+                .iter()
+                .map(Checkpoint::interaction_net)
+                .sum::<i64>()
+        })
+    }
+
+    /// Ground truth: matching civilian vehicles currently inside.
+    pub fn true_population(&self) -> usize {
+        let filter = self.filter;
+        self.sim.civilian_population_where(|c| filter.matches(c))
+    }
+
+    /// Runs per-vehicle verification (see [`Oracle::verify`]).
+    pub fn verify(&self) -> Vec<crate::oracle::Violation> {
+        let filter = self.filter;
+        let pop: Vec<(VehicleId, bool)> = self
+            .sim
+            .vehicles()
+            .iter()
+            .filter(|v| !v.is_patrol() && filter.matches(&v.class))
+            .map(|v| (v.id, v.is_inside()))
+            .collect();
+        self.oracle.verify(pop)
+    }
+
+    /// Advances one simulation step, driving the protocol from the event
+    /// stream.
+    pub fn step(&mut self) {
+        self.events_scratch.clear();
+        self.events_scratch.extend(self.sim.step().iter().copied());
+        let events = std::mem::take(&mut self.events_scratch);
+        // Events are timestamped at the end of the step they occurred in.
+        let now = self.sim.time_s();
+
+        self.ensure_vehicle_capacity();
+
+        // Pre-scan same-step departures/entries per edge (watch 'ahead'
+        // reconstruction; see module docs).
+        let mut departures_onto: HashMap<EdgeId, Vec<(usize, VehicleId)>> = HashMap::new();
+        let mut entries_via: HashMap<EdgeId, Vec<(usize, VehicleId)>> = HashMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                TrafficEvent::Departed { vehicle, onto, .. } => {
+                    departures_onto.entry(onto).or_default().push((i, vehicle));
+                }
+                TrafficEvent::Entered {
+                    vehicle,
+                    from: Some(e),
+                    ..
+                } => {
+                    entries_via.entry(e).or_default().push((i, vehicle));
+                }
+                _ => {}
+            }
+        }
+
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                TrafficEvent::Entered {
+                    vehicle,
+                    node,
+                    from,
+                } => self.on_entered(now, vehicle, node, from),
+                TrafficEvent::Departed {
+                    vehicle,
+                    node,
+                    onto,
+                } => self.on_departed(now, i, vehicle, node, onto, &departures_onto, &entries_via),
+                TrafficEvent::Exited { vehicle, node } => self.on_exited(now, vehicle, node),
+                TrafficEvent::Overtake {
+                    edge,
+                    overtaker,
+                    overtaken,
+                } => self.on_overtake(edge, overtaker, overtaken),
+            }
+        }
+        self.events_scratch = events;
+        self.deliver_due_relays(now);
+    }
+
+    fn ensure_vehicle_capacity(&mut self) {
+        let n = self.sim.vehicles().len();
+        if self.carried_label.len() < n {
+            self.carried_label.resize(n, None);
+            self.carried_reports.resize(n, Vec::new());
+        }
+    }
+
+    fn on_entered(&mut self, now: f64, vehicle: VehicleId, node: NodeId, from: Option<EdgeId>) {
+        let class = self.sim.vehicle(vehicle).class;
+        let is_patrol = class.is_patrol();
+
+        // Deliver carried reports addressed to this node.
+        let due: Vec<(NodeId, NodeId, i64, u32)> = {
+            let list = &mut self.carried_reports[vehicle.index()];
+            let (here, rest): (Vec<_>, Vec<_>) =
+                list.drain(..).partition(|(to, _, _, _)| *to == node);
+            *list = rest;
+            here
+        };
+        for (_, reporter, total, seq) in due {
+            let cmds = self.cps[node.index()].on_report(now, reporter, total, seq);
+            self.dispatch(node, cmds);
+        }
+
+        if is_patrol {
+            // Deliver circuitous messages addressed here.
+            let due: Vec<RelayMsg> = {
+                let list = self.patrol_carried.entry(vehicle).or_default();
+                let (here, rest): (Vec<_>, Vec<_>) = list.drain(..).partition(|m| match m {
+                    RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => *to == node,
+                });
+                *list = rest;
+                here
+            };
+            for m in due {
+                self.deliver_relay(now, m);
+            }
+            // Pick up circuitous messages waiting here.
+            let picked = std::mem::take(&mut self.pending_patrol[node.index()]);
+            self.patrol_carried
+                .entry(vehicle)
+                .or_default()
+                .extend(picked);
+            // Status snapshot exchange (stale-stop ablation; a no-op for
+            // the default configuration).
+            let status = self
+                .patrol_status
+                .entry(vehicle)
+                .or_default()
+                .clone();
+            let cmds = self.cps[node.index()].on_patrol_status(now, &status);
+            self.dispatch(node, cmds);
+        }
+
+        // Segment-watch bookkeeping on the arrival edge.
+        if let Some(e) = from {
+            let finalize = match self.watches.get_mut(&e) {
+                Some(w) if w.sw.label_vehicle() == vehicle => true,
+                Some(w) => {
+                    if !is_patrol {
+                        let counted = self.oracle.ever_counted(vehicle);
+                        w.sw.record_arrival(vehicle, counted);
+                    }
+                    false
+                }
+                None => false,
+            };
+            if finalize {
+                let w = self.watches.remove(&e).expect("checked above");
+                self.finalize_watch(w);
+            }
+        }
+
+        // Label delivery + phase 3/4/5 processing.
+        let label = self.carried_label[vehicle.index()].take();
+        let out = self.cps[node.index()].on_vehicle_entered(now, from, &class, label);
+        if out.counted {
+            let attr = if from.is_some() {
+                Attribution::Counted
+            } else {
+                Attribution::InteractionIn
+            };
+            self.oracle.record(vehicle, attr);
+        }
+        let cmds = out.commands;
+        self.dispatch(node, cmds);
+
+        // Patrol observation recorded after processing: the status carried
+        // onward reflects this checkpoint's state as the patrol leaves it.
+        if is_patrol {
+            let active = self.cps[node.index()].is_active();
+            self.patrol_status
+                .entry(vehicle)
+                .or_default()
+                .observe(node, active);
+        }
+
+        // Unsynchronized baselines observe the same surveillance stream.
+        self.naive.observe(&class);
+        self.dedup.observe(&class);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_departed(
+        &mut self,
+        now: f64,
+        event_idx: usize,
+        vehicle: VehicleId,
+        node: NodeId,
+        onto: EdgeId,
+        departures_onto: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+        entries_via: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+    ) {
+        let class = self.sim.vehicle(vehicle).class;
+        let is_patrol = class.is_patrol();
+
+        // Hand pending reports that ride this edge to the vehicle.
+        if !self.pending_reports[node.index()].is_empty() {
+            let (take, keep): (Vec<_>, Vec<_>) = self.pending_reports[node.index()]
+                .drain(..)
+                .partition(|(e, _, _, _)| *e == onto);
+            self.pending_reports[node.index()] = keep;
+            for (_, dest, total, seq) in take {
+                self.carried_reports[vehicle.index()].push((dest, node, total, seq));
+            }
+        }
+
+        // Phase 2: label handoff.
+        if let Some(label) = self.cps[node.index()].offer_label(onto) {
+            let delivered = is_patrol || {
+                // Police equipment is reliable; civilian handoffs go
+                // through the lossy channel with ack confirmation.
+                self.channel.attempt(&mut self.proto_rng).delivered()
+            };
+            if delivered {
+                self.cps[node.index()].label_delivered(onto);
+                self.carried_label[vehicle.index()] = Some(label);
+                let ahead = self.ahead_of(event_idx, vehicle, onto, departures_onto, entries_via);
+                let sw = SegmentWatch::new(self.adjust_mode, vehicle, ahead);
+                self.watches.insert(onto, Watch { origin: node, sw });
+            } else {
+                let matches = self.filter.matches(&class);
+                let cmds = self.cps[node.index()].label_handoff_failed(now, onto, matches);
+                self.dispatch(node, cmds);
+                self.handoff_failures += 1;
+                // The oracle mirrors what the protocol actually applied, so
+                // the compensation-disabled ablation shows up as violations.
+                if matches && self.compensate_loss {
+                    self.oracle.record(vehicle, Attribution::LossCompensation);
+                }
+            }
+        }
+        let _ = now;
+    }
+
+    /// Vehicles ahead of a label departing onto `onto` at event `idx`, with
+    /// their counted status (see module docs for the reconstruction).
+    fn ahead_of(
+        &self,
+        idx: usize,
+        label_vehicle: VehicleId,
+        onto: EdgeId,
+        departures_onto: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+        entries_via: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+    ) -> Vec<(VehicleId, bool)> {
+        let empty = Vec::new();
+        let later_departures: Vec<VehicleId> = departures_onto
+            .get(&onto)
+            .unwrap_or(&empty)
+            .iter()
+            .filter(|(i, _)| *i > idx)
+            .map(|(_, v)| *v)
+            .collect();
+        let later_entries = entries_via
+            .get(&onto)
+            .unwrap_or(&empty)
+            .iter()
+            .filter(|(i, _)| *i > idx)
+            .map(|(_, v)| *v);
+
+        let mut ahead: Vec<VehicleId> = later_entries.collect();
+        ahead.extend(self.sim.in_transit(onto));
+        ahead.retain(|v| {
+            *v != label_vehicle
+                && !later_departures.contains(v)
+                && !self.sim.vehicle(*v).is_patrol()
+        });
+        ahead.dedup();
+        ahead
+            .into_iter()
+            .map(|v| (v, self.oracle.ever_counted(v)))
+            .collect()
+    }
+
+    fn finalize_watch(&mut self, w: Watch) {
+        let adj = w.sw.finalize();
+        let mut plus = 0usize;
+        let mut minus = 0usize;
+        for v in &adj.plus {
+            if self.vehicle_matches(*v) {
+                self.oracle.record(*v, Attribution::AdjustPlus);
+                plus += 1;
+            }
+        }
+        for v in &adj.minus {
+            if self.vehicle_matches(*v) {
+                self.oracle.record(*v, Attribution::AdjustMinus);
+                minus += 1;
+            }
+        }
+        if plus > 0 || minus > 0 {
+            let now = self.sim.time_s();
+            let cmds = self.cps[w.origin.index()].apply_overtake_adjustment(now, plus, minus);
+            self.dispatch(w.origin, cmds);
+        }
+    }
+
+    fn vehicle_matches(&self, v: VehicleId) -> bool {
+        let veh = self.sim.vehicle(v);
+        !veh.is_patrol() && self.filter.matches(&veh.class)
+    }
+
+    fn on_exited(&mut self, now: f64, vehicle: VehicleId, node: NodeId) {
+        let class = self.sim.vehicle(vehicle).class;
+        debug_assert!(
+            self.carried_reports[vehicle.index()].is_empty(),
+            "reports are always delivered at the node before an exit"
+        );
+        if self.cps[node.index()].on_vehicle_exited(now, &class) {
+            self.oracle.record(vehicle, Attribution::InteractionOut);
+        }
+    }
+
+    fn on_overtake(&mut self, edge: EdgeId, overtaker: VehicleId, overtaken: VehicleId) {
+        // Only meaningful for the per-event adjustment ablation.
+        if self.adjust_mode != AdjustMode::PerEvent {
+            return;
+        }
+        let counted_overtaken = self.oracle.ever_counted(overtaken);
+        let counted_overtaker = self.oracle.ever_counted(overtaker);
+        let matches_overtaken = self.vehicle_matches(overtaken);
+        let matches_overtaker = self.vehicle_matches(overtaker);
+        if let Some(w) = self.watches.get_mut(&edge) {
+            let label = w.sw.label_vehicle();
+            if overtaker == label && matches_overtaken {
+                w.sw.label_overtakes(overtaken, counted_overtaken);
+            } else if overtaken == label && matches_overtaker {
+                w.sw.label_overtaken_by(overtaker, counted_overtaker);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: NodeId, cmds: Vec<Command>) {
+        for cmd in cmds {
+            match cmd {
+                Command::SendPredAnnounce { to, pred } => match self.transport {
+                    TransportMode::VehicleWithRelayFallback { relay_speed_mps }
+                    | TransportMode::RelayOnly { relay_speed_mps } => {
+                        self.queue_relay(
+                            from,
+                            relay_speed_mps,
+                            RelayMsg::Announce { to, from, pred },
+                        );
+                    }
+                    TransportMode::VehicleWithPatrolFallback => {
+                        self.pending_patrol[from.index()].push(RelayMsg::Announce {
+                            to,
+                            from,
+                            pred,
+                        });
+                    }
+                },
+                Command::SendReport { to, total, seq } => {
+                    let edge = self.sim.net().edge_between(from, to);
+                    match (edge, self.transport) {
+                        (Some(e), TransportMode::VehicleWithRelayFallback { .. })
+                        | (Some(e), TransportMode::VehicleWithPatrolFallback) => {
+                            self.pending_reports[from.index()].push((e, to, total, seq));
+                        }
+                        (_, TransportMode::RelayOnly { relay_speed_mps })
+                        | (None, TransportMode::VehicleWithRelayFallback { relay_speed_mps }) => {
+                            self.queue_relay(
+                                from,
+                                relay_speed_mps,
+                                RelayMsg::Report { to, from, total, seq },
+                            );
+                        }
+                        (None, TransportMode::VehicleWithPatrolFallback) => {
+                            self.pending_patrol[from.index()].push(RelayMsg::Report {
+                                to,
+                                from,
+                                total,
+                                seq,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn queue_relay(&mut self, from: NodeId, relay_speed_mps: f64, msg: RelayMsg) {
+        let to = match msg {
+            RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => to,
+        };
+        let dist = self
+            .sim
+            .net()
+            .node(from)
+            .pos
+            .distance(&self.sim.net().node(to).pos);
+        let due = self.sim.time_s() + dist / relay_speed_mps.max(1.0) + 1.0;
+        self.relay.push(RelayInFlight { due_s: due, msg });
+    }
+
+    fn deliver_due_relays(&mut self, now: f64) {
+        let mut i = 0;
+        while i < self.relay.len() {
+            if self.relay[i].due_s <= now {
+                let RelayInFlight { msg, .. } = self.relay.swap_remove(i);
+                self.deliver_relay(now, msg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn deliver_relay(&mut self, now: f64, msg: RelayMsg) {
+        match msg {
+            RelayMsg::Announce { to, from, pred } => {
+                let cmds = self.cps[to.index()].on_pred_announce(now, from, pred);
+                self.dispatch(to, cmds);
+            }
+            RelayMsg::Report { to, from, total, seq } => {
+                let cmds = self.cps[to.index()].on_report(now, from, total, seq);
+                self.dispatch(to, cmds);
+            }
+        }
+    }
+
+    /// Whether any report message is still in transit (on a vehicle,
+    /// waiting at a node, in the relay, or on a patrol car). Collection is
+    /// final only when the last re-report has landed.
+    pub fn reports_in_flight(&self) -> bool {
+        self.pending_reports.iter().any(|v| !v.is_empty())
+            || self.carried_reports.iter().any(|v| !v.is_empty())
+            || self
+                .relay
+                .iter()
+                .any(|r| matches!(r.msg, RelayMsg::Report { .. }))
+            || self
+                .pending_patrol
+                .iter()
+                .any(|v| v.iter().any(|m| matches!(m, RelayMsg::Report { .. })))
+            || self
+                .patrol_carried
+                .values()
+                .any(|v| v.iter().any(|m| matches!(m, RelayMsg::Report { .. })))
+    }
+
+    /// Runs until `goal` is reached or `max_time_s` elapses, then evaluates
+    /// ground truth and returns the metrics.
+    ///
+    /// Collection is declared done when every seed holds a tree total *and*
+    /// no report is in flight *and* the constitution has completed — after
+    /// that point no further label handoff can fail and no watch is open,
+    /// so no re-report can change the collected value.
+    pub fn run(&mut self, goal: Goal, max_time_s: f64) -> RunMetrics {
+        let mut constitution_done: Option<f64> = None;
+        let mut collection_done: Option<f64> = None;
+        while self.sim.time_s() < max_time_s {
+            self.step();
+            if constitution_done.is_none() && self.all_stable() {
+                constitution_done = Some(self.sim.time_s());
+                if goal == Goal::Constitution {
+                    break;
+                }
+            }
+            if goal == Goal::Collection
+                && constitution_done.is_some()
+                && collection_done.is_none()
+                && self.all_collected()
+                && !self.reports_in_flight()
+            {
+                collection_done = Some(self.sim.time_s());
+                break;
+            }
+        }
+        self.metrics(constitution_done, collection_done)
+    }
+
+    fn metrics(
+        &self,
+        constitution_done: Option<f64>,
+        collection_done: Option<f64>,
+    ) -> RunMetrics {
+        let violations = self.verify();
+        let global_count = if self.all_collected() {
+            self.collected_count()
+        } else if self.all_stable() {
+            Some(self.distributed_count())
+        } else {
+            None
+        };
+        RunMetrics {
+            constitution_done_s: constitution_done,
+            collection_done_s: collection_done,
+            checkpoint_stable_s: self
+                .cps
+                .iter()
+                .filter_map(Checkpoint::stable_at)
+                .collect(),
+            checkpoint_activated_s: self
+                .cps
+                .iter()
+                .filter_map(Checkpoint::activated_at)
+                .collect(),
+            global_count,
+            true_population: self.true_population(),
+            oracle_violations: violations.len(),
+            handoff_failures: self.handoff_failures,
+            overtake_adjustments: self
+                .cps
+                .iter()
+                .map(|c| c.counters().overtake_total())
+                .sum(),
+            baseline_naive: self.naive.total(),
+            baseline_dedup: self.dedup.total(),
+            elapsed_s: self.sim.time_s(),
+            steps: self.sim.steps(),
+        }
+    }
+
+    /// Baseline counters (ablation access).
+    pub fn baselines(&self) -> (u64, u64) {
+        (self.naive.total(), self.dedup.total())
+    }
+
+    /// Metrics derived from the current state, using the checkpoints'
+    /// own recorded timestamps (activation/stabilization/collection).
+    /// Unlike [`Runner::run`], which timestamps goal completion when its
+    /// loop observes it, this can be called at any time — e.g. after an
+    /// externally driven stepping loop.
+    pub fn metrics_now(&self) -> RunMetrics {
+        let constitution = self
+            .all_stable()
+            .then(|| {
+                self.cps
+                    .iter()
+                    .filter_map(Checkpoint::stable_at)
+                    .fold(0.0f64, f64::max)
+            });
+        let collection = (self.all_collected() && !self.reports_in_flight()).then(|| {
+            self.seeds
+                .iter()
+                .filter_map(|s| self.cps[s.index()].collected_at())
+                .fold(0.0f64, f64::max)
+        });
+        self.metrics(constitution, collection)
+    }
+
+    /// A point-in-time progress view of the deployment.
+    pub fn progress(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            time_s: self.sim.time_s(),
+            active: self.cps.iter().filter(|c| c.is_active()).count(),
+            stable: self.cps.iter().filter(|c| c.is_stable()).count(),
+            collected_seeds: self
+                .seeds
+                .iter()
+                .filter(|s| self.cps[s.index()].tree_total().is_some())
+                .count(),
+            checkpoints: self.cps.len(),
+            distributed_count: self.distributed_count(),
+            population: self.true_population(),
+        }
+    }
+}

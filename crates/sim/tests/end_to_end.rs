@@ -1,0 +1,323 @@
+//! End-to-end protocol correctness: Theorems 1–4 and Corollaries 1–2 as
+//! executable checks on full simulated deployments.
+
+use vcount_core::{CheckpointConfig, ProtocolVariant};
+use vcount_roadnet::builders::{ManhattanConfig, RandomCityConfig};
+use vcount_sim::{Goal, MapSpec, PatrolSpec, Runner, Scenario, SeedSpec};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::{ChannelKind, ClassFilter};
+
+fn base(map: MapSpec, seed: u64) -> Scenario {
+    Scenario {
+        map,
+        closed: true,
+        sim: SimConfig {
+            seed,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::default(),
+        channel: ChannelKind::Perfect,
+        seeds: SeedSpec::Random { count: 1 },
+        transport: Default::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 3.0 * 3600.0,
+    }
+}
+
+fn assert_exact(scenario: &Scenario, goal: Goal) {
+    let mut runner = Runner::new(scenario);
+    let metrics = runner.run(goal, scenario.max_time_s);
+    match goal {
+        Goal::Constitution => assert!(
+            metrics.constitution_done_s.is_some(),
+            "constitution did not converge within {}s",
+            scenario.max_time_s
+        ),
+        Goal::Collection => assert!(
+            metrics.collection_done_s.is_some(),
+            "collection did not converge within {}s",
+            scenario.max_time_s
+        ),
+    }
+    let violations = runner.verify();
+    assert!(
+        violations.is_empty(),
+        "oracle violations (first 3): {:?}",
+        &violations[..violations.len().min(3)]
+    );
+    assert_eq!(
+        metrics.global_count,
+        Some(metrics.true_population as i64),
+        "global count must equal ground truth"
+    );
+}
+
+// --- Theorem 1: closed, simple road model (Alg. 1 + Alg. 2) -------------
+
+#[test]
+fn simple_model_triangle_counts_exactly() {
+    let mut s = base(
+        MapSpec::Fig1Triangle {
+            segment_m: 250.0,
+            speed_mps: 6.7,
+        },
+        1,
+    );
+    s.sim = SimConfig::simple_model(1);
+    s.protocol = CheckpointConfig::for_variant(ProtocolVariant::Simple);
+    assert_exact(&s, Goal::Collection);
+}
+
+#[test]
+fn simple_model_grid_counts_exactly() {
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 150.0,
+            lanes: 1,
+            speed_mps: 8.0,
+        },
+        2,
+    );
+    s.sim = SimConfig::simple_model(2);
+    s.protocol = CheckpointConfig::for_variant(ProtocolVariant::Simple);
+    assert_exact(&s, Goal::Collection);
+}
+
+// --- Theorem 2: extended model (Alg. 3 + Alg. 4) -------------------------
+
+#[test]
+fn extended_model_with_overtakes_counts_exactly() {
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 3,
+            spacing_m: 300.0,
+            lanes: 3,
+            speed_mps: 11.0,
+        },
+        3,
+    );
+    s.sim.speed_factor_range = (0.5, 1.0);
+    s.demand.vehicles_per_lane_km = 16.0;
+    assert_exact(&s, Goal::Collection);
+}
+
+#[test]
+fn lossy_channel_30pct_counts_exactly() {
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 200.0,
+            lanes: 2,
+            speed_mps: 9.0,
+        },
+        4,
+    );
+    s.channel = ChannelKind::PAPER; // 30% failures
+    assert_exact(&s, Goal::Collection);
+}
+
+#[test]
+fn one_way_ring_counts_exactly() {
+    let mut s = base(
+        MapSpec::DirectedRing {
+            nodes: 6,
+            spacing_m: 200.0,
+            speed_mps: 8.0,
+        },
+        5,
+    );
+    s.demand.vehicles_per_lane_km = 20.0;
+    assert_exact(&s, Goal::Collection);
+}
+
+#[test]
+fn mixed_oneway_random_city_counts_exactly() {
+    for seed in [6, 7, 8] {
+        let mut s = base(
+            MapSpec::Random(RandomCityConfig {
+                nodes: 25,
+                one_way_fraction: 0.5,
+                seed,
+                ..Default::default()
+            }),
+            seed,
+        );
+        s.channel = ChannelKind::PAPER;
+        assert_exact(&s, Goal::Collection);
+    }
+}
+
+#[test]
+fn midtown_closed_system_counts_exactly() {
+    let mut s = base(MapSpec::Manhattan(ManhattanConfig::small()), 9);
+    s.channel = ChannelKind::PAPER;
+    s.demand.volume_pct = 50.0;
+    assert_exact(&s, Goal::Collection);
+}
+
+// --- Multiple seeds (forest of spanning trees) ---------------------------
+
+#[test]
+fn multiple_seeds_sum_to_ground_truth() {
+    for seeds in [2, 4, 7] {
+        let mut s = base(
+            MapSpec::Grid {
+                cols: 5,
+                rows: 4,
+                spacing_m: 150.0,
+                lanes: 2,
+                speed_mps: 9.0,
+            },
+            10 + seeds as u64,
+        );
+        s.seeds = SeedSpec::Random { count: seeds };
+        s.channel = ChannelKind::PAPER;
+        assert_exact(&s, Goal::Collection);
+    }
+}
+
+// --- Corollaries 1 & 2: open road system (Alg. 5) ------------------------
+
+#[test]
+fn open_midtown_reaches_complete_status_exactly() {
+    let mut s = base(MapSpec::Manhattan(ManhattanConfig::small()), 11);
+    s.closed = false;
+    s.protocol = CheckpointConfig::for_variant(ProtocolVariant::Open);
+    s.channel = ChannelKind::PAPER;
+    s.demand.volume_pct = 40.0;
+    assert_exact(&s, Goal::Constitution);
+}
+
+#[test]
+fn open_system_collection_matches_live_population() {
+    let mut s = base(MapSpec::Manhattan(ManhattanConfig::small()), 12);
+    s.closed = false;
+    s.protocol = CheckpointConfig::for_variant(ProtocolVariant::Open);
+    s.seeds = SeedSpec::Random { count: 3 };
+    assert_exact(&s, Goal::Collection);
+}
+
+// --- Specified-type counting ("that white van") --------------------------
+
+#[test]
+fn white_van_filter_counts_only_vans() {
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 180.0,
+            lanes: 2,
+            speed_mps: 9.0,
+        },
+        13,
+    );
+    s.protocol.filter = ClassFilter::white_vans();
+    s.demand.white_van_fraction = 0.15;
+    s.channel = ChannelKind::PAPER;
+    assert_exact(&s, Goal::Collection);
+}
+
+// --- Theorems 3 & 4: patrol under sparse traffic -------------------------
+
+#[test]
+fn patrol_resolves_sparse_traffic_deadlock() {
+    // Near-empty network: with so few civilian vehicles the label wave
+    // starves on many directions; patrol cars carry the pending labels
+    // (and reports) around their edge-covering cycle.
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 3,
+            rows: 3,
+            spacing_m: 150.0,
+            lanes: 1,
+            speed_mps: 10.0,
+        },
+        14,
+    );
+    s.demand = Demand {
+        volume_pct: 100.0,
+        vehicles_per_lane_km: 0.6, // a handful of vehicles in total
+        white_van_fraction: 0.0,
+    };
+    s.patrol = PatrolSpec { cars: 2 };
+    s.transport = vcount_sim::TransportMode::VehicleWithPatrolFallback;
+    assert_exact(&s, Goal::Collection);
+}
+
+#[test]
+fn sparse_traffic_without_patrol_starves() {
+    // The same scenario without patrol cars must NOT converge — this is
+    // the deadlock the paper's Section IV-B describes.
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 3,
+            rows: 3,
+            spacing_m: 150.0,
+            lanes: 1,
+            speed_mps: 10.0,
+        },
+        14,
+    );
+    s.demand = Demand {
+        volume_pct: 100.0,
+        vehicles_per_lane_km: 0.0, // zero civilian traffic: full starvation
+        white_van_fraction: 0.0,
+    };
+    s.max_time_s = 900.0;
+    let mut runner = Runner::new(&s);
+    let metrics = runner.run(Goal::Constitution, s.max_time_s);
+    assert!(
+        metrics.constitution_done_s.is_none(),
+        "empty network must starve without patrol support"
+    );
+}
+
+// --- Determinism ----------------------------------------------------------
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 3,
+            spacing_m: 150.0,
+            lanes: 2,
+            speed_mps: 9.0,
+        },
+        15,
+    );
+    let run = |s: &Scenario| {
+        let mut r = Runner::new(s);
+        let m = r.run(Goal::Collection, s.max_time_s);
+        (
+            m.constitution_done_s,
+            m.collection_done_s,
+            m.global_count,
+            m.handoff_failures,
+        )
+    };
+    assert_eq!(run(&s), run(&s));
+}
+
+// --- Burst losses (beyond the paper's independent-loss model) -------------
+
+#[test]
+fn bursty_channel_counts_exactly() {
+    let mut s = base(
+        MapSpec::Grid {
+            cols: 4,
+            rows: 3,
+            spacing_m: 180.0,
+            lanes: 2,
+            speed_mps: 9.0,
+        },
+        47,
+    );
+    s.channel = ChannelKind::BURSTY; // ~30% long-run loss in fades
+    assert_exact(&s, Goal::Collection);
+}

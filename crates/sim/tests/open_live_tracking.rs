@@ -1,0 +1,97 @@
+//! Open-system live-tracking invariants (Corollaries 1 & 2, beyond the
+//! convergence-time checks): once the complete status is reached, the
+//! distributed count must track the true in-region population exactly at
+//! *every* subsequent step, through arbitrary arrival/departure churn.
+
+use vcount_core::{CheckpointConfig, ProtocolVariant};
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{Goal, MapSpec, PatrolSpec, Runner, Scenario, SeedSpec};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::ChannelKind;
+
+fn open_midtown(seed: u64, spawn_rate_hz: f64) -> Scenario {
+    Scenario {
+        map: MapSpec::Manhattan(ManhattanConfig::small()),
+        closed: false,
+        sim: SimConfig {
+            seed,
+            spawn_rate_hz,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(50.0),
+        protocol: CheckpointConfig::for_variant(ProtocolVariant::Open),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 2 },
+        transport: Default::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 3.0 * 3600.0,
+    }
+}
+
+#[test]
+fn live_population_tracks_exactly_after_complete_status() {
+    let s = open_midtown(101, 0.08);
+    let mut r = Runner::new(&s);
+    let m = r.run(Goal::Constitution, s.max_time_s);
+    assert!(m.constitution_done_s.is_some(), "reaches complete status");
+
+    // 30 more simulated minutes of churn: the count must match the true
+    // population at every sampled step (not just at the end).
+    let until = r.time_s() + 30.0 * 60.0;
+    let mut samples = 0u32;
+    while r.time_s() < until {
+        r.step();
+        if samples % 40 == 0 {
+            assert_eq!(
+                r.distributed_count(),
+                r.true_population() as i64,
+                "live drift at t={:.1}min",
+                r.time_s() / 60.0
+            );
+        }
+        samples += 1;
+    }
+    assert!(samples > 0);
+    assert!(r.verify().is_empty(), "per-vehicle ledger stays clean");
+}
+
+#[test]
+fn heavy_churn_does_not_break_tracking() {
+    // 4x the arrival rate: lots of concurrent border activity.
+    let s = open_midtown(103, 0.3);
+    let mut r = Runner::new(&s);
+    let m = r.run(Goal::Constitution, s.max_time_s);
+    assert!(m.constitution_done_s.is_some());
+    let until = r.time_s() + 10.0 * 60.0;
+    while r.time_s() < until {
+        r.step();
+    }
+    assert_eq!(r.distributed_count(), r.true_population() as i64);
+    assert!(r.verify().is_empty());
+}
+
+#[test]
+fn zero_churn_open_system_behaves_like_closed() {
+    // Interaction flags set but nobody crosses the border: the open
+    // protocol must converge and count exactly like the closed one.
+    let mut s = open_midtown(107, 0.0);
+    s.sim.exit_prob = 0.0;
+    let mut r = Runner::new(&s);
+    let m = r.run(Goal::Collection, s.max_time_s);
+    assert!(m.collection_done_s.is_some());
+    assert_eq!(m.oracle_violations, 0);
+    assert_eq!(m.global_count, Some(m.true_population as i64));
+}
+
+#[test]
+fn draining_open_system_stays_exact_even_when_starving() {
+    // No arrivals + steady exits: the region drains until the label wave
+    // starves. Convergence is NOT guaranteed (that is the paper's sparse-
+    // traffic deadlock), but exactness of the live view must never break.
+    let mut s = open_midtown(109, 0.0);
+    s.sim.exit_prob = 0.1;
+    s.max_time_s = 1.5 * 3600.0;
+    let mut r = Runner::new(&s);
+    r.run(Goal::Collection, s.max_time_s);
+    assert!(r.verify().is_empty(), "draining must not corrupt the ledger");
+}

@@ -1,0 +1,210 @@
+//! Simulator and demand configuration.
+
+use crate::signals::SignalTiming;
+use serde::{Deserialize, Serialize};
+
+/// Microsimulator parameters.
+///
+/// The defaults reproduce the paper's extended road model: multiple lanes
+/// with overtakes, several vehicles admitted into an intersection per step,
+/// and heterogeneous driver speeds (slow trucks get overtaken). Set
+/// [`SimConfig::simple_model`] for the Alg. 1 setting (single admission,
+/// FIFO, homogeneous speeds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Time step, seconds.
+    pub dt_s: f64,
+    /// Vehicles admitted into a plain intersection per step and per node.
+    /// 1 reproduces the simple model's "only one vehicle is allowed to
+    /// enter the intersection" rule when combined with a large `dt_s`.
+    pub admit_per_step: usize,
+    /// Vehicles admitted into a roundabout per step (multi-target
+    /// tracking allows several simultaneously).
+    pub admit_per_step_roundabout: usize,
+    /// Minimum bumper-to-bumper spacing, metres.
+    pub min_gap_m: f64,
+    /// Probability per step that a blocked vehicle attempts a lane change
+    /// (0 disables overtaking regardless of lane count).
+    pub lane_change_prob: f64,
+    /// Desired-speed factor range `[lo, hi]` (multiplies the edge speed
+    /// limit). A spread below 1.0 creates slow vehicles that get overtaken.
+    pub speed_factor_range: (f64, f64),
+    /// Probability that a vehicle admitted at an outbound-interaction node
+    /// leaves the open system.
+    pub exit_prob: f64,
+    /// Probability that a vehicle takes an immediate U-turn even when other
+    /// directions exist. Real traffic contains occasional U-turns; with 0,
+    /// a segment whose tail intersection is fed only by its own twin is a
+    /// structural "orphan" no vehicle ever joins — the odd-traffic-pattern
+    /// deadlock of Section IV-B that requires patrol support (Theorem 3).
+    pub u_turn_prob: f64,
+    /// Poisson arrival rate per inbound-interaction node, vehicles/second,
+    /// at 100% volume (scaled linearly with volume).
+    pub spawn_rate_hz: f64,
+    /// Emit [`crate::events::TrafficEvent::Overtake`] events (needed only
+    /// by the per-event adjustment ablation; costs extra bookkeeping).
+    pub detect_overtakes: bool,
+    /// Fixed-time traffic signals at major intersections (`None` =
+    /// unsignalised network, the default). Signals delay admissions but
+    /// preserve per-direction FIFO order, so counting stays exact.
+    pub signals: Option<SignalTiming>,
+    /// RNG seed: identical config + seed ⇒ identical trajectory stream.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt_s: 0.5,
+            admit_per_step: 2,
+            admit_per_step_roundabout: 4,
+            min_gap_m: 7.0,
+            lane_change_prob: 0.25,
+            speed_factor_range: (0.6, 1.0),
+            exit_prob: 0.25,
+            u_turn_prob: 0.02,
+            spawn_rate_hz: 0.05,
+            detect_overtakes: false,
+            signals: None,
+            seed: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The simple road model of Alg. 1: strictly FIFO traffic. One vehicle
+    /// enters an intersection at a time, no lane changes, and homogeneous
+    /// speeds so no vehicle ever catches up with another on a segment.
+    pub fn simple_model(seed: u64) -> Self {
+        SimConfig {
+            admit_per_step: 1,
+            lane_change_prob: 0.0,
+            speed_factor_range: (1.0, 1.0),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Validates parameter ranges; called by the simulator constructor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.dt_s > 0.0) {
+            return Err("dt_s must be positive".into());
+        }
+        if self.admit_per_step == 0 || self.admit_per_step_roundabout == 0 {
+            return Err("admission rates must be at least 1".into());
+        }
+        if !(self.min_gap_m > 0.0) {
+            return Err("min_gap_m must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.lane_change_prob) {
+            return Err("lane_change_prob must be in [0,1]".into());
+        }
+        let (lo, hi) = self.speed_factor_range;
+        if !(lo > 0.0 && hi >= lo) {
+            return Err("speed_factor_range must satisfy 0 < lo <= hi".into());
+        }
+        if !(0.0..=1.0).contains(&self.exit_prob) {
+            return Err("exit_prob must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.u_turn_prob) {
+            return Err("u_turn_prob must be in [0,1]".into());
+        }
+        if self.spawn_rate_hz < 0.0 {
+            return Err("spawn_rate_hz must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// Traffic demand: how many vehicles populate the network.
+///
+/// The paper sweeps "traffic volumes changing from 10% to 100% of the
+/// average"; [`Demand::volume_pct`] is that knob. The initial population is
+/// `volume_pct/100 × vehicles_per_lane_km × total lane-km`, and open-system
+/// arrival rates scale the same way.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Demand {
+    /// Percentage of the average daily traffic (the paper sweeps 10..=100).
+    pub volume_pct: f64,
+    /// Density at 100% volume, vehicles per lane-kilometre.
+    pub vehicles_per_lane_km: f64,
+    /// Fraction of spawned/placed vehicles that are white vans (for the
+    /// specified-type extension; the rest draw from a generic mix).
+    pub white_van_fraction: f64,
+}
+
+impl Default for Demand {
+    fn default() -> Self {
+        Demand {
+            volume_pct: 50.0,
+            vehicles_per_lane_km: 12.0,
+            white_van_fraction: 0.05,
+        }
+    }
+}
+
+impl Demand {
+    /// Demand at a given volume percentage with default density.
+    pub fn at_volume(volume_pct: f64) -> Self {
+        Demand {
+            volume_pct,
+            ..Default::default()
+        }
+    }
+
+    /// Initial vehicle count for a network with `lane_km` total lane-km.
+    pub fn initial_vehicles(&self, lane_km: f64) -> usize {
+        ((self.volume_pct / 100.0) * self.vehicles_per_lane_km * lane_km).round() as usize
+    }
+
+    /// Volume scaling factor applied to spawn rates.
+    pub fn volume_factor(&self) -> f64 {
+        self.volume_pct / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate().unwrap();
+        SimConfig::simple_model(7).validate().unwrap();
+    }
+
+    #[test]
+    fn simple_model_is_fifo() {
+        let c = SimConfig::simple_model(1);
+        assert_eq!(c.admit_per_step, 1);
+        assert_eq!(c.lane_change_prob, 0.0);
+        assert_eq!(c.speed_factor_range, (1.0, 1.0));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = SimConfig::default();
+        c.dt_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.admit_per_step = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.speed_factor_range = (0.8, 0.5);
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.exit_prob = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn demand_scales_linearly() {
+        let d = Demand::at_volume(100.0);
+        let n100 = d.initial_vehicles(100.0);
+        let d = Demand::at_volume(10.0);
+        let n10 = d.initial_vehicles(100.0);
+        assert_eq!(n100, 1200);
+        assert_eq!(n10, 120);
+        assert!((d.volume_factor() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! # vcount-traffic — traffic microsimulation substrate
+//!
+//! A deterministic, seeded, time-stepped microsimulator standing in for the
+//! SUMO trace generation the paper uses (see DESIGN.md §2). It produces
+//! exactly the observables the counting protocol consumes:
+//!
+//! * intersection entry/departure/exit events (checkpoint surveillance),
+//! * overtake (order-inversion) events on segments (V2V collaboration),
+//! * unpredictable trajectories (uniform random turns), heterogeneous
+//!   speeds, multi-lane overtaking, per-node admission control, open-border
+//!   Poisson demand, and police patrol cars on fixed cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod events;
+pub mod signals;
+pub mod simulator;
+pub mod vehicle;
+
+pub use config::{Demand, SimConfig};
+pub use signals::{SignalPlan, SignalTiming};
+pub use events::TrafficEvent;
+pub use simulator::Simulator;
+pub use vehicle::{sample_class, RoutePolicy, VehState, Vehicle};

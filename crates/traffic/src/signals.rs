@@ -1,0 +1,194 @@
+//! Fixed-time traffic signals.
+//!
+//! Urban intersections are signalised; signals change *when* vehicles may
+//! enter an intersection but not the per-direction FIFO order the counting
+//! protocol relies on, so the protocol must stay exact with signals on
+//! (covered by integration tests). Signal plans here are the simplest
+//! realistic kind: approaches are split into two phase groups by compass
+//! heading (north–south vs east–west), greens alternate with a fixed
+//! period, and each intersection gets a deterministic phase offset so a
+//! whole corridor is not synchronised.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vcount_roadnet::{EdgeId, NodeId, NodeKind, RoadNetwork};
+
+/// Signal timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalTiming {
+    /// Green duration per phase group, seconds.
+    pub green_s: f64,
+    /// All-red clearance between phases, seconds.
+    pub all_red_s: f64,
+}
+
+impl Default for SignalTiming {
+    fn default() -> Self {
+        SignalTiming {
+            green_s: 30.0,
+            all_red_s: 2.0,
+        }
+    }
+}
+
+impl SignalTiming {
+    /// Full cycle length (two phases), seconds.
+    pub fn cycle_s(&self) -> f64 {
+        2.0 * (self.green_s + self.all_red_s)
+    }
+}
+
+/// A built signal plan for one network.
+#[derive(Debug, Clone)]
+pub struct SignalPlan {
+    timing: SignalTiming,
+    /// Phase group (0 or 1) per inbound edge; edges absent are unsignalised.
+    group: HashMap<EdgeId, u8>,
+    /// Per-node phase offset in seconds.
+    offset: Vec<f64>,
+    /// Nodes that are signalised at all (roundabouts and degree-≤2 nodes
+    /// are not).
+    signalised: Vec<bool>,
+}
+
+impl SignalPlan {
+    /// Builds the plan: two phase groups split by approach heading, a
+    /// deterministic per-node offset derived from the node id.
+    pub fn build(net: &RoadNetwork, timing: SignalTiming) -> SignalPlan {
+        let mut group = HashMap::new();
+        let mut signalised = vec![false; net.node_count()];
+        let mut offset = vec![0.0; net.node_count()];
+        for node in net.node_ids() {
+            let in_edges = net.in_edges(node);
+            let is_roundabout = matches!(net.node(node).kind, NodeKind::Roundabout { .. });
+            if in_edges.len() < 3 || is_roundabout {
+                continue; // unsignalised: minor or self-regulating junction
+            }
+            signalised[node.index()] = true;
+            offset[node.index()] =
+                (node.0 as f64 * 7.3) % timing.cycle_s();
+            for &e in in_edges {
+                let a = net.node(net.edge(e).from).pos;
+                let b = net.node(node).pos;
+                let ew = (b.x - a.x).abs() >= (b.y - a.y).abs();
+                group.insert(e, u8::from(!ew));
+            }
+        }
+        SignalPlan {
+            timing,
+            group,
+            offset,
+            signalised,
+        }
+    }
+
+    /// Whether a vehicle arriving at `node` via `from` faces a green light
+    /// at `time_s`. Unsignalised approaches are always green.
+    pub fn is_green(&self, node: NodeId, from: EdgeId, time_s: f64) -> bool {
+        if !self.signalised[node.index()] {
+            return true;
+        }
+        let Some(&g) = self.group.get(&from) else {
+            return true;
+        };
+        let cycle = self.timing.cycle_s();
+        let t = (time_s + self.offset[node.index()]).rem_euclid(cycle);
+        let phase_len = self.timing.green_s + self.timing.all_red_s;
+        let (phase, within) = if t < phase_len {
+            (0u8, t)
+        } else {
+            (1u8, t - phase_len)
+        };
+        phase == g && within < self.timing.green_s
+    }
+
+    /// Whether `node` is signal-controlled.
+    pub fn is_signalised(&self, node: NodeId) -> bool {
+        self.signalised[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcount_roadnet::builders::grid;
+
+    #[test]
+    fn interior_nodes_are_signalised_corners_are_not() {
+        let net = grid(3, 3, 100.0, 1, 9.0);
+        let plan = SignalPlan::build(&net, SignalTiming::default());
+        assert!(plan.is_signalised(NodeId(4)), "centre has 4 approaches");
+        assert!(!plan.is_signalised(NodeId(0)), "corner has only 2");
+    }
+
+    #[test]
+    fn greens_alternate_between_groups() {
+        let net = grid(3, 3, 100.0, 1, 9.0);
+        let timing = SignalTiming {
+            green_s: 10.0,
+            all_red_s: 0.0,
+        };
+        let plan = SignalPlan::build(&net, timing);
+        let centre = NodeId(4);
+        let ew = net.edge_between(NodeId(3), centre).unwrap(); // west approach
+        let ns = net.edge_between(NodeId(1), centre).unwrap(); // south approach
+        let off = -((centre.0 as f64 * 7.3) % timing.cycle_s());
+        // At phase start (offset-corrected t=0): east-west group is green.
+        assert!(plan.is_green(centre, ew, off));
+        assert!(!plan.is_green(centre, ns, off));
+        // Half a cycle later the groups swap.
+        assert!(!plan.is_green(centre, ew, off + 10.0));
+        assert!(plan.is_green(centre, ns, off + 10.0));
+    }
+
+    #[test]
+    fn all_red_blocks_both_groups() {
+        let net = grid(3, 3, 100.0, 1, 9.0);
+        let timing = SignalTiming {
+            green_s: 10.0,
+            all_red_s: 5.0,
+        };
+        let plan = SignalPlan::build(&net, timing);
+        let centre = NodeId(4);
+        let ew = net.edge_between(NodeId(3), centre).unwrap();
+        let ns = net.edge_between(NodeId(1), centre).unwrap();
+        let off = -((centre.0 as f64 * 7.3) % timing.cycle_s());
+        // t = 12 s: inside the first all-red window.
+        assert!(!plan.is_green(centre, ew, off + 12.0));
+        assert!(!plan.is_green(centre, ns, off + 12.0));
+    }
+
+    #[test]
+    fn unsignalised_nodes_are_always_green() {
+        let net = grid(2, 2, 100.0, 1, 9.0);
+        let plan = SignalPlan::build(&net, SignalTiming::default());
+        for node in net.node_ids() {
+            for &e in net.in_edges(node) {
+                for t in [0.0, 13.0, 31.0, 64.0] {
+                    assert!(plan.is_green(node, e, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_approach_gets_green_within_a_cycle() {
+        let net = grid(4, 4, 100.0, 1, 9.0);
+        let timing = SignalTiming::default();
+        let plan = SignalPlan::build(&net, timing);
+        for node in net.node_ids() {
+            for &e in net.in_edges(node) {
+                let mut saw_green = false;
+                let mut t = 0.0;
+                while t < timing.cycle_s() {
+                    if plan.is_green(node, e, t) {
+                        saw_green = true;
+                        break;
+                    }
+                    t += 0.5;
+                }
+                assert!(saw_green, "approach {e} of {node} never green");
+            }
+        }
+    }
+}

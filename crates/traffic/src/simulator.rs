@@ -1,0 +1,1051 @@
+//! The time-stepped traffic microsimulator (SUMO substitute).
+//!
+//! Per step: (1) lane changes by blocked vehicles on multi-lane segments,
+//! (2) gap-constrained car following, (3) optional overtake detection,
+//! (4) intersection admission with routing, (5) open-border Poisson
+//! arrivals. Everything draws from one seeded RNG in a fixed iteration
+//! order, so a `(network, config, demand, seed)` tuple reproduces the exact
+//! event stream.
+
+use crate::config::{Demand, SimConfig};
+use crate::events::TrafficEvent;
+use crate::signals::SignalPlan;
+use crate::vehicle::{sample_class, RoutePolicy, VehState, Vehicle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use vcount_roadnet::{EdgeId, NodeId, NodeKind, RoadNetwork};
+use vcount_v2x::{VehicleClass, VehicleId};
+
+/// The microsimulator. See module docs for the step structure.
+pub struct Simulator {
+    net: RoadNetwork,
+    cfg: SimConfig,
+    demand: Demand,
+    rng: StdRng,
+    time_s: f64,
+    steps: u64,
+    vehicles: Vec<Vehicle>,
+    /// edge -> lane -> vehicles ordered leader-first (descending position).
+    lanes: Vec<Vec<Vec<VehicleId>>>,
+    /// node -> FIFO of (vehicle, arrival edge) waiting at the stop line.
+    queues: Vec<VecDeque<(VehicleId, EdgeId)>>,
+    events: Vec<TrafficEvent>,
+    /// Previous cross-lane order per edge (overtake detection only).
+    prev_order: Vec<Vec<VehicleId>>,
+    /// Fixed-time signal plan, when configured.
+    signals: Option<SignalPlan>,
+    /// Scratch buffer reused across steps.
+    scratch_pos: Vec<f64>,
+}
+
+impl Simulator {
+    /// Builds a simulator and places the initial population according to
+    /// `demand` (uniformly over lane-metres). Panics on invalid config.
+    pub fn new(net: RoadNetwork, cfg: SimConfig, demand: Demand) -> Self {
+        cfg.validate().expect("invalid simulator config");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let lanes = net
+            .edges()
+            .map(|e| vec![Vec::new(); e.lanes as usize])
+            .collect();
+        let queues = vec![VecDeque::new(); net.node_count()];
+        let prev_order = vec![Vec::new(); net.edge_count()];
+        let signals = cfg.signals.map(|t| SignalPlan::build(&net, t));
+        let mut sim = Simulator {
+            net,
+            cfg,
+            demand,
+            rng,
+            time_s: 0.0,
+            steps: 0,
+            vehicles: Vec::new(),
+            lanes,
+            queues,
+            events: Vec::new(),
+            prev_order,
+            signals,
+            scratch_pos: Vec::new(),
+        };
+        sim.populate();
+        sim
+    }
+
+    /// The road network being simulated.
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Simulated time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// All vehicles ever created (including exited ones).
+    pub fn vehicles(&self) -> &[Vehicle] {
+        &self.vehicles
+    }
+
+    /// A vehicle by id.
+    pub fn vehicle(&self, id: VehicleId) -> &Vehicle {
+        &self.vehicles[id.index()]
+    }
+
+    /// Number of vehicles currently inside the region (excluding patrol
+    /// cars, which the paper exempts from counting).
+    pub fn civilian_population(&self) -> usize {
+        self.vehicles
+            .iter()
+            .filter(|v| v.is_inside() && !v.is_patrol())
+            .count()
+    }
+
+    /// Civilian vehicles inside matching a predicate on their class.
+    pub fn civilian_population_where(&self, pred: impl Fn(&VehicleClass) -> bool) -> usize {
+        self.vehicles
+            .iter()
+            .filter(|v| v.is_inside() && !v.is_patrol() && pred(&v.class))
+            .count()
+    }
+
+    /// Vehicles currently in transit on `edge` — queued at the stop line of
+    /// its head (earliest first) followed by on-segment vehicles
+    /// leader-first. Exactly the set ahead of a vehicle departing onto
+    /// `edge` right now.
+    pub fn in_transit(&self, edge: EdgeId) -> Vec<VehicleId> {
+        let head = self.net.edge(edge).to;
+        let mut out: Vec<VehicleId> = self.queues[head.index()]
+            .iter()
+            .filter(|(_, from)| *from == edge)
+            .map(|(v, _)| *v)
+            .collect();
+        // Merge lanes by position, leader first.
+        let mut on_edge: Vec<(f64, VehicleId)> = Vec::new();
+        for lane in &self.lanes[edge.index()] {
+            for &vid in lane {
+                if let VehState::OnEdge { pos_m, .. } = self.vehicles[vid.index()].state {
+                    on_edge.push((pos_m, vid));
+                }
+            }
+        }
+        on_edge.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        out.extend(on_edge.into_iter().map(|(_, v)| v));
+        out
+    }
+
+    /// Adds a police patrol car driving `route` (a closed walk of edges)
+    /// starting at the tail of `route[start_index]`. Returns its id.
+    pub fn add_patrol_car(&mut self, route: Vec<EdgeId>, start_index: usize) -> VehicleId {
+        assert!(!route.is_empty(), "patrol route must not be empty");
+        let start = start_index % route.len();
+        let edge = route[start];
+        let id = VehicleId(self.vehicles.len() as u64);
+        let vehicle = Vehicle {
+            id,
+            class: VehicleClass::PATROL,
+            speed_factor: 1.0,
+            policy: RoutePolicy::FixedLoop {
+                edges: route,
+                next: (start + 1) % usize::MAX.max(1), // fixed below
+            },
+            state: VehState::OnEdge {
+                edge,
+                lane: 0,
+                pos_m: 0.0,
+            },
+            speed_mps: 0.0,
+        };
+        self.vehicles.push(vehicle);
+        if let RoutePolicy::FixedLoop { edges, next } =
+            &mut self.vehicles[id.index()].policy
+        {
+            *next = (start + 1) % edges.len();
+        }
+        self.lanes[edge.index()][0].push(id);
+        self.sort_lane(edge, 0);
+        id
+    }
+
+    /// Places a civilian vehicle on `edge` at `pos_m` (testing and
+    /// scenario construction). Returns its id.
+    pub fn add_vehicle_on_edge(
+        &mut self,
+        edge: EdgeId,
+        lane: u8,
+        pos_m: f64,
+        class: VehicleClass,
+        speed_factor: f64,
+    ) -> VehicleId {
+        let id = VehicleId(self.vehicles.len() as u64);
+        assert!((lane as usize) < self.lanes[edge.index()].len());
+        assert!(pos_m >= 0.0 && pos_m <= self.net.edge(edge).length_m);
+        self.vehicles.push(Vehicle {
+            id,
+            class,
+            speed_factor,
+            policy: RoutePolicy::RandomTurn,
+            state: VehState::OnEdge { edge, lane, pos_m },
+            speed_mps: 0.0,
+        });
+        self.lanes[edge.index()][lane as usize].push(id);
+        self.sort_lane(edge, lane);
+        id
+    }
+
+    fn populate(&mut self) {
+        let lane_km: f64 = self
+            .net
+            .edges()
+            .map(|e| e.length_m * e.lanes as f64 / 1000.0)
+            .sum();
+        let n = self.demand.initial_vehicles(lane_km);
+        // Cumulative lane-metre weights over (edge, lane) slots.
+        let mut slots: Vec<(EdgeId, u8, f64)> = Vec::new();
+        let mut total = 0.0;
+        for e in self.net.edges() {
+            for lane in 0..e.lanes {
+                total += e.length_m;
+                slots.push((e.id, lane, total));
+            }
+        }
+        for _ in 0..n {
+            let x = self.rng.gen_range(0.0..total);
+            let idx = slots
+                .partition_point(|&(_, _, cum)| cum < x)
+                .min(slots.len() - 1);
+            let (edge, lane, _) = slots[idx];
+            let pos = self.rng.gen_range(0.0..self.net.edge(edge).length_m);
+            let (lo, hi) = self.cfg.speed_factor_range;
+            let factor = if hi > lo {
+                self.rng.gen_range(lo..hi)
+            } else {
+                lo
+            };
+            let class = sample_class(&mut self.rng, self.demand.white_van_fraction);
+            self.add_vehicle_on_edge(edge, lane, pos, class, factor);
+        }
+    }
+
+    fn sort_lane(&mut self, edge: EdgeId, lane: u8) {
+        let vehicles = &self.vehicles;
+        self.lanes[edge.index()][lane as usize].sort_by(|a, b| {
+            let pa = match vehicles[a.index()].state {
+                VehState::OnEdge { pos_m, .. } => pos_m,
+                _ => f64::MAX,
+            };
+            let pb = match vehicles[b.index()].state {
+                VehState::OnEdge { pos_m, .. } => pos_m,
+                _ => f64::MAX,
+            };
+            pb.partial_cmp(&pa).unwrap().then(a.cmp(b))
+        });
+    }
+
+    /// Advances one time step and returns the events it produced, in
+    /// deterministic order.
+    pub fn step(&mut self) -> &[TrafficEvent] {
+        self.events.clear();
+        if self.cfg.lane_change_prob > 0.0 {
+            self.lane_changes();
+        }
+        self.move_vehicles();
+        if self.cfg.detect_overtakes {
+            self.detect_overtakes();
+        }
+        self.admissions();
+        self.spawns();
+        self.time_s += self.cfg.dt_s;
+        self.steps += 1;
+        &self.events
+    }
+
+    /// Runs until `time_s` reaches `until_s`, discarding events (useful for
+    /// warm-up phases in tests and benches).
+    pub fn run_until(&mut self, until_s: f64) {
+        while self.time_s < until_s {
+            self.step();
+        }
+    }
+
+    fn lane_changes(&mut self) {
+        for ei in 0..self.lanes.len() {
+            let edge = EdgeId(ei as u32);
+            let n_lanes = self.lanes[ei].len();
+            if n_lanes < 2 {
+                continue;
+            }
+            for li in 0..n_lanes {
+                // Walk followers (index >= 1): leaders have nobody to pass.
+                let mut idx = 1;
+                while idx < self.lanes[ei][li].len() {
+                    let vid = self.lanes[ei][li][idx];
+                    let lead = self.lanes[ei][li][idx - 1];
+                    let (my_pos, my_factor) = match self.vehicles[vid.index()].state {
+                        VehState::OnEdge { pos_m, .. } => {
+                            (pos_m, self.vehicles[vid.index()].speed_factor)
+                        }
+                        _ => {
+                            idx += 1;
+                            continue;
+                        }
+                    };
+                    let lead_speed = self.vehicles[lead.index()].speed_mps;
+                    let lead_pos = match self.vehicles[lead.index()].state {
+                        VehState::OnEdge { pos_m, .. } => pos_m,
+                        _ => {
+                            idx += 1;
+                            continue;
+                        }
+                    };
+                    let limit = self.net.edge(edge).speed_mps;
+                    let desired = my_factor * limit;
+                    let blocked = lead_pos - my_pos < 3.0 * self.cfg.min_gap_m
+                        && lead_speed + 0.1 < desired;
+                    if !blocked || !self.rng.gen_bool(self.cfg.lane_change_prob) {
+                        idx += 1;
+                        continue;
+                    }
+                    // Try adjacent lanes in a deterministic order.
+                    let mut moved = false;
+                    for target in [li.wrapping_sub(1), li + 1] {
+                        if target >= n_lanes || target == li {
+                            continue;
+                        }
+                        if self.lane_has_space(ei, target, my_pos) {
+                            let v = self.lanes[ei][li].remove(idx);
+                            if let VehState::OnEdge { lane, .. } =
+                                &mut self.vehicles[v.index()].state
+                            {
+                                *lane = target as u8;
+                            }
+                            self.lanes[ei][target].push(v);
+                            self.sort_lane(edge, target as u8);
+                            moved = true;
+                            break;
+                        }
+                    }
+                    if !moved {
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn lane_has_space(&self, ei: usize, lane: usize, pos: f64) -> bool {
+        let gap = self.cfg.min_gap_m;
+        for &other in &self.lanes[ei][lane] {
+            if let VehState::OnEdge { pos_m, .. } = self.vehicles[other.index()].state {
+                if (pos_m - pos).abs() < gap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn move_vehicles(&mut self) {
+        let dt = self.cfg.dt_s;
+        let gap_min = self.cfg.min_gap_m;
+        for ei in 0..self.lanes.len() {
+            let edge_len = self.net.edge(EdgeId(ei as u32)).length_m;
+            let limit = self.net.edge(EdgeId(ei as u32)).speed_mps;
+            for li in 0..self.lanes[ei].len() {
+                // Compute new positions leader-first against *old* leader
+                // positions (synchronous update).
+                self.scratch_pos.clear();
+                let lane = &self.lanes[ei][li];
+                for (i, &vid) in lane.iter().enumerate() {
+                    let veh = &self.vehicles[vid.index()];
+                    let pos = match veh.state {
+                        VehState::OnEdge { pos_m, .. } => pos_m,
+                        _ => unreachable!("lane list holds only on-edge vehicles"),
+                    };
+                    let desired = (veh.speed_factor * limit).min(limit);
+                    let v = if i == 0 {
+                        desired
+                    } else {
+                        let lead = &self.vehicles[lane[i - 1].index()];
+                        let lead_pos = match lead.state {
+                            VehState::OnEdge { pos_m, .. } => pos_m,
+                            _ => unreachable!(),
+                        };
+                        let gap = lead_pos - pos - gap_min;
+                        desired.min((gap / dt).max(0.0))
+                    };
+                    self.scratch_pos.push(pos + v * dt);
+                }
+                // Apply: crossers leave the lane into the head queue.
+                let head = self.net.edge(EdgeId(ei as u32)).to;
+                let mut kept = Vec::with_capacity(lane.len());
+                let lane_vec = std::mem::take(&mut self.lanes[ei][li]);
+                for (i, vid) in lane_vec.into_iter().enumerate() {
+                    let new_pos = self.scratch_pos[i];
+                    let veh = &mut self.vehicles[vid.index()];
+                    let old_pos = match veh.state {
+                        VehState::OnEdge { pos_m, .. } => pos_m,
+                        _ => unreachable!(),
+                    };
+                    veh.speed_mps = (new_pos - old_pos) / dt;
+                    if new_pos >= edge_len {
+                        veh.state = VehState::Queued {
+                            node: head,
+                            from: EdgeId(ei as u32),
+                        };
+                        veh.speed_mps = 0.0;
+                        self.queues[head.index()].push_back((vid, EdgeId(ei as u32)));
+                    } else {
+                        if let VehState::OnEdge { pos_m, .. } = &mut veh.state {
+                            *pos_m = new_pos;
+                        }
+                        kept.push(vid);
+                    }
+                }
+                self.lanes[ei][li] = kept;
+            }
+        }
+    }
+
+    fn detect_overtakes(&mut self) {
+        for ei in 0..self.lanes.len() {
+            let edge = EdgeId(ei as u32);
+            let order = self.in_transit(edge);
+            let prev = std::mem::replace(&mut self.prev_order[ei], order);
+            let now = &self.prev_order[ei];
+            if prev.len() < 2 || now.len() < 2 {
+                continue;
+            }
+            // Rank of each vehicle now.
+            let rank: std::collections::HashMap<VehicleId, usize> =
+                now.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+            for i in 0..prev.len() {
+                for j in (i + 1)..prev.len() {
+                    // prev: a ahead of b. Inversion when b is now ahead.
+                    let (a, b) = (prev[i], prev[j]);
+                    if let (Some(&ra), Some(&rb)) = (rank.get(&a), rank.get(&b)) {
+                        if rb < ra {
+                            self.events.push(TrafficEvent::Overtake {
+                                edge,
+                                overtaker: b,
+                                overtaken: a,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn admissions(&mut self) {
+        for ni in 0..self.queues.len() {
+            let node = NodeId(ni as u32);
+            let quota = match self.net.node(node).kind {
+                NodeKind::Roundabout { .. } => self.cfg.admit_per_step_roundabout,
+                NodeKind::Plain => self.cfg.admit_per_step,
+            };
+            let mut admitted = 0;
+            while admitted < quota {
+                // With signals, serve the first queued vehicle whose
+                // approach is green; per-approach FIFO order (what the
+                // label wave relies on) is preserved because same-edge
+                // vehicles keep their relative positions.
+                let Some(pos) = self.queues[ni].iter().position(|&(_, from)| {
+                    self.signals
+                        .as_ref()
+                        .map_or(true, |p| p.is_green(node, from, self.time_s))
+                }) else {
+                    break;
+                };
+                let (vid, from_edge) = self.queues[ni][pos];
+                match self.decide_route(vid, node, Some(from_edge)) {
+                    RouteDecision::Exit => {
+                        self.queues[ni].remove(pos);
+                        self.events.push(TrafficEvent::Entered {
+                            vehicle: vid,
+                            node,
+                            from: Some(from_edge),
+                        });
+                        self.events.push(TrafficEvent::Exited { vehicle: vid, node });
+                        self.vehicles[vid.index()].state = VehState::Outside;
+                    }
+                    RouteDecision::Onto(edge, lane) => {
+                        self.queues[ni].remove(pos);
+                        self.events.push(TrafficEvent::Entered {
+                            vehicle: vid,
+                            node,
+                            from: Some(from_edge),
+                        });
+                        self.events.push(TrafficEvent::Departed {
+                            vehicle: vid,
+                            node,
+                            onto: edge,
+                        });
+                        self.place_on_edge(vid, edge, lane);
+                    }
+                    RouteDecision::Blocked => break, // head-of-line waits; FIFO kept
+                }
+                admitted += 1;
+            }
+        }
+    }
+
+    fn place_on_edge(&mut self, vid: VehicleId, edge: EdgeId, lane: u8) {
+        let veh = &mut self.vehicles[vid.index()];
+        veh.state = VehState::OnEdge {
+            edge,
+            lane,
+            pos_m: 0.0,
+        };
+        veh.speed_mps = 0.0;
+        self.lanes[edge.index()][lane as usize].push(vid);
+        self.sort_lane(edge, lane);
+    }
+
+    fn decide_route(
+        &mut self,
+        vid: VehicleId,
+        node: NodeId,
+        from_edge: Option<EdgeId>,
+    ) -> RouteDecision {
+        // Patrol cars follow their loop and are always admitted (emergency
+        // priority; overlaps at pos 0 resolve via car following).
+        if let RoutePolicy::FixedLoop { .. } = self.vehicles[vid.index()].policy {
+            let next_edge = {
+                let RoutePolicy::FixedLoop { edges, next } =
+                    &mut self.vehicles[vid.index()].policy
+                else {
+                    unreachable!()
+                };
+                let e = edges[*next];
+                *next = (*next + 1) % edges.len();
+                e
+            };
+            debug_assert_eq!(self.net.edge(next_edge).from, node);
+            return RouteDecision::Onto(next_edge, 0);
+        }
+
+        // Exit the open system?
+        let interaction = self.net.interaction(node);
+        if interaction.outbound && self.rng.gen_bool(self.cfg.exit_prob) {
+            return RouteDecision::Exit;
+        }
+
+        // Random turn among outbound edges with entry space, avoiding an
+        // immediate U-turn when possible — but occasionally (u_turn_prob) a
+        // driver deliberately turns around and takes the twin directly (see
+        // SimConfig docs).
+        let twin_back = from_edge.and_then(|e| self.net.edge(e).twin);
+        if let Some(back) = twin_back {
+            if self.cfg.u_turn_prob > 0.0 && self.rng.gen_bool(self.cfg.u_turn_prob) {
+                if let Some(lane) = self.entry_lane(back) {
+                    return RouteDecision::Onto(back, lane);
+                }
+            }
+        }
+        let forbidden = twin_back;
+        let out = self.net.out_edges(node);
+        let mut candidates: Vec<EdgeId> = out
+            .iter()
+            .copied()
+            .filter(|e| Some(*e) != forbidden)
+            .collect();
+        if candidates.is_empty() {
+            candidates = out.to_vec();
+        }
+        // Fisher-Yates shuffle for unbiased random preference order.
+        for i in (1..candidates.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            candidates.swap(i, j);
+        }
+        for e in candidates {
+            if let Some(lane) = self.entry_lane(e) {
+                return RouteDecision::Onto(e, lane);
+            }
+        }
+        RouteDecision::Blocked
+    }
+
+    /// The entry lane with the most rear space, or `None` when every lane's
+    /// rearmost vehicle is within the minimum gap of the stop line.
+    fn entry_lane(&self, edge: EdgeId) -> Option<u8> {
+        let mut best: Option<(f64, u8)> = None;
+        for (li, lane) in self.lanes[edge.index()].iter().enumerate() {
+            let rear_space = lane
+                .last()
+                .map(|v| match self.vehicles[v.index()].state {
+                    VehState::OnEdge { pos_m, .. } => pos_m,
+                    _ => f64::MAX,
+                })
+                .unwrap_or(f64::MAX);
+            if rear_space >= self.cfg.min_gap_m {
+                match best {
+                    Some((s, _)) if s >= rear_space => {}
+                    _ => best = Some((rear_space, li as u8)),
+                }
+            }
+        }
+        best.map(|(_, l)| l)
+    }
+
+    fn spawns(&mut self) {
+        if self.cfg.spawn_rate_hz <= 0.0 {
+            return;
+        }
+        let lambda =
+            self.cfg.spawn_rate_hz * self.demand.volume_factor() * self.cfg.dt_s;
+        if lambda <= 0.0 {
+            return;
+        }
+        for ni in 0..self.net.node_count() {
+            let node = NodeId(ni as u32);
+            if !self.net.interaction(node).inbound {
+                continue;
+            }
+            let k = poisson(&mut self.rng, lambda);
+            for _ in 0..k {
+                // Route first: a blocked border drops the arrival (the
+                // outside world balks), so we never emit a phantom entry.
+                let id = VehicleId(self.vehicles.len() as u64);
+                let (lo, hi) = self.cfg.speed_factor_range;
+                let factor = if hi > lo {
+                    self.rng.gen_range(lo..hi)
+                } else {
+                    lo
+                };
+                let class = sample_class(&mut self.rng, self.demand.white_van_fraction);
+                self.vehicles.push(Vehicle {
+                    id,
+                    class,
+                    speed_factor: factor,
+                    policy: RoutePolicy::RandomTurn,
+                    state: VehState::Outside,
+                    speed_mps: 0.0,
+                });
+                match self.decide_route(id, node, None) {
+                    RouteDecision::Onto(edge, lane) => {
+                        self.events.push(TrafficEvent::Entered {
+                            vehicle: id,
+                            node,
+                            from: None,
+                        });
+                        self.events.push(TrafficEvent::Departed {
+                            vehicle: id,
+                            node,
+                            onto: edge,
+                        });
+                        self.place_on_edge(id, edge, lane);
+                    }
+                    RouteDecision::Exit | RouteDecision::Blocked => {
+                        // Balked arrival: vehicle never entered; keep the
+                        // record as Outside so ids stay dense.
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum RouteDecision {
+    Onto(EdgeId, u8),
+    Exit,
+    Blocked,
+}
+
+/// Knuth's Poisson sampler (fine for the small per-step rates used here).
+fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // defensive cap; unreachable for sane lambda
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcount_roadnet::builders::{fig1_triangle, grid, manhattan, ManhattanConfig};
+
+    fn sim_on_grid(seed: u64) -> Simulator {
+        let net = grid(4, 4, 200.0, 2, 10.0);
+        Simulator::new(
+            net,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+            Demand::at_volume(50.0),
+        )
+    }
+
+    #[test]
+    fn population_matches_demand() {
+        let net = grid(4, 4, 200.0, 2, 10.0);
+        let lane_km: f64 = net
+            .edges()
+            .map(|e| e.length_m * e.lanes as f64 / 1000.0)
+            .sum();
+        let demand = Demand::at_volume(50.0);
+        let expect = demand.initial_vehicles(lane_km);
+        let sim = Simulator::new(net, SimConfig::default(), demand);
+        assert_eq!(sim.civilian_population(), expect);
+        assert!(expect > 0);
+    }
+
+    #[test]
+    fn steps_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = sim_on_grid(seed);
+            let mut log = Vec::new();
+            for _ in 0..200 {
+                log.extend(sim.step().iter().copied());
+            }
+            log
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn closed_system_conserves_population() {
+        let mut sim = sim_on_grid(2);
+        let before = sim.civilian_population();
+        for _ in 0..500 {
+            sim.step();
+        }
+        assert_eq!(sim.civilian_population(), before);
+    }
+
+    #[test]
+    fn vehicles_keep_moving_and_entering_intersections() {
+        let mut sim = sim_on_grid(3);
+        let mut entered = 0usize;
+        for _ in 0..600 {
+            entered += sim
+                .step()
+                .iter()
+                .filter(|e| matches!(e, TrafficEvent::Entered { .. }))
+                .count();
+        }
+        assert!(
+            entered > sim.civilian_population(),
+            "expected sustained intersection traffic, saw {entered} entries"
+        );
+    }
+
+    #[test]
+    fn entered_and_departed_pair_up_in_closed_system() {
+        let mut sim = sim_on_grid(4);
+        for _ in 0..300 {
+            let events = sim.step();
+            let entered = events
+                .iter()
+                .filter(|e| matches!(e, TrafficEvent::Entered { .. }))
+                .count();
+            let departed = events
+                .iter()
+                .filter(|e| matches!(e, TrafficEvent::Departed { .. }))
+                .count();
+            assert_eq!(entered, departed, "closed system: every entry departs");
+        }
+    }
+
+    #[test]
+    fn no_overtakes_in_simple_model() {
+        let net = fig1_triangle(300.0, 1, 6.7);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                detect_overtakes: true,
+                ..SimConfig::simple_model(8)
+            },
+            Demand::at_volume(80.0),
+        );
+        for _ in 0..2000 {
+            for ev in sim.step() {
+                assert!(
+                    !matches!(ev, TrafficEvent::Overtake { .. }),
+                    "simple model must be FIFO"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_produce_overtakes_on_multilane() {
+        let net = grid(3, 3, 400.0, 3, 12.0);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                detect_overtakes: true,
+                speed_factor_range: (0.4, 1.0),
+                seed: 11,
+                ..Default::default()
+            },
+            Demand {
+                volume_pct: 100.0,
+                vehicles_per_lane_km: 18.0,
+                white_van_fraction: 0.0,
+            },
+        );
+        let mut overtakes = 0usize;
+        for _ in 0..1500 {
+            overtakes += sim
+                .step()
+                .iter()
+                .filter(|e| matches!(e, TrafficEvent::Overtake { .. }))
+                .count();
+        }
+        assert!(overtakes > 0, "multi-lane heterogeneous traffic must overtake");
+    }
+
+    #[test]
+    fn open_system_exchanges_vehicles_with_outside() {
+        let net = manhattan(&ManhattanConfig::small());
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                seed: 13,
+                spawn_rate_hz: 0.2,
+                ..Default::default()
+            },
+            Demand::at_volume(60.0),
+        );
+        let mut spawned = 0usize;
+        let mut exited = 0usize;
+        for _ in 0..1200 {
+            for ev in sim.step() {
+                match ev {
+                    TrafficEvent::Entered { from: None, .. } => spawned += 1,
+                    TrafficEvent::Exited { .. } => exited += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(spawned > 0, "border must admit outside arrivals");
+        assert!(exited > 0, "border must let vehicles leave");
+    }
+
+    #[test]
+    fn patrol_car_follows_its_loop() {
+        let net = grid(3, 3, 150.0, 1, 10.0);
+        let cycle = vcount_roadnet::covering_cycle(&net, NodeId(0)).unwrap();
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                seed: 17,
+                ..Default::default()
+            },
+            Demand::at_volume(0.0),
+        );
+        let pid = sim.add_patrol_car(cycle.edges.clone(), 0);
+        // Drive long enough for a full lap; the patrol must visit every
+        // node on the cycle.
+        let mut visited = std::collections::BTreeSet::new();
+        for _ in 0..5000 {
+            for ev in sim.step() {
+                if let TrafficEvent::Entered { vehicle, node, .. } = ev {
+                    if *vehicle == pid {
+                        visited.insert(*node);
+                    }
+                }
+            }
+        }
+        assert_eq!(visited.len(), sim.net().node_count());
+        assert!(sim.vehicle(pid).is_patrol());
+    }
+
+    #[test]
+    fn in_transit_orders_queued_before_on_edge() {
+        let net = grid(2, 2, 100.0, 1, 10.0);
+        let e = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                seed: 19,
+                admit_per_step: 1,
+                ..SimConfig::simple_model(19)
+            },
+            Demand::at_volume(0.0),
+        );
+        let a = sim.add_vehicle_on_edge(e, 0, 95.0, VehicleClass::WHITE_VAN, 1.0);
+        let b = sim.add_vehicle_on_edge(e, 0, 50.0, VehicleClass::WHITE_VAN, 1.0);
+        let c = sim.add_vehicle_on_edge(e, 0, 5.0, VehicleClass::WHITE_VAN, 1.0);
+        // a crosses into the queue and is admitted in the same step.
+        let events = sim.step().to_vec();
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev, TrafficEvent::Entered { vehicle, .. } if *vehicle == a)));
+        let order = sim.in_transit(e);
+        assert!(order.contains(&b) && order.contains(&c) && !order.contains(&a));
+        let ib = order.iter().position(|v| *v == b).unwrap();
+        let ic = order.iter().position(|v| *v == c).unwrap();
+        assert!(ib < ic, "b is ahead of c on the segment");
+    }
+
+    #[test]
+    fn followers_never_pass_leaders_within_a_lane() {
+        let net = grid(2, 2, 500.0, 1, 15.0);
+        let e = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let mut sim = Simulator::new(
+            net,
+            SimConfig {
+                seed: 23,
+                lane_change_prob: 0.0,
+                speed_factor_range: (0.3, 1.0),
+                ..Default::default()
+            },
+            Demand::at_volume(0.0),
+        );
+        // Slow leader, fast follower.
+        let lead = sim.add_vehicle_on_edge(e, 0, 50.0, VehicleClass::WHITE_VAN, 0.3);
+        let chase = sim.add_vehicle_on_edge(e, 0, 0.0, VehicleClass::WHITE_VAN, 1.0);
+        for _ in 0..200 {
+            sim.step();
+            // Compare only while both are still on the original segment.
+            let lp = match sim.vehicle(lead).state {
+                VehState::OnEdge { edge, pos_m, .. } if edge == e => pos_m,
+                _ => break,
+            };
+            let cp = match sim.vehicle(chase).state {
+                VehState::OnEdge { edge, pos_m, .. } if edge == e => pos_m,
+                _ => break,
+            };
+            assert!(cp < lp, "single-lane follower overtook its leader");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 2.5;
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn zero_volume_spawns_nothing_initially() {
+        let sim = sim_with_volume(0.0);
+        assert_eq!(sim.civilian_population(), 0);
+    }
+
+    fn sim_with_volume(v: f64) -> Simulator {
+        let net = grid(3, 3, 100.0, 1, 10.0);
+        Simulator::new(net, SimConfig::default(), Demand::at_volume(v))
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use crate::signals::SignalTiming;
+    use vcount_roadnet::builders::grid;
+    use vcount_roadnet::{NodeKind, Point};
+
+    /// A tiny cross with a roundabout in the middle.
+    fn roundabout_cross() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let c = net.add_node_kind(Point::new(0.0, 0.0), NodeKind::Roundabout { radius_m: 20.0 });
+        let arms = [
+            net.add_node(Point::new(150.0, 0.0)),
+            net.add_node(Point::new(-150.0, 0.0)),
+            net.add_node(Point::new(0.0, 150.0)),
+            net.add_node(Point::new(0.0, -150.0)),
+        ];
+        for a in arms {
+            net.add_two_way(c, a, 1, 9.0);
+        }
+        net
+    }
+
+    #[test]
+    fn roundabout_admits_more_vehicles_per_step() {
+        let cfg = SimConfig {
+            admit_per_step: 1,
+            admit_per_step_roundabout: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(roundabout_cross(), cfg, Demand::at_volume(0.0));
+        // Queue four vehicles at the roundabout simultaneously.
+        let centre = NodeId(0);
+        for (i, arm) in [1u32, 2, 3, 4].into_iter().enumerate() {
+            let e = sim.net().edge_between(NodeId(arm), centre).unwrap();
+            let len = sim.net().edge(e).length_m;
+            sim.add_vehicle_on_edge(e, 0, len - 1.0, VehicleClass::WHITE_VAN, 1.0);
+            let _ = i;
+        }
+        let events = sim.step().to_vec();
+        let admitted = events
+            .iter()
+            .filter(|ev| matches!(ev, TrafficEvent::Entered { node, .. } if *node == centre))
+            .count();
+        assert_eq!(admitted, 4, "roundabout handles simultaneous entries");
+    }
+
+    #[test]
+    fn plain_intersection_respects_admission_quota() {
+        let net = grid(2, 2, 100.0, 1, 9.0);
+        // Give node 3 (two inbound edges) four queued vehicles.
+        let cfg = SimConfig {
+            admit_per_step: 1,
+            lane_change_prob: 0.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Demand::at_volume(0.0));
+        let n3 = NodeId(3);
+        for from in [NodeId(1), NodeId(2)] {
+            let e = sim.net().edge_between(from, n3).unwrap();
+            let len = sim.net().edge(e).length_m;
+            sim.add_vehicle_on_edge(e, 0, len - 1.0, VehicleClass::WHITE_VAN, 1.0);
+            sim.add_vehicle_on_edge(e, 0, len - 9.0, VehicleClass::WHITE_VAN, 1.0);
+        }
+        let admitted: usize = (0..2)
+            .map(|_| {
+                sim.step()
+                    .iter()
+                    .filter(|ev| matches!(ev, TrafficEvent::Entered { node, .. } if *node == n3))
+                    .count()
+            })
+            .sum();
+        assert!(
+            admitted <= 2,
+            "one admission per step allowed, got {admitted} over 2 steps"
+        );
+    }
+
+    #[test]
+    fn signalised_simulation_still_moves_traffic() {
+        let net = grid(4, 4, 150.0, 2, 9.0);
+        let cfg = SimConfig {
+            signals: Some(SignalTiming::default()),
+            seed: 7,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Demand::at_volume(60.0));
+        let mut entered = 0usize;
+        for _ in 0..1200 {
+            entered += sim
+                .step()
+                .iter()
+                .filter(|e| matches!(e, TrafficEvent::Entered { .. }))
+                .count();
+        }
+        assert!(entered > 100, "signals must not freeze the network");
+    }
+}

@@ -1,0 +1,166 @@
+//! Vehicles: state, routing policy, and class sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vcount_roadnet::{EdgeId, NodeId};
+use vcount_v2x::{BodyType, Brand, Color, VehicleClass, VehicleId};
+
+/// Where a vehicle currently is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VehState {
+    /// Driving along a segment direction, `pos_m` metres from its start,
+    /// in lane `lane` (0 = rightmost).
+    OnEdge {
+        /// Current segment direction.
+        edge: EdgeId,
+        /// Lane index.
+        lane: u8,
+        /// Distance driven from the segment start, metres.
+        pos_m: f64,
+    },
+    /// Waiting at the stop line of `node`, having arrived via `from`.
+    Queued {
+        /// Intersection whose admission the vehicle awaits.
+        node: NodeId,
+        /// Arrival segment direction.
+        from: EdgeId,
+    },
+    /// Outside the open system (exited, or never spawned).
+    Outside,
+}
+
+/// How a vehicle chooses its next segment at an intersection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Uniformly random outbound direction, avoiding an immediate U-turn
+    /// when possible — the paper's "unpredictable speed, trajectory, and
+    /// direction".
+    RandomTurn,
+    /// A fixed closed walk, looped forever (patrol cars, Theorem 3/4).
+    FixedLoop {
+        /// Edge sequence of the loop.
+        edges: Vec<EdgeId>,
+        /// Index of the next edge to take.
+        next: usize,
+    },
+}
+
+/// A simulated vehicle.
+#[derive(Debug, Clone)]
+pub struct Vehicle {
+    /// VANET radio identity.
+    pub id: VehicleId,
+    /// Exterior characteristics seen by checkpoint cameras.
+    pub class: VehicleClass,
+    /// Desired speed as a fraction of the segment speed limit.
+    pub speed_factor: f64,
+    /// Routing behaviour.
+    pub policy: RoutePolicy,
+    /// Current location.
+    pub state: VehState,
+    /// Current speed, m/s.
+    pub speed_mps: f64,
+}
+
+impl Vehicle {
+    /// Whether the vehicle is inside the region (driving or queued).
+    pub fn is_inside(&self) -> bool {
+        !matches!(self.state, VehState::Outside)
+    }
+
+    /// Whether this is a police patrol car.
+    pub fn is_patrol(&self) -> bool {
+        self.class.is_patrol()
+    }
+}
+
+/// Samples a civilian vehicle class: a white van with probability
+/// `white_van_fraction`, otherwise a uniform draw over a generic mix that
+/// never collides with [`VehicleClass::WHITE_VAN`] or patrol cars.
+pub fn sample_class<R: Rng + ?Sized>(rng: &mut R, white_van_fraction: f64) -> VehicleClass {
+    if rng.gen_bool(white_van_fraction.clamp(0.0, 1.0)) {
+        return VehicleClass::WHITE_VAN;
+    }
+    const COLORS: [Color; 6] = [
+        Color::Black,
+        Color::Silver,
+        Color::Red,
+        Color::Blue,
+        Color::Green,
+        Color::Yellow,
+    ];
+    const BRANDS: [Brand; 5] = [
+        Brand::Apex,
+        Brand::Borealis,
+        Brand::Cascade,
+        Brand::Dynamo,
+        Brand::Everest,
+    ];
+    const BODIES: [BodyType; 5] = [
+        BodyType::Sedan,
+        BodyType::Suv,
+        BodyType::Van,
+        BodyType::BoxTruck,
+        BodyType::Pickup,
+    ];
+    VehicleClass {
+        color: COLORS[rng.gen_range(0..COLORS.len())],
+        brand: BRANDS[rng.gen_range(0..BRANDS.len())],
+        body: BODIES[rng.gen_range(0..BODIES.len())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_classes_are_never_patrol() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = sample_class(&mut rng, 0.1);
+            assert!(!c.is_patrol());
+        }
+    }
+
+    #[test]
+    fn white_van_fraction_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let vans = (0..n)
+            .filter(|_| sample_class(&mut rng, 0.2) == VehicleClass::WHITE_VAN)
+            .count();
+        let frac = vans as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "observed van fraction {frac}");
+    }
+
+    #[test]
+    fn zero_fraction_yields_no_target_vans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            // Generic vans of other colors may appear, but never the exact
+            // white-van target class.
+            assert_ne!(sample_class(&mut rng, 0.0), VehicleClass::WHITE_VAN);
+        }
+    }
+
+    #[test]
+    fn vehicle_inside_tracking() {
+        let mut v = Vehicle {
+            id: VehicleId(0),
+            class: VehicleClass::WHITE_VAN,
+            speed_factor: 1.0,
+            policy: RoutePolicy::RandomTurn,
+            state: VehState::Outside,
+            speed_mps: 0.0,
+        };
+        assert!(!v.is_inside());
+        v.state = VehState::Queued {
+            node: NodeId(0),
+            from: EdgeId(0),
+        };
+        assert!(v.is_inside());
+    }
+}

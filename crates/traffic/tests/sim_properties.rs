@@ -1,0 +1,97 @@
+//! Property tests of the microsimulator's physical invariants.
+
+use proptest::prelude::*;
+use vcount_roadnet::builders::{grid, random_city, RandomCityConfig};
+use vcount_traffic::{Demand, SimConfig, Simulator, TrafficEvent, VehState};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Closed systems conserve the civilian population across any horizon.
+    #[test]
+    fn population_conservation(seed in any::<u64>(), cols in 2usize..5, rows in 2usize..5, vol in 10.0f64..120.0) {
+        let net = grid(cols, rows, 150.0, 2, 9.0);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig { seed, ..Default::default() },
+            Demand::at_volume(vol),
+        );
+        let before = sim.civilian_population();
+        for _ in 0..300 {
+            sim.step();
+        }
+        prop_assert_eq!(sim.civilian_population(), before);
+    }
+
+    /// Vehicles never leave the road: every inside vehicle is either on a
+    /// valid lane position within its edge or queued at the edge's head.
+    #[test]
+    fn positions_stay_on_road(seed in any::<u64>()) {
+        let net = random_city(&RandomCityConfig { nodes: 15, seed, ..Default::default() });
+        let mut sim = Simulator::new(
+            net,
+            SimConfig { seed, ..Default::default() },
+            Demand::at_volume(60.0),
+        );
+        for _ in 0..200 {
+            sim.step();
+            for v in sim.vehicles() {
+                match v.state {
+                    VehState::OnEdge { edge, lane, pos_m } => {
+                        let e = sim.net().edge(edge);
+                        prop_assert!((lane as usize) < e.lanes as usize);
+                        prop_assert!(pos_m >= 0.0 && pos_m < e.length_m + 1e-9);
+                        prop_assert!(v.speed_mps <= e.speed_mps + 1e-9);
+                    }
+                    VehState::Queued { node, from } => {
+                        prop_assert_eq!(sim.net().edge(from).to, node);
+                    }
+                    VehState::Outside => {}
+                }
+            }
+        }
+    }
+
+    /// Every Departed event leaves on an edge that really starts at the
+    /// node, and every Entered-from edge really ends there.
+    #[test]
+    fn events_are_topologically_consistent(seed in any::<u64>()) {
+        let net = grid(3, 3, 120.0, 2, 9.0);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig { seed, ..Default::default() },
+            Demand::at_volume(70.0),
+        );
+        for _ in 0..200 {
+            for ev in sim.step().to_vec() {
+                match ev {
+                    TrafficEvent::Departed { node, onto, .. } => {
+                        prop_assert_eq!(sim.net().edge(onto).from, node);
+                    }
+                    TrafficEvent::Entered { node, from: Some(e), .. } => {
+                        prop_assert_eq!(sim.net().edge(e).to, node);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The simple model is strictly FIFO: with overtake detection enabled
+    /// it emits no overtake events, ever.
+    #[test]
+    fn simple_model_never_overtakes(seed in any::<u64>()) {
+        let net = grid(3, 3, 200.0, 1, 9.0);
+        let mut sim = Simulator::new(
+            net,
+            SimConfig { detect_overtakes: true, ..SimConfig::simple_model(seed) },
+            Demand::at_volume(80.0),
+        );
+        for _ in 0..300 {
+            for ev in sim.step() {
+                let is_overtake = matches!(ev, TrafficEvent::Overtake { .. });
+                prop_assert!(!is_overtake);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Lossy wireless channel models.
+//!
+//! The paper's simulation uses "lossy wireless communication, with a 30%
+//! chance of failure". A *handoff* here is the complete checkpoint↔vehicle
+//! exchange (payload plus TCP-style acknowledgement, ref [6]) performed
+//! while the vehicle is within range of the checkpoint — it either completes
+//! confirmed on both sides or fails visibly to the sender, which is what
+//! lets Alg. 3 line 3 compensate (`c(u) -= 1`) and retry with the next
+//! vehicle.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a single handoff attempt, known to both parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handoff {
+    /// Payload delivered and acknowledged.
+    Delivered,
+    /// Exchange failed; the sender knows and will retry with the next
+    /// contact.
+    Failed,
+}
+
+impl Handoff {
+    /// True when the payload arrived.
+    pub fn delivered(self) -> bool {
+        matches!(self, Handoff::Delivered)
+    }
+}
+
+/// A wireless loss model: decides the fate of each handoff attempt.
+pub trait LossModel {
+    /// Performs one attempt using the caller's RNG stream (keeps whole-run
+    /// determinism in the simulator).
+    fn attempt(&self, rng: &mut dyn RngCore) -> Handoff;
+
+    /// The long-run failure probability, for reporting.
+    fn failure_rate(&self) -> f64;
+}
+
+/// The ideal channel of the simple road model (Alg. 1): every exchange
+/// succeeds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Perfect;
+
+impl LossModel for Perfect {
+    fn attempt(&self, _rng: &mut dyn RngCore) -> Handoff {
+        Handoff::Delivered
+    }
+
+    fn failure_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Independent Bernoulli failures with probability `p_fail` — the paper's
+/// evaluation model at `p_fail = 0.3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bernoulli {
+    p_fail: f64,
+}
+
+impl Bernoulli {
+    /// The paper's evaluation setting: 30% chance of failure.
+    pub const PAPER: Bernoulli = Bernoulli { p_fail: 0.3 };
+
+    /// Creates a channel failing with probability `p_fail ∈ [0, 1]`.
+    pub fn new(p_fail: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_fail), "p_fail must be in [0,1]");
+        Bernoulli { p_fail }
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn attempt(&self, rng: &mut dyn RngCore) -> Handoff {
+        // Draw a uniform f64 in [0,1) from the raw stream; avoids requiring
+        // `Rng` (not dyn-compatible) on the trait.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.p_fail {
+            Handoff::Failed
+        } else {
+            Handoff::Delivered
+        }
+    }
+
+    fn failure_rate(&self) -> f64 {
+        self.p_fail
+    }
+}
+
+/// Burst-loss channel (Gilbert–Elliott style): alternates between a good
+/// state (failure `p_good`) and a bad state (failure `p_bad`). Used by the
+/// loss ablation to show the protocol tolerates correlated failures, which
+/// real urban radio exhibits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Failure probability in the good state.
+    pub p_good: f64,
+    /// Failure probability in the bad state.
+    pub p_bad: f64,
+    /// Probability of switching good → bad per attempt.
+    pub p_g2b: f64,
+    /// Probability of switching bad → good per attempt.
+    pub p_b2g: f64,
+    state_bad: std::cell::Cell<bool>,
+}
+
+impl GilbertElliott {
+    /// Creates a burst channel starting in the good state.
+    pub fn new(p_good: f64, p_bad: f64, p_g2b: f64, p_b2g: f64) -> Self {
+        for p in [p_good, p_bad, p_g2b, p_b2g] {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        GilbertElliott {
+            p_good,
+            p_bad,
+            p_g2b,
+            p_b2g,
+            state_bad: std::cell::Cell::new(false),
+        }
+    }
+
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn attempt(&self, rng: &mut dyn RngCore) -> Handoff {
+        let bad = self.state_bad.get();
+        // State transition first, then loss draw in the new state.
+        let flip = Self::draw(rng);
+        let bad = if bad {
+            !(flip < self.p_b2g)
+        } else {
+            flip < self.p_g2b
+        };
+        self.state_bad.set(bad);
+        let p = if bad { self.p_bad } else { self.p_good };
+        if Self::draw(rng) < p {
+            Handoff::Failed
+        } else {
+            Handoff::Delivered
+        }
+    }
+
+    fn failure_rate(&self) -> f64 {
+        // Stationary mix of the two states.
+        let denom = self.p_g2b + self.p_b2g;
+        if denom == 0.0 {
+            return self.p_good;
+        }
+        let frac_bad = self.p_g2b / denom;
+        frac_bad * self.p_bad + (1.0 - frac_bad) * self.p_good
+    }
+}
+
+/// Boxed loss model selection, serializable for scenario configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// No losses (simple road model).
+    Perfect,
+    /// Independent failures with this probability.
+    Bernoulli(f64),
+    /// Correlated burst losses (Gilbert–Elliott): `(p_good, p_bad, p_g2b,
+    /// p_b2g)`. Urban radio fades in bursts; the protocol's compensation
+    /// must tolerate runs of consecutive failures, not just independent
+    /// ones.
+    Burst {
+        /// Failure probability in the good state.
+        p_good: f64,
+        /// Failure probability in the bad state.
+        p_bad: f64,
+        /// Good → bad transition probability per attempt.
+        p_g2b: f64,
+        /// Bad → good transition probability per attempt.
+        p_b2g: f64,
+    },
+}
+
+impl ChannelKind {
+    /// Instantiates the loss model.
+    pub fn build(self) -> Box<dyn LossModel + Send> {
+        match self {
+            ChannelKind::Perfect => Box::new(Perfect),
+            ChannelKind::Bernoulli(p) => Box::new(Bernoulli::new(p)),
+            ChannelKind::Burst {
+                p_good,
+                p_bad,
+                p_g2b,
+                p_b2g,
+            } => Box::new(GilbertElliott::new(p_good, p_bad, p_g2b, p_b2g)),
+        }
+    }
+
+    /// The paper's evaluation channel: 30% Bernoulli loss.
+    pub const PAPER: ChannelKind = ChannelKind::Bernoulli(0.3);
+
+    /// A harsh burst channel with the same ~30% long-run loss as the
+    /// paper's, concentrated into fades.
+    pub const BURSTY: ChannelKind = ChannelKind::Burst {
+        p_good: 0.05,
+        p_bad: 0.8,
+        p_g2b: 0.1,
+        p_b2g: 0.2,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_never_fails() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(Perfect.attempt(&mut rng).delivered());
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_requested_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = Bernoulli::new(0.3);
+        let n = 200_000;
+        let fails = (0..n)
+            .filter(|_| !ch.attempt(&mut rng).delivered())
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "observed failure rate {rate}");
+        assert_eq!(ch.failure_rate(), 0.3);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let always = Bernoulli::new(1.0);
+        let never = Bernoulli::new(0.0);
+        for _ in 0..100 {
+            assert!(!always.attempt(&mut rng).delivered());
+            assert!(never.attempt(&mut rng).delivered());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_fail")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ch = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
+        let n = 300_000;
+        let fails = (0..n)
+            .filter(|_| !ch.attempt(&mut rng).delivered())
+            .count();
+        let rate = fails as f64 / n as f64;
+        let expected = ch.failure_rate();
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "observed {rate}, stationary {expected}"
+        );
+    }
+
+    #[test]
+    fn channel_kind_builds_expected_models() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let perfect = ChannelKind::Perfect.build();
+        assert!(perfect.attempt(&mut rng).delivered());
+        let paper = ChannelKind::PAPER.build();
+        assert_eq!(paper.failure_rate(), 0.3);
+        let bursty = ChannelKind::BURSTY.build();
+        let expected = 0.1 / (0.1 + 0.2) * 0.8 + 0.2 / (0.1 + 0.2) * 0.05;
+        assert!((bursty.failure_rate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let ch = Bernoulli::new(0.5);
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| ch.attempt(&mut rng).delivered()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests of the wire codec and loss models.
+
+use bytes::{Buf, BytesMut};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vcount_roadnet::NodeId;
+use vcount_v2x::{
+    Bernoulli, Label, LossModel, Message, PatrolStatus, Report, VehicleId,
+};
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), proptest::option::of(any::<u32>()), any::<u32>()).prop_map(
+            |(o, p, s)| Message::Label(Label {
+                origin: NodeId(o),
+                // u32::MAX encodes None on the wire; keep ids below it.
+                origin_pred: p.map(|v| NodeId(v % (u32::MAX - 1))),
+                seed: NodeId(s % (u32::MAX - 1)),
+            })
+        ),
+        (any::<u32>(), any::<u32>(), any::<i64>()).prop_map(|(f, t, c)| Message::Report(
+            Report {
+                from: NodeId(f),
+                to: NodeId(t),
+                subtree_total: c,
+            }
+        )),
+        proptest::collection::vec((any::<u32>(), any::<bool>()), 0..20).prop_map(|obs| {
+            let mut p = PatrolStatus::default();
+            for (n, a) in obs {
+                p.observe(NodeId(n), a);
+            }
+            Message::Patrol(p)
+        }),
+        any::<u64>().prop_map(|v| Message::Ack {
+            vehicle: VehicleId(v)
+        }),
+    ]
+}
+
+proptest! {
+    /// Every message round-trips through the wire format losslessly and
+    /// consumes exactly its own bytes.
+    #[test]
+    fn roundtrip(m in arb_message()) {
+        // Labels with origin == u32::MAX would collide with the None
+        // sentinel; the protocol never allocates that id.
+        if let Message::Label(l) = &m {
+            prop_assume!(l.origin.0 != u32::MAX);
+        }
+        let mut wire = m.encode();
+        let back = Message::decode(&mut wire).unwrap();
+        prop_assert_eq!(back, m);
+        prop_assert_eq!(wire.remaining(), 0);
+    }
+
+    /// Concatenated messages decode in order (streaming).
+    #[test]
+    fn streaming(ms in proptest::collection::vec(arb_message(), 1..8)) {
+        for m in &ms {
+            if let Message::Label(l) = m {
+                prop_assume!(l.origin.0 != u32::MAX);
+            }
+        }
+        let mut buf = BytesMut::new();
+        for m in &ms {
+            m.encode_into(&mut buf);
+        }
+        let mut wire = buf.freeze();
+        for m in &ms {
+            prop_assert_eq!(&Message::decode(&mut wire).unwrap(), m);
+        }
+        prop_assert_eq!(wire.remaining(), 0);
+    }
+
+    /// Arbitrary byte soup never panics the decoder: it either yields a
+    /// message or a clean error.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut wire = bytes::Bytes::from(bytes);
+        let _ = Message::decode(&mut wire);
+    }
+
+    /// Bernoulli failure frequency tracks the configured probability.
+    #[test]
+    fn bernoulli_rate(p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let ch = Bernoulli::new(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let fails = (0..n).filter(|_| !ch.attempt(&mut rng).delivered()).count();
+        let rate = fails as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.05, "p={p} observed={rate}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: count every vehicle in a small closed road system, exactly
+//! once, under the paper's 30% lossy wireless channel.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vcount::prelude::*;
+
+fn main() {
+    // 1. Describe the deployment: a 4x4 downtown grid, two lanes per
+    //    direction (overtakes possible), one randomly placed seed
+    //    checkpoint, 30% of label handoffs failing.
+    let scenario = Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 200.0,
+            lanes: 2,
+            speed_mps: vcount::roadnet::mph_to_mps(15.0),
+        },
+        closed: true,
+        sim: SimConfig {
+            seed: 2014,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::default(), // Alg. 3 + Alg. 4
+        channel: ChannelKind::PAPER,           // 30% failure chance
+        seeds: SeedSpec::Random { count: 1 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 2.0 * 3600.0,
+    };
+
+    // 2. Run until the seed has collected the global view.
+    let mut runner = Runner::new(&scenario);
+    let metrics = runner.run(Goal::Collection, scenario.max_time_s);
+
+    // 3. Inspect the result.
+    println!("== infrastructure-less vehicle counting: quickstart ==");
+    println!(
+        "network: {} intersections, {} directed segments",
+        runner.net().node_count(),
+        runner.net().edge_count()
+    );
+    println!("seed checkpoint: {}", runner.seeds()[0]);
+    println!(
+        "constitution (every checkpoint stable): {:.1} min",
+        metrics.constitution_done_s.expect("converges") / 60.0
+    );
+    println!(
+        "collection (global view at the seed):   {:.1} min",
+        metrics.collection_done_s.expect("converges") / 60.0
+    );
+    println!(
+        "label handoff failures compensated: {}",
+        metrics.handoff_failures
+    );
+    println!(
+        "overtake adjustments applied:       {:+}",
+        metrics.overtake_adjustments
+    );
+    println!();
+    println!(
+        "protocol count: {}   ground truth: {}",
+        metrics.global_count.unwrap(),
+        metrics.true_population
+    );
+    println!(
+        "naive per-checkpoint baseline:  {} (double-counts wildly)",
+        metrics.baseline_naive
+    );
+    println!(
+        "image-recognition dedup:        {} (collapses look-alikes)",
+        metrics.baseline_dedup
+    );
+    println!(
+        "per-vehicle oracle violations:  {}",
+        metrics.oracle_violations
+    );
+    assert!(metrics.exact(), "the paper's claim: no mis- or double-counting");
+    println!("\nresult is exact: no mis-counting, no double-counting.");
+}

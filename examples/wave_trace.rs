@@ -1,0 +1,78 @@
+//! Watch the counting wave spread across midtown: an ASCII rendering of
+//! checkpoint states over time, plus a progress trace.
+//!
+//! Legend: `.` inactive, `o` active (counting), `#` stable, `S` seed.
+//!
+//! Run with: `cargo run --release --example wave_trace`
+
+use vcount::prelude::*;
+use vcount::roadnet::builders::ManhattanConfig;
+
+fn render(runner: &Runner, cfg: &ManhattanConfig) -> String {
+    let mut out = String::new();
+    // Streets top-to-bottom (north on top).
+    for s in (0..cfg.streets).rev() {
+        for a in 0..cfg.avenues {
+            let node = cfg.node_at(a, s);
+            let cp = runner.checkpoint(node);
+            let ch = if runner.seeds().contains(&node) {
+                'S'
+            } else if cp.is_stable() {
+                '#'
+            } else if cp.is_active() {
+                'o'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let cfg = ManhattanConfig {
+        avenues: 10,
+        streets: 16,
+        ..ManhattanConfig::small()
+    };
+    let scenario = Scenario::paper_closed(cfg.clone(), 60.0, 1, 77);
+    let mut runner = Runner::new(&scenario);
+
+    println!("== the counting wave over midtown (seed 'S', '.'→'o'→'#') ==\n");
+    let mut next_frame = 0.0;
+    let mut frames = 0;
+    while !(runner.all_stable() && runner.all_collected()) {
+        runner.step();
+        if runner.time_s() >= next_frame && frames < 8 {
+            let p = runner.progress();
+            println!(
+                "t = {:>5.1} min   active {:>3}/{}   stable {:>3}/{}   count {} (truth {})",
+                p.time_s / 60.0,
+                p.active,
+                p.checkpoints,
+                p.stable,
+                p.checkpoints,
+                p.distributed_count,
+                p.population
+            );
+            println!("{}", render(&runner, &cfg));
+            frames += 1;
+            next_frame = runner.time_s() + 240.0; // every 4 simulated minutes
+        }
+        if runner.time_s() > scenario.max_time_s {
+            break;
+        }
+    }
+    let p = runner.progress();
+    println!(
+        "converged at t = {:.1} min: count {} == truth {}, violations {}",
+        p.time_s / 60.0,
+        p.distributed_count,
+        p.population,
+        runner.verify().len()
+    );
+    println!("{}", render(&runner, &cfg));
+    assert_eq!(p.distributed_count, p.population as i64);
+}

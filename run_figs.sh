@@ -1,0 +1,9 @@
+#!/bin/sh
+cd /root/repo
+export VCOUNT_GRID=full VCOUNT_REPS=2
+./target/release/fig3 > results/fig3.csv 2> results/fig3.log
+./target/release/fig4 > results/fig4.csv 2> results/fig4.log
+./target/release/fig5 > results/fig5.csv 2> results/fig5.log
+./target/release/ablations > results/ablations.txt 2>&1
+./target/release/obs6 > results/obs6.txt 2>&1
+touch results/.done

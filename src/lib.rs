@@ -1,0 +1,67 @@
+//! # vcount — infrastructure-less vehicle counting without disruption
+//!
+//! A full Rust reproduction of Wu, Sabatino, Tsan, Jiang — *An
+//! Infrastructure-less Vehicle Counting without Disruption* (ICPP 2014,
+//! DOI 10.1109/ICPP.2014.61): a fully-distributed, Chandy–Lamport-style
+//! protocol that counts every moving vehicle in a target region **exactly
+//! once** using only intersection surveillance and V2V/V2I exchanges with
+//! the passing traffic — no VINs, no central database, no global
+//! infrastructure.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`roadnet`] — road graphs, the synthetic midtown-Manhattan map,
+//!   routing, patrol cycles (Theorem 4);
+//! * [`v2x`] — VANET identities, wire messages, lossy channels, overtake
+//!   collaboration;
+//! * [`traffic`] — the deterministic traffic microsimulator (SUMO
+//!   substitute);
+//! * [`core`] — the checkpoint state machine (Algorithms 1–5);
+//! * [`sim`] — orchestration, the ground-truth oracle, and the evaluation
+//!   sweeps behind the paper's Figures 2–5.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vcount::prelude::*;
+//!
+//! // A small closed road system with one seed checkpoint.
+//! let scenario = Scenario {
+//!     map: MapSpec::Grid { cols: 3, rows: 3, spacing_m: 150.0, lanes: 2, speed_mps: 9.0 },
+//!     closed: true,
+//!     sim: SimConfig { seed: 42, ..Default::default() },
+//!     demand: Demand::at_volume(50.0),
+//!     protocol: CheckpointConfig::default(),
+//!     channel: ChannelKind::PAPER, // the paper's 30% lossy channel
+//!     seeds: SeedSpec::Random { count: 1 },
+//!     transport: TransportMode::default(),
+//!     patrol: PatrolSpec::default(),
+//!     max_time_s: 3600.0,
+//! };
+//! let mut runner = Runner::new(&scenario);
+//! let metrics = runner.run(Goal::Collection, scenario.max_time_s);
+//! assert_eq!(metrics.oracle_violations, 0); // no mis- or double-counting
+//! assert_eq!(metrics.global_count, Some(metrics.true_population as i64));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use vcount_core as core;
+pub use vcount_roadnet as roadnet;
+pub use vcount_sim as sim;
+pub use vcount_traffic as traffic;
+pub use vcount_v2x as v2x;
+
+/// Everything needed to describe and run a counting deployment.
+pub mod prelude {
+    pub use vcount_core::{CheckpointConfig, ProtocolVariant};
+    pub use vcount_roadnet::builders::{ManhattanConfig, RandomCityConfig};
+    pub use vcount_roadnet::{NodeId, RoadNetwork};
+    pub use vcount_sim::{
+        Cell, Goal, MapSpec, PatrolSpec, RunMetrics, Runner, Scenario, SeedSpec, SweepConfig,
+        TransportMode,
+    };
+    pub use vcount_traffic::{Demand, SimConfig};
+    pub use vcount_v2x::{ChannelKind, ClassFilter};
+}

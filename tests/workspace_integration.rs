@@ -1,0 +1,123 @@
+//! Cross-crate integration: drive the public facade exactly as the README
+//! and examples do.
+
+use vcount::prelude::*;
+use vcount::roadnet::mph_to_mps;
+
+fn grid_scenario(seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 3,
+            spacing_m: 180.0,
+            lanes: 2,
+            speed_mps: mph_to_mps(15.0),
+        },
+        closed: true,
+        sim: SimConfig {
+            seed,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::default(),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 1 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 2.0 * 3600.0,
+    }
+}
+
+#[test]
+fn facade_quickstart_flow_is_exact() {
+    let s = grid_scenario(2014);
+    let mut runner = Runner::new(&s);
+    let metrics = runner.run(Goal::Collection, s.max_time_s);
+    assert!(metrics.exact());
+    assert!(metrics.constitution_done_s.unwrap() <= metrics.collection_done_s.unwrap());
+}
+
+#[test]
+fn distributed_and_collected_counts_agree() {
+    let s = grid_scenario(7);
+    let mut runner = Runner::new(&s);
+    runner.run(Goal::Collection, s.max_time_s);
+    assert_eq!(
+        Some(runner.distributed_count()),
+        runner.collected_count(),
+        "tree aggregation must equal the distributed sum"
+    );
+}
+
+#[test]
+fn spanning_tree_is_well_formed_after_convergence() {
+    let s = grid_scenario(11);
+    let mut runner = Runner::new(&s);
+    runner.run(Goal::Collection, s.max_time_s);
+    let seed = runner.seeds()[0];
+    // Every non-seed checkpoint has a predecessor; following predecessors
+    // always terminates at the seed (no cycles).
+    for n in runner.net().node_ids() {
+        let mut cur = n;
+        let mut hops = 0;
+        while let Some(p) = runner.checkpoint(cur).pred() {
+            cur = p;
+            hops += 1;
+            assert!(hops <= runner.net().node_count(), "pred cycle at {n}");
+        }
+        assert_eq!(cur, seed, "pred chain of {n} must end at the seed");
+    }
+    // Parent/child views agree.
+    for n in runner.net().node_ids() {
+        for child in runner.checkpoint(n).children() {
+            assert_eq!(runner.checkpoint(child).pred(), Some(n));
+        }
+    }
+}
+
+#[test]
+fn per_checkpoint_times_are_ordered() {
+    let s = grid_scenario(13);
+    let mut runner = Runner::new(&s);
+    let m = runner.run(Goal::Collection, s.max_time_s);
+    for n in runner.net().node_ids() {
+        let cp = runner.checkpoint(n);
+        let act = cp.activated_at().expect("all activated");
+        let stable = cp.stable_at().expect("all stable");
+        assert!(act <= stable, "{n}: activation after stabilization");
+    }
+    let worst_stable = m
+        .checkpoint_stable_s
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!((m.constitution_done_s.unwrap() - worst_stable).abs() < 1.0);
+}
+
+#[test]
+fn volume_scaling_changes_population_linearly() {
+    let mut lo = grid_scenario(5);
+    lo.demand = Demand::at_volume(20.0);
+    let mut hi = grid_scenario(5);
+    hi.demand = Demand::at_volume(100.0);
+    let lo_pop = Runner::new(&lo).true_population();
+    let hi_pop = Runner::new(&hi).true_population();
+    let ratio = hi_pop as f64 / lo_pop as f64;
+    assert!(
+        (ratio - 5.0).abs() < 0.5,
+        "population must scale with volume: {lo_pop} -> {hi_pop}"
+    );
+}
+
+#[test]
+fn scenario_serialization_reproduces_runs() {
+    let s = grid_scenario(99);
+    let json = serde_json::to_string(&s).unwrap();
+    let s2: Scenario = serde_json::from_str(&json).unwrap();
+    let run = |s: &Scenario| {
+        let mut r = Runner::new(s);
+        let m = r.run(Goal::Collection, s.max_time_s);
+        (m.global_count, m.collection_done_s.map(|t| t as i64))
+    };
+    assert_eq!(run(&s), run(&s2));
+}
