@@ -30,26 +30,29 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
 
-    g.bench_function(BenchmarkId::new("fig2_constitution_closed", "v60_s1"), |b| {
-        b.iter(|| run_cell(&small_closed(60.0, 1, 1), Goal::Constitution));
-    });
+    g.bench_function(
+        BenchmarkId::new("fig2_constitution_closed", "v60_s1"),
+        |b| {
+            b.iter(|| run_cell(&small_closed(60.0, 1, 1), Goal::Constitution));
+        },
+    );
     g.bench_function(BenchmarkId::new("fig3_collection_closed", "v60_s1"), |b| {
         b.iter(|| run_cell(&small_closed(60.0, 1, 2), Goal::Collection));
     });
-    g.bench_function(BenchmarkId::new("fig4_open_complete_status", "v60_s1"), |b| {
-        b.iter(|| run_cell(&small_open(60.0, 1, 3), Goal::Constitution));
-    });
     g.bench_function(
-        BenchmarkId::new("fig4_closed_25mph", "v60_s1"),
+        BenchmarkId::new("fig4_open_complete_status", "v60_s1"),
         |b| {
-            let map = ManhattanConfig {
-                speed_mph: 25.0,
-                ..ManhattanConfig::small()
-            };
-            let s = Scenario::paper_closed(map, 60.0, 1, 4);
-            b.iter(|| run_cell(&s, Goal::Constitution));
+            b.iter(|| run_cell(&small_open(60.0, 1, 3), Goal::Constitution));
         },
     );
+    g.bench_function(BenchmarkId::new("fig4_closed_25mph", "v60_s1"), |b| {
+        let map = ManhattanConfig {
+            speed_mph: 25.0,
+            ..ManhattanConfig::small()
+        };
+        let s = Scenario::paper_closed(map, 60.0, 1, 4);
+        b.iter(|| run_cell(&s, Goal::Constitution));
+    });
     g.bench_function(BenchmarkId::new("fig5_open_collection", "v60_s1"), |b| {
         b.iter(|| run_cell(&small_open(60.0, 1, 5), Goal::Collection));
     });

@@ -9,13 +9,15 @@ use vcount_core::{Checkpoint, CheckpointConfig};
 use vcount_roadnet::builders::{grid, manhattan, ManhattanConfig};
 use vcount_roadnet::{covering_cycle, edge_covering_cycle, shortest_path, NodeId};
 use vcount_traffic::{Demand, SimConfig, Simulator};
-use vcount_v2x::{
-    Bernoulli, Label, LossModel, Message, Report, VehicleClass, VehicleId,
-};
+use vcount_v2x::{Bernoulli, Label, LossModel, Message, Report, VehicleClass, VehicleId};
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_step");
-    for (name, cols, rows) in [("small_5x5", 5usize, 5usize), ("mid_10x10", 10, 10), ("large_20x20", 20, 20)] {
+    for (name, cols, rows) in [
+        ("small_5x5", 5usize, 5usize),
+        ("mid_10x10", 10, 10),
+        ("large_20x20", 20, 20),
+    ] {
         let net = grid(cols, rows, 120.0, 2, 9.0);
         let vehicles = Demand::at_volume(80.0);
         g.throughput(Throughput::Elements((cols * rows) as u64));

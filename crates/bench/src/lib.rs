@@ -82,7 +82,9 @@ pub fn panel_scenario(panel: Panel, cell: Cell, rep: u64) -> Scenario {
 
 /// Runs one panel over the grid.
 pub fn run_panel(panel: Panel, grid: &SweepConfig) -> Vec<CellResult> {
-    sweep(grid, panel.goal, |cell, rep| panel_scenario(panel, cell, rep))
+    sweep(grid, panel.goal, |cell, rep| {
+        panel_scenario(panel, cell, rep)
+    })
 }
 
 /// The per-cell headline value of a panel: mean elapsed minutes of the
@@ -182,7 +184,10 @@ pub fn assert_exactness(figure: &str, results: &[CellResult]) {
         violations, 0,
         "{figure}: the paper's no-mis/double-counting claim failed"
     );
-    println!("{figure}: 0 oracle violations across {} cells — counting is exact", results.len());
+    println!(
+        "{figure}: 0 oracle violations across {} cells — counting is exact",
+        results.len()
+    );
 }
 
 #[cfg(test)]

@@ -23,9 +23,7 @@ impl Args {
                 if key.is_empty() {
                     return Err("bare `--` is not a flag".into());
                 }
-                let next_is_value = argv
-                    .get(i + 1)
-                    .is_some_and(|n| !n.starts_with("--"));
+                let next_is_value = argv.get(i + 1).is_some_and(|n| !n.starts_with("--"));
                 if next_is_value {
                     out.flags.insert(key.to_string(), argv[i + 1].clone());
                     i += 2;

@@ -45,12 +45,9 @@ pub fn scenario(args: &Args) -> Result<(), String> {
 
 /// `vcount run`.
 pub fn run(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional(0)
-        .ok_or("missing SCENARIO.json argument")?;
+    let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let scenario: Scenario =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
         "collection" => Goal::Collection,
@@ -95,10 +92,7 @@ pub fn map(args: &Args) -> Result<(), String> {
         bounds.width(),
         bounds.height()
     );
-    println!(
-        "  border checkpoints:  {}",
-        net.border_nodes().len()
-    );
+    println!("  border checkpoints:  {}", net.border_nodes().len());
     println!(
         "  travel-time diameter: {:.1} min at {} mph",
         travel_time_diameter(&net, 37) / 60.0,

@@ -48,7 +48,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 }
 
 /// Shared helpers for subcommands.
-pub(crate) fn build_scenario(preset: &str, volume: f64, seeds: usize, rng: u64) -> Result<Scenario, String> {
+pub(crate) fn build_scenario(
+    preset: &str,
+    volume: f64,
+    seeds: usize,
+    rng: u64,
+) -> Result<Scenario, String> {
     let map = ManhattanConfig::default();
     match preset {
         "closed" => Ok(Scenario::paper_closed(map, volume, seeds, rng)),
@@ -57,7 +62,11 @@ pub(crate) fn build_scenario(preset: &str, volume: f64, seeds: usize, rng: u64) 
     }
 }
 
-pub(crate) fn run_with_progress(scenario: &Scenario, goal: Goal, progress: bool) -> vcount_sim::RunMetrics {
+pub(crate) fn run_with_progress(
+    scenario: &Scenario,
+    goal: Goal,
+    progress: bool,
+) -> vcount_sim::RunMetrics {
     let mut runner = Runner::new(scenario);
     if !progress {
         return runner.run(goal, scenario.max_time_s);

@@ -54,13 +54,21 @@ fn scenario_then_run_round_trips() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["run", path.to_str().unwrap(), "--goal", "constitution"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let metrics: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("run prints metrics JSON");
     assert_eq!(metrics["oracle_violations"], 0);
@@ -70,6 +78,9 @@ fn scenario_then_run_round_trips() {
 
 #[test]
 fn run_rejects_missing_file() {
-    let out = bin().args(["run", "/nonexistent/nope.json"]).output().unwrap();
+    let out = bin()
+        .args(["run", "/nonexistent/nope.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }

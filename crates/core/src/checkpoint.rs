@@ -148,7 +148,10 @@ impl Checkpoint {
     /// inbound counting starts; labels become pending on every outbound
     /// direction.
     pub fn activate_as_seed(&mut self, now: f64) -> Vec<Command> {
-        assert!(!self.active, "seed activation on an already active checkpoint");
+        assert!(
+            !self.active,
+            "seed activation on an already active checkpoint"
+        );
         self.is_seed = true;
         self.wave_seed = Some(self.id);
         let mut cmds = Vec::new();
@@ -276,7 +279,12 @@ impl Checkpoint {
     /// The handoff failed (Alg. 3 line 3): the labelling will retry with
     /// the next vehicle; when the escaping vehicle is one we count
     /// (`matches_filter`), compensate the future double count with −1.
-    pub fn label_handoff_failed(&mut self, now: f64, onto: EdgeId, matches_filter: bool) -> Vec<Command> {
+    pub fn label_handoff_failed(
+        &mut self,
+        now: f64,
+        onto: EdgeId,
+        matches_filter: bool,
+    ) -> Vec<Command> {
         debug_assert_eq!(self.label_state.get(&onto), Some(&LabelState::Pending));
         let mut cmds = Vec::new();
         if matches_filter && self.cfg.compensate_loss {
@@ -315,9 +323,13 @@ impl Checkpoint {
     /// `minus` are the counts *after* filtering to matching vehicles.
     /// Returns re-report commands when the adjustment lands after the
     /// subtree total was already sent.
-    pub fn apply_overtake_adjustment(&mut self, now: f64, plus: usize, minus: usize) -> Vec<Command> {
-        self.counters
-            .adjust_overtake(plus as i64 - minus as i64);
+    pub fn apply_overtake_adjustment(
+        &mut self,
+        now: f64,
+        plus: usize,
+        minus: usize,
+    ) -> Vec<Command> {
+        self.counters.adjust_overtake(plus as i64 - minus as i64);
         let mut cmds = Vec::new();
         self.after_change(now, &mut cmds);
         cmds
@@ -350,7 +362,12 @@ impl Checkpoint {
 
     /// A relayed (or patrol-carried) predecessor announcement from a
     /// one-way downstream neighbour.
-    pub fn on_pred_announce(&mut self, now: f64, from: NodeId, pred: Option<NodeId>) -> Vec<Command> {
+    pub fn on_pred_announce(
+        &mut self,
+        now: f64,
+        from: NodeId,
+        pred: Option<NodeId>,
+    ) -> Vec<Command> {
         self.learn_pred(from, pred);
         let mut cmds = Vec::new();
         self.after_change(now, &mut cmds);
@@ -386,10 +403,7 @@ impl Checkpoint {
         }
         if self.stable_at.is_some() && self.children_known() {
             let children = self.children();
-            if children
-                .iter()
-                .all(|c| self.child_reports.contains_key(c))
-            {
+            if children.iter().all(|c| self.child_reports.contains_key(c)) {
                 let total: i64 = self.counters.local_count()
                     + children
                         .iter()
@@ -744,7 +758,10 @@ mod tests {
         // Still pending: retry with the next vehicle.
         assert!(cps[0].offer_label(e01).is_some());
         cps[0].label_delivered(e01);
-        assert!(cps[0].offer_label(e01).is_none(), "exactly one label per direction");
+        assert!(
+            cps[0].offer_label(e01).is_none(),
+            "exactly one label per direction"
+        );
     }
 
     #[test]

@@ -38,10 +38,7 @@ fn one_way_wave_propagates_and_stabilizes() {
     // Seed at u. Its only inbound is w->u; outbound u->v.
     let cmds = cu.activate_as_seed(0.0);
     // u cannot label back to w (no edge u->w): it announces its pred to w.
-    assert_eq!(
-        cmds,
-        vec![Command::SendPredAnnounce { to: w, pred: None }]
-    );
+    assert_eq!(cmds, vec![Command::SendPredAnnounce { to: w, pred: None }]);
 
     // Wave u -> v.
     let l_uv = cu.offer_label(e(u, v)).unwrap();
@@ -55,7 +52,10 @@ fn one_way_wave_propagates_and_stabilizes() {
     // v announces its pred to u (edge v->u missing).
     assert_eq!(
         out.commands,
-        vec![Command::SendPredAnnounce { to: u, pred: Some(u) }]
+        vec![Command::SendPredAnnounce {
+            to: u,
+            pred: Some(u)
+        }]
     );
 
     // Wave v -> w.
@@ -65,7 +65,10 @@ fn one_way_wave_propagates_and_stabilizes() {
     assert!(out.activated && cw.is_stable());
     assert_eq!(
         out.commands,
-        vec![Command::SendPredAnnounce { to: v, pred: Some(v) }]
+        vec![Command::SendPredAnnounce {
+            to: v,
+            pred: Some(v)
+        }]
     );
 
     // Wave w -> u closes the loop and stops u's counting.
@@ -102,8 +105,14 @@ fn two_seeds_stop_each_other() {
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
     // Count one vehicle at each side first.
-    assert!(cu.on_vehicle_entered(1.0, Some(e(v, u)), &CAR, None).counted);
-    assert!(cv.on_vehicle_entered(1.0, Some(e(u, v)), &CAR, None).counted);
+    assert!(
+        cu.on_vehicle_entered(1.0, Some(e(v, u)), &CAR, None)
+            .counted
+    );
+    assert!(
+        cv.on_vehicle_entered(1.0, Some(e(u, v)), &CAR, None)
+            .counted
+    );
 
     // Exchange labels.
     let l_uv = cu.offer_label(e(u, v)).unwrap();
@@ -209,7 +218,10 @@ fn open_border_checkpoint_full_lifecycle() {
 
     cb.activate_as_seed(0.0);
     // Interior counting runs alongside interaction counting.
-    assert!(cb.on_vehicle_entered(1.0, Some(e(i, b)), &CAR, None).counted);
+    assert!(
+        cb.on_vehicle_entered(1.0, Some(e(i, b)), &CAR, None)
+            .counted
+    );
     assert!(cb.on_vehicle_entered(2.0, None, &CAR, None).counted); // from outside
     assert!(cb.on_vehicle_exited(3.0, &CAR));
     assert_eq!(cb.local_count(), 1);

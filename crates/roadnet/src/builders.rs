@@ -1,0 +1,516 @@
+//! Map builders: the paper's evaluation networks, reconstructed.
+//!
+//! * [`fig1_triangle`] — the three-intersection walkthrough of Fig. 1.
+//! * [`grid`] — a plain bidirectional lattice for unit tests.
+//! * [`directed_ring`] — a one-way Hamiltonian ring (patrol-cycle tests).
+//! * [`manhattan`] — the synthetic midtown grid standing in for the
+//!   paper's OpenStreetMap extract (Central Park → Madison Square Park):
+//!   real avenue/street spacing, the one-way parity pattern, a Broadway
+//!   diagonal and a Columbus-Circle-style roundabout.
+//! * [`random_city`] — seeded irregular cities for property tests.
+//! * [`thin_to_one_way`] — converts a bidirectional map to mostly one-way
+//!   streets and repairs strong connectivity.
+//!
+//! Every builder is deterministic: the same config always yields a
+//! byte-identical network (scenario files round-trip through JSON and must
+//! rebuild the same map).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::connectivity::make_strongly_connected;
+use crate::geometry::{mph_to_mps, Point};
+use crate::graph::{Interaction, NodeId, NodeKind, RoadNetwork};
+
+/// The Fig. 1 walkthrough map: three intersections joined pairwise by
+/// bidirectional segments of `segment_m` metres (an equilateral triangle,
+/// so geometric and driving lengths agree).
+pub fn fig1_triangle(segment_m: f64, lanes: u8, speed_mps: f64) -> RoadNetwork {
+    let mut net = RoadNetwork::new();
+    let a = net.add_node(Point::new(0.0, 0.0));
+    let b = net.add_node(Point::new(segment_m, 0.0));
+    let c = net.add_node(Point::new(segment_m / 2.0, segment_m * 3f64.sqrt() / 2.0));
+    for (u, v) in [(a, b), (b, c), (c, a)] {
+        net.add_two_way(u, v, lanes, speed_mps);
+    }
+    net
+}
+
+/// A `cols` × `rows` bidirectional lattice with `spacing_m` metres between
+/// neighbouring intersections. Node ids are row-major: the intersection in
+/// column `c` of row `r` is `NodeId(r * cols + c)`. The map is closed (no
+/// border interaction).
+pub fn grid(cols: usize, rows: usize, spacing_m: f64, lanes: u8, speed_mps: f64) -> RoadNetwork {
+    assert!(cols >= 1 && rows >= 1, "grid needs at least one node");
+    let mut net = RoadNetwork::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            net.add_node(Point::new(c as f64 * spacing_m, r as f64 * spacing_m));
+        }
+    }
+    let at = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                net.add_two_way(at(r, c), at(r, c + 1), lanes, speed_mps);
+            }
+            if r + 1 < rows {
+                net.add_two_way(at(r, c), at(r + 1, c), lanes, speed_mps);
+            }
+        }
+    }
+    net
+}
+
+/// A one-way ring `0 → 1 → … → nodes-1 → 0` with `spacing_m` metres of
+/// driving distance per segment. The unique covering cycle is the ring
+/// itself, which makes it the canonical patrol-cycle fixture.
+pub fn directed_ring(nodes: usize, spacing_m: f64, lanes: u8, speed_mps: f64) -> RoadNetwork {
+    assert!(nodes >= 2, "a ring needs at least two nodes");
+    let mut net = RoadNetwork::new();
+    let radius = nodes as f64 * spacing_m / (2.0 * std::f64::consts::PI);
+    for i in 0..nodes {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / nodes as f64;
+        net.add_node(Point::new(radius * angle.cos(), radius * angle.sin()));
+    }
+    for i in 0..nodes {
+        let from = NodeId(i as u32);
+        let to = NodeId(((i + 1) % nodes) as u32);
+        net.add_one_way_with_length(from, to, spacing_m, lanes, speed_mps);
+    }
+    net
+}
+
+/// Real-world midtown spacing: ~274 m between avenues.
+const AVENUE_SPACING_M: f64 = 274.0;
+/// Real-world midtown spacing: ~80 m between streets.
+const STREET_SPACING_M: f64 = 80.0;
+
+/// Configuration of the synthetic midtown map. The default reproduces the
+/// paper's evaluation extent: 12 avenues × 37 streets = 444 monitored
+/// intersections between Central Park and Madison Square Park.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManhattanConfig {
+    /// North–south roads (columns), spaced ~274 m apart.
+    pub avenues: usize,
+    /// East–west roads (rows), spaced ~80 m apart.
+    pub streets: usize,
+    /// Speed limit applied to every segment, in mph (paper: 15, with a
+    /// 25 mph what-if).
+    pub speed_mph: f64,
+    /// Whether to overlay the Broadway diagonal (with its
+    /// Columbus-Circle-style roundabout at the north end).
+    pub broadway: bool,
+}
+
+impl Default for ManhattanConfig {
+    fn default() -> Self {
+        ManhattanConfig {
+            avenues: 12,
+            streets: 37,
+            speed_mph: 15.0,
+            broadway: true,
+        }
+    }
+}
+
+impl ManhattanConfig {
+    /// A reduced midtown (6 avenues × 10 streets) for fast tests and
+    /// benches; same structure, same rules, ~7× fewer intersections.
+    pub fn small() -> Self {
+        ManhattanConfig {
+            avenues: 6,
+            streets: 10,
+            ..ManhattanConfig::default()
+        }
+    }
+
+    /// The id of the intersection of avenue `a` (west → east) and street
+    /// `s` (south → north). Ids are row-major by street.
+    pub fn node_at(&self, a: usize, s: usize) -> NodeId {
+        assert!(a < self.avenues && s < self.streets);
+        NodeId((s * self.avenues + a) as u32)
+    }
+}
+
+/// Builds the synthetic midtown grid (see [`ManhattanConfig`]).
+///
+/// One-way parity follows the real pattern — even streets run eastbound,
+/// odd streets westbound, avenues alternate north/south — with every 8th
+/// street and every 6th avenue kept bidirectional (the 42nd-St-style
+/// crosstown corridors). All perimeter intersections carry border
+/// interaction in both directions, so the map models an *open* system
+/// until [`RoadNetwork::close_border`] seals it. A final repair pass
+/// twins whatever one-way edges are needed for strong connectivity.
+pub fn manhattan(cfg: &ManhattanConfig) -> RoadNetwork {
+    assert!(
+        cfg.avenues >= 2 && cfg.streets >= 2,
+        "midtown needs a 2x2 core"
+    );
+    let speed = mph_to_mps(cfg.speed_mph);
+    let mut net = RoadNetwork::new();
+    for s in 0..cfg.streets {
+        for a in 0..cfg.avenues {
+            net.add_node(Point::new(
+                a as f64 * AVENUE_SPACING_M,
+                s as f64 * STREET_SPACING_M,
+            ));
+        }
+    }
+
+    // Streets: east-west segments along each row.
+    for s in 0..cfg.streets {
+        for a in 0..cfg.avenues - 1 {
+            let west = cfg.node_at(a, s);
+            let east = cfg.node_at(a + 1, s);
+            if s % 8 == 0 {
+                net.add_two_way(west, east, 2, speed);
+            } else if s % 2 == 0 {
+                net.add_one_way(west, east, 1, speed);
+            } else {
+                net.add_one_way(east, west, 1, speed);
+            }
+        }
+    }
+
+    // Avenues: north-south segments along each column.
+    for a in 0..cfg.avenues {
+        for s in 0..cfg.streets - 1 {
+            let south = cfg.node_at(a, s);
+            let north = cfg.node_at(a, s + 1);
+            if a % 6 == 0 {
+                net.add_two_way(south, north, 2, speed);
+            } else if a % 2 == 0 {
+                net.add_one_way(south, north, 1, speed);
+            } else {
+                net.add_one_way(north, south, 1, speed);
+            }
+        }
+    }
+
+    // Broadway: a bidirectional diagonal from the north-west corner,
+    // dropping ~3 streets per avenue (274 m east ≈ 240 m south), with the
+    // Columbus-Circle-style roundabout at its north end.
+    if cfg.broadway {
+        net.set_node_kind(
+            cfg.node_at(0, cfg.streets - 1),
+            NodeKind::Roundabout { radius_m: 18.0 },
+        );
+        let (mut a, mut s) = (0usize, cfg.streets - 1);
+        while a + 1 < cfg.avenues && s >= 3 {
+            let next = (a + 1, s - 3);
+            net.add_two_way(cfg.node_at(a, s), cfg.node_at(next.0, next.1), 1, speed);
+            (a, s) = next;
+        }
+    }
+
+    // Perimeter intersections exchange traffic with the outside world.
+    let both = Interaction {
+        inbound: true,
+        outbound: true,
+    };
+    for s in 0..cfg.streets {
+        for a in 0..cfg.avenues {
+            if s == 0 || s == cfg.streets - 1 || a == 0 || a == cfg.avenues - 1 {
+                net.set_interaction(cfg.node_at(a, s), both);
+            }
+        }
+    }
+
+    make_strongly_connected(&mut net);
+    net
+}
+
+/// Configuration of a seeded irregular city (see [`random_city`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomCityConfig {
+    /// Number of intersections.
+    pub nodes: usize,
+    /// Nearest neighbours each intersection connects to.
+    pub neighbors: usize,
+    /// Fraction of segments built as one-way streets (the repair pass may
+    /// twin a few of them back).
+    pub one_way_fraction: f64,
+    /// Fraction of intersections marked as border checkpoints (the ones
+    /// farthest from the city centre).
+    pub border_fraction: f64,
+    /// RNG seed; the map is a pure function of this config.
+    pub seed: u64,
+    /// Speed limit on every segment, m/s.
+    pub speed_mps: f64,
+}
+
+impl Default for RandomCityConfig {
+    fn default() -> Self {
+        RandomCityConfig {
+            nodes: 30,
+            neighbors: 3,
+            one_way_fraction: 0.25,
+            border_fraction: 0.0,
+            seed: 1,
+            speed_mps: 6.7,
+        }
+    }
+}
+
+/// Builds a deterministic irregular city: jittered-grid node placement,
+/// nearest-neighbour segments, extra links until the street layout is
+/// (weakly) connected, a seeded one-way assignment, and a final repair
+/// pass guaranteeing strong connectivity. `border_fraction` marks the
+/// most peripheral intersections as border checkpoints.
+pub fn random_city(cfg: &RandomCityConfig) -> RoadNetwork {
+    let n = cfg.nodes.max(2);
+    // Decorrelate the map stream from consumers that reuse the same small
+    // seed integers (traffic and protocol RNGs are often seeded with the
+    // same value as the map).
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5851_F42D);
+    let mut net = RoadNetwork::new();
+
+    // Jittered grid placement: cells 150 m apart, ±40 m of jitter, so no
+    // two intersections can coincide (validate requires positive lengths).
+    let cells = (n as f64).sqrt().ceil() as usize;
+    let mut pts = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cx, cy) = ((i % cells) as f64, (i / cells) as f64);
+        let p = Point::new(
+            cx * 150.0 + rng.gen_range(-40.0..40.0),
+            cy * 150.0 + rng.gen_range(-40.0..40.0),
+        );
+        net.add_node(p);
+        pts.push(p);
+    }
+
+    // Undirected street layout: k nearest neighbours per intersection.
+    let k = cfg.neighbors.clamp(1, n - 1);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut linked = vec![false; n * n];
+    let link = |pairs: &mut Vec<(usize, usize)>, linked: &mut Vec<bool>, a: usize, b: usize| {
+        let (lo, hi) = (a.min(b), a.max(b));
+        if !linked[lo * n + hi] {
+            linked[lo * n + hi] = true;
+            pairs.push((lo, hi));
+        }
+    };
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            pts[i]
+                .distance_sq(&pts[a])
+                .partial_cmp(&pts[i].distance_sq(&pts[b]))
+                .unwrap()
+        });
+        for &j in others.iter().take(k) {
+            link(&mut pairs, &mut linked, i, j);
+        }
+    }
+
+    // Bridge disconnected districts with their closest cross pair until
+    // the undirected layout is connected.
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn root(comp: &mut [usize], mut x: usize) -> usize {
+        while comp[x] != x {
+            comp[x] = comp[comp[x]];
+            x = comp[x];
+        }
+        x
+    }
+    for &(a, b) in &pairs {
+        let (ra, rb) = (root(&mut comp, a), root(&mut comp, b));
+        comp[ra] = rb;
+    }
+    loop {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..n {
+            for j in i + 1..n {
+                if root(&mut comp, i) != root(&mut comp, j) {
+                    let d = pts[i].distance_sq(&pts[j]);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, i, j));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, i, j)) => {
+                link(&mut pairs, &mut linked, i, j);
+                let (ri, rj) = (root(&mut comp, i), root(&mut comp, j));
+                comp[ri] = rj;
+            }
+            None => break,
+        }
+    }
+
+    // Seeded one-way assignment, then the strong-connectivity repair.
+    for &(a, b) in &pairs {
+        let (u, v) = (NodeId(a as u32), NodeId(b as u32));
+        if rng.gen_bool(cfg.one_way_fraction.clamp(0.0, 1.0)) {
+            if rng.gen_bool(0.5) {
+                net.add_one_way(u, v, 1, cfg.speed_mps);
+            } else {
+                net.add_one_way(v, u, 1, cfg.speed_mps);
+            }
+        } else {
+            net.add_two_way(u, v, 1, cfg.speed_mps);
+        }
+    }
+    make_strongly_connected(&mut net);
+
+    // Border checkpoints: the intersections farthest from the centroid.
+    let border = ((cfg.border_fraction.clamp(0.0, 1.0) * n as f64).round() as usize).min(n);
+    if border > 0 {
+        let cx = pts.iter().map(|p| p.x).sum::<f64>() / n as f64;
+        let cy = pts.iter().map(|p| p.y).sum::<f64>() / n as f64;
+        let centre = Point::new(cx, cy);
+        let mut by_dist: Vec<usize> = (0..n).collect();
+        by_dist.sort_by(|&a, &b| {
+            centre
+                .distance_sq(&pts[b])
+                .partial_cmp(&centre.distance_sq(&pts[a]))
+                .unwrap()
+        });
+        let both = Interaction {
+            inbound: true,
+            outbound: true,
+        };
+        for &i in by_dist.iter().take(border) {
+            net.set_interaction(NodeId(i as u32), both);
+        }
+    }
+    net
+}
+
+/// Converts a (mostly) bidirectional map to one-way streets: every
+/// `keep`-th physical segment stays bidirectional (`keep == 0` keeps
+/// none), the rest keep a single direction, alternating so neighbouring
+/// streets point opposite ways. A repair pass then re-twins whatever is
+/// needed for strong connectivity — the property the counting wave and
+/// Theorem 4 both rely on.
+pub fn thin_to_one_way(net: &RoadNetwork, keep: usize) -> RoadNetwork {
+    let mut out = RoadNetwork::new();
+    for node in net.nodes() {
+        out.add_node_kind(node.pos, node.kind);
+    }
+    let mut seen = vec![false; net.edge_count()];
+    let mut seg = 0usize;
+    for e in net.edges() {
+        if seen[e.id.index()] {
+            continue;
+        }
+        seen[e.id.index()] = true;
+        if let Some(t) = e.twin {
+            seen[t.index()] = true;
+        }
+        let keep_two_way = e.twin.is_some() && keep > 0 && seg.is_multiple_of(keep);
+        if e.twin.is_none() || keep_two_way {
+            let fwd = out.add_one_way_with_length(e.from, e.to, e.length_m, e.lanes, e.speed_mps);
+            if e.twin.is_some() {
+                out.twin_edge(fwd);
+            }
+        } else {
+            let (from, to) = if seg.is_multiple_of(2) {
+                (e.from, e.to)
+            } else {
+                (e.to, e.from)
+            };
+            out.add_one_way_with_length(from, to, e.length_m, e.lanes, e.speed_mps);
+        }
+        seg += 1;
+    }
+    for node in net.node_ids() {
+        out.set_interaction(node, net.interaction(node));
+    }
+    make_strongly_connected(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_strongly_connected;
+
+    #[test]
+    fn triangle_has_all_six_directions() {
+        let net = fig1_triangle(250.0, 1, 6.7);
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 6);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    assert!(net.edge_between(NodeId(a), NodeId(b)).is_some());
+                }
+            }
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_is_row_major_and_valid() {
+        let net = grid(4, 3, 100.0, 1, 10.0);
+        assert_eq!(net.node_count(), 12);
+        // Node 5 is row 1, col 1: east, west, north, south neighbours.
+        assert!(net.edge_between(NodeId(5), NodeId(6)).is_some());
+        assert!(net.edge_between(NodeId(5), NodeId(9)).is_some());
+        net.validate().unwrap();
+        assert!(!net.is_open());
+    }
+
+    #[test]
+    fn ring_lengths_are_exact() {
+        let net = directed_ring(7, 100.0, 1, 5.0);
+        assert_eq!(net.edge_count(), 7);
+        for e in net.edges() {
+            assert_eq!(e.length_m, 100.0);
+            assert!(e.is_one_way());
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn midtown_default_matches_paper_extent() {
+        let cfg = ManhattanConfig::default();
+        let net = manhattan(&cfg);
+        assert_eq!(net.node_count(), 12 * 37);
+        assert!(net.is_open());
+        net.validate().unwrap();
+        // The roundabout sits at Broadway's north end.
+        let kind = net.node(cfg.node_at(0, cfg.streets - 1)).kind;
+        assert!(matches!(kind, NodeKind::Roundabout { .. }));
+    }
+
+    #[test]
+    fn midtown_is_deterministic() {
+        let a = manhattan(&ManhattanConfig::small());
+        let b = manhattan(&ManhattanConfig::small());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (ea, eb) in a.edges().zip(b.edges()) {
+            assert_eq!((ea.from, ea.to, ea.twin), (eb.from, eb.to, eb.twin));
+        }
+    }
+
+    #[test]
+    fn random_city_is_deterministic_and_strong() {
+        for seed in [0u64, 1, 99] {
+            let cfg = RandomCityConfig {
+                seed,
+                border_fraction: 0.2,
+                ..Default::default()
+            };
+            let a = random_city(&cfg);
+            let b = random_city(&cfg);
+            assert_eq!(a.edge_count(), b.edge_count());
+            a.validate().unwrap();
+            assert!(is_strongly_connected(&a));
+            assert!(a.is_open());
+        }
+    }
+
+    #[test]
+    fn thinning_keep_zero_removes_all_twins_it_can() {
+        let net = grid(3, 3, 100.0, 1, 6.7);
+        let thin = thin_to_one_way(&net, 0);
+        thin.validate().unwrap();
+        assert!(thin.one_way_fraction() > 0.0);
+    }
+}

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an intersection (checkpoint site).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -37,9 +35,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of one *directed* driving direction of a road segment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -435,14 +431,15 @@ impl RoadNetwork {
             if e.from == e.to {
                 return Err(NetError::SelfLoop(e.id));
             }
-            if !(e.length_m > 0.0) || !(e.speed_mps > 0.0) {
+            if e.length_m.is_nan()
+                || e.length_m <= 0.0
+                || e.speed_mps.is_nan()
+                || e.speed_mps <= 0.0
+            {
                 return Err(NetError::BadEdgeMetric(e.id));
             }
             if let Some(t) = e.twin {
-                let tw = self
-                    .edges
-                    .get(t.index())
-                    .ok_or(NetError::BadTwin(e.id))?;
+                let tw = self.edges.get(t.index()).ok_or(NetError::BadTwin(e.id))?;
                 if tw.twin != Some(e.id) || tw.from != e.to || tw.to != e.from {
                     return Err(NetError::BadTwin(e.id));
                 }

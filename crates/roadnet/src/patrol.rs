@@ -33,7 +33,10 @@ impl PatrolCycle {
 
     /// Free-flow time of one lap, seconds.
     pub fn lap_time_s(&self, net: &RoadNetwork) -> f64 {
-        self.edges.iter().map(|e| net.edge(*e).travel_time_s()).sum()
+        self.edges
+            .iter()
+            .map(|e| net.edge(*e).travel_time_s())
+            .sum()
     }
 
     /// Node visit sequence (length = edges + 1; first == last == start).
@@ -139,11 +142,7 @@ pub fn edge_covering_cycle(net: &RoadNetwork, start: NodeId) -> Option<PatrolCyc
     let mut edges = Vec::with_capacity(net.edge_count() * 2);
     let mut at = start;
     while remaining > 0 {
-        if let Some(&e) = net
-            .out_edges(at)
-            .iter()
-            .find(|e| !visited[e.index()])
-        {
+        if let Some(&e) = net.out_edges(at).iter().find(|e| !visited[e.index()]) {
             visited[e.index()] = true;
             remaining -= 1;
             edges.push(e);
@@ -154,16 +153,8 @@ pub fn edge_covering_cycle(net: &RoadNetwork, start: NodeId) -> Option<PatrolCyc
         let times = crate::routing::travel_times_from(net, at);
         let target = net
             .node_ids()
-            .filter(|n| {
-                net.out_edges(*n)
-                    .iter()
-                    .any(|e| !visited[e.index()])
-            })
-            .min_by(|a, b| {
-                times[a.index()]
-                    .partial_cmp(&times[b.index()])
-                    .unwrap()
-            })?;
+            .filter(|n| net.out_edges(*n).iter().any(|e| !visited[e.index()]))
+            .min_by(|a, b| times[a.index()].partial_cmp(&times[b.index()]).unwrap())?;
         let p = shortest_path(net, at, target)?;
         for e in &p.edges {
             if !visited[e.index()] {

@@ -52,7 +52,10 @@ pub struct Path {
 impl Path {
     /// Total free-flow travel time in seconds.
     pub fn travel_time_s(&self, net: &RoadNetwork) -> f64 {
-        self.edges.iter().map(|e| net.edge(*e).travel_time_s()).sum()
+        self.edges
+            .iter()
+            .map(|e| net.edge(*e).travel_time_s())
+            .sum()
     }
 
     /// Total driving length in metres.
@@ -179,7 +182,11 @@ pub fn random_turn<R: Rng + ?Sized>(
         .copied()
         .filter(|e| Some(*e) != forbidden)
         .collect();
-    let pool: &[EdgeId] = if candidates.is_empty() { out } else { &candidates };
+    let pool: &[EdgeId] = if candidates.is_empty() {
+        out
+    } else {
+        &candidates
+    };
     pool[rng.gen_range(0..pool.len())]
 }
 

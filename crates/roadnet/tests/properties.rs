@@ -6,16 +6,23 @@ use vcount_roadnet::connectivity::is_strongly_connected;
 use vcount_roadnet::{covering_cycle, shortest_path, travel_times_from, NodeId};
 
 fn arb_city() -> impl Strategy<Value = RandomCityConfig> {
-    (2usize..60, 1usize..5, 0.0f64..=1.0, any::<u64>(), 0.0f64..0.5).prop_map(
-        |(nodes, neighbors, one_way, seed, border)| RandomCityConfig {
-            nodes,
-            neighbors,
-            one_way_fraction: one_way,
-            seed,
-            border_fraction: border,
-            ..Default::default()
-        },
+    (
+        2usize..60,
+        1usize..5,
+        0.0f64..=1.0,
+        any::<u64>(),
+        0.0f64..0.5,
     )
+        .prop_map(
+            |(nodes, neighbors, one_way, seed, border)| RandomCityConfig {
+                nodes,
+                neighbors,
+                one_way_fraction: one_way,
+                seed,
+                border_fraction: border,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

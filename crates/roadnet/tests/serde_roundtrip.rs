@@ -20,7 +20,10 @@ fn assert_same(a: &RoadNetwork, b: &RoadNetwork) {
         }
     }
     for (ea, eb) in a.edges().zip(b.edges()) {
-        assert_eq!((ea.from, ea.to, ea.lanes, ea.twin), (eb.from, eb.to, eb.lanes, eb.twin));
+        assert_eq!(
+            (ea.from, ea.to, ea.lanes, ea.twin),
+            (eb.from, eb.to, eb.lanes, eb.twin)
+        );
         assert_eq!(ea.length_m, eb.length_m);
         assert_eq!(ea.speed_mps, eb.speed_mps);
     }

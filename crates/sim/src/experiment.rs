@@ -83,10 +83,9 @@ where
         .volumes
         .iter()
         .flat_map(|&volume_pct| {
-            cfg.seed_counts.iter().map(move |&seeds| Cell {
-                volume_pct,
-                seeds,
-            })
+            cfg.seed_counts
+                .iter()
+                .map(move |&seeds| Cell { volume_pct, seeds })
         })
         .collect();
 

@@ -104,8 +104,7 @@ impl RunMetrics {
 
     /// Whether the protocol's global view matches ground truth exactly.
     pub fn exact(&self) -> bool {
-        self.oracle_violations == 0
-            && self.global_count == Some(self.true_population as i64)
+        self.oracle_violations == 0 && self.global_count == Some(self.true_population as i64)
     }
 }
 

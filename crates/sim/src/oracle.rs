@@ -105,7 +105,10 @@ impl Oracle {
     /// Final verification: `population` maps every matching civilian that
     /// ever existed to whether it is currently inside the region. Returns
     /// all per-vehicle violations (empty = Theorems 1/2 hold on this run).
-    pub fn verify(&self, population: impl IntoIterator<Item = (VehicleId, bool)>) -> Vec<Violation> {
+    pub fn verify(
+        &self,
+        population: impl IntoIterator<Item = (VehicleId, bool)>,
+    ) -> Vec<Violation> {
         let mut violations = Vec::new();
         for (vehicle, inside) in population {
             let expected = i64::from(inside);

@@ -21,12 +21,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use vcount_core::{Checkpoint, Command};
+use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
 use vcount_roadnet::{edge_covering_cycle, EdgeId, NodeId, RoadNetwork};
 use vcount_traffic::{Simulator, TrafficEvent};
 use vcount_v2x::{
     AdjustMode, ClassFilter, Label, LossModel, PatrolStatus, SegmentWatch, VehicleId,
 };
-use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
 
 /// What a run is trying to reach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,8 @@ impl Runner {
         // Protocol-side randomness (seed selection, channel draws) is
         // decoupled from traffic randomness but derived from the same seed
         // for whole-run reproducibility.
-        let mut proto_rng = StdRng::seed_from_u64(scenario.sim.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let mut proto_rng =
+            StdRng::seed_from_u64(scenario.sim.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
 
         if scenario.patrol.cars > 0 {
             let cycle = edge_covering_cycle(sim.net(), NodeId(0))
@@ -362,11 +363,7 @@ impl Runner {
                 .extend(picked);
             // Status snapshot exchange (stale-stop ablation; a no-op for
             // the default configuration).
-            let status = self
-                .patrol_status
-                .entry(vehicle)
-                .or_default()
-                .clone();
+            let status = self.patrol_status.entry(vehicle).or_default().clone();
             let cmds = self.cps[node.index()].on_patrol_status(now, &status);
             self.dispatch(node, cmds);
         }
@@ -601,7 +598,12 @@ impl Runner {
                             self.queue_relay(
                                 from,
                                 relay_speed_mps,
-                                RelayMsg::Report { to, from, total, seq },
+                                RelayMsg::Report {
+                                    to,
+                                    from,
+                                    total,
+                                    seq,
+                                },
                             );
                         }
                         (None, TransportMode::VehicleWithPatrolFallback) => {
@@ -650,7 +652,12 @@ impl Runner {
                 let cmds = self.cps[to.index()].on_pred_announce(now, from, pred);
                 self.dispatch(to, cmds);
             }
-            RelayMsg::Report { to, from, total, seq } => {
+            RelayMsg::Report {
+                to,
+                from,
+                total,
+                seq,
+            } => {
                 let cmds = self.cps[to.index()].on_report(now, from, total, seq);
                 self.dispatch(to, cmds);
             }
@@ -708,11 +715,7 @@ impl Runner {
         self.metrics(constitution_done, collection_done)
     }
 
-    fn metrics(
-        &self,
-        constitution_done: Option<f64>,
-        collection_done: Option<f64>,
-    ) -> RunMetrics {
+    fn metrics(&self, constitution_done: Option<f64>, collection_done: Option<f64>) -> RunMetrics {
         let violations = self.verify();
         let global_count = if self.all_collected() {
             self.collected_count()
@@ -724,11 +727,7 @@ impl Runner {
         RunMetrics {
             constitution_done_s: constitution_done,
             collection_done_s: collection_done,
-            checkpoint_stable_s: self
-                .cps
-                .iter()
-                .filter_map(Checkpoint::stable_at)
-                .collect(),
+            checkpoint_stable_s: self.cps.iter().filter_map(Checkpoint::stable_at).collect(),
             checkpoint_activated_s: self
                 .cps
                 .iter()
@@ -738,11 +737,7 @@ impl Runner {
             true_population: self.true_population(),
             oracle_violations: violations.len(),
             handoff_failures: self.handoff_failures,
-            overtake_adjustments: self
-                .cps
-                .iter()
-                .map(|c| c.counters().overtake_total())
-                .sum(),
+            overtake_adjustments: self.cps.iter().map(|c| c.counters().overtake_total()).sum(),
             baseline_naive: self.naive.total(),
             baseline_dedup: self.dedup.total(),
             elapsed_s: self.sim.time_s(),
@@ -761,14 +756,12 @@ impl Runner {
     /// loop observes it, this can be called at any time — e.g. after an
     /// externally driven stepping loop.
     pub fn metrics_now(&self) -> RunMetrics {
-        let constitution = self
-            .all_stable()
-            .then(|| {
-                self.cps
-                    .iter()
-                    .filter_map(Checkpoint::stable_at)
-                    .fold(0.0f64, f64::max)
-            });
+        let constitution = self.all_stable().then(|| {
+            self.cps
+                .iter()
+                .filter_map(Checkpoint::stable_at)
+                .fold(0.0f64, f64::max)
+        });
         let collection = (self.all_collected() && !self.reports_in_flight()).then(|| {
             self.seeds
                 .iter()

@@ -4,8 +4,7 @@
 use serde::{Deserialize, Serialize};
 use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::{
-    directed_ring, fig1_triangle, grid, manhattan, random_city, ManhattanConfig,
-    RandomCityConfig,
+    directed_ring, fig1_triangle, grid, manhattan, random_city, ManhattanConfig, RandomCityConfig,
 };
 use vcount_roadnet::RoadNetwork;
 use vcount_traffic::{Demand, SimConfig};
@@ -172,7 +171,12 @@ impl Scenario {
     /// calibrated to 30 vehicles per lane-km (a realistic Manhattan daily
     /// average; below ~15 the 10%-volume sweep point starves rare one-way
     /// directions of label carriers — see EXPERIMENTS.md).
-    pub fn paper_closed(map: ManhattanConfig, volume_pct: f64, seeds: usize, rng_seed: u64) -> Self {
+    pub fn paper_closed(
+        map: ManhattanConfig,
+        volume_pct: f64,
+        seeds: usize,
+        rng_seed: u64,
+    ) -> Self {
         Scenario {
             map: MapSpec::Manhattan(map),
             closed: true,

@@ -41,7 +41,7 @@ fn live_population_tracks_exactly_after_complete_status() {
     let mut samples = 0u32;
     while r.time_s() < until {
         r.step();
-        if samples % 40 == 0 {
+        if samples.is_multiple_of(40) {
             assert_eq!(
                 r.distributed_count(),
                 r.true_population() as i64,
@@ -93,5 +93,8 @@ fn draining_open_system_stays_exact_even_when_starving() {
     s.max_time_s = 1.5 * 3600.0;
     let mut r = Runner::new(&s);
     r.run(Goal::Collection, s.max_time_s);
-    assert!(r.verify().is_empty(), "draining must not corrupt the ledger");
+    assert!(
+        r.verify().is_empty(),
+        "draining must not corrupt the ledger"
+    );
 }

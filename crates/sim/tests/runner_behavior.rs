@@ -62,7 +62,10 @@ fn signalised_traffic_stays_exact() {
     let mut r = Runner::new(&s);
     let m = r.run(Goal::Collection, s.max_time_s);
     assert!(m.collection_done_s.is_some(), "signals must not deadlock");
-    assert!(m.exact(), "signals reorder admissions but preserve FIFO per direction");
+    assert!(
+        m.exact(),
+        "signals reorder admissions but preserve FIFO per direction"
+    );
 }
 
 #[test]

@@ -87,13 +87,13 @@ impl SimConfig {
 
     /// Validates parameter ranges; called by the simulator constructor.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.dt_s > 0.0) {
+        if self.dt_s.is_nan() || self.dt_s <= 0.0 {
             return Err("dt_s must be positive".into());
         }
         if self.admit_per_step == 0 || self.admit_per_step_roundabout == 0 {
             return Err("admission rates must be at least 1".into());
         }
-        if !(self.min_gap_m > 0.0) {
+        if self.min_gap_m.is_nan() || self.min_gap_m <= 0.0 {
             return Err("min_gap_m must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.lane_change_prob) {
@@ -183,17 +183,25 @@ mod tests {
 
     #[test]
     fn bad_configs_are_rejected() {
-        let mut c = SimConfig::default();
-        c.dt_s = 0.0;
+        let c = SimConfig {
+            dt_s: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.admit_per_step = 0;
+        let c = SimConfig {
+            admit_per_step: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.speed_factor_range = (0.8, 0.5);
+        let c = SimConfig {
+            speed_factor_range: (0.8, 0.5),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.exit_prob = 1.5;
+        let c = SimConfig {
+            exit_prob: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

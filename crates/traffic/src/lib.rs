@@ -20,7 +20,7 @@ pub mod simulator;
 pub mod vehicle;
 
 pub use config::{Demand, SimConfig};
-pub use signals::{SignalPlan, SignalTiming};
 pub use events::TrafficEvent;
+pub use signals::{SignalPlan, SignalTiming};
 pub use simulator::Simulator;
 pub use vehicle::{sample_class, RoutePolicy, VehState, Vehicle};

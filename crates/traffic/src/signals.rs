@@ -65,8 +65,7 @@ impl SignalPlan {
                 continue; // unsignalised: minor or self-regulating junction
             }
             signalised[node.index()] = true;
-            offset[node.index()] =
-                (node.0 as f64 * 7.3) % timing.cycle_s();
+            offset[node.index()] = (node.0 as f64 * 7.3) % timing.cycle_s();
             for &e in in_edges {
                 let a = net.node(net.edge(e).from).pos;
                 let b = net.node(node).pos;

@@ -151,7 +151,7 @@ impl Simulator {
             speed_factor: 1.0,
             policy: RoutePolicy::FixedLoop {
                 edges: route,
-                next: (start + 1) % usize::MAX.max(1), // fixed below
+                next: (start + 1) % usize::MAX, // fixed below
             },
             state: VehState::OnEdge {
                 edge,
@@ -161,9 +161,7 @@ impl Simulator {
             speed_mps: 0.0,
         };
         self.vehicles.push(vehicle);
-        if let RoutePolicy::FixedLoop { edges, next } =
-            &mut self.vehicles[id.index()].policy
-        {
+        if let RoutePolicy::FixedLoop { edges, next } = &mut self.vehicles[id.index()].policy {
             *next = (start + 1) % edges.len();
         }
         self.lanes[edge.index()][0].push(id);
@@ -304,8 +302,8 @@ impl Simulator {
                     };
                     let limit = self.net.edge(edge).speed_mps;
                     let desired = my_factor * limit;
-                    let blocked = lead_pos - my_pos < 3.0 * self.cfg.min_gap_m
-                        && lead_speed + 0.1 < desired;
+                    let blocked =
+                        lead_pos - my_pos < 3.0 * self.cfg.min_gap_m && lead_speed + 0.1 < desired;
                     if !blocked || !self.rng.gen_bool(self.cfg.lane_change_prob) {
                         idx += 1;
                         continue;
@@ -457,7 +455,7 @@ impl Simulator {
                 let Some(pos) = self.queues[ni].iter().position(|&(_, from)| {
                     self.signals
                         .as_ref()
-                        .map_or(true, |p| p.is_green(node, from, self.time_s))
+                        .is_none_or(|p| p.is_green(node, from, self.time_s))
                 }) else {
                     break;
                 };
@@ -470,7 +468,8 @@ impl Simulator {
                             node,
                             from: Some(from_edge),
                         });
-                        self.events.push(TrafficEvent::Exited { vehicle: vid, node });
+                        self.events
+                            .push(TrafficEvent::Exited { vehicle: vid, node });
                         self.vehicles[vid.index()].state = VehState::Outside;
                     }
                     RouteDecision::Onto(edge, lane) => {
@@ -516,8 +515,7 @@ impl Simulator {
         // priority; overlaps at pos 0 resolve via car following).
         if let RoutePolicy::FixedLoop { .. } = self.vehicles[vid.index()].policy {
             let next_edge = {
-                let RoutePolicy::FixedLoop { edges, next } =
-                    &mut self.vehicles[vid.index()].policy
+                let RoutePolicy::FixedLoop { edges, next } = &mut self.vehicles[vid.index()].policy
                 else {
                     unreachable!()
                 };
@@ -596,8 +594,7 @@ impl Simulator {
         if self.cfg.spawn_rate_hz <= 0.0 {
             return;
         }
-        let lambda =
-            self.cfg.spawn_rate_hz * self.demand.volume_factor() * self.cfg.dt_s;
+        let lambda = self.cfg.spawn_rate_hz * self.demand.volume_factor() * self.cfg.dt_s;
         if lambda <= 0.0 {
             return;
         }
@@ -808,7 +805,10 @@ mod tests {
                 .filter(|e| matches!(e, TrafficEvent::Overtake { .. }))
                 .count();
         }
-        assert!(overtakes > 0, "multi-lane heterogeneous traffic must overtake");
+        assert!(
+            overtakes > 0,
+            "multi-lane heterogeneous traffic must overtake"
+        );
     }
 
     #[test]
@@ -959,7 +959,10 @@ mod extended_tests {
     /// A tiny cross with a roundabout in the middle.
     fn roundabout_cross() -> RoadNetwork {
         let mut net = RoadNetwork::new();
-        let c = net.add_node_kind(Point::new(0.0, 0.0), NodeKind::Roundabout { radius_m: 20.0 });
+        let c = net.add_node_kind(
+            Point::new(0.0, 0.0),
+            NodeKind::Roundabout { radius_m: 20.0 },
+        );
         let arms = [
             net.add_node(Point::new(150.0, 0.0)),
             net.add_node(Point::new(-150.0, 0.0)),

@@ -131,7 +131,7 @@ impl LossModel for GilbertElliott {
         // State transition first, then loss draw in the new state.
         let flip = Self::draw(rng);
         let bad = if bad {
-            !(flip < self.p_b2g)
+            flip >= self.p_b2g
         } else {
             flip < self.p_g2b
         };
@@ -225,9 +225,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let ch = Bernoulli::new(0.3);
         let n = 200_000;
-        let fails = (0..n)
-            .filter(|_| !ch.attempt(&mut rng).delivered())
-            .count();
+        let fails = (0..n).filter(|_| !ch.attempt(&mut rng).delivered()).count();
         let rate = fails as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.01, "observed failure rate {rate}");
         assert_eq!(ch.failure_rate(), 0.3);
@@ -255,9 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let ch = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
         let n = 300_000;
-        let fails = (0..n)
-            .filter(|_| !ch.attempt(&mut rng).delivered())
-            .count();
+        let fails = (0..n).filter(|_| !ch.attempt(&mut rng).delivered()).count();
         let rate = fails as f64 / n as f64;
         let expected = ch.failure_rate();
         assert!(
@@ -283,7 +279,9 @@ mod tests {
         let ch = Bernoulli::new(0.5);
         let seq = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..64).map(|_| ch.attempt(&mut rng).delivered()).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| ch.attempt(&mut rng).delivered())
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(9), seq(9));
         assert_ne!(seq(9), seq(10));

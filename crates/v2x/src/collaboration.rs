@@ -136,14 +136,14 @@ impl SegmentWatch {
             AdjustMode::NetInversion => {
                 let mut adj = Adjustment::default();
                 // Fell behind the wave: ahead at departure, not yet arrived.
-                for (&v, _counted) in &self.ahead {
+                for &v in self.ahead.keys() {
                     if !self.arrived_before.contains_key(&v) {
                         adj.plus.push(v);
                     }
                 }
                 // Jumped ahead of the wave: arrived early without having
                 // been ahead at departure.
-                for (&v, _counted) in &self.arrived_before {
+                for &v in self.arrived_before.keys() {
                     if !self.ahead.contains_key(&v) {
                         adj.minus.push(v);
                     }
@@ -241,11 +241,7 @@ mod tests {
         // A (uncounted, ahead) falls behind; B (counted, behind) jumps
         // ahead; C (ahead, counted) stays ahead.
         let c = VehicleId(3);
-        let mut w = SegmentWatch::new(
-            AdjustMode::NetInversion,
-            L,
-            [(A, false), (c, true)],
-        );
+        let mut w = SegmentWatch::new(AdjustMode::NetInversion, L, [(A, false), (c, true)]);
         w.record_arrival(c, true);
         w.record_arrival(B, true);
         let adj = w.finalize();

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Radio identity of a vehicle's built-in VANET equipment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VehicleId(pub u64);
 
 impl VehicleId {
@@ -31,9 +29,7 @@ impl fmt::Display for VehicleId {
 }
 
 /// Exterior paint color as seen by checkpoint surveillance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Color {
     White,
@@ -46,9 +42,7 @@ pub enum Color {
 }
 
 /// Body type as seen by checkpoint surveillance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum BodyType {
     Sedan,
@@ -62,9 +56,7 @@ pub enum BodyType {
 
 /// Brand badge as seen by checkpoint surveillance (a small closed set is
 /// enough for the counting-by-type extension).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Brand {
     Apex,
@@ -77,9 +69,7 @@ pub enum Brand {
 /// Exterior characteristics of a vehicle — everything a checkpoint is
 /// allowed to know about it (Section II: "only exterior characteristics of
 /// the vehicle such as color, brand, and type are used").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VehicleClass {
     /// Paint color.
     pub color: Color,
@@ -148,9 +138,9 @@ impl ClassFilter {
         if class.is_patrol() {
             return false;
         }
-        self.color.map_or(true, |c| c == class.color)
-            && self.brand.map_or(true, |b| b == class.brand)
-            && self.body.map_or(true, |b| b == class.body)
+        self.color.is_none_or(|c| c == class.color)
+            && self.brand.is_none_or(|b| b == class.brand)
+            && self.body.is_none_or(|b| b == class.body)
     }
 }
 

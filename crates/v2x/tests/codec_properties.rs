@@ -5,27 +5,26 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vcount_roadnet::NodeId;
-use vcount_v2x::{
-    Bernoulli, Label, LossModel, Message, PatrolStatus, Report, VehicleId,
-};
+use vcount_v2x::{Bernoulli, Label, LossModel, Message, PatrolStatus, Report, VehicleId};
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u32>(), proptest::option::of(any::<u32>()), any::<u32>()).prop_map(
-            |(o, p, s)| Message::Label(Label {
+        (
+            any::<u32>(),
+            proptest::option::of(any::<u32>()),
+            any::<u32>()
+        )
+            .prop_map(|(o, p, s)| Message::Label(Label {
                 origin: NodeId(o),
                 // u32::MAX encodes None on the wire; keep ids below it.
                 origin_pred: p.map(|v| NodeId(v % (u32::MAX - 1))),
                 seed: NodeId(s % (u32::MAX - 1)),
-            })
-        ),
-        (any::<u32>(), any::<u32>(), any::<i64>()).prop_map(|(f, t, c)| Message::Report(
-            Report {
-                from: NodeId(f),
-                to: NodeId(t),
-                subtree_total: c,
-            }
-        )),
+            })),
+        (any::<u32>(), any::<u32>(), any::<i64>()).prop_map(|(f, t, c)| Message::Report(Report {
+            from: NodeId(f),
+            to: NodeId(t),
+            subtree_total: c,
+        })),
         proptest::collection::vec((any::<u32>(), any::<bool>()), 0..20).prop_map(|obs| {
             let mut p = PatrolStatus::default();
             for (n, a) in obs {

@@ -1,0 +1,424 @@
+//! Offline stub of `serde`: a tree [`Value`] data model with
+//! [`Serialize`]/[`Deserialize`] traits over it, plus derive macros
+//! re-exported from the stub `serde_derive`. The companion `serde_json` stub
+//! renders/parses `Value` as real JSON, so round-trips genuinely work.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model everything serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered string-keyed map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => __find(m, key),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(s) => s.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::I64(n) => i128::from(*n) == *other as i128,
+                    Value::U64(n) => i128::from(*n) == *other as i128,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_int!(i32, i64, u32, u64, usize);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Map-field lookup used by derive-generated code.
+pub fn __find<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ----------------------------------------------------------- primitives --
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_i64().ok_or_else(|| format!("expected integer, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_u64().ok_or_else(|| format!("expected unsigned integer, got {v:?}"))?;
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        Ok(f64::deserialize_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::deserialize_value).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + Copy> Serialize for std::cell::Cell<T> {
+    fn serialize_value(&self) -> Value {
+        self.get().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::cell::Cell<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        T::deserialize_value(v).map(std::cell::Cell::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Seq(s) if s.len() == [$($idx),+].len() => {
+                        Ok(($($name::deserialize_value(&s[$idx])?,)+))
+                    }
+                    other => Err(format!("expected tuple sequence, got {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        // JSON objects need string keys; render non-string keys via their
+        // Value form's display-ish debug. Good enough for the stub.
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.serialize_value()), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::I64(n) => n.to_string(),
+        Value::U64(n) => n.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        let Value::Map(entries) = v else {
+            return Err(format!("expected map, got {v:?}"));
+        };
+        let mut out = std::collections::BTreeMap::new();
+        for (k, val) in entries {
+            // Keys were stringified on the way out; try the string form
+            // first, then the numeric re-interpretations (integer-keyed
+            // maps serialize their keys as JSON strings).
+            let mut key = K::deserialize_value(&Value::Str(k.clone()));
+            if key.is_err() {
+                if let Ok(n) = k.parse::<u64>() {
+                    key = key.or_else(|_| K::deserialize_value(&Value::U64(n)));
+                }
+                if let Ok(n) = k.parse::<i64>() {
+                    key = key.or_else(|_| K::deserialize_value(&Value::I64(n)));
+                }
+                if let Ok(n) = k.parse::<f64>() {
+                    key = key.or_else(|_| K::deserialize_value(&Value::F64(n)));
+                }
+            }
+            out.insert(key?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_vec_round_trip() {
+        let x: Vec<Option<u32>> = vec![Some(3), None, Some(7)];
+        let v = x.serialize_value();
+        let back: Vec<Option<u32>> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::I64(3)),
+            ("b".to_string(), Value::Str("x".to_string())),
+        ]);
+        assert_eq!(v["a"], 3);
+        assert_eq!(v["b"], "x");
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

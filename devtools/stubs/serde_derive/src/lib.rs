@@ -1,0 +1,453 @@
+//! Offline stub of `serde_derive`: token-level parsing of structs/enums, code
+//! generation by string formatting. Supports exactly the shapes this
+//! workspace uses — non-generic named/tuple/unit structs and enums with
+//! unit/tuple/named variants, plus `#[serde(default)]` on struct fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model --
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --------------------------------------------------------------- parsing --
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde stub derive: expected struct/enum, got `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is unsupported");
+    }
+    let shape = if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace);
+        Shape::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stub derive: unexpected token after struct name: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+/// Skips `#[...]` attribute groups; returns true if any skipped attribute was
+/// `#[serde(...)]` containing the ident `default`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                has_default |= attr_is_serde_default(g.stream());
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let parts: Vec<TokenTree> = attr.into_iter().collect();
+    match (parts.first(), parts.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected ident, got {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("serde stub derive: expected {delim:?} group, got {other:?}"),
+    }
+}
+
+/// Consumes type tokens until a comma at angle-bracket depth 0 (the comma is
+/// consumed too) or the end of the stream.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        // Each entry: attrs, vis, then a type.
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation --
+
+fn ser_expr(expr: &str) -> String {
+    format!("::serde::Serialize::serialize_value({expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), {e})",
+                        n = f.name,
+                        e = ser_expr(&format!("&self.{}", f.name))
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => ser_expr("&self.0"),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|k| ser_expr(&format!("&self.{k}"))).collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {e})]),",
+                            e = ser_expr("f0")
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let entries: Vec<String> =
+                                (0..*n).map(|k| ser_expr(&format!("f{k}"))).collect();
+                            format!(
+                                "{name}::{vn}({b}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{e}]))]),",
+                                b = binds.join(", "),
+                                e = entries.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), {e})",
+                                        n = f.name,
+                                        e = ser_expr(&f.name)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {b} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{e}]))]),",
+                                b = binds.join(", "),
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_named_fields(ty: &str, fields: &[Field], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let miss = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(format!(\"missing field `{}` for {}\"))",
+                    f.name, ty
+                )
+            };
+            format!(
+                "{n}: match ::serde::__find({m}, \"{n}\") {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                     ::std::option::Option::None => {miss},\n\
+                 }}",
+                n = f.name,
+                m = map_expr
+            )
+        })
+        .collect();
+    inits.join(",\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = de_named_fields(name, fields, "m");
+            format!(
+                "let m = match v {{\n\
+                     ::serde::Value::Map(m) => m,\n\
+                     other => return ::std::result::Result::Err(format!(\"expected map for {name}, got {{other:?}}\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = match v {{\n\
+                     ::serde::Value::Seq(s) if s.len() == {n} => s,\n\
+                     other => return ::std::result::Result::Err(format!(\"expected {n}-seq for {name}, got {{other:?}}\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::deserialize_value(&s[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let s = match inner {{\n\
+                                         ::serde::Value::Seq(s) if s.len() == {n} => s,\n\
+                                         other => return ::std::result::Result::Err(format!(\"expected {n}-seq for {name}::{vn}, got {{other:?}}\")),\n\
+                                     }};\n\
+                                     ::std::result::Result::Ok({name}::{vn}({inits}))\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits = de_named_fields(&format!("{name}::{vn}"), fields, "mm");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let mm = match inner {{\n\
+                                         ::serde::Value::Map(mm) => mm,\n\
+                                         other => return ::std::result::Result::Err(format!(\"expected map for {name}::{vn}, got {{other:?}}\")),\n\
+                                     }};\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => ::std::result::Result::Err(format!(\"unknown unit variant {{other}} for {name}\")),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         match tag.as_str() {{\n\
+                             {data}\n\
+                             other => ::std::result::Result::Err(format!(\"unknown variant {{other}} for {name}\")),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(format!(\"expected variant for {name}, got {{other:?}}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

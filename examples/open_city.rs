@@ -29,7 +29,9 @@ fn main() {
 
     let mut runner = Runner::new(&scenario);
     let metrics = runner.run(Goal::Constitution, scenario.max_time_s);
-    let complete_at = metrics.constitution_done_s.expect("reaches complete status");
+    let complete_at = metrics
+        .constitution_done_s
+        .expect("reaches complete status");
 
     println!("== open-system counting over synthetic midtown ==");
     println!(
@@ -52,11 +54,11 @@ fn main() {
     let mut checks = 0u32;
     while runner.time_s() < until {
         runner.step();
-        if runner.time_s() as u64 % 300 == 0 {
+        if (runner.time_s() as u64).is_multiple_of(300) {
             // no-op marker; sampled prints below
         }
         checks += 1;
-        if checks % 600 == 0 {
+        if checks.is_multiple_of(600) {
             let p = runner.distributed_count();
             let t = runner.true_population() as i64;
             println!(

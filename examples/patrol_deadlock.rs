@@ -70,7 +70,9 @@ fn main() {
     let m = runner.run(Goal::Collection, s.max_time_s);
     println!(
         "with 2 patrol cars: constitution at {:.1} min, collection at {:.1} min",
-        m.constitution_done_s.expect("Theorem 3 guarantees convergence") / 60.0,
+        m.constitution_done_s
+            .expect("Theorem 3 guarantees convergence")
+            / 60.0,
         m.collection_done_s.expect("patrol also relays reports") / 60.0
     );
     println!(

@@ -77,6 +77,9 @@ fn main() {
         "per-vehicle oracle violations:  {}",
         metrics.oracle_violations
     );
-    assert!(metrics.exact(), "the paper's claim: no mis- or double-counting");
+    assert!(
+        metrics.exact(),
+        "the paper's claim: no mis- or double-counting"
+    );
     println!("\nresult is exact: no mis-counting, no double-counting.");
 }

@@ -39,7 +39,10 @@ fn main() {
         let out = cps[0].on_vehicle_entered(t, Some(via), &CAR, None);
         assert!(out.counted);
     }
-    println!("    three vehicles entered n0 and were counted: c(0) = {}", cps[0].local_count());
+    println!(
+        "    three vehicles entered n0 and were counted: c(0) = {}",
+        cps[0].local_count()
+    );
 
     // (b) Propagation: the first vehicle joining 0→1 carries the label.
     let l01 = cps[0].offer_label(e(0, 1)).unwrap();
@@ -60,7 +63,10 @@ fn main() {
     let l10 = cps[1].offer_label(e(1, 0)).unwrap();
     cps[1].label_delivered(e(1, 0));
     let out = cps[0].on_vehicle_entered(70.0, Some(e(1, 0)), &CAR, Some(l10));
-    println!("\n(c) backwash label 1→0 arrives: n0 stops counting 0←1 (stopped={:?})", out.stopped);
+    println!(
+        "\n(c) backwash label 1→0 arrives: n0 stops counting 0←1 (stopped={:?})",
+        out.stopped
+    );
 
     let l20 = cps[2].offer_label(e(2, 0)).unwrap();
     cps[2].label_delivered(e(2, 0));
@@ -70,7 +76,9 @@ fn main() {
     cps[1].on_vehicle_entered(80.0, Some(e(2, 1)), &CAR, Some(l21));
     let l02 = cps[0].offer_label(e(0, 2)).unwrap();
     cps[0].label_delivered(e(0, 2));
-    let cmds2 = cps[2].on_vehicle_entered(85.0, Some(e(0, 2)), &CAR, Some(l02)).commands;
+    let cmds2 = cps[2]
+        .on_vehicle_entered(85.0, Some(e(0, 2)), &CAR, Some(l02))
+        .commands;
     println!("    all inbound directions stopped; every checkpoint is stable:");
     for cp in &cps {
         println!(

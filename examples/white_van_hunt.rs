@@ -47,7 +47,10 @@ fn main() {
     );
     println!("civilian vehicles inside:       {all_vehicles}");
     println!("white vans counted by protocol: {vans}");
-    println!("white vans ground truth:        {}", metrics.true_population);
+    println!(
+        "white vans ground truth:        {}",
+        metrics.true_population
+    );
     println!(
         "search complete at the sinks after {:.1} min",
         metrics.collection_done_s.unwrap() / 60.0

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI-equivalent checks: build, tests, clippy, fmt.
+#
+# The committed .cargo/config.toml patches every external dependency to the
+# offline stubs under devtools/stubs/ (this container cannot reach the
+# crates.io registry). On a networked machine, delete that file to build and
+# test against the real crates — the commands below work either way.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "+ $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --all --check
+echo "All checks passed."

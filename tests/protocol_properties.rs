@@ -7,48 +7,45 @@ use vcount::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        3usize..6,            // cols
-        3usize..6,            // rows
-        1u8..3,               // lanes
-        20.0f64..100.0,       // volume
-        1usize..4,            // seeds
-        0.0f64..0.4,          // p_fail
-        any::<u64>(),         // rng seed
-        prop::bool::ANY,      // open or closed
+        3usize..6,       // cols
+        3usize..6,       // rows
+        1u8..3,          // lanes
+        20.0f64..100.0,  // volume
+        1usize..4,       // seeds
+        0.0f64..0.4,     // p_fail
+        any::<u64>(),    // rng seed
+        prop::bool::ANY, // open or closed
     )
-        .prop_map(
-            |(cols, rows, lanes, volume, seeds, p_fail, seed, open)| {
-                let mut s = Scenario {
-                    map: MapSpec::Grid {
-                        cols,
-                        rows,
-                        spacing_m: 150.0,
-                        lanes,
-                        speed_mps: 9.0,
-                    },
-                    closed: true,
-                    sim: SimConfig {
-                        seed,
-                        ..Default::default()
-                    },
-                    demand: Demand::at_volume(volume),
-                    protocol: CheckpointConfig::default(),
-                    channel: ChannelKind::Bernoulli(p_fail),
-                    seeds: SeedSpec::Random { count: seeds },
-                    transport: TransportMode::default(),
-                    patrol: PatrolSpec::default(),
-                    max_time_s: 2.0 * 3600.0,
-                };
-                if open {
-                    // Grids carry no interaction flags, so "open" here means
-                    // running the Open variant over a closed map — it must
-                    // degrade gracefully to closed-system behaviour.
-                    s.protocol =
-                        CheckpointConfig::for_variant(vcount::core::ProtocolVariant::Open);
-                }
-                s
-            },
-        )
+        .prop_map(|(cols, rows, lanes, volume, seeds, p_fail, seed, open)| {
+            let mut s = Scenario {
+                map: MapSpec::Grid {
+                    cols,
+                    rows,
+                    spacing_m: 150.0,
+                    lanes,
+                    speed_mps: 9.0,
+                },
+                closed: true,
+                sim: SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+                demand: Demand::at_volume(volume),
+                protocol: CheckpointConfig::default(),
+                channel: ChannelKind::Bernoulli(p_fail),
+                seeds: SeedSpec::Random { count: seeds },
+                transport: TransportMode::default(),
+                patrol: PatrolSpec::default(),
+                max_time_s: 2.0 * 3600.0,
+            };
+            if open {
+                // Grids carry no interaction flags, so "open" here means
+                // running the Open variant over a closed map — it must
+                // degrade gracefully to closed-system behaviour.
+                s.protocol = CheckpointConfig::for_variant(vcount::core::ProtocolVariant::Open);
+            }
+            s
+        })
 }
 
 proptest! {
