@@ -32,7 +32,7 @@ fn bench_ablations(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("adjust_mode", name), |b| {
             let s = scenario(mode, 0.3, true);
             b.iter(|| {
-                let mut r = Runner::new(&s);
+                let mut r = Runner::builder(&s).build();
                 let m = r.run(Goal::Constitution, s.max_time_s);
                 assert!(m.constitution_done_s.is_some());
                 m.overtake_adjustments
@@ -48,7 +48,7 @@ fn bench_ablations(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("loss", name), |b| {
             let s = scenario(AdjustMode::NetInversion, p, compensate);
             b.iter(|| {
-                let mut r = Runner::new(&s);
+                let mut r = Runner::builder(&s).build();
                 let m = r.run(Goal::Constitution, s.max_time_s);
                 m.handoff_failures
             });

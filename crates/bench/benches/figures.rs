@@ -17,7 +17,7 @@ fn small_open(volume: f64, seeds: usize, seed: u64) -> Scenario {
 }
 
 fn run_cell(s: &Scenario, goal: Goal) {
-    let mut r = Runner::new(s);
+    let mut r = Runner::builder(s).build();
     let m = r.run(goal, s.max_time_s);
     assert_eq!(m.oracle_violations, 0, "exactness violated during bench");
     match goal {

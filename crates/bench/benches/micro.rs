@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vcount_core::{Checkpoint, CheckpointConfig};
+use vcount_core::{Checkpoint, CheckpointConfig, Observation};
+use vcount_obs::{EventRecord, EventSink, NullSink, ProtocolEvent};
 use vcount_roadnet::builders::{grid, manhattan, ManhattanConfig};
 use vcount_roadnet::{covering_cycle, edge_covering_cycle, shortest_path, NodeId};
 use vcount_traffic::{Demand, SimConfig, Simulator};
@@ -53,12 +54,67 @@ fn bench_protocol_events(c: &mut Criterion) {
     c.bench_function("checkpoint_count_event", |b| {
         let mut cp = Checkpoint::new(&net, center, CheckpointConfig::default());
         cp.activate_as_seed(0.0);
+        cp.take_events();
         let mut t = 1.0;
+        let mut veh = 0u64;
         b.iter(|| {
             t += 1.0;
-            cp.on_vehicle_entered(t, Some(via), &car, None)
+            veh += 1;
+            let cmds = cp.handle(
+                Observation::Entered {
+                    vehicle: VehicleId(veh),
+                    via: Some(via),
+                    class: car,
+                    label: None,
+                },
+                t,
+            );
+            cp.take_events();
+            cmds
         });
     });
+    // Acceptance guard for the observability layer: routing the same event
+    // stream through a NullSink must cost nothing measurable over draining
+    // the events and throwing them away.
+    let mut g = c.benchmark_group("event_sink");
+    for (name, with_sink) in [("drain_only", false), ("null_sink", true)] {
+        g.bench_function(BenchmarkId::new("count_event", name), |b| {
+            let mut cp = Checkpoint::new(&net, center, CheckpointConfig::default());
+            cp.activate_as_seed(0.0);
+            cp.take_events();
+            let mut sink = NullSink;
+            let mut t = 1.0;
+            let mut veh = 0u64;
+            b.iter(|| {
+                t += 1.0;
+                veh += 1;
+                cp.handle(
+                    Observation::Entered {
+                        vehicle: VehicleId(veh),
+                        via: Some(via),
+                        class: car,
+                        label: None,
+                    },
+                    t,
+                );
+                let mut n = 0usize;
+                for (time_s, event) in cp.take_events() {
+                    n += 1;
+                    if with_sink {
+                        sink.record(&EventRecord {
+                            time_s,
+                            seed_epoch: 0,
+                            event,
+                        });
+                    } else {
+                        std::hint::black_box::<(f64, ProtocolEvent)>((time_s, event));
+                    }
+                }
+                n
+            });
+        });
+    }
+    g.finish();
 }
 
 fn bench_codec(c: &mut Criterion) {

@@ -31,7 +31,7 @@ fn main() {
     for seed in 0..4u64 {
         for mode in [AdjustMode::NetInversion, AdjustMode::PerEvent] {
             let s = overtake_heavy(seed, mode);
-            let mut r = Runner::new(&s);
+            let mut r = Runner::builder(&s).build();
             let m = r.run(Goal::Constitution, s.max_time_s);
             let err = m
                 .global_count
@@ -56,7 +56,7 @@ fn main() {
                 compensate_loss: compensate,
                 ..s.protocol
             };
-            let mut r = Runner::new(&s);
+            let mut r = Runner::builder(&s).build();
             let m = r.run(Goal::Constitution, s.max_time_s);
             let err = m
                 .global_count
@@ -74,7 +74,7 @@ fn main() {
     println!("volume_pct,truth,protocol,naive_interval,class_dedup");
     for vol in [20.0, 60.0, 100.0] {
         let s = Scenario::paper_closed(ManhattanConfig::small(), vol, 1, 11);
-        let mut r = Runner::new(&s);
+        let mut r = Runner::builder(&s).build();
         let m = r.run(Goal::Constitution, s.max_time_s);
         println!(
             "{vol:.0},{},{},{},{}",
@@ -110,7 +110,7 @@ fn main() {
             speed_mph: 15.0,
             ..ManhattanConfig::small()
         });
-        let mut r = Runner::new(&s);
+        let mut r = Runner::builder(&s).build();
         let m = r.run(Goal::Collection, s.max_time_s);
         println!(
             "{name},{:.1},{}",

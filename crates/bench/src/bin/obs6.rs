@@ -27,7 +27,7 @@ fn main() {
     ] {
         let mut s = Scenario::paper_open(midtown(15.0), volume, 1, 64);
         s.seeds = seeds;
-        let mut r = Runner::new(&s);
+        let mut r = Runner::builder(&s).build();
         let m = r.run(Goal::Collection, s.max_time_s);
         println!(
             "{name},{},{:.1},{:.1},{}",

@@ -11,9 +11,11 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `argv` (after the subcommand). `--key value` pairs become
-    /// flags; a trailing `--key` with no value (or followed by another
-    /// flag) is a boolean switch.
+    /// Parses `argv` (after the subcommand). `--key value` and
+    /// `--key=value` pairs become flags; a trailing `--key` with no value
+    /// (or followed by another flag) is a boolean switch. Values that
+    /// themselves start with `--` must use the `--key=value` form —
+    /// `--delta --5` reads `--5` as a (malformed) flag, not a value.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut out = Args::default();
         let mut i = 0;
@@ -22,6 +24,14 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 if key.is_empty() {
                     return Err("bare `--` is not a flag".into());
+                }
+                if let Some((key, value)) = key.split_once('=') {
+                    if key.is_empty() {
+                        return Err(format!("missing flag name in `{a}`"));
+                    }
+                    out.flags.insert(key.to_string(), value.to_string());
+                    i += 1;
+                    continue;
                 }
                 let next_is_value = argv.get(i + 1).is_some_and(|n| !n.starts_with("--"));
                 if next_is_value {
@@ -49,19 +59,37 @@ impl Args {
         self.flags.get(key).map(String::as_str)
     }
 
-    /// A parsed flag value with a default.
-    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// A typed flag value: `Ok(None)` when absent, `Err` when present but
+    /// unparseable.
+    pub fn flag_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.flags.get(key) {
-            None => Ok(default),
+            None => Ok(None),
             Some(v) => v
                 .parse()
+                .map(Some)
                 .map_err(|_| format!("invalid value `{v}` for --{key}")),
         }
+    }
+
+    /// A parsed flag value with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        Ok(self.flag_parsed(key)?.unwrap_or(default))
     }
 
     /// Whether a boolean switch was given.
     pub fn switch(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
+    }
+
+    /// Errors on any flag or switch not in `known` — typos fail loudly
+    /// instead of being silently ignored.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys().chain(self.switches.iter()) {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown flag `--{key}`"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -102,5 +130,43 @@ mod tests {
         let a = Args::parse(&argv(&["--progress", "--goal", "constitution"])).unwrap();
         assert!(a.switch("progress"));
         assert_eq!(a.flag("goal"), Some("constitution"));
+    }
+
+    #[test]
+    fn equals_syntax_parses_and_allows_dashed_values() {
+        let a = Args::parse(&argv(&["--goal=collection", "--filter=--weird--"])).unwrap();
+        assert_eq!(a.flag("goal"), Some("collection"));
+        // The historical gap: a value starting with `--` is only reachable
+        // through the `=` form.
+        assert_eq!(a.flag("filter"), Some("--weird--"));
+        // Empty value via `=` is a present-but-empty flag, not a switch.
+        let b = Args::parse(&argv(&["--out="])).unwrap();
+        assert_eq!(b.flag("out"), Some(""));
+        assert!(!b.switch("out"));
+    }
+
+    #[test]
+    fn missing_flag_name_before_equals_is_an_error() {
+        assert!(Args::parse(&argv(&["--=5"])).is_err());
+        assert!(Args::parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn flag_parsed_distinguishes_absent_from_bad() {
+        let a = Args::parse(&argv(&["--seeds", "four"])).unwrap();
+        assert_eq!(a.flag_parsed::<u64>("rng"), Ok(None));
+        assert!(a.flag_parsed::<usize>("seeds").is_err());
+        let b = Args::parse(&argv(&["--seeds=4"])).unwrap();
+        assert_eq!(b.flag_parsed::<usize>("seeds"), Ok(Some(4)));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = Args::parse(&argv(&["--goal", "collection", "--porgress"])).unwrap();
+        assert!(a
+            .reject_unknown(&["goal"])
+            .unwrap_err()
+            .contains("porgress"));
+        assert!(a.reject_unknown(&["goal", "porgress"]).is_ok());
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::{build_scenario, run_with_progress};
+use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
 use vcount_sim::{Goal, Scenario};
@@ -11,22 +12,29 @@ pub const USAGE: &str = "\
 vcount — infrastructure-less vehicle counting (ICPP 2014 reproduction)
 
 USAGE:
-  vcount scenario --preset closed|open [--volume PCT] [--seeds K]
+  vcount scenario --preset closed|open|fig1 [--volume PCT] [--seeds K]
                   [--rng SEED] [--out FILE]
-      Emit a ready-to-run scenario JSON (midtown map, paper settings).
+      Emit a ready-to-run scenario JSON (closed/open: midtown map, paper
+      settings; fig1: the 3-intersection walkthrough of Fig. 1).
 
   vcount run SCENARIO.json [--goal constitution|collection] [--progress]
+              [--trace FILE.jsonl] [--trace-filter KIND,KIND,...]
       Run a scenario to convergence and print the metrics as JSON.
-      --progress streams wave progress to stderr.
+      --progress streams wave progress to stderr. --trace streams every
+      protocol event as JSON lines; --trace-filter restricts it to the
+      named event kinds (e.g. label_emitted,report_sent).
 
   vcount map [--preset paper|small] [--speed-mph MPH]
       Build the synthetic midtown map and print its statistics.
 
   vcount help
-      Show this text.";
+      Show this text.
+
+Flags accept both `--key value` and `--key=value`.";
 
 /// `vcount scenario`.
 pub fn scenario(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["preset", "volume", "seeds", "rng", "out"])?;
     let preset = args.flag("preset").unwrap_or("closed");
     let volume = args.flag_or("volume", 60.0)?;
     let seeds = args.flag_or("seeds", 1usize)?;
@@ -45,15 +53,32 @@ pub fn scenario(args: &Args) -> Result<(), String> {
 
 /// `vcount run`.
 pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["goal", "progress", "trace", "trace-filter"])?;
     let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
         "collection" => Goal::Collection,
         other => return Err(format!("unknown goal `{other}`")),
     };
-    let metrics = run_with_progress(&scenario, goal, args.switch("progress"));
+    let trace_path = args.flag("trace");
+    let filter = match (trace_path, args.flag("trace-filter")) {
+        (Some(_), Some(spec)) => EventFilter::parse(spec)?,
+        (Some(_), None) => EventFilter::all(),
+        (None, Some(_)) => return Err("--trace-filter requires --trace".into()),
+        (None, None) => EventFilter::all(),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut sinks: Vec<Box<dyn EventSink + Send>> = Vec::new();
+    if let Some(trace) = trace_path {
+        let sink = JsonlSink::to_file(std::path::Path::new(trace), filter)
+            .map_err(|e| format!("{trace}: {e}"))?;
+        sinks.push(Box::new(sink));
+    }
+    let metrics = run_with_progress(&scenario, goal, args.switch("progress"), sinks);
+    if let Some(trace) = trace_path {
+        eprintln!("wrote event trace to {trace}");
+    }
     println!(
         "{}",
         serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?
@@ -69,6 +94,7 @@ pub fn run(args: &Args) -> Result<(), String> {
 
 /// `vcount map`.
 pub fn map(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["preset", "speed-mph", "stats"])?;
     let base = match args.flag("preset").unwrap_or("paper") {
         "paper" => ManhattanConfig::default(),
         "small" => ManhattanConfig::small(),

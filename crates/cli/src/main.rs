@@ -2,13 +2,15 @@
 //! counting reproduction.
 //!
 //! ```text
-//! vcount scenario --preset closed|open [--volume N] [--seeds K] [--rng R] [--out FILE]
+//! vcount scenario --preset closed|open|fig1 [--volume N] [--seeds K] [--rng R] [--out FILE]
 //! vcount run SCENARIO.json [--goal constitution|collection] [--progress]
+//!             [--trace FILE.jsonl] [--trace-filter KINDS]
 //! vcount map --preset manhattan|small [--stats]
 //! vcount help
 //! ```
 
 use std::process::ExitCode;
+use vcount_obs::EventSink;
 use vcount_roadnet::builders::ManhattanConfig;
 use vcount_sim::{Goal, Runner, Scenario};
 
@@ -58,7 +60,8 @@ pub(crate) fn build_scenario(
     match preset {
         "closed" => Ok(Scenario::paper_closed(map, volume, seeds, rng)),
         "open" => Ok(Scenario::paper_open(map, volume, seeds, rng)),
-        other => Err(format!("unknown preset `{other}` (want closed|open)")),
+        "fig1" => Ok(Scenario::fig1_walkthrough(rng)),
+        other => Err(format!("unknown preset `{other}` (want closed|open|fig1)")),
     }
 }
 
@@ -66,8 +69,13 @@ pub(crate) fn run_with_progress(
     scenario: &Scenario,
     goal: Goal,
     progress: bool,
+    sinks: Vec<Box<dyn EventSink + Send>>,
 ) -> vcount_sim::RunMetrics {
-    let mut runner = Runner::new(scenario);
+    let mut builder = Runner::builder(scenario);
+    for sink in sinks {
+        builder = builder.sink(sink);
+    }
+    let mut runner = builder.build();
     if !progress {
         return runner.run(goal, scenario.max_time_s);
     }
@@ -99,5 +107,6 @@ pub(crate) fn run_with_progress(
             break;
         }
     }
+    runner.flush_sinks();
     runner.metrics_now()
 }

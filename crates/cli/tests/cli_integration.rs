@@ -84,3 +84,91 @@ fn run_rejects_missing_file() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = bin()
+        .args(["map", "--preset", "paper", "--porgress"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--porgress`"), "got: {err}");
+}
+
+#[test]
+fn trace_filter_without_trace_is_rejected() {
+    let out = bin()
+        .args(["run", "x.json", "--trace-filter=label_emitted"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--trace-filter requires --trace"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn fig1_preset_runs_with_event_trace() {
+    let dir = std::env::temp_dir().join(format!("vcount-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("fig1.json");
+    let trace = dir.join("trace.jsonl");
+    let out = bin()
+        .args([
+            "scenario",
+            "--preset=fig1",
+            "--rng=7",
+            "--out",
+            scenario.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args([
+            "run",
+            scenario.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-filter",
+            "checkpoint_activated,label_emitted,report_sent",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let rec: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        kinds.insert(rec["kind"].as_str().unwrap().to_string());
+        assert!(
+            rec["t"].as_f64().is_some(),
+            "events carry sim time: {rec:?}"
+        );
+    }
+    assert!(
+        kinds.contains("checkpoint_activated"),
+        "got kinds: {kinds:?}"
+    );
+    assert!(kinds.contains("label_emitted"));
+    for k in &kinds {
+        assert!(
+            ["checkpoint_activated", "label_emitted", "report_sent"].contains(&k.as_str()),
+            "filter leaked kind {k}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,20 +2,26 @@
 //! "everyone" model: every intersection runs this same generic process.
 //!
 //! The machine is pure and event-driven. It consumes exactly what real
-//! checkpoint equipment observes — vehicle entries (with carried label, if
-//! any), departures (label handoff opportunities), border exits, patrol
-//! status snapshots, relayed announcements and reports — and produces
-//! counter updates plus transport [`Command`]s. All timing comes from the
-//! caller-provided `now` values, so the machine is equally at home under
-//! the simulator or on a wall clock.
+//! checkpoint equipment observes — one [`Observation`] at a time, fed to
+//! [`Checkpoint::handle`] — and produces counter updates, transport
+//! [`Command`]s, and structured [`ProtocolEvent`]s (buffered until the
+//! harness drains them with [`Checkpoint::take_events`]). All timing comes
+//! from the caller-provided `now` values, so the machine is equally at
+//! home under the simulator or on a wall clock.
 
 use crate::command::{Command, EnterOutcome};
 use crate::config::{CheckpointConfig, ProtocolVariant};
 use crate::counter::Counters;
+use crate::observation::Observation;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use vcount_obs::ProtocolEvent;
 use vcount_roadnet::{EdgeId, Interaction, NodeId, RoadNetwork};
-use vcount_v2x::{Label, PatrolStatus, VehicleClass};
+use vcount_v2x::{Label, PatrolStatus, VehicleClass, VehicleId};
+
+/// Vehicle id stamped on events emitted through the deprecated wrapper
+/// methods, which predate per-observation vehicle identification.
+pub const UNKNOWN_VEHICLE: VehicleId = VehicleId(u64::MAX);
 
 /// Counting state of one inbound direction `u ← v` (phase 1/3/4/5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +86,12 @@ pub struct Checkpoint {
     activated_at: Option<f64>,
     stable_at: Option<f64>,
     collected_at: Option<f64>,
+
+    /// Buffered protocol events `(time, event)`, drained by the harness.
+    events: Vec<(f64, ProtocolEvent)>,
+    /// The `now` of the most recent [`Checkpoint::handle`] call (timestamp
+    /// source for the clock-less deprecated wrappers).
+    last_now: f64,
 }
 
 impl Checkpoint {
@@ -137,7 +149,73 @@ impl Checkpoint {
             activated_at: None,
             stable_at: None,
             collected_at: None,
+            events: Vec::new(),
+            last_now: 0.0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Unified dispatch
+    // ------------------------------------------------------------------
+
+    /// Processes one [`Observation`] at time `now` and returns the
+    /// transport commands it produced. This is the protocol's single entry
+    /// point; side effects beyond the returned commands are counter
+    /// updates and buffered [`ProtocolEvent`]s (see
+    /// [`Checkpoint::take_events`]).
+    pub fn handle(&mut self, obs: Observation, now: f64) -> Vec<Command> {
+        self.last_now = now;
+        let mut cmds = Vec::new();
+        match obs {
+            Observation::Entered {
+                vehicle,
+                via,
+                class,
+                label,
+            } => self.enter(now, vehicle, via, &class, label, &mut cmds),
+            Observation::Departed {
+                vehicle,
+                onto,
+                delivered,
+                matches_filter,
+            } => self.depart(now, vehicle, onto, delivered, matches_filter, &mut cmds),
+            Observation::BorderExit { vehicle, class } => {
+                self.border_exit(now, vehicle, &class, &mut cmds)
+            }
+            Observation::PatrolStatus { vehicle, status } => {
+                self.patrol(now, vehicle, &status, &mut cmds)
+            }
+            Observation::Announce { from, pred } => {
+                self.learn_pred(from, pred);
+                self.after_change(now, &mut cmds);
+            }
+            Observation::Report { from, total, seq } => {
+                self.report(now, from, total, seq, &mut cmds)
+            }
+            Observation::Adjust { plus, minus } => self.adjust(now, plus, minus, &mut cmds),
+        }
+        cmds
+    }
+
+    /// Drains the buffered protocol events, oldest first.
+    pub fn take_events(&mut self) -> Vec<(f64, ProtocolEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Appends the buffered protocol events to `out` and clears the
+    /// buffer (allocation-free when the buffer is empty).
+    pub fn drain_events_into(&mut self, out: &mut Vec<(f64, ProtocolEvent)>) {
+        out.append(&mut self.events);
+    }
+
+    /// The buffered, not-yet-drained protocol events.
+    pub fn pending_events(&self) -> &[(f64, ProtocolEvent)] {
+        &self.events
+    }
+
+    #[inline]
+    fn emit(&mut self, now: f64, event: ProtocolEvent) {
+        self.events.push((now, event));
     }
 
     // ------------------------------------------------------------------
@@ -163,6 +241,15 @@ impl Checkpoint {
         self.active = true;
         self.pred = pred;
         self.activated_at = Some(now);
+        self.emit(
+            now,
+            ProtocolEvent::CheckpointActivated {
+                node: self.id.0,
+                pred: pred.map(|p| p.0),
+                wave_seed: self.wave_seed.expect("wave seed set before activation").0,
+                is_seed: self.is_seed,
+            },
+        );
         for (e, origin) in &self.inbound {
             let state = if Some(*origin) == pred {
                 // Traffic from the predecessor is already counted upstream
@@ -188,17 +275,15 @@ impl Checkpoint {
     // Phases 3, 4, 5: vehicle entry
     // ------------------------------------------------------------------
 
-    /// A vehicle entered the surveillance: `via` is the inbound direction
-    /// (`None` for an entry from outside the region at a border
-    /// checkpoint), `label` any label it carries (now delivered).
-    pub fn on_vehicle_entered(
+    fn enter(
         &mut self,
         now: f64,
+        vehicle: VehicleId,
         via: Option<EdgeId>,
         class: &VehicleClass,
         label: Option<Label>,
-    ) -> EnterOutcome {
-        let mut out = EnterOutcome::default();
+        cmds: &mut Vec<Command>,
+    ) {
         match via {
             None => {
                 // Inbound interaction (Alg. 5): active border checkpoints
@@ -209,7 +294,13 @@ impl Checkpoint {
                     && self.cfg.filter.matches(class)
                 {
                     self.counters.count_interaction_in();
-                    out.counted = true;
+                    self.emit(
+                        now,
+                        ProtocolEvent::BorderEntry {
+                            node: self.id.0,
+                            vehicle: vehicle.0,
+                        },
+                    );
                 }
             }
             Some(e) => {
@@ -222,14 +313,18 @@ impl Checkpoint {
                     if !self.active {
                         // Phase 3: propagation to an inactive checkpoint.
                         self.wave_seed = Some(label.seed);
-                        out.activated = true;
-                        let mut cmds = std::mem::take(&mut out.commands);
-                        self.activate(now, Some(label.origin), &mut cmds);
-                        out.commands = cmds;
+                        self.activate(now, Some(label.origin), cmds);
+                        return; // activate() ran after_change already
                     } else if self.inbound_state.get(&e) == Some(&InboundState::Counting) {
                         // Phase 4: the backwash stops this direction.
                         self.inbound_state.insert(e, InboundState::Stopped);
-                        out.stopped = Some(e);
+                        self.emit(
+                            now,
+                            ProtocolEvent::InboundStopped {
+                                node: self.id.0,
+                                edge: e.0,
+                            },
+                        );
                     }
                     // The labeled vehicle itself is never counted (phase 5
                     // counts unlabeled vehicles only).
@@ -239,14 +334,18 @@ impl Checkpoint {
                 {
                     // Phase 5: count the unlabeled matching vehicle.
                     self.counters.count_inbound(e);
-                    out.counted = true;
+                    self.emit(
+                        now,
+                        ProtocolEvent::VehicleCounted {
+                            node: self.id.0,
+                            edge: e.0,
+                            vehicle: vehicle.0,
+                        },
+                    );
                 }
             }
         }
-        let mut cmds = std::mem::take(&mut out.commands);
-        self.after_change(now, &mut cmds);
-        out.commands = cmds;
-        out
+        self.after_change(now, cmds);
     }
 
     // ------------------------------------------------------------------
@@ -255,8 +354,8 @@ impl Checkpoint {
 
     /// Phase 2: a vehicle is joining outbound direction `onto`; returns the
     /// label to hand it when one is pending. The caller performs the lossy
-    /// handoff and reports the outcome via [`Checkpoint::label_delivered`]
-    /// or [`Checkpoint::label_handoff_failed`].
+    /// handoff exchange and reports the outcome with an
+    /// [`Observation::Departed`].
     pub fn offer_label(&self, onto: EdgeId) -> Option<Label> {
         if self.active && self.label_state.get(&onto) == Some(&LabelState::Pending) {
             Some(Label {
@@ -269,124 +368,182 @@ impl Checkpoint {
         }
     }
 
-    /// The handoff for `onto` was acknowledged: exactly one label is now in
-    /// flight on that direction.
-    pub fn label_delivered(&mut self, onto: EdgeId) {
-        debug_assert_eq!(self.label_state.get(&onto), Some(&LabelState::Pending));
-        self.label_state.insert(onto, LabelState::Done);
-    }
-
-    /// The handoff failed (Alg. 3 line 3): the labelling will retry with
-    /// the next vehicle; when the escaping vehicle is one we count
-    /// (`matches_filter`), compensate the future double count with −1.
-    pub fn label_handoff_failed(
+    fn depart(
         &mut self,
         now: f64,
+        vehicle: VehicleId,
         onto: EdgeId,
+        delivered: bool,
         matches_filter: bool,
-    ) -> Vec<Command> {
-        debug_assert_eq!(self.label_state.get(&onto), Some(&LabelState::Pending));
-        let mut cmds = Vec::new();
-        if matches_filter && self.cfg.compensate_loss {
-            self.counters.compensate_loss();
-            self.after_change(now, &mut cmds);
+        cmds: &mut Vec<Command>,
+    ) {
+        debug_assert_eq!(
+            self.label_state.get(&onto),
+            Some(&LabelState::Pending),
+            "departure handoff without a pending label"
+        );
+        self.emit(
+            now,
+            ProtocolEvent::LabelEmitted {
+                node: self.id.0,
+                edge: onto.0,
+                vehicle: vehicle.0,
+            },
+        );
+        if delivered {
+            // Exactly one label is now in flight on that direction.
+            self.label_state.insert(onto, LabelState::Done);
+            self.emit(
+                now,
+                ProtocolEvent::LabelHandoffAcked {
+                    node: self.id.0,
+                    edge: onto.0,
+                    vehicle: vehicle.0,
+                },
+            );
+        } else {
+            // Alg. 3 line 3: the labelling retries with the next vehicle;
+            // when the escaping vehicle is one we count, compensate the
+            // future double count with −1.
+            self.emit(
+                now,
+                ProtocolEvent::LabelHandoffFailed {
+                    node: self.id.0,
+                    edge: onto.0,
+                    vehicle: vehicle.0,
+                },
+            );
+            if matches_filter && self.cfg.compensate_loss {
+                self.counters.compensate_loss();
+                self.emit(
+                    now,
+                    ProtocolEvent::LossCompensation {
+                        node: self.id.0,
+                        edge: onto.0,
+                        vehicle: vehicle.0,
+                    },
+                );
+                self.after_change(now, cmds);
+            }
         }
-        cmds
     }
 
     // ------------------------------------------------------------------
     // Alg. 5: border exits
     // ------------------------------------------------------------------
 
-    /// A vehicle left the region through this border checkpoint (outbound
-    /// interaction): −1 to the live population view when we are active.
-    /// Returns whether the exit was counted.
-    pub fn on_vehicle_exited(&mut self, now: f64, class: &VehicleClass) -> bool {
+    fn border_exit(
+        &mut self,
+        now: f64,
+        vehicle: VehicleId,
+        class: &VehicleClass,
+        cmds: &mut Vec<Command>,
+    ) {
         let counted = self.active
             && self.cfg.variant.counts_interaction()
             && self.interaction.outbound
             && self.cfg.filter.matches(class);
         if counted {
             self.counters.count_interaction_out();
+            self.emit(
+                now,
+                ProtocolEvent::BorderExit {
+                    node: self.id.0,
+                    vehicle: vehicle.0,
+                },
+            );
         }
-        let mut cmds = Vec::new();
-        self.after_change(now, &mut cmds);
+        self.after_change(now, cmds);
         debug_assert!(cmds.is_empty(), "exit cannot complete collection");
-        counted
     }
 
     // ------------------------------------------------------------------
     // Alg. 3 lines 5-8: overtake adjustment
     // ------------------------------------------------------------------
 
-    /// Applies a finalized segment-watch adjustment to `c(u)` — `plus` and
-    /// `minus` are the counts *after* filtering to matching vehicles.
-    /// Returns re-report commands when the adjustment lands after the
-    /// subtree total was already sent.
-    pub fn apply_overtake_adjustment(
-        &mut self,
-        now: f64,
-        plus: usize,
-        minus: usize,
-    ) -> Vec<Command> {
+    fn adjust(&mut self, now: f64, plus: usize, minus: usize, cmds: &mut Vec<Command>) {
         self.counters.adjust_overtake(plus as i64 - minus as i64);
-        let mut cmds = Vec::new();
-        self.after_change(now, &mut cmds);
-        cmds
+        self.emit(
+            now,
+            ProtocolEvent::OvertakeAdjustment {
+                node: self.id.0,
+                plus: plus as u32,
+                minus: minus as u32,
+            },
+        );
+        self.after_change(now, cmds);
     }
 
     // ------------------------------------------------------------------
     // Theorem 3 (ablation) and collection transport inputs
     // ------------------------------------------------------------------
 
-    /// A patrol car arrived carrying a status snapshot. In the default
-    /// integration patrol cars act as label carriers and this only harvests
-    /// predecessor knowledge; with `patrol_stale_stop` it additionally
-    /// stops any counting direction whose origin the patrol saw active
-    /// (the paper's literal Theorem 3 reading — unsafe under slow traffic,
-    /// see DESIGN.md §4).
-    pub fn on_patrol_status(&mut self, now: f64, status: &PatrolStatus) -> Vec<Command> {
-        let mut cmds = Vec::new();
+    fn patrol(
+        &mut self,
+        now: f64,
+        vehicle: VehicleId,
+        status: &PatrolStatus,
+        cmds: &mut Vec<Command>,
+    ) {
+        // In the default integration patrol cars act as label carriers and
+        // this only harvests predecessor knowledge; with
+        // `patrol_stale_stop` it additionally stops any counting direction
+        // whose origin the patrol saw active (the paper's literal
+        // Theorem 3 reading — unsafe under slow traffic, see DESIGN.md §4).
+        self.emit(
+            now,
+            ProtocolEvent::PatrolStatusRelay {
+                node: self.id.0,
+                vehicle: vehicle.0,
+                observed: status.observations.len() as u32,
+            },
+        );
         if self.cfg.patrol_stale_stop {
             for (e, origin) in self.inbound.clone() {
                 if self.inbound_state.get(&e) == Some(&InboundState::Counting)
                     && status.status_of(origin) == Some(true)
                 {
                     self.inbound_state.insert(e, InboundState::Stopped);
+                    self.emit(
+                        now,
+                        ProtocolEvent::InboundStopped {
+                            node: self.id.0,
+                            edge: e.0,
+                        },
+                    );
                 }
             }
         }
-        self.after_change(now, &mut cmds);
-        cmds
+        self.after_change(now, cmds);
     }
 
-    /// A relayed (or patrol-carried) predecessor announcement from a
-    /// one-way downstream neighbour.
-    pub fn on_pred_announce(
-        &mut self,
-        now: f64,
-        from: NodeId,
-        pred: Option<NodeId>,
-    ) -> Vec<Command> {
-        self.learn_pred(from, pred);
-        let mut cmds = Vec::new();
-        self.after_change(now, &mut cmds);
-        cmds
-    }
-
-    /// A child's subtree report arrived (Alg. 2 phase 1 / Alg. 4 phase 2).
-    /// Reports may be re-issued when late adjustments land after phase 6;
-    /// the highest sequence number wins, so out-of-order transport is safe.
-    pub fn on_report(&mut self, now: f64, from: NodeId, total: i64, seq: u32) -> Vec<Command> {
+    fn report(&mut self, now: f64, from: NodeId, total: i64, seq: u32, cmds: &mut Vec<Command>) {
         // A report is itself proof that `from` chose us as predecessor.
+        // Reports may be re-issued when late adjustments land after
+        // phase 6; the highest sequence number wins, so out-of-order
+        // transport is safe.
         self.learn_pred(from, Some(self.id));
-        let entry = self.child_reports.entry(from).or_insert((seq, total));
-        if seq >= entry.0 {
-            *entry = (seq, total);
+        match self.child_reports.get(&from).copied() {
+            Some((old_seq, _)) if seq >= old_seq => {
+                if seq > old_seq {
+                    self.emit(
+                        now,
+                        ProtocolEvent::ReportSuperseded {
+                            node: self.id.0,
+                            child: from.0,
+                            old_seq,
+                            new_seq: seq,
+                        },
+                    );
+                }
+                self.child_reports.insert(from, (seq, total));
+            }
+            Some(_) => {} // Stale (lower-sequence) report: ignore.
+            None => {
+                self.child_reports.insert(from, (seq, total));
+            }
         }
-        let mut cmds = Vec::new();
-        self.after_change(now, &mut cmds);
-        cmds
+        self.after_change(now, cmds);
     }
 
     fn learn_pred(&mut self, node: NodeId, pred: Option<NodeId>) {
@@ -400,6 +557,7 @@ impl Checkpoint {
     fn after_change(&mut self, now: f64, cmds: &mut Vec<Command>) {
         if self.active && self.stable_at.is_none() && self.all_stopped() {
             self.stable_at = Some(now);
+            self.emit(now, ProtocolEvent::CheckpointStable { node: self.id.0 });
         }
         if self.stable_at.is_some() && self.children_known() {
             let children = self.children();
@@ -423,6 +581,15 @@ impl Checkpoint {
                                 total,
                                 seq: self.report_seq,
                             });
+                            self.emit(
+                                now,
+                                ProtocolEvent::ReportSent {
+                                    node: self.id.0,
+                                    to: p.0,
+                                    total,
+                                    seq: self.report_seq,
+                                },
+                            );
                         }
                     }
                 }
@@ -452,6 +619,162 @@ impl Checkpoint {
             .filter(|(_, v)| self.known_preds.get(v) == Some(&Some(self.id)))
             .map(|(_, v)| *v)
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated per-event entry points (pre-`handle` API)
+    // ------------------------------------------------------------------
+
+    /// A vehicle entered the surveillance.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Entered { .. }, now); removal is slated for the next release"
+    )]
+    pub fn on_vehicle_entered(
+        &mut self,
+        now: f64,
+        via: Option<EdgeId>,
+        class: &VehicleClass,
+        label: Option<Label>,
+    ) -> EnterOutcome {
+        let start = self.events.len();
+        let commands = self.handle(
+            Observation::Entered {
+                vehicle: UNKNOWN_VEHICLE,
+                via,
+                class: *class,
+                label,
+            },
+            now,
+        );
+        let mut out = EnterOutcome {
+            commands,
+            ..Default::default()
+        };
+        for (_, ev) in &self.events[start..] {
+            match *ev {
+                ProtocolEvent::VehicleCounted { .. } | ProtocolEvent::BorderEntry { .. } => {
+                    out.counted = true
+                }
+                ProtocolEvent::CheckpointActivated { .. } => out.activated = true,
+                ProtocolEvent::InboundStopped { edge, .. } => out.stopped = Some(EdgeId(edge)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The handoff for `onto` was acknowledged.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Departed { delivered: true, .. }, now)"
+    )]
+    pub fn label_delivered(&mut self, onto: EdgeId) {
+        let now = self.last_now;
+        self.handle(
+            Observation::Departed {
+                vehicle: UNKNOWN_VEHICLE,
+                onto,
+                delivered: true,
+                matches_filter: false,
+            },
+            now,
+        );
+    }
+
+    /// The handoff failed (Alg. 3 line 3).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Departed { delivered: false, .. }, now)"
+    )]
+    pub fn label_handoff_failed(
+        &mut self,
+        now: f64,
+        onto: EdgeId,
+        matches_filter: bool,
+    ) -> Vec<Command> {
+        self.handle(
+            Observation::Departed {
+                vehicle: UNKNOWN_VEHICLE,
+                onto,
+                delivered: false,
+                matches_filter,
+            },
+            now,
+        )
+    }
+
+    /// A vehicle left the region through this border checkpoint. Returns
+    /// whether the exit was counted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::BorderExit { .. }, now)"
+    )]
+    pub fn on_vehicle_exited(&mut self, now: f64, class: &VehicleClass) -> bool {
+        let start = self.events.len();
+        self.handle(
+            Observation::BorderExit {
+                vehicle: UNKNOWN_VEHICLE,
+                class: *class,
+            },
+            now,
+        );
+        self.events[start..]
+            .iter()
+            .any(|(_, ev)| matches!(ev, ProtocolEvent::BorderExit { .. }))
+    }
+
+    /// A patrol car arrived carrying a status snapshot.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::PatrolStatus { .. }, now)"
+    )]
+    pub fn on_patrol_status(&mut self, now: f64, status: &PatrolStatus) -> Vec<Command> {
+        self.handle(
+            Observation::PatrolStatus {
+                vehicle: UNKNOWN_VEHICLE,
+                status: status.clone(),
+            },
+            now,
+        )
+    }
+
+    /// A relayed predecessor announcement from a one-way downstream
+    /// neighbour.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Announce { .. }, now)"
+    )]
+    pub fn on_pred_announce(
+        &mut self,
+        now: f64,
+        from: NodeId,
+        pred: Option<NodeId>,
+    ) -> Vec<Command> {
+        self.handle(Observation::Announce { from, pred }, now)
+    }
+
+    /// A child's subtree report arrived.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Report { .. }, now)"
+    )]
+    pub fn on_report(&mut self, now: f64, from: NodeId, total: i64, seq: u32) -> Vec<Command> {
+        self.handle(Observation::Report { from, total, seq }, now)
+    }
+
+    /// Applies a finalized segment-watch adjustment to `c(u)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Checkpoint::handle(Observation::Adjust { .. }, now)"
+    )]
+    pub fn apply_overtake_adjustment(
+        &mut self,
+        now: f64,
+        plus: usize,
+        minus: usize,
+    ) -> Vec<Command> {
+        self.handle(Observation::Adjust { plus, minus }, now)
     }
 
     // ------------------------------------------------------------------
@@ -567,6 +890,7 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcount_obs::EventKind;
     use vcount_roadnet::builders::fig1_triangle;
     use vcount_v2x::{ClassFilter, VehicleClass};
 
@@ -585,12 +909,37 @@ mod tests {
         (net, cps)
     }
 
+    /// Feeds an entry observation with a throwaway vehicle id.
+    fn enter(
+        cp: &mut Checkpoint,
+        now: f64,
+        via: Option<EdgeId>,
+        class: VehicleClass,
+        label: Option<Label>,
+    ) -> Vec<Command> {
+        cp.handle(
+            Observation::Entered {
+                vehicle: VehicleId(77),
+                via,
+                class,
+                label,
+            },
+            now,
+        )
+    }
+
+    /// Kinds of the events a call buffered, in order.
+    fn kinds_since(cp: &mut Checkpoint) -> Vec<EventKind> {
+        cp.take_events().iter().map(|(_, e)| e.kind()).collect()
+    }
+
     #[test]
     fn seed_activation_starts_all_inbound_counting() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         let cmds = cps[0].activate_as_seed(0.0);
         assert!(cmds.is_empty(), "bidirectional triangle needs no announces");
         assert!(cps[0].is_active() && cps[0].is_seed());
+        assert_eq!(kinds_since(&mut cps[0]), [EventKind::CheckpointActivated]);
         for &e in net.in_edges(NodeId(0)) {
             assert_eq!(cps[0].inbound_state(e), InboundState::Counting);
         }
@@ -604,12 +953,13 @@ mod tests {
     fn unlabeled_vehicle_is_counted_once_active() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         let e = net.edge_between(NodeId(1), NodeId(0)).unwrap();
-        // Inactive: not counted.
-        let out = cps[0].on_vehicle_entered(0.0, Some(e), &CAR, None);
-        assert!(!out.counted);
+        // Inactive: not counted, no event.
+        enter(&mut cps[0], 0.0, Some(e), CAR, None);
+        assert!(kinds_since(&mut cps[0]).is_empty());
         cps[0].activate_as_seed(1.0);
-        let out = cps[0].on_vehicle_entered(2.0, Some(e), &CAR, None);
-        assert!(out.counted);
+        cps[0].take_events();
+        enter(&mut cps[0], 2.0, Some(e), CAR, None);
+        assert_eq!(kinds_since(&mut cps[0]), [EventKind::VehicleCounted]);
         assert_eq!(cps[0].local_count(), 1);
         assert_eq!(cps[0].counters().inbound(e), 1);
     }
@@ -622,9 +972,23 @@ mod tests {
             .offer_label(net.edge_between(NodeId(0), NodeId(1)).unwrap())
             .unwrap();
         let via = net.edge_between(NodeId(0), NodeId(1)).unwrap();
-        let out = cps[1].on_vehicle_entered(5.0, Some(via), &CAR, Some(label));
-        assert!(out.activated);
-        assert!(!out.counted, "labeled vehicle is never counted");
+        enter(&mut cps[1], 5.0, Some(via), CAR, Some(label));
+        let events = cps[1].take_events();
+        assert!(matches!(
+            events[0].1,
+            ProtocolEvent::CheckpointActivated {
+                node: 1,
+                pred: Some(0),
+                wave_seed: 0,
+                is_seed: false,
+            }
+        ));
+        assert!(
+            !events
+                .iter()
+                .any(|(_, e)| e.kind() == EventKind::VehicleCounted),
+            "labeled vehicle is never counted"
+        );
         assert_eq!(cps[1].pred(), Some(NodeId(0)));
         // Direction from the predecessor never counts.
         assert_eq!(cps[1].inbound_state(via), InboundState::Stopped);
@@ -639,19 +1003,24 @@ mod tests {
         cps[0].activate_as_seed(0.0);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         // Count two cars first.
-        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
-        cps[0].on_vehicle_entered(2.0, Some(from1), &CAR, None);
+        enter(&mut cps[0], 1.0, Some(from1), CAR, None);
+        enter(&mut cps[0], 2.0, Some(from1), CAR, None);
+        cps[0].take_events();
         // Node 1's backwash label arrives.
         let label = Label {
             origin: NodeId(1),
             origin_pred: Some(NodeId(0)),
             seed: NodeId(0),
         };
-        let out = cps[0].on_vehicle_entered(3.0, Some(from1), &CAR, Some(label));
-        assert_eq!(out.stopped, Some(from1));
+        enter(&mut cps[0], 3.0, Some(from1), CAR, Some(label));
+        let events = cps[0].take_events();
+        assert!(matches!(
+            events[0].1,
+            ProtocolEvent::InboundStopped { node: 0, edge } if edge == from1.0
+        ));
         // Further arrivals on that direction are not counted.
-        let out = cps[0].on_vehicle_entered(4.0, Some(from1), &CAR, None);
-        assert!(!out.counted);
+        enter(&mut cps[0], 4.0, Some(from1), CAR, None);
+        assert!(kinds_since(&mut cps[0]).is_empty());
         assert_eq!(cps[0].local_count(), 2);
     }
 
@@ -667,16 +1036,21 @@ mod tests {
             origin_pred: Some(NodeId(0)),
             seed: NodeId(0),
         };
-        cps[0].on_vehicle_entered(5.0, Some(from1), &CAR, Some(l1));
+        enter(&mut cps[0], 5.0, Some(from1), CAR, Some(l1));
         assert!(!cps[0].is_stable());
         let l2 = Label {
             origin: NodeId(2),
             origin_pred: Some(NodeId(1)),
             seed: NodeId(0),
         };
-        cps[0].on_vehicle_entered(7.0, Some(from2), &CAR, Some(l2));
+        cps[0].take_events();
+        enter(&mut cps[0], 7.0, Some(from2), CAR, Some(l2));
         assert!(cps[0].is_stable());
         assert_eq!(cps[0].stable_at(), Some(7.0));
+        assert_eq!(
+            kinds_since(&mut cps[0]),
+            [EventKind::InboundStopped, EventKind::CheckpointStable]
+        );
     }
 
     #[test]
@@ -685,54 +1059,72 @@ mod tests {
         // reports 2→1→0, global view at the seed.
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         let e = |a: u32, b: u32| net.edge_between(NodeId(a), NodeId(b)).unwrap();
+        let deliver = |cp: &mut Checkpoint, onto: EdgeId, t: f64| {
+            let label = cp.offer_label(onto).unwrap();
+            cp.handle(
+                Observation::Departed {
+                    vehicle: VehicleId(7),
+                    onto,
+                    delivered: true,
+                    matches_filter: true,
+                },
+                t,
+            );
+            label
+        };
         cps[0].activate_as_seed(0.0);
 
         // Seed counts one car from each side.
-        cps[0].on_vehicle_entered(1.0, Some(e(1, 0)), &CAR, None);
-        cps[0].on_vehicle_entered(1.0, Some(e(2, 0)), &CAR, None);
+        enter(&mut cps[0], 1.0, Some(e(1, 0)), CAR, None);
+        enter(&mut cps[0], 1.0, Some(e(2, 0)), CAR, None);
 
         // Wave to 1.
-        let l01 = cps[0].offer_label(e(0, 1)).unwrap();
-        cps[0].label_delivered(e(0, 1));
-        cps[1].on_vehicle_entered(3.0, Some(e(0, 1)), &CAR, Some(l01));
+        let l01 = deliver(&mut cps[0], e(0, 1), 2.0);
+        enter(&mut cps[1], 3.0, Some(e(0, 1)), CAR, Some(l01));
         // 1 counts a car arriving from 2.
-        cps[1].on_vehicle_entered(4.0, Some(e(2, 1)), &CAR, None);
+        enter(&mut cps[1], 4.0, Some(e(2, 1)), CAR, None);
 
         // Wave to 2 (from 1).
-        let l12 = cps[1].offer_label(e(1, 2)).unwrap();
-        cps[1].label_delivered(e(1, 2));
-        cps[2].on_vehicle_entered(5.0, Some(e(1, 2)), &CAR, Some(l12));
+        let l12 = deliver(&mut cps[1], e(1, 2), 4.5);
+        enter(&mut cps[2], 5.0, Some(e(1, 2)), CAR, Some(l12));
         // Seed's label on 0→2 stops 2's remaining counting direction and
         // completes 2's child discovery: 2 reports (no children).
-        let l02 = cps[0].offer_label(e(0, 2)).unwrap();
-        cps[0].label_delivered(e(0, 2));
-        let out2 = cps[2].on_vehicle_entered(5.5, Some(e(0, 2)), &CAR, Some(l02));
+        let l02 = deliver(&mut cps[0], e(0, 2), 5.2);
+        let cmds2 = enter(&mut cps[2], 5.5, Some(e(0, 2)), CAR, Some(l02));
         assert!(cps[2].is_stable());
         assert_eq!(
-            out2.commands,
+            cmds2,
             vec![Command::SendReport {
                 to: NodeId(1),
                 total: 0,
                 seq: 1
             }]
         );
+        assert!(cps[2]
+            .take_events()
+            .iter()
+            .any(|(_, ev)| matches!(ev, ProtocolEvent::ReportSent { node: 2, to: 1, .. })));
 
         // Backwash labels: 1→0, 2→0, 2→1.
-        let l10 = cps[1].offer_label(e(1, 0)).unwrap();
-        cps[1].label_delivered(e(1, 0));
-        cps[0].on_vehicle_entered(6.0, Some(e(1, 0)), &CAR, Some(l10));
-        let l20 = cps[2].offer_label(e(2, 0)).unwrap();
-        cps[2].label_delivered(e(2, 0));
-        cps[0].on_vehicle_entered(7.0, Some(e(2, 0)), &CAR, Some(l20));
-        let l21 = cps[2].offer_label(e(2, 1)).unwrap();
-        cps[2].label_delivered(e(2, 1));
-        let out = cps[1].on_vehicle_entered(8.0, Some(e(2, 1)), &CAR, Some(l21));
+        let l10 = deliver(&mut cps[1], e(1, 0), 5.8);
+        enter(&mut cps[0], 6.0, Some(e(1, 0)), CAR, Some(l10));
+        let l20 = deliver(&mut cps[2], e(2, 0), 6.5);
+        enter(&mut cps[0], 7.0, Some(e(2, 0)), CAR, Some(l20));
+        let l21 = deliver(&mut cps[2], e(2, 1), 7.5);
+        let cmds = enter(&mut cps[1], 8.0, Some(e(2, 1)), CAR, Some(l21));
         assert!(cps[0].is_stable() && cps[1].is_stable());
-        assert!(out.commands.is_empty(), "1 still waits for 2's report");
+        assert!(cmds.is_empty(), "1 still waits for 2's report");
         assert_eq!(cps[2].tree_total(), Some(0));
 
         // Transport 2's report to 1, then 1's to the seed.
-        let cmds = cps[1].on_report(9.0, NodeId(2), 0, 1);
+        let cmds = cps[1].handle(
+            Observation::Report {
+                from: NodeId(2),
+                total: 0,
+                seq: 1,
+            },
+            9.0,
+        );
         assert_eq!(
             cmds,
             vec![Command::SendReport {
@@ -741,7 +1133,14 @@ mod tests {
                 seq: 1
             }]
         );
-        cps[0].on_report(10.0, NodeId(1), 1, 1);
+        cps[0].handle(
+            Observation::Report {
+                from: NodeId(1),
+                total: 1,
+                seq: 1,
+            },
+            10.0,
+        );
         // Global view at the seed: 2 counted at 0, 1 at 1, 0 at 2.
         assert_eq!(cps[0].tree_total(), Some(3));
         assert_eq!(cps[0].collected_at(), Some(10.0));
@@ -753,14 +1152,43 @@ mod tests {
         cps[0].activate_as_seed(0.0);
         let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
         assert!(cps[0].offer_label(e01).is_some());
-        cps[0].label_handoff_failed(0.5, e01, true);
+        cps[0].take_events();
+        cps[0].handle(
+            Observation::Departed {
+                vehicle: VehicleId(3),
+                onto: e01,
+                delivered: false,
+                matches_filter: true,
+            },
+            0.5,
+        );
         assert_eq!(cps[0].local_count(), -1, "Alg. 3 line 3 compensation");
+        assert_eq!(
+            kinds_since(&mut cps[0]),
+            [
+                EventKind::LabelEmitted,
+                EventKind::LabelHandoffFailed,
+                EventKind::LossCompensation
+            ]
+        );
         // Still pending: retry with the next vehicle.
         assert!(cps[0].offer_label(e01).is_some());
-        cps[0].label_delivered(e01);
+        cps[0].handle(
+            Observation::Departed {
+                vehicle: VehicleId(4),
+                onto: e01,
+                delivered: true,
+                matches_filter: true,
+            },
+            0.9,
+        );
         assert!(
             cps[0].offer_label(e01).is_none(),
             "exactly one label per direction"
+        );
+        assert_eq!(
+            kinds_since(&mut cps[0]),
+            [EventKind::LabelEmitted, EventKind::LabelHandoffAcked]
         );
     }
 
@@ -772,7 +1200,15 @@ mod tests {
         });
         cps[0].activate_as_seed(0.0);
         let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
-        cps[0].label_handoff_failed(0.5, e01, false);
+        cps[0].handle(
+            Observation::Departed {
+                vehicle: VehicleId(3),
+                onto: e01,
+                delivered: false,
+                matches_filter: false,
+            },
+            0.5,
+        );
         assert_eq!(cps[0].local_count(), 0);
     }
 
@@ -784,8 +1220,8 @@ mod tests {
         });
         cps[0].activate_as_seed(0.0);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
-        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
-        cps[0].on_vehicle_entered(2.0, Some(from1), &VehicleClass::WHITE_VAN, None);
+        enter(&mut cps[0], 1.0, Some(from1), CAR, None);
+        enter(&mut cps[0], 2.0, Some(from1), VehicleClass::WHITE_VAN, None);
         assert_eq!(cps[0].local_count(), 1);
     }
 
@@ -793,9 +1229,10 @@ mod tests {
     fn patrol_cars_are_never_counted() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         cps[0].activate_as_seed(0.0);
+        cps[0].take_events();
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
-        let out = cps[0].on_vehicle_entered(1.0, Some(from1), &VehicleClass::PATROL, None);
-        assert!(!out.counted);
+        enter(&mut cps[0], 1.0, Some(from1), VehicleClass::PATROL, None);
+        assert!(kinds_since(&mut cps[0]).is_empty());
         assert_eq!(cps[0].local_count(), 0);
     }
 
@@ -803,10 +1240,20 @@ mod tests {
     fn overtake_adjustments_shift_local_count() {
         let (_, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         cps[0].activate_as_seed(0.0);
-        cps[0].apply_overtake_adjustment(1.0, 2, 1);
+        cps[0].take_events();
+        cps[0].handle(Observation::Adjust { plus: 2, minus: 1 }, 1.0);
         assert_eq!(cps[0].local_count(), 1);
-        cps[0].apply_overtake_adjustment(2.0, 0, 3);
+        cps[0].handle(Observation::Adjust { plus: 0, minus: 3 }, 2.0);
         assert_eq!(cps[0].local_count(), -2);
+        let events = cps[0].take_events();
+        assert!(matches!(
+            events[0].1,
+            ProtocolEvent::OvertakeAdjustment {
+                node: 0,
+                plus: 2,
+                minus: 1
+            }
+        ));
     }
 
     #[test]
@@ -824,14 +1271,33 @@ mod tests {
         };
         let cfg = CheckpointConfig::for_variant(ProtocolVariant::Open);
         let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
+        let exit = |cp: &mut Checkpoint, t: f64| {
+            cp.handle(
+                Observation::BorderExit {
+                    vehicle: VehicleId(9),
+                    class: CAR,
+                },
+                t,
+            );
+        };
         // Inactive: escapes are allowed (Cor. 2).
-        assert!(!cp.on_vehicle_exited(0.0, &CAR));
-        cp.on_vehicle_entered(0.5, None, &CAR, None);
+        exit(&mut cp, 0.0);
+        enter(&mut cp, 0.5, None, CAR, None);
         assert_eq!(cp.interaction_net(), 0);
+        assert!(kinds_since(&mut cp).is_empty(), "inactive: no events");
         cp.activate_as_seed(1.0);
-        cp.on_vehicle_entered(2.0, None, &CAR, None);
-        assert!(cp.on_vehicle_exited(3.0, &CAR));
-        cp.on_vehicle_entered(4.0, None, &CAR, None);
+        cp.take_events();
+        enter(&mut cp, 2.0, None, CAR, None);
+        exit(&mut cp, 3.0);
+        enter(&mut cp, 4.0, None, CAR, None);
+        assert_eq!(
+            kinds_since(&mut cp),
+            [
+                EventKind::BorderEntry,
+                EventKind::BorderExit,
+                EventKind::BorderEntry
+            ]
+        );
         assert_eq!(cp.interaction_net(), 1);
         assert_eq!(cp.local_count(), 0, "interaction is separate");
     }
@@ -848,8 +1314,14 @@ mod tests {
         );
         let mut cp = Checkpoint::new(&net, NodeId(0), CheckpointConfig::default());
         cp.activate_as_seed(0.0);
-        cp.on_vehicle_entered(1.0, None, &CAR, None);
-        assert!(!cp.on_vehicle_exited(2.0, &CAR));
+        enter(&mut cp, 1.0, None, CAR, None);
+        cp.handle(
+            Observation::BorderExit {
+                vehicle: VehicleId(9),
+                class: CAR,
+            },
+            2.0,
+        );
         assert_eq!(cp.interaction_net(), 0);
     }
 
@@ -863,10 +1335,14 @@ mod tests {
             origin_pred: Some(NodeId(0)),
             seed: NodeId(0),
         };
-        cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, Some(l));
+        enter(&mut cps[0], 1.0, Some(from1), CAR, Some(l));
         let before = cps[0].local_count();
-        let out = cps[0].on_vehicle_entered(2.0, Some(from1), &CAR, Some(l));
-        assert_eq!(out.stopped, None);
+        cps[0].take_events();
+        enter(&mut cps[0], 2.0, Some(from1), CAR, Some(l));
+        assert!(
+            kinds_since(&mut cps[0]).is_empty(),
+            "no second stop, no count"
+        );
         assert_eq!(cps[0].local_count(), before);
     }
 
@@ -879,11 +1355,27 @@ mod tests {
         };
         let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
         cp.activate_as_seed(0.0);
+        cp.take_events();
         let mut status = PatrolStatus::default();
         status.observe(NodeId(1), true);
         status.observe(NodeId(2), true);
-        cp.on_patrol_status(5.0, &status);
+        cp.handle(
+            Observation::PatrolStatus {
+                vehicle: VehicleId(2),
+                status,
+            },
+            5.0,
+        );
         assert!(cp.is_stable(), "statuses stopped every inbound direction");
+        assert_eq!(
+            kinds_since(&mut cp),
+            [
+                EventKind::PatrolStatusRelay,
+                EventKind::InboundStopped,
+                EventKind::InboundStopped,
+                EventKind::CheckpointStable
+            ]
+        );
     }
 
     #[test]
@@ -893,7 +1385,13 @@ mod tests {
         let mut status = PatrolStatus::default();
         status.observe(NodeId(1), true);
         status.observe(NodeId(2), true);
-        cps[0].on_patrol_status(5.0, &status);
+        cps[0].handle(
+            Observation::PatrolStatus {
+                vehicle: VehicleId(2),
+                status,
+            },
+            5.0,
+        );
         assert!(!cps[0].is_stable());
     }
 
@@ -912,16 +1410,129 @@ mod tests {
         let e01 = net.edge_between(a, b).unwrap();
         let e10 = net.edge_between(b, a).unwrap();
         let l = cp0.offer_label(e01).unwrap();
-        cp0.label_delivered(e01);
-        cp1.on_vehicle_entered(1.0, Some(e01), &CAR, Some(l));
+        cp0.handle(
+            Observation::Departed {
+                vehicle: VehicleId(1),
+                onto: e01,
+                delivered: true,
+                matches_filter: true,
+            },
+            0.5,
+        );
+        enter(&mut cp1, 1.0, Some(e01), CAR, Some(l));
         let l_back = cp1.offer_label(e10).unwrap();
-        cp1.label_delivered(e10);
-        cp0.on_vehicle_entered(2.0, Some(e10), &CAR, Some(l_back));
+        cp1.handle(
+            Observation::Departed {
+                vehicle: VehicleId(2),
+                onto: e10,
+                delivered: true,
+                matches_filter: true,
+            },
+            1.5,
+        );
+        enter(&mut cp0, 2.0, Some(e10), CAR, Some(l_back));
         assert!(cp0.is_stable());
         // 1 is also stable (its only non-pred inbound set is empty).
         assert!(cp1.is_stable());
         // 1 reports 0 vehicles; 0 aggregates.
-        cp0.on_report(3.0, b, 0, 1);
+        cp0.handle(
+            Observation::Report {
+                from: b,
+                total: 0,
+                seq: 1,
+            },
+            3.0,
+        );
         assert_eq!(cp0.tree_total(), Some(0));
+    }
+
+    #[test]
+    fn higher_sequence_report_supersedes_and_is_observable() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        let _ = net;
+        cps[0].activate_as_seed(0.0);
+        cps[0].take_events();
+        cps[0].handle(
+            Observation::Report {
+                from: NodeId(1),
+                total: 5,
+                seq: 1,
+            },
+            1.0,
+        );
+        assert!(kinds_since(&mut cps[0]).is_empty(), "first report: no dup");
+        // Stale report is ignored, no event.
+        cps[0].handle(
+            Observation::Report {
+                from: NodeId(1),
+                total: 99,
+                seq: 0,
+            },
+            2.0,
+        );
+        assert!(kinds_since(&mut cps[0]).is_empty());
+        // Higher sequence supersedes.
+        cps[0].handle(
+            Observation::Report {
+                from: NodeId(1),
+                total: 4,
+                seq: 2,
+            },
+            3.0,
+        );
+        let events = cps[0].take_events();
+        assert!(matches!(
+            events[0].1,
+            ProtocolEvent::ReportSuperseded {
+                node: 0,
+                child: 1,
+                old_seq: 1,
+                new_seq: 2
+            }
+        ));
+    }
+
+    /// The pre-`handle` entry points must keep their exact behaviour for
+    /// one more release (migration window).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_handle_semantics() {
+        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
+        cps[0].activate_as_seed(0.0);
+        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
+        let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
+
+        let out = cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
+        assert!(out.counted && !out.activated && out.stopped.is_none());
+        assert_eq!(cps[0].local_count(), 1);
+
+        let cmds = cps[0].label_handoff_failed(2.0, e01, true);
+        assert!(cmds.is_empty());
+        assert_eq!(cps[0].local_count(), 0, "compensated");
+        assert!(cps[0].offer_label(e01).is_some(), "still pending");
+        cps[0].label_delivered(e01);
+        assert!(cps[0].offer_label(e01).is_none());
+
+        let l = Label {
+            origin: NodeId(1),
+            origin_pred: Some(NodeId(0)),
+            seed: NodeId(0),
+        };
+        let out = cps[0].on_vehicle_entered(3.0, Some(from1), &CAR, Some(l));
+        assert_eq!(out.stopped, Some(from1));
+
+        cps[0].apply_overtake_adjustment(4.0, 1, 0);
+        assert_eq!(cps[0].local_count(), 1);
+
+        cps[0].on_pred_announce(5.0, NodeId(2), Some(NodeId(0)));
+        cps[0].on_report(6.0, NodeId(1), 2, 1);
+        let status = PatrolStatus::default();
+        cps[0].on_patrol_status(7.0, &status);
+        // Events were emitted throughout with the sentinel vehicle id.
+        assert!(cps[0]
+            .take_events()
+            .iter()
+            .filter_map(|(_, e)| e.vehicle())
+            .all(|v| v == UNKNOWN_VEHICLE.0));
     }
 }

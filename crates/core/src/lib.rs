@@ -17,9 +17,11 @@
 //! * [`baseline`] — the unsynchronized baselines the paper argues against.
 //!
 //! The state machine is pure (no I/O, no clock, no RNG): a harness feeds
-//! observations and performs the returned transport [`command::Command`]s.
-//! `vcount-sim` wires it to the traffic and V2X substrates; the unit tests
-//! here drive it directly.
+//! [`observation::Observation`]s to [`checkpoint::Checkpoint::handle`] and
+//! performs the returned transport [`command::Command`]s; alongside, the
+//! machine buffers structured [`vcount_obs::ProtocolEvent`]s for
+//! observability sinks. `vcount-sim` wires it to the traffic and V2X
+//! substrates; the unit tests here drive it directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,9 +31,12 @@ pub mod checkpoint;
 pub mod command;
 pub mod config;
 pub mod counter;
+pub mod observation;
 
 pub use baseline::{ClassDedupCounter, NaiveIntervalCounter};
-pub use checkpoint::{Checkpoint, InboundState, LabelState};
+pub use checkpoint::{Checkpoint, InboundState, LabelState, UNKNOWN_VEHICLE};
 pub use command::{Command, EnterOutcome};
 pub use config::{CheckpointConfig, ProtocolVariant};
 pub use counter::Counters;
+pub use observation::Observation;
+pub use vcount_obs::{EventKind, ProtocolEvent};

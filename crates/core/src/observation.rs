@@ -1,0 +1,84 @@
+//! The unified checkpoint input: everything real checkpoint equipment can
+//! observe, as one enum consumed by [`crate::Checkpoint::handle`].
+//!
+//! Collapsing the per-event entry points into a single dispatch keeps the
+//! protocol surface one function wide: harnesses construct observations,
+//! the state machine reacts, and every reaction can emit structured
+//! [`vcount_obs::ProtocolEvent`]s from exactly one place.
+
+use vcount_roadnet::{EdgeId, NodeId};
+use vcount_v2x::{Label, PatrolStatus, VehicleClass, VehicleId};
+
+/// One observation made at a checkpoint, fed to
+/// [`crate::Checkpoint::handle`] together with the current time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observation {
+    /// A vehicle entered the checkpoint's surveillance: `via` is the
+    /// inbound direction (`None` for an entry from outside the region at a
+    /// border checkpoint), `label` any label it carries — now delivered.
+    Entered {
+        /// The entering vehicle.
+        vehicle: VehicleId,
+        /// The inbound direction, or `None` for a border entry.
+        via: Option<EdgeId>,
+        /// The vehicle's exterior class as recognised by the cameras.
+        class: VehicleClass,
+        /// A carried activation label, if any.
+        label: Option<Label>,
+    },
+    /// A vehicle departed onto `onto` while a label was pending there, and
+    /// the handoff exchange completed with the given outcome. The caller
+    /// first checks [`crate::Checkpoint::offer_label`] and performs the
+    /// (lossy) exchange; this observation reports the result.
+    Departed {
+        /// The departing vehicle (the label carrier, or the escapee).
+        vehicle: VehicleId,
+        /// The outbound direction it joined.
+        onto: EdgeId,
+        /// Whether the handoff was delivered and acknowledged.
+        delivered: bool,
+        /// Whether the vehicle is one this deployment counts (drives the
+        /// −1 compensation on failure, Alg. 3 line 3).
+        matches_filter: bool,
+    },
+    /// A vehicle left the region through this border checkpoint
+    /// (outbound interaction, Alg. 5).
+    BorderExit {
+        /// The leaving vehicle.
+        vehicle: VehicleId,
+        /// Its exterior class.
+        class: VehicleClass,
+    },
+    /// A patrol car arrived carrying a status snapshot (Theorem 3).
+    PatrolStatus {
+        /// The patrol car.
+        vehicle: VehicleId,
+        /// The snapshot it carries.
+        status: PatrolStatus,
+    },
+    /// A relayed (or patrol-carried) predecessor announcement from a
+    /// one-way downstream neighbour.
+    Announce {
+        /// The announcing checkpoint.
+        from: NodeId,
+        /// Its predecessor (`None` at a seed).
+        pred: Option<NodeId>,
+    },
+    /// A child's subtree report arrived (Alg. 2 phase 1 / Alg. 4 phase 2).
+    Report {
+        /// The reporting child.
+        from: NodeId,
+        /// Its subtree total.
+        total: i64,
+        /// The report's sequence number (highest wins).
+        seq: u32,
+    },
+    /// A finalized segment-watch adjustment for `c(u)` (Alg. 3 lines 5–8);
+    /// `plus` and `minus` count matching vehicles only.
+    Adjust {
+        /// Vehicles that fell behind the label after being counted.
+        plus: usize,
+        /// Vehicles that jumped ahead of the label uncounted.
+        minus: usize,
+    },
+}

@@ -1,16 +1,74 @@
 //! Hand-driven protocol scenarios exercising the extensions: one-way
 //! streets (Theorem 2), multi-seed waves, report re-issue ordering, and
-//! open-system interaction accounting.
+//! open-system interaction accounting — all through the unified
+//! [`Checkpoint::handle`] entry point.
 
-use vcount_core::{Checkpoint, CheckpointConfig, Command, InboundState, ProtocolVariant};
-use vcount_roadnet::{Interaction, NodeId, Point, RoadNetwork};
-use vcount_v2x::{BodyType, Brand, Color, Label, VehicleClass};
+use vcount_core::{
+    Checkpoint, CheckpointConfig, Command, InboundState, Observation, ProtocolEvent,
+    ProtocolVariant,
+};
+use vcount_roadnet::{EdgeId, Interaction, NodeId, Point, RoadNetwork};
+use vcount_v2x::{BodyType, Brand, Color, Label, VehicleClass, VehicleId};
 
 const CAR: VehicleClass = VehicleClass {
     color: Color::Black,
     brand: Brand::Everest,
     body: BodyType::Suv,
 };
+
+/// What one `Entered` observation did, reconstructed from the event
+/// stream (the old `EnterOutcome`, derived rather than returned).
+struct Entry {
+    counted: bool,
+    activated: bool,
+    stopped: Option<EdgeId>,
+    commands: Vec<Command>,
+}
+
+fn enter(cp: &mut Checkpoint, now: f64, via: Option<EdgeId>, label: Option<Label>) -> Entry {
+    cp.take_events();
+    let commands = cp.handle(
+        Observation::Entered {
+            vehicle: VehicleId(1),
+            via,
+            class: CAR,
+            label,
+        },
+        now,
+    );
+    let mut out = Entry {
+        counted: false,
+        activated: false,
+        stopped: None,
+        commands,
+    };
+    for (_, ev) in cp.take_events() {
+        match ev {
+            ProtocolEvent::VehicleCounted { .. } | ProtocolEvent::BorderEntry { .. } => {
+                out.counted = true
+            }
+            ProtocolEvent::CheckpointActivated { .. } => out.activated = true,
+            ProtocolEvent::InboundStopped { edge, .. } => out.stopped = Some(EdgeId(edge)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Offers the pending label on `onto` and acknowledges its delivery.
+fn deliver(cp: &mut Checkpoint, now: f64, onto: EdgeId) -> Label {
+    let label = cp.offer_label(onto).unwrap();
+    cp.handle(
+        Observation::Departed {
+            vehicle: VehicleId(1),
+            onto,
+            delivered: true,
+            matches_filter: true,
+        },
+        now,
+    );
+    label
+}
 
 /// u --> v one-way, plus a return path v -> w -> u (all one-way): the
 /// minimal network exercising Alg. 3's one-way handling end to end.
@@ -41,9 +99,8 @@ fn one_way_wave_propagates_and_stabilizes() {
     assert_eq!(cmds, vec![Command::SendPredAnnounce { to: w, pred: None }]);
 
     // Wave u -> v.
-    let l_uv = cu.offer_label(e(u, v)).unwrap();
-    cu.label_delivered(e(u, v));
-    let out = cv.on_vehicle_entered(10.0, Some(e(u, v)), &CAR, Some(l_uv));
+    let l_uv = deliver(&mut cu, 9.0, e(u, v));
+    let out = enter(&mut cv, 10.0, Some(e(u, v)), Some(l_uv));
     assert!(out.activated);
     assert_eq!(cv.pred(), Some(u));
     // v's only inbound came from its predecessor: v is stable immediately
@@ -59,9 +116,8 @@ fn one_way_wave_propagates_and_stabilizes() {
     );
 
     // Wave v -> w.
-    let l_vw = cv.offer_label(e(v, w)).unwrap();
-    cv.label_delivered(e(v, w));
-    let out = cw.on_vehicle_entered(20.0, Some(e(v, w)), &CAR, Some(l_vw));
+    let l_vw = deliver(&mut cv, 19.0, e(v, w));
+    let out = enter(&mut cw, 20.0, Some(e(v, w)), Some(l_vw));
     assert!(out.activated && cw.is_stable());
     assert_eq!(
         out.commands,
@@ -72,16 +128,33 @@ fn one_way_wave_propagates_and_stabilizes() {
     );
 
     // Wave w -> u closes the loop and stops u's counting.
-    let l_wu = cw.offer_label(e(w, u)).unwrap();
-    cw.label_delivered(e(w, u));
-    let out = cu.on_vehicle_entered(30.0, Some(e(w, u)), &CAR, Some(l_wu));
+    let l_wu = deliver(&mut cw, 29.0, e(w, u));
+    let out = enter(&mut cu, 30.0, Some(e(w, u)), Some(l_wu));
     assert_eq!(out.stopped, Some(e(w, u)));
     assert!(cu.is_stable());
 
     // Child discovery across one-way links: deliver the announces.
-    cu.on_pred_announce(35.0, v, Some(u));
-    cv.on_pred_announce(35.0, w, Some(v));
-    let cmds = cw.on_pred_announce(35.0, u, None);
+    cu.handle(
+        Observation::Announce {
+            from: v,
+            pred: Some(u),
+        },
+        35.0,
+    );
+    cv.handle(
+        Observation::Announce {
+            from: w,
+            pred: Some(v),
+        },
+        35.0,
+    );
+    let cmds = cw.handle(
+        Observation::Announce {
+            from: u,
+            pred: None,
+        },
+        35.0,
+    );
     // w has no children (u's pred is None): its report goes to pred v.
     assert!(matches!(
         cmds.as_slice(),
@@ -105,24 +178,16 @@ fn two_seeds_stop_each_other() {
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
     // Count one vehicle at each side first.
-    assert!(
-        cu.on_vehicle_entered(1.0, Some(e(v, u)), &CAR, None)
-            .counted
-    );
-    assert!(
-        cv.on_vehicle_entered(1.0, Some(e(u, v)), &CAR, None)
-            .counted
-    );
+    assert!(enter(&mut cu, 1.0, Some(e(v, u)), None).counted);
+    assert!(enter(&mut cv, 1.0, Some(e(u, v)), None).counted);
 
     // Exchange labels.
-    let l_uv = cu.offer_label(e(u, v)).unwrap();
-    cu.label_delivered(e(u, v));
-    let out = cv.on_vehicle_entered(5.0, Some(e(u, v)), &CAR, Some(l_uv));
+    let l_uv = deliver(&mut cu, 4.0, e(u, v));
+    let out = enter(&mut cv, 5.0, Some(e(u, v)), Some(l_uv));
     assert_eq!(out.stopped, Some(e(u, v)));
     assert!(!out.activated, "an active seed does not re-activate");
-    let l_vu = cv.offer_label(e(v, u)).unwrap();
-    cv.label_delivered(e(v, u));
-    cu.on_vehicle_entered(5.0, Some(e(v, u)), &CAR, Some(l_vu));
+    let l_vu = deliver(&mut cv, 4.0, e(v, u));
+    enter(&mut cu, 5.0, Some(e(v, u)), Some(l_vu));
 
     assert!(cu.is_stable() && cv.is_stable());
     // Forest: both remain roots; no reports flow; totals are local.
@@ -148,26 +213,31 @@ fn late_loss_compensation_triggers_re_report() {
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
     cs.activate_as_seed(0.0);
-    let l = cs.offer_label(e(s, u)).unwrap();
-    cs.label_delivered(e(s, u));
-    cu.on_vehicle_entered(1.0, Some(e(s, u)), &CAR, Some(l));
+    let l = deliver(&mut cs, 0.5, e(s, u));
+    enter(&mut cu, 1.0, Some(e(s, u)), Some(l));
     // u's backwash label stops the seed's counting of s<-u.
-    let l_us = cu.offer_label(e(u, s)).unwrap();
-    cu.label_delivered(e(u, s));
-    cs.on_vehicle_entered(1.5, Some(e(u, s)), &CAR, Some(l_us));
+    let l_us = deliver(&mut cu, 1.2, e(u, s));
+    enter(&mut cs, 1.5, Some(e(u, s)), Some(l_us));
     assert!(cs.is_stable());
     // u counts one vehicle from x, then x's backwash label stops it.
-    cu.on_vehicle_entered(2.0, Some(e(x, u)), &CAR, None);
+    enter(&mut cu, 2.0, Some(e(x, u)), None);
     let lx = Label {
         origin: x,
         origin_pred: Some(u),
         seed: s,
     };
-    let out = cu.on_vehicle_entered(3.0, Some(e(x, u)), &CAR, Some(lx));
+    let out = enter(&mut cu, 3.0, Some(e(x, u)), Some(lx));
     assert!(cu.is_stable());
     // u knows x is its child; x reports 0: u reports 1 to s.
     assert!(out.commands.is_empty());
-    let cmds = cu.on_report(4.0, x, 0, 1);
+    let cmds = cu.handle(
+        Observation::Report {
+            from: x,
+            total: 0,
+            seq: 1,
+        },
+        4.0,
+    );
     assert_eq!(
         cmds,
         vec![Command::SendReport {
@@ -176,12 +246,27 @@ fn late_loss_compensation_triggers_re_report() {
             seq: 1
         }]
     );
-    cs.on_report(5.0, u, 1, 1);
+    cs.handle(
+        Observation::Report {
+            from: u,
+            total: 1,
+            seq: 1,
+        },
+        5.0,
+    );
     assert_eq!(cs.tree_total(), Some(1 /* at u */));
 
     // NOW a label handoff on u -> x fails (it was still pending): the
     // compensation lands after u's report, so u must re-report.
-    let cmds = cu.label_handoff_failed(6.0, e(u, x), true);
+    let cmds = cu.handle(
+        Observation::Departed {
+            vehicle: VehicleId(2),
+            onto: e(u, x),
+            delivered: false,
+            matches_filter: true,
+        },
+        6.0,
+    );
     assert_eq!(
         cmds,
         vec![Command::SendReport {
@@ -191,11 +276,32 @@ fn late_loss_compensation_triggers_re_report() {
         }]
     );
     // An out-of-order stale report (seq 1) must not clobber seq 2.
-    cs.on_report(7.0, u, 1, 1);
-    cs.on_report(8.0, u, 0, 2);
+    cs.handle(
+        Observation::Report {
+            from: u,
+            total: 1,
+            seq: 1,
+        },
+        7.0,
+    );
+    cs.handle(
+        Observation::Report {
+            from: u,
+            total: 0,
+            seq: 2,
+        },
+        8.0,
+    );
     assert_eq!(cs.tree_total(), Some(0));
     // Replaying the stale one after the fresh one is ignored.
-    cs.on_report(9.0, u, 1, 1);
+    cs.handle(
+        Observation::Report {
+            from: u,
+            total: 1,
+            seq: 1,
+        },
+        9.0,
+    );
     assert_eq!(cs.tree_total(), Some(0));
 }
 
@@ -218,12 +324,15 @@ fn open_border_checkpoint_full_lifecycle() {
 
     cb.activate_as_seed(0.0);
     // Interior counting runs alongside interaction counting.
-    assert!(
-        cb.on_vehicle_entered(1.0, Some(e(i, b)), &CAR, None)
-            .counted
+    assert!(enter(&mut cb, 1.0, Some(e(i, b)), None).counted);
+    assert!(enter(&mut cb, 2.0, None, None).counted); // from outside
+    cb.handle(
+        Observation::BorderExit {
+            vehicle: VehicleId(1),
+            class: CAR,
+        },
+        3.0,
     );
-    assert!(cb.on_vehicle_entered(2.0, None, &CAR, None).counted); // from outside
-    assert!(cb.on_vehicle_exited(3.0, &CAR));
     assert_eq!(cb.local_count(), 1);
     assert_eq!(cb.interaction_net(), 0);
 
@@ -233,11 +342,11 @@ fn open_border_checkpoint_full_lifecycle() {
         origin_pred: Some(b),
         seed: b,
     };
-    cb.on_vehicle_entered(4.0, Some(e(i, b)), &CAR, Some(li));
+    enter(&mut cb, 4.0, Some(e(i, b)), Some(li));
     assert!(cb.is_stable());
     // Interaction counting NEVER stops (Alg. 5): more border traffic still
     // counts after stability.
-    assert!(cb.on_vehicle_entered(5.0, None, &CAR, None).counted);
+    assert!(enter(&mut cb, 5.0, None, None).counted);
     assert_eq!(cb.interaction_net(), 1);
 }
 

@@ -1,0 +1,215 @@
+//! Run-level telemetry: event counters plus wall-clock phase timings.
+
+use crate::event::{EventRecord, ProtocolEvent};
+use crate::sink::EventSink;
+use std::time::Duration;
+
+/// Aggregate event counts for one run. Every field is the number of events
+/// of the corresponding kind the sink saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Checkpoint activations (seeds included).
+    pub activations: u64,
+    /// Checkpoints whose counting stabilized.
+    pub stabilizations: u64,
+    /// Label handoff attempts.
+    pub labels_emitted: u64,
+    /// Acknowledged handoffs (= directions done labelling).
+    pub handoff_acks: u64,
+    /// Failed handoffs — each is a retry with the next vehicle.
+    pub handoff_retries: u64,
+    /// −1 loss compensations applied.
+    pub compensations: u64,
+    /// Inbound directions stopped by an arriving label.
+    pub inbound_stops: u64,
+    /// Phase-5 vehicle counts.
+    pub vehicles_counted: u64,
+    /// Finalized overtake adjustments (events, not net magnitude).
+    pub overtake_adjustments: u64,
+    /// Subtree reports sent toward predecessors (re-reports included).
+    pub reports_sent: u64,
+    /// Child reports superseded by a higher sequence number.
+    pub reports_superseded: u64,
+    /// Patrol status snapshots relayed to checkpoints.
+    pub patrol_relays: u64,
+    /// Border entries counted (+1 live interaction).
+    pub border_entries: u64,
+    /// Border exits counted (−1 live interaction).
+    pub border_exits: u64,
+}
+
+impl Counters {
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.activations
+            + self.stabilizations
+            + self.labels_emitted
+            + self.handoff_acks
+            + self.handoff_retries
+            + self.compensations
+            + self.inbound_stops
+            + self.vehicles_counted
+            + self.overtake_adjustments
+            + self.reports_sent
+            + self.reports_superseded
+            + self.patrol_relays
+            + self.border_entries
+            + self.border_exits
+    }
+
+    /// Field-wise sum, for aggregating replicates of a sweep cell.
+    pub fn merge(&mut self, other: &Counters) {
+        self.activations += other.activations;
+        self.stabilizations += other.stabilizations;
+        self.labels_emitted += other.labels_emitted;
+        self.handoff_acks += other.handoff_acks;
+        self.handoff_retries += other.handoff_retries;
+        self.compensations += other.compensations;
+        self.inbound_stops += other.inbound_stops;
+        self.vehicles_counted += other.vehicles_counted;
+        self.overtake_adjustments += other.overtake_adjustments;
+        self.reports_sent += other.reports_sent;
+        self.reports_superseded += other.reports_superseded;
+        self.patrol_relays += other.patrol_relays;
+        self.border_entries += other.border_entries;
+        self.border_exits += other.border_exits;
+    }
+}
+
+/// A phase of the driving loop, for wall-clock attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Advancing the traffic microsimulation.
+    TrafficStep = 0,
+    /// Driving checkpoint state machines from the event stream.
+    Protocol = 1,
+    /// Delivering due relay / patrol-carried messages.
+    Relay = 2,
+}
+
+/// Number of [`Phase`] variants.
+const PHASES: usize = 3;
+
+/// Aggregates [`Counters`] from the event stream and accepts per-phase
+/// wall-clock timings from the driving loop.
+#[derive(Debug, Clone, Default)]
+pub struct CountersSink {
+    counters: Counters,
+    phase_ns: [u64; PHASES],
+}
+
+impl CountersSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CountersSink::default()
+    }
+
+    /// The aggregated counts so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Adds wall-clock time spent in `phase`.
+    pub fn add_phase(&mut self, phase: Phase, elapsed: Duration) {
+        self.phase_ns[phase as usize] =
+            self.phase_ns[phase as usize].saturating_add(elapsed.as_nanos() as u64);
+    }
+
+    /// Wall-clock seconds attributed to `phase` so far.
+    pub fn phase_secs(&self, phase: Phase) -> f64 {
+        self.phase_ns[phase as usize] as f64 * 1e-9
+    }
+}
+
+impl EventSink for CountersSink {
+    fn record(&mut self, rec: &EventRecord) {
+        let c = &mut self.counters;
+        match rec.event {
+            ProtocolEvent::CheckpointActivated { .. } => c.activations += 1,
+            ProtocolEvent::CheckpointStable { .. } => c.stabilizations += 1,
+            ProtocolEvent::LabelEmitted { .. } => c.labels_emitted += 1,
+            ProtocolEvent::LabelHandoffAcked { .. } => c.handoff_acks += 1,
+            ProtocolEvent::LabelHandoffFailed { .. } => c.handoff_retries += 1,
+            ProtocolEvent::LossCompensation { .. } => c.compensations += 1,
+            ProtocolEvent::InboundStopped { .. } => c.inbound_stops += 1,
+            ProtocolEvent::VehicleCounted { .. } => c.vehicles_counted += 1,
+            ProtocolEvent::OvertakeAdjustment { .. } => c.overtake_adjustments += 1,
+            ProtocolEvent::ReportSent { .. } => c.reports_sent += 1,
+            ProtocolEvent::ReportSuperseded { .. } => c.reports_superseded += 1,
+            ProtocolEvent::PatrolStatusRelay { .. } => c.patrol_relays += 1,
+            ProtocolEvent::BorderEntry { .. } => c.border_entries += 1,
+            ProtocolEvent::BorderExit { .. } => c.border_exits += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(event: ProtocolEvent) -> EventRecord {
+        EventRecord {
+            time_s: 0.0,
+            seed_epoch: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut sink = CountersSink::new();
+        sink.record(&rec(ProtocolEvent::LabelEmitted {
+            node: 0,
+            edge: 0,
+            vehicle: 1,
+        }));
+        sink.record(&rec(ProtocolEvent::LabelHandoffFailed {
+            node: 0,
+            edge: 0,
+            vehicle: 1,
+        }));
+        sink.record(&rec(ProtocolEvent::LabelEmitted {
+            node: 0,
+            edge: 0,
+            vehicle: 2,
+        }));
+        sink.record(&rec(ProtocolEvent::LabelHandoffAcked {
+            node: 0,
+            edge: 0,
+            vehicle: 2,
+        }));
+        let c = sink.counters();
+        assert_eq!(c.labels_emitted, 2);
+        assert_eq!(c.handoff_retries, 1);
+        assert_eq!(c.handoff_acks, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = Counters {
+            reports_sent: 2,
+            ..Default::default()
+        };
+        let b = Counters {
+            reports_sent: 3,
+            compensations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reports_sent, 5);
+        assert_eq!(a.compensations, 1);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let mut sink = CountersSink::new();
+        sink.add_phase(Phase::TrafficStep, Duration::from_millis(5));
+        sink.add_phase(Phase::TrafficStep, Duration::from_millis(7));
+        sink.add_phase(Phase::Relay, Duration::from_millis(1));
+        assert!((sink.phase_secs(Phase::TrafficStep) - 0.012).abs() < 1e-9);
+        assert!((sink.phase_secs(Phase::Relay) - 0.001).abs() < 1e-9);
+        assert_eq!(sink.phase_secs(Phase::Protocol), 0.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Parameter sweeps: the paper's evaluation grid (traffic volume ×
 //! seed count), run in parallel across worker threads.
 
-use crate::metrics::{RunMetrics, Summary};
+use crate::metrics::{RunMetrics, RunTelemetry, Summary};
 use crate::runner::{Goal, Runner};
 use crate::scenario::Scenario;
 use parking_lot::Mutex;
@@ -33,6 +33,10 @@ pub struct CellResult {
     pub violations: usize,
     /// Replicates that failed to converge within the time limit.
     pub unconverged: usize,
+    /// Protocol event counts and phase timings summed over replicates
+    /// (absent in results serialized before the observability layer).
+    #[serde(default)]
+    pub telemetry: RunTelemetry,
     /// All replicate metrics, for deeper analysis.
     pub runs: Vec<RunMetrics>,
 }
@@ -132,7 +136,7 @@ where
     for r in 0..replicates {
         let scenario = make_scenario(cell, r);
         let max = scenario.max_time_s;
-        let mut runner = Runner::new(&scenario);
+        let mut runner = Runner::builder(&scenario).build();
         runs.push(runner.run(goal, max));
     }
     let constitution_min = Summary::of(
@@ -157,6 +161,10 @@ where
             Goal::Collection => r.collection_done_s.is_none(),
         })
         .count();
+    let mut telemetry = RunTelemetry::default();
+    for r in &runs {
+        telemetry.merge(&r.telemetry);
+    }
     CellResult {
         cell,
         constitution_min,
@@ -164,6 +172,7 @@ where
         per_checkpoint_min,
         violations,
         unconverged,
+        telemetry,
         runs,
     }
 }

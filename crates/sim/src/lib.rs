@@ -26,7 +26,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use experiment::{sweep, Cell, CellResult, SweepConfig};
-pub use metrics::{ProgressSnapshot, RunMetrics, Summary};
+pub use metrics::{ProgressSnapshot, RunMetrics, RunTelemetry, Summary};
 pub use oracle::{Attribution, Oracle, Violation};
-pub use runner::{Goal, Runner};
+pub use runner::{Goal, Runner, RunnerBuilder};
 pub use scenario::{MapSpec, PatrolSpec, Scenario, SeedSpec, TransportMode};

@@ -59,6 +59,115 @@ pub struct ProgressSnapshot {
     pub population: usize,
 }
 
+/// Observability telemetry attached to a run's metrics: protocol event
+/// counts aggregated by a [`vcount_obs::CountersSink`], relay transport
+/// usage, and wall-clock phase attribution of the driving loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Checkpoint activations (seeds included).
+    pub activations: u64,
+    /// Checkpoints whose counting stabilized.
+    pub stabilizations: u64,
+    /// Label handoff attempts.
+    pub labels_emitted: u64,
+    /// Acknowledged handoffs.
+    pub handoff_acks: u64,
+    /// Failed handoffs (each is a retry with the next vehicle).
+    pub handoff_retries: u64,
+    /// −1 loss compensations applied.
+    pub compensations: u64,
+    /// Inbound directions stopped by an arriving label.
+    pub inbound_stops: u64,
+    /// Phase-5 vehicle counts.
+    pub vehicles_counted: u64,
+    /// Finalized overtake-adjustment events (not net magnitude).
+    pub overtake_adjustment_events: u64,
+    /// Subtree reports sent toward predecessors (re-reports included).
+    pub reports_sent: u64,
+    /// Child reports superseded by a higher sequence number.
+    pub reports_superseded: u64,
+    /// Patrol status snapshots relayed to checkpoints.
+    pub patrol_relays: u64,
+    /// Border entries counted (+1 live interaction).
+    pub border_entries: u64,
+    /// Border exits counted (−1 live interaction).
+    pub border_exits: u64,
+    /// Messages delivered through the directional V2V relay.
+    pub relay_messages: u64,
+    /// Wall-clock seconds advancing the traffic microsimulation.
+    pub traffic_step_secs: f64,
+    /// Wall-clock seconds driving checkpoint state machines and sinks.
+    pub protocol_secs: f64,
+    /// Wall-clock seconds delivering relay / patrol-carried messages.
+    pub relay_secs: f64,
+}
+
+impl RunTelemetry {
+    /// Copies the event counts out of an observability counter set.
+    pub fn from_counters(c: &vcount_obs::Counters) -> Self {
+        RunTelemetry {
+            activations: c.activations,
+            stabilizations: c.stabilizations,
+            labels_emitted: c.labels_emitted,
+            handoff_acks: c.handoff_acks,
+            handoff_retries: c.handoff_retries,
+            compensations: c.compensations,
+            inbound_stops: c.inbound_stops,
+            vehicles_counted: c.vehicles_counted,
+            overtake_adjustment_events: c.overtake_adjustments,
+            reports_sent: c.reports_sent,
+            reports_superseded: c.reports_superseded,
+            patrol_relays: c.patrol_relays,
+            border_entries: c.border_entries,
+            border_exits: c.border_exits,
+            relay_messages: 0,
+            traffic_step_secs: 0.0,
+            protocol_secs: 0.0,
+            relay_secs: 0.0,
+        }
+    }
+
+    /// Total protocol events counted.
+    pub fn events_total(&self) -> u64 {
+        self.activations
+            + self.stabilizations
+            + self.labels_emitted
+            + self.handoff_acks
+            + self.handoff_retries
+            + self.compensations
+            + self.inbound_stops
+            + self.vehicles_counted
+            + self.overtake_adjustment_events
+            + self.reports_sent
+            + self.reports_superseded
+            + self.patrol_relays
+            + self.border_entries
+            + self.border_exits
+    }
+
+    /// Field-wise sum, for aggregating replicates of a sweep cell.
+    pub fn merge(&mut self, other: &RunTelemetry) {
+        self.activations += other.activations;
+        self.stabilizations += other.stabilizations;
+        self.labels_emitted += other.labels_emitted;
+        self.handoff_acks += other.handoff_acks;
+        self.handoff_retries += other.handoff_retries;
+        self.compensations += other.compensations;
+        self.inbound_stops += other.inbound_stops;
+        self.vehicles_counted += other.vehicles_counted;
+        self.overtake_adjustment_events += other.overtake_adjustment_events;
+        self.reports_sent += other.reports_sent;
+        self.reports_superseded += other.reports_superseded;
+        self.patrol_relays += other.patrol_relays;
+        self.border_entries += other.border_entries;
+        self.border_exits += other.border_exits;
+        self.relay_messages += other.relay_messages;
+        self.traffic_step_secs += other.traffic_step_secs;
+        self.protocol_secs += other.protocol_secs;
+        self.relay_secs += other.relay_secs;
+    }
+}
+
 /// The outcome of one simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -94,6 +203,10 @@ pub struct RunMetrics {
     pub elapsed_s: f64,
     /// Simulation steps executed.
     pub steps: u64,
+    /// Protocol event counts and phase timings (absent in metrics
+    /// serialized before the observability layer existed).
+    #[serde(default)]
+    pub telemetry: RunTelemetry,
 }
 
 impl RunMetrics {
@@ -142,6 +255,7 @@ mod tests {
             baseline_dedup: 17,
             elapsed_s: 300.0,
             steps: 600,
+            telemetry: RunTelemetry::default(),
         };
         assert!(m.exact());
         let bad = RunMetrics {

@@ -14,19 +14,24 @@
 //! same-step `Departed` (onto that edge) events come later — they joined
 //! behind the label.
 
-use crate::metrics::{ProgressSnapshot, RunMetrics};
+use crate::metrics::{ProgressSnapshot, RunMetrics, RunTelemetry};
 use crate::oracle::{Attribution, Oracle};
 use crate::scenario::{Scenario, SeedSpec, TransportMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use vcount_core::{Checkpoint, Command};
+use std::time::Instant;
+use vcount_core::{Checkpoint, Command, Observation};
 use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
+use vcount_obs::{CountersSink, EventRecord, EventSink, Phase, ProtocolEvent, RingBufferSink};
 use vcount_roadnet::{edge_covering_cycle, EdgeId, NodeId, RoadNetwork};
 use vcount_traffic::{Simulator, TrafficEvent};
 use vcount_v2x::{
     AdjustMode, ClassFilter, Label, LossModel, PatrolStatus, SegmentWatch, VehicleId,
 };
+
+/// Ring-buffer capacity of the always-on post-mortem sink.
+const DEFAULT_RING_CAPACITY: usize = 4096;
 
 /// What a run is trying to reach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +79,6 @@ pub struct Runner {
     transport: TransportMode,
     filter: ClassFilter,
     adjust_mode: AdjustMode,
-    compensate_loss: bool,
     seeds: Vec<NodeId>,
 
     carried_label: Vec<Option<Label>>,
@@ -91,14 +95,125 @@ pub struct Runner {
 
     naive: NaiveIntervalCounter,
     dedup: ClassDedupCounter,
-    handoff_failures: u64,
     events_scratch: Vec<TrafficEvent>,
+
+    /// The run's RNG seed, stamped on every emitted event record.
+    seed_epoch: u64,
+    /// Always-on telemetry aggregation (counters + phase timings).
+    counters: CountersSink,
+    /// Always-on last-N ring for post-mortem attribution chains.
+    ring: RingBufferSink,
+    /// User-configured sinks (JSONL export, custom consumers).
+    sinks: Vec<Box<dyn EventSink + Send>>,
+    /// Messages delivered through the directional relay.
+    relay_messages: u64,
+    /// Scratch buffer for draining checkpoint events.
+    event_drain: Vec<(f64, ProtocolEvent)>,
+}
+
+/// Chained-setter construction of a [`Runner`]: scenario first, then
+/// observability sinks and protocol overrides, then [`RunnerBuilder::build`]
+/// (or [`RunnerBuilder::run`] to execute in one go).
+///
+/// ```no_run
+/// use vcount_sim::{Goal, Runner, Scenario};
+/// use vcount_roadnet::builders::ManhattanConfig;
+///
+/// let scenario = Scenario::paper_closed(ManhattanConfig::small(), 60.0, 2, 7);
+/// let metrics = Runner::builder(&scenario)
+///     .compensate_loss(true)
+///     .goal(Goal::Collection)
+///     .run();
+/// assert_eq!(metrics.oracle_violations, 0);
+/// ```
+pub struct RunnerBuilder {
+    scenario: Scenario,
+    sinks: Vec<Box<dyn EventSink + Send>>,
+    ring_capacity: usize,
+    goal: Goal,
+}
+
+impl RunnerBuilder {
+    /// Starts from a scenario (cloned; the builder owns its copy).
+    pub fn new(scenario: &Scenario) -> Self {
+        RunnerBuilder {
+            scenario: scenario.clone(),
+            sinks: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            goal: Goal::Collection,
+        }
+    }
+
+    /// Adds an event sink; every stamped protocol event is fanned into each
+    /// configured sink in emission order.
+    pub fn sink(mut self, sink: Box<dyn EventSink + Send>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Capacity of the always-on post-mortem ring buffer.
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Overrides the scenario's collection transport.
+    pub fn transport(mut self, transport: TransportMode) -> Self {
+        self.scenario.transport = transport;
+        self
+    }
+
+    /// Overrides the scenario's overtake adjustment mode (ablations).
+    pub fn adjust_mode(mut self, mode: AdjustMode) -> Self {
+        self.scenario.protocol.adjust_mode = mode;
+        self
+    }
+
+    /// Overrides the scenario's lossy-handoff compensation (Alg. 3 line 3).
+    pub fn compensate_loss(mut self, on: bool) -> Self {
+        self.scenario.protocol.compensate_loss = on;
+        self
+    }
+
+    /// The goal [`RunnerBuilder::run`] drives toward (default:
+    /// [`Goal::Collection`]).
+    pub fn goal(mut self, goal: Goal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Wires the deployment: map, traffic, checkpoints, patrol cars, sinks,
+    /// seed activation at t = 0.
+    pub fn build(self) -> Runner {
+        Runner::assemble(&self.scenario, self.sinks, self.ring_capacity)
+    }
+
+    /// Builds and runs to the configured goal within the scenario's time
+    /// budget, returning the metrics.
+    pub fn run(self) -> RunMetrics {
+        let goal = self.goal;
+        let max = self.scenario.max_time_s;
+        self.build().run(goal, max)
+    }
 }
 
 impl Runner {
-    /// Builds the deployment from a scenario: map, traffic, checkpoints,
-    /// patrol cars, seed activation at t = 0.
+    /// Starts building a deployment from `scenario`.
+    pub fn builder(scenario: &Scenario) -> RunnerBuilder {
+        RunnerBuilder::new(scenario)
+    }
+
+    /// Builds the deployment with default observability (no user sinks).
+    #[deprecated(since = "0.1.0", note = "use Runner::builder(scenario).build()")]
     pub fn new(scenario: &Scenario) -> Self {
+        Runner::builder(scenario).build()
+    }
+
+    fn assemble(
+        scenario: &Scenario,
+        sinks: Vec<Box<dyn EventSink + Send>>,
+        ring_capacity: usize,
+    ) -> Self {
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("scenario map must be valid");
         let mut sim = Simulator::new(net, scenario.sim.clone(), scenario.demand.clone());
@@ -153,7 +268,6 @@ impl Runner {
             transport: scenario.transport,
             filter: scenario.protocol.filter,
             adjust_mode: scenario.protocol.adjust_mode,
-            compensate_loss: scenario.protocol.compensate_loss,
             seeds: seeds.clone(),
             carried_label: vec![None; vehicles],
             carried_reports: vec![Vec::new(); vehicles],
@@ -165,14 +279,62 @@ impl Runner {
             patrol_carried: HashMap::new(),
             naive: NaiveIntervalCounter::new(scenario.protocol.filter),
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
-            handoff_failures: 0,
             events_scratch: Vec::new(),
+            seed_epoch: scenario.sim.seed,
+            counters: CountersSink::new(),
+            ring: RingBufferSink::new(ring_capacity),
+            sinks,
+            relay_messages: 0,
+            event_drain: Vec::new(),
         };
         for s in seeds {
             let cmds = runner.cps[s.index()].activate_as_seed(0.0);
+            runner.pump(s);
             runner.dispatch(s, cmds);
         }
         runner
+    }
+
+    /// Drains the protocol events a checkpoint buffered, derives the
+    /// oracle attributions they imply, and fans the stamped records into
+    /// the telemetry, ring, and user sinks.
+    fn pump(&mut self, node: NodeId) {
+        let mut drained = std::mem::take(&mut self.event_drain);
+        self.cps[node.index()].drain_events_into(&mut drained);
+        for &(t, event) in &drained {
+            // The oracle ledger mirrors exactly what the protocol applied;
+            // attribution-bearing events carry the vehicle they concern.
+            match event {
+                ProtocolEvent::VehicleCounted { vehicle, .. } => {
+                    self.oracle.record(VehicleId(vehicle), Attribution::Counted);
+                }
+                ProtocolEvent::BorderEntry { vehicle, .. } => {
+                    self.oracle
+                        .record(VehicleId(vehicle), Attribution::InteractionIn);
+                }
+                ProtocolEvent::BorderExit { vehicle, .. } => {
+                    self.oracle
+                        .record(VehicleId(vehicle), Attribution::InteractionOut);
+                }
+                ProtocolEvent::LossCompensation { vehicle, .. } => {
+                    self.oracle
+                        .record(VehicleId(vehicle), Attribution::LossCompensation);
+                }
+                _ => {}
+            }
+            let rec = EventRecord {
+                time_s: t,
+                seed_epoch: self.seed_epoch,
+                event,
+            };
+            self.counters.record(&rec);
+            self.ring.record(&rec);
+            for sink in &mut self.sinks {
+                sink.record(&rec);
+            }
+        }
+        drained.clear();
+        self.event_drain = drained;
     }
 
     /// The road network under simulation.
@@ -265,8 +427,12 @@ impl Runner {
     /// Advances one simulation step, driving the protocol from the event
     /// stream.
     pub fn step(&mut self) {
+        let t_traffic = Instant::now();
         self.events_scratch.clear();
         self.events_scratch.extend(self.sim.step().iter().copied());
+        self.counters
+            .add_phase(Phase::TrafficStep, t_traffic.elapsed());
+        let t_protocol = Instant::now();
         let events = std::mem::take(&mut self.events_scratch);
         // Events are timestamped at the end of the step they occurred in.
         let now = self.sim.time_s();
@@ -314,7 +480,11 @@ impl Runner {
             }
         }
         self.events_scratch = events;
+        self.counters
+            .add_phase(Phase::Protocol, t_protocol.elapsed());
+        let t_relay = Instant::now();
         self.deliver_due_relays(now);
+        self.counters.add_phase(Phase::Relay, t_relay.elapsed());
     }
 
     fn ensure_vehicle_capacity(&mut self) {
@@ -338,7 +508,15 @@ impl Runner {
             here
         };
         for (_, reporter, total, seq) in due {
-            let cmds = self.cps[node.index()].on_report(now, reporter, total, seq);
+            let cmds = self.cps[node.index()].handle(
+                Observation::Report {
+                    from: reporter,
+                    total,
+                    seq,
+                },
+                now,
+            );
+            self.pump(node);
             self.dispatch(node, cmds);
         }
 
@@ -364,7 +542,9 @@ impl Runner {
             // Status snapshot exchange (stale-stop ablation; a no-op for
             // the default configuration).
             let status = self.patrol_status.entry(vehicle).or_default().clone();
-            let cmds = self.cps[node.index()].on_patrol_status(now, &status);
+            let cmds =
+                self.cps[node.index()].handle(Observation::PatrolStatus { vehicle, status }, now);
+            self.pump(node);
             self.dispatch(node, cmds);
         }
 
@@ -387,18 +567,19 @@ impl Runner {
             }
         }
 
-        // Label delivery + phase 3/4/5 processing.
+        // Label delivery + phase 3/4/5 processing; the oracle attribution
+        // (counted / interaction-in) is derived from the emitted events.
         let label = self.carried_label[vehicle.index()].take();
-        let out = self.cps[node.index()].on_vehicle_entered(now, from, &class, label);
-        if out.counted {
-            let attr = if from.is_some() {
-                Attribution::Counted
-            } else {
-                Attribution::InteractionIn
-            };
-            self.oracle.record(vehicle, attr);
-        }
-        let cmds = out.commands;
+        let cmds = self.cps[node.index()].handle(
+            Observation::Entered {
+                vehicle,
+                via: from,
+                class,
+                label,
+            },
+            now,
+        );
+        self.pump(node);
         self.dispatch(node, cmds);
 
         // Patrol observation recorded after processing: the status carried
@@ -448,25 +629,27 @@ impl Runner {
                 // through the lossy channel with ack confirmation.
                 self.channel.attempt(&mut self.proto_rng).delivered()
             };
+            // On failure the checkpoint emits the compensation event (when
+            // configured), and pump() mirrors it into the oracle — so the
+            // compensation-disabled ablation shows up as violations.
+            let cmds = self.cps[node.index()].handle(
+                Observation::Departed {
+                    vehicle,
+                    onto,
+                    delivered,
+                    matches_filter: self.filter.matches(&class),
+                },
+                now,
+            );
+            self.pump(node);
+            self.dispatch(node, cmds);
             if delivered {
-                self.cps[node.index()].label_delivered(onto);
                 self.carried_label[vehicle.index()] = Some(label);
                 let ahead = self.ahead_of(event_idx, vehicle, onto, departures_onto, entries_via);
                 let sw = SegmentWatch::new(self.adjust_mode, vehicle, ahead);
                 self.watches.insert(onto, Watch { origin: node, sw });
-            } else {
-                let matches = self.filter.matches(&class);
-                let cmds = self.cps[node.index()].label_handoff_failed(now, onto, matches);
-                self.dispatch(node, cmds);
-                self.handoff_failures += 1;
-                // The oracle mirrors what the protocol actually applied, so
-                // the compensation-disabled ablation shows up as violations.
-                if matches && self.compensate_loss {
-                    self.oracle.record(vehicle, Attribution::LossCompensation);
-                }
             }
         }
-        let _ = now;
     }
 
     /// Vehicles ahead of a label departing onto `onto` at event `idx`, with
@@ -526,7 +709,8 @@ impl Runner {
         }
         if plus > 0 || minus > 0 {
             let now = self.sim.time_s();
-            let cmds = self.cps[w.origin.index()].apply_overtake_adjustment(now, plus, minus);
+            let cmds = self.cps[w.origin.index()].handle(Observation::Adjust { plus, minus }, now);
+            self.pump(w.origin);
             self.dispatch(w.origin, cmds);
         }
     }
@@ -542,9 +726,10 @@ impl Runner {
             self.carried_reports[vehicle.index()].is_empty(),
             "reports are always delivered at the node before an exit"
         );
-        if self.cps[node.index()].on_vehicle_exited(now, &class) {
-            self.oracle.record(vehicle, Attribution::InteractionOut);
-        }
+        // A counted exit emits a BorderExit event; pump() mirrors it into
+        // the oracle as an interaction-out attribution.
+        self.cps[node.index()].handle(Observation::BorderExit { vehicle, class }, now);
+        self.pump(node);
     }
 
     fn on_overtake(&mut self, edge: EdgeId, overtaker: VehicleId, overtaken: VehicleId) {
@@ -639,6 +824,7 @@ impl Runner {
         while i < self.relay.len() {
             if self.relay[i].due_s <= now {
                 let RelayInFlight { msg, .. } = self.relay.swap_remove(i);
+                self.relay_messages += 1;
                 self.deliver_relay(now, msg);
             } else {
                 i += 1;
@@ -647,21 +833,18 @@ impl Runner {
     }
 
     fn deliver_relay(&mut self, now: f64, msg: RelayMsg) {
-        match msg {
-            RelayMsg::Announce { to, from, pred } => {
-                let cmds = self.cps[to.index()].on_pred_announce(now, from, pred);
-                self.dispatch(to, cmds);
-            }
+        let (to, obs) = match msg {
+            RelayMsg::Announce { to, from, pred } => (to, Observation::Announce { from, pred }),
             RelayMsg::Report {
                 to,
                 from,
                 total,
                 seq,
-            } => {
-                let cmds = self.cps[to.index()].on_report(now, from, total, seq);
-                self.dispatch(to, cmds);
-            }
-        }
+            } => (to, Observation::Report { from, total, seq }),
+        };
+        let cmds = self.cps[to.index()].handle(obs, now);
+        self.pump(to);
+        self.dispatch(to, cmds);
     }
 
     /// Whether any report message is still in transit (on a vehicle,
@@ -712,11 +895,57 @@ impl Runner {
                 break;
             }
         }
+        self.flush_sinks();
         self.metrics(constitution_done, collection_done)
+    }
+
+    /// Flushes every configured event sink (called automatically at the end
+    /// of [`Runner::run`]; externally driven loops should call it once
+    /// done stepping).
+    pub fn flush_sinks(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+
+    /// The run's telemetry so far: aggregated event counters, relay
+    /// message count, and wall-clock phase attribution.
+    pub fn telemetry(&self) -> RunTelemetry {
+        let mut t = RunTelemetry::from_counters(self.counters.counters());
+        t.relay_messages = self.relay_messages;
+        t.traffic_step_secs = self.counters.phase_secs(Phase::TrafficStep);
+        t.protocol_secs = self.counters.phase_secs(Phase::Protocol);
+        t.relay_secs = self.counters.phase_secs(Phase::Relay);
+        t
+    }
+
+    /// The retained post-mortem events mentioning `vehicle`, oldest first —
+    /// its attribution chain as far as the ring buffer remembers.
+    pub fn violation_trace(&self, vehicle: VehicleId) -> Vec<EventRecord> {
+        self.ring.for_vehicle(vehicle.0)
     }
 
     fn metrics(&self, constitution_done: Option<f64>, collection_done: Option<f64>) -> RunMetrics {
         let violations = self.verify();
+        if let Some(v) = violations.first() {
+            // Post-mortem: dump the offending vehicle's attribution chain
+            // from the always-on ring buffer.
+            eprintln!(
+                "oracle violation: {} net {} expected {} ({} violation(s) total); \
+                 ring-buffer attribution chain:",
+                v.vehicle,
+                v.net,
+                v.expected,
+                violations.len()
+            );
+            let chain = self.ring.for_vehicle(v.vehicle.0);
+            if chain.is_empty() {
+                eprintln!("  (no retained events — raise the ring capacity)");
+            }
+            for rec in chain {
+                eprintln!("  {}", rec.to_json());
+            }
+        }
         let global_count = if self.all_collected() {
             self.collected_count()
         } else if self.all_stable() {
@@ -736,12 +965,13 @@ impl Runner {
             global_count,
             true_population: self.true_population(),
             oracle_violations: violations.len(),
-            handoff_failures: self.handoff_failures,
+            handoff_failures: self.counters.counters().handoff_retries,
             overtake_adjustments: self.cps.iter().map(|c| c.counters().overtake_total()).sum(),
             baseline_naive: self.naive.total(),
             baseline_dedup: self.dedup.total(),
             elapsed_s: self.sim.time_s(),
             steps: self.sim.steps(),
+            telemetry: self.telemetry(),
         }
     }
 

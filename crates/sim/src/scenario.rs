@@ -208,6 +208,31 @@ impl Scenario {
             ..Scenario::paper_closed(map, volume_pct, seeds, rng_seed)
         }
     }
+
+    /// The Fig. 1 walkthrough setting: the 3-intersection closed triangle
+    /// with a perfect channel and an explicit seed at intersection 0 —
+    /// shared by the `three_intersections` example, the golden-trace test,
+    /// and the CLI's `fig1` preset.
+    pub fn fig1_walkthrough(rng_seed: u64) -> Self {
+        Scenario {
+            map: MapSpec::Fig1Triangle {
+                segment_m: 200.0,
+                speed_mps: 6.7,
+            },
+            closed: true,
+            sim: SimConfig {
+                seed: rng_seed,
+                ..Default::default()
+            },
+            demand: Demand::at_volume(60.0),
+            protocol: CheckpointConfig::default(),
+            channel: ChannelKind::Perfect,
+            seeds: SeedSpec::Explicit(vec![0]),
+            transport: TransportMode::default(),
+            patrol: PatrolSpec::default(),
+            max_time_s: 3600.0,
+        }
+    }
 }
 
 #[cfg(test)]

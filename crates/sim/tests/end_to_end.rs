@@ -26,7 +26,7 @@ fn base(map: MapSpec, seed: u64) -> Scenario {
 }
 
 fn assert_exact(scenario: &Scenario, goal: Goal) {
-    let mut runner = Runner::new(scenario);
+    let mut runner = Runner::builder(scenario).build();
     let metrics = runner.run(goal, scenario.max_time_s);
     match goal {
         Goal::Constitution => assert!(
@@ -269,7 +269,7 @@ fn sparse_traffic_without_patrol_starves() {
         white_van_fraction: 0.0,
     };
     s.max_time_s = 900.0;
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     let metrics = runner.run(Goal::Constitution, s.max_time_s);
     assert!(
         metrics.constitution_done_s.is_none(),
@@ -292,7 +292,7 @@ fn runs_are_reproducible_per_seed() {
         15,
     );
     let run = |s: &Scenario| {
-        let mut r = Runner::new(s);
+        let mut r = Runner::builder(s).build();
         let m = r.run(Goal::Collection, s.max_time_s);
         (
             m.constitution_done_s,

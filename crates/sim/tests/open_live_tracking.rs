@@ -31,7 +31,7 @@ fn open_midtown(seed: u64, spawn_rate_hz: f64) -> Scenario {
 #[test]
 fn live_population_tracks_exactly_after_complete_status() {
     let s = open_midtown(101, 0.08);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let m = r.run(Goal::Constitution, s.max_time_s);
     assert!(m.constitution_done_s.is_some(), "reaches complete status");
 
@@ -59,7 +59,7 @@ fn live_population_tracks_exactly_after_complete_status() {
 fn heavy_churn_does_not_break_tracking() {
     // 4x the arrival rate: lots of concurrent border activity.
     let s = open_midtown(103, 0.3);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let m = r.run(Goal::Constitution, s.max_time_s);
     assert!(m.constitution_done_s.is_some());
     let until = r.time_s() + 10.0 * 60.0;
@@ -76,7 +76,7 @@ fn zero_churn_open_system_behaves_like_closed() {
     // protocol must converge and count exactly like the closed one.
     let mut s = open_midtown(107, 0.0);
     s.sim.exit_prob = 0.0;
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let m = r.run(Goal::Collection, s.max_time_s);
     assert!(m.collection_done_s.is_some());
     assert_eq!(m.oracle_violations, 0);
@@ -91,7 +91,7 @@ fn draining_open_system_stays_exact_even_when_starving() {
     let mut s = open_midtown(109, 0.0);
     s.sim.exit_prob = 0.1;
     s.max_time_s = 1.5 * 3600.0;
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     r.run(Goal::Collection, s.max_time_s);
     assert!(
         r.verify().is_empty(),

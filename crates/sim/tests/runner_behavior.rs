@@ -34,7 +34,7 @@ fn grid_scenario(seed: u64) -> Scenario {
 #[test]
 fn progress_counters_are_monotone_and_converge() {
     let s = grid_scenario(31);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let mut last_active = 0;
     let mut last_stable = 0;
     while !(r.all_stable() && r.all_collected()) && r.time_s() < s.max_time_s {
@@ -59,7 +59,7 @@ fn signalised_traffic_stays_exact() {
         green_s: 20.0,
         all_red_s: 2.0,
     });
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let m = r.run(Goal::Collection, s.max_time_s);
     assert!(m.collection_done_s.is_some(), "signals must not deadlock");
     assert!(
@@ -77,7 +77,7 @@ fn signals_slow_the_wave_down() {
         all_red_s: 5.0,
     });
     let run = |s: &Scenario| {
-        let mut r = Runner::new(s);
+        let mut r = Runner::builder(s).build();
         r.run(Goal::Constitution, s.max_time_s)
             .constitution_done_s
             .expect("converges")
@@ -93,7 +93,7 @@ fn signals_slow_the_wave_down() {
 #[test]
 fn metrics_now_matches_run_outcome() {
     let s = grid_scenario(37);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let from_run = r.run(Goal::Collection, s.max_time_s);
     let now = r.metrics_now();
     assert_eq!(now.global_count, from_run.global_count);
@@ -108,7 +108,7 @@ fn metrics_now_matches_run_outcome() {
 #[test]
 fn no_reports_in_flight_after_collection() {
     let s = grid_scenario(39);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     r.run(Goal::Collection, s.max_time_s);
     assert!(!r.reports_in_flight());
 }
@@ -131,7 +131,7 @@ fn all_border_deployment_runs_open_midtown() {
         max_time_s: 3.0 * 3600.0,
     };
     s.demand.white_van_fraction = 0.0;
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     assert_eq!(r.seeds().len(), r.net().border_nodes().len());
     let m = r.run(Goal::Collection, s.max_time_s);
     assert!(m.collection_done_s.is_some());
@@ -142,14 +142,14 @@ fn all_border_deployment_runs_open_midtown() {
 fn all_border_on_closed_map_falls_back_to_one_seed() {
     let mut s = grid_scenario(43);
     s.seeds = SeedSpec::AllBorder;
-    let r = Runner::new(&s);
+    let r = Runner::builder(&s).build();
     assert_eq!(r.seeds().len(), 1, "grids have no border; one random seed");
 }
 
 #[test]
 fn baselines_diverge_from_truth_while_protocol_matches() {
     let s = grid_scenario(45);
-    let mut r = Runner::new(&s);
+    let mut r = Runner::builder(&s).build();
     let m = r.run(Goal::Collection, s.max_time_s);
     assert!(m.exact());
     assert!(

@@ -27,7 +27,7 @@ fn main() {
         max_time_s: 3.0 * 3600.0,
     };
 
-    let mut runner = Runner::new(&scenario);
+    let mut runner = Runner::builder(&scenario).build();
     let metrics = runner.run(Goal::Constitution, scenario.max_time_s);
     let complete_at = metrics
         .constitution_done_s

@@ -45,7 +45,7 @@ fn main() {
 
     // Without patrol: the counting starves.
     let s = scenario(0);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     let m = runner.run(Goal::Constitution, s.max_time_s);
     let stable = runner
         .net()
@@ -66,7 +66,7 @@ fn main() {
 
     // With two patrol cars on an edge-covering cycle: guaranteed progress.
     let s = scenario(2);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     let m = runner.run(Goal::Collection, s.max_time_s);
     println!(
         "with 2 patrol cars: constitution at {:.1} min, collection at {:.1} min",

@@ -32,7 +32,7 @@ fn main() {
     };
 
     // 2. Run until the seed has collected the global view.
-    let mut runner = Runner::new(&scenario);
+    let mut runner = Runner::builder(&scenario).build();
     let metrics = runner.run(Goal::Collection, scenario.max_time_s);
 
     // 3. Inspect the result.

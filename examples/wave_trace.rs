@@ -38,7 +38,7 @@ fn main() {
         ..ManhattanConfig::small()
     };
     let scenario = Scenario::paper_closed(cfg.clone(), 60.0, 1, 77);
-    let mut runner = Runner::new(&scenario);
+    let mut runner = Runner::builder(&scenario).build();
 
     println!("== the counting wave over midtown (seed 'S', '.'→'o'→'#') ==\n");
     let mut next_frame = 0.0;

@@ -34,7 +34,7 @@ fn main() {
         max_time_s: 3.0 * 3600.0,
     };
 
-    let mut runner = Runner::new(&scenario);
+    let mut runner = Runner::builder(&scenario).build();
     let metrics = runner.run(Goal::Collection, scenario.max_time_s);
 
     let vans = metrics.global_count.expect("search converges");

@@ -38,7 +38,7 @@
 //!     patrol: PatrolSpec::default(),
 //!     max_time_s: 3600.0,
 //! };
-//! let mut runner = Runner::new(&scenario);
+//! let mut runner = Runner::builder(&scenario).build();
 //! let metrics = runner.run(Goal::Collection, scenario.max_time_s);
 //! assert_eq!(metrics.oracle_violations, 0); // no mis- or double-counting
 //! assert_eq!(metrics.global_count, Some(metrics.true_population as i64));

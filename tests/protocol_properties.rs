@@ -57,7 +57,7 @@ proptest! {
     /// per-vehicle violations, global count == ground truth.
     #[test]
     fn counting_is_always_exact(s in arb_scenario()) {
-        let mut runner = Runner::new(&s);
+        let mut runner = Runner::builder(&s).build();
         let m = runner.run(Goal::Collection, s.max_time_s);
         prop_assert!(m.collection_done_s.is_some(), "must converge");
         prop_assert_eq!(m.oracle_violations, 0);
@@ -88,7 +88,7 @@ proptest! {
             patrol: PatrolSpec::default(),
             max_time_s: 3.0 * 3600.0,
         };
-        let mut runner = Runner::new(&s);
+        let mut runner = Runner::builder(&s).build();
         let m = runner.run(Goal::Collection, s.max_time_s);
         prop_assert!(m.collection_done_s.is_some(), "must converge");
         prop_assert_eq!(m.oracle_violations, 0);

@@ -31,7 +31,7 @@ fn grid_scenario(seed: u64) -> Scenario {
 #[test]
 fn facade_quickstart_flow_is_exact() {
     let s = grid_scenario(2014);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     let metrics = runner.run(Goal::Collection, s.max_time_s);
     assert!(metrics.exact());
     assert!(metrics.constitution_done_s.unwrap() <= metrics.collection_done_s.unwrap());
@@ -40,7 +40,7 @@ fn facade_quickstart_flow_is_exact() {
 #[test]
 fn distributed_and_collected_counts_agree() {
     let s = grid_scenario(7);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     runner.run(Goal::Collection, s.max_time_s);
     assert_eq!(
         Some(runner.distributed_count()),
@@ -52,7 +52,7 @@ fn distributed_and_collected_counts_agree() {
 #[test]
 fn spanning_tree_is_well_formed_after_convergence() {
     let s = grid_scenario(11);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     runner.run(Goal::Collection, s.max_time_s);
     let seed = runner.seeds()[0];
     // Every non-seed checkpoint has a predecessor; following predecessors
@@ -78,7 +78,7 @@ fn spanning_tree_is_well_formed_after_convergence() {
 #[test]
 fn per_checkpoint_times_are_ordered() {
     let s = grid_scenario(13);
-    let mut runner = Runner::new(&s);
+    let mut runner = Runner::builder(&s).build();
     let m = runner.run(Goal::Collection, s.max_time_s);
     for n in runner.net().node_ids() {
         let cp = runner.checkpoint(n);
@@ -100,8 +100,8 @@ fn volume_scaling_changes_population_linearly() {
     lo.demand = Demand::at_volume(20.0);
     let mut hi = grid_scenario(5);
     hi.demand = Demand::at_volume(100.0);
-    let lo_pop = Runner::new(&lo).true_population();
-    let hi_pop = Runner::new(&hi).true_population();
+    let lo_pop = Runner::builder(&lo).build().true_population();
+    let hi_pop = Runner::builder(&hi).build().true_population();
     let ratio = hi_pop as f64 / lo_pop as f64;
     assert!(
         (ratio - 5.0).abs() < 0.5,
@@ -115,7 +115,7 @@ fn scenario_serialization_reproduces_runs() {
     let json = serde_json::to_string(&s).unwrap();
     let s2: Scenario = serde_json::from_str(&json).unwrap();
     let run = |s: &Scenario| {
-        let mut r = Runner::new(s);
+        let mut r = Runner::builder(s).build();
         let m = r.run(Goal::Collection, s.max_time_s);
         (m.global_count, m.collection_done_s.map(|t| t as i64))
     };
