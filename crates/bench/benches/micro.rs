@@ -43,6 +43,26 @@ fn bench_sim_throughput(c: &mut Criterion) {
             sim.step();
         });
     });
+    // The overtake-detection hot path: multi-lane, heterogeneous speeds,
+    // detection on — the configuration BENCH_hotpath.json tracks. The
+    // warm-up lets every scratch buffer reach its working-set size so the
+    // measurement sees the allocation-free steady state.
+    g.bench_function(BenchmarkId::new("grid", "overtakes_10x10"), |b| {
+        let net = grid(10, 10, 150.0, 2, 10.0);
+        let cfg = SimConfig {
+            detect_overtakes: true,
+            speed_factor_range: (0.5, 1.0),
+            seed: 42,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Demand::at_volume(100.0));
+        for _ in 0..300 {
+            sim.step();
+        }
+        b.iter(|| {
+            sim.step();
+        });
+    });
     g.finish();
 }
 

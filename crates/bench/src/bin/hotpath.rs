@@ -1,0 +1,203 @@
+//! `hotpath` — the simulation hot-path throughput baseline.
+//!
+//! Runs the microsimulator on paper-scale grids (5×5 and 10×10, three
+//! demand levels, fixed seeds) with overtake detection enabled — the
+//! heaviest per-step configuration — and writes `BENCH_hotpath.json`:
+//! steps/sec, events/sec, and peak vehicles per case. This file is the
+//! perf trajectory of the step hot path; regenerate it after any change
+//! to `Simulator::step` or the runner's delivery path.
+//!
+//! ```text
+//! hotpath [--out FILE] [--steps N] [--warmup N] [--smoke] [--baseline FILE]
+//! ```
+//!
+//! * `--out FILE`      where to write the JSON report (default
+//!   `BENCH_hotpath.json` in the current directory).
+//! * `--steps N`       measured steps per case (default 2000).
+//! * `--warmup N`      discarded warm-up steps per case (default 300).
+//! * `--smoke`         tiny 3×3 grid, one demand level — CI smoke mode.
+//! * `--baseline FILE` embed a previous report as the `baseline` field,
+//!   so before/after throughput lives in one committed artifact.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vcount_roadnet::builders::grid;
+use vcount_traffic::{Demand, SimConfig, Simulator};
+
+/// One measured (grid × demand) configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Case {
+    /// Case label, e.g. `grid10x10_v60`.
+    name: String,
+    /// Grid columns.
+    cols: usize,
+    /// Grid rows.
+    rows: usize,
+    /// Traffic volume, percent of the daily average.
+    demand_pct: f64,
+    /// Traffic RNG seed.
+    seed: u64,
+    /// Measured steps (after warm-up).
+    steps: u64,
+    /// Wall-clock seconds for the measured steps.
+    wall_s: f64,
+    /// Simulation steps per wall-clock second.
+    steps_per_sec: f64,
+    /// Traffic events emitted during the measured steps.
+    events: u64,
+    /// Traffic events per wall-clock second.
+    events_per_sec: f64,
+    /// Peak vehicles simultaneously inside during the measured steps.
+    peak_vehicles: usize,
+}
+
+/// The committed artifact: current cases plus an optional embedded
+/// baseline from a previous run (before/after in one file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    /// Schema tag for forward compatibility.
+    schema: String,
+    /// Measured steps per case.
+    steps_per_case: u64,
+    /// Warm-up steps discarded per case.
+    warmup_steps: u64,
+    /// The measured cases.
+    cases: Vec<Case>,
+    /// A previous report's cases (e.g. pre-optimisation), if provided.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    baseline: Option<Box<Report>>,
+}
+
+const SCHEMA: &str = "vcount-hotpath-bench/v1";
+
+fn run_case(
+    name: &str,
+    cols: usize,
+    rows: usize,
+    demand_pct: f64,
+    seed: u64,
+    warmup: u64,
+    steps: u64,
+) -> Case {
+    let net = grid(cols, rows, 150.0, 2, 10.0);
+    let cfg = SimConfig {
+        detect_overtakes: true,
+        speed_factor_range: (0.5, 1.0),
+        seed,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(net, cfg, Demand::at_volume(demand_pct));
+    for _ in 0..warmup {
+        sim.step();
+    }
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let start = Instant::now();
+    for _ in 0..steps {
+        events += sim.step().len() as u64;
+        peak = peak.max(sim.civilian_population());
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Case {
+        name: name.to_string(),
+        cols,
+        rows,
+        demand_pct,
+        seed,
+        steps,
+        wall_s,
+        steps_per_sec: steps as f64 / wall_s.max(1e-12),
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-12),
+        peak_vehicles: peak,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_hotpath.json".to_string();
+    let mut steps = 2000u64;
+    let mut warmup = 300u64;
+    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                out = argv.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--steps" => {
+                steps = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--steps needs a number");
+                i += 2;
+            }
+            "--warmup" => {
+                warmup = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--warmup needs a number");
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--baseline" => {
+                baseline_path = Some(argv.get(i + 1).expect("--baseline needs a path").clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: hotpath [--out FILE] [--steps N] [--warmup N] [--smoke] [--baseline FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // (cols, rows) × demand levels, fixed seeds: the paper-scale grids.
+    let grids: Vec<(usize, usize)> = if smoke {
+        steps = steps.min(300);
+        warmup = warmup.min(50);
+        vec![(3, 3)]
+    } else {
+        vec![(5, 5), (10, 10)]
+    };
+    let demands: &[f64] = if smoke { &[60.0] } else { &[30.0, 60.0, 100.0] };
+
+    let mut cases = Vec::new();
+    for &(cols, rows) in &grids {
+        for &demand_pct in demands {
+            let seed = 42 + cols as u64 * 1000 + demand_pct as u64;
+            let name = format!("grid{cols}x{rows}_v{demand_pct:.0}");
+            eprintln!("running {name} ({steps} steps after {warmup} warm-up)...");
+            let case = run_case(&name, cols, rows, demand_pct, seed, warmup, steps);
+            eprintln!(
+                "  {:>10.0} steps/s  {:>12.0} events/s  peak {} vehicles",
+                case.steps_per_sec, case.events_per_sec, case.peak_vehicles
+            );
+            cases.push(case);
+        }
+    }
+
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{p}: {e}"));
+        let mut prev: Report =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{p}: invalid report: {e}"));
+        prev.baseline = None; // one level of history, no recursion
+        Box::new(prev)
+    });
+
+    let report = Report {
+        schema: SCHEMA.to_string(),
+        steps_per_case: steps,
+        warmup_steps: warmup,
+        cases,
+        baseline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("{out}: {e}"));
+    eprintln!("wrote {out}");
+}

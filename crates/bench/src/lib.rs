@@ -235,6 +235,7 @@ mod tests {
             violations: 0,
             unconverged: 0,
             telemetry: Default::default(),
+            failed: None,
             runs: vec![],
         };
         let p = Panel {

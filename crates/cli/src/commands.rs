@@ -5,7 +5,7 @@ use crate::{build_scenario, run_with_progress};
 use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
-use vcount_sim::{Goal, Scenario};
+use vcount_sim::{sweep as run_sweep, Goal, Scenario, SweepConfig};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -23,6 +23,15 @@ USAGE:
       --progress streams wave progress to stderr. --trace streams every
       protocol event as JSON lines; --trace-filter restricts it to the
       named event kinds (e.g. label_emitted,report_sent).
+
+  vcount sweep [--volumes PCT,PCT,...] [--seed-counts K,K,...]
+               [--replicates N] [--threads N] [--goal constitution|collection]
+               [--map paper|small] [--open] [--rng SEED] [--out FILE]
+      Run the paper's evaluation grid (traffic volume x seed count) across
+      worker threads (--threads 0 = all cores) and print the per-cell
+      results as JSON. Defaults to the reduced CI grid on the small map;
+      a cell whose worker panics is reported in its result's `failed`
+      field without aborting the rest of the grid.
 
   vcount map [--preset paper|small] [--speed-mph MPH]
       Build the synthetic midtown map and print its statistics.
@@ -90,6 +99,110 @@ pub fn run(args: &Args) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `vcount sweep`.
+pub fn sweep(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "volumes",
+        "seed-counts",
+        "replicates",
+        "threads",
+        "goal",
+        "map",
+        "open",
+        "rng",
+        "out",
+    ])?;
+    let quick = SweepConfig::quick();
+    let cfg = SweepConfig {
+        volumes: match args.flag("volumes") {
+            Some(spec) => parse_list(spec, "volumes")?,
+            None => quick.volumes,
+        },
+        seed_counts: match args.flag("seed-counts") {
+            Some(spec) => parse_list(spec, "seed-counts")?,
+            None => quick.seed_counts,
+        },
+        replicates: args.flag_or("replicates", quick.replicates)?,
+        threads: args.flag_or("threads", 0usize)?,
+    };
+    if cfg.volumes.is_empty() || cfg.seed_counts.is_empty() {
+        return Err("sweep grid is empty".into());
+    }
+    let goal = match args.flag("goal").unwrap_or("constitution") {
+        "constitution" => Goal::Constitution,
+        "collection" => Goal::Collection,
+        other => return Err(format!("unknown goal `{other}`")),
+    };
+    let map = match args.flag("map").unwrap_or("small") {
+        "paper" => ManhattanConfig::default(),
+        "small" => ManhattanConfig::small(),
+        other => return Err(format!("unknown map preset `{other}`")),
+    };
+    let open = args.switch("open");
+    let rng = args.flag_or("rng", 1u64)?;
+
+    let cells = cfg.volumes.len() * cfg.seed_counts.len();
+    eprintln!(
+        "sweeping {cells} cells x {} replicates on {} threads...",
+        cfg.replicates,
+        if cfg.threads == 0 {
+            "all".to_string()
+        } else {
+            cfg.threads.to_string()
+        }
+    );
+    let results = run_sweep(&cfg, goal, |cell, rep| {
+        let seed = rng
+            .wrapping_mul(1_000_003)
+            .wrapping_add(rep.wrapping_mul(7919))
+            .wrapping_add((cell.volume_pct as u64) << 16)
+            .wrapping_add(cell.seeds as u64);
+        if open {
+            Scenario::paper_open(map.clone(), cell.volume_pct, cell.seeds, seed)
+        } else {
+            Scenario::paper_closed(map.clone(), cell.volume_pct, cell.seeds, seed)
+        }
+    });
+
+    for r in &results {
+        let status = match &r.failed {
+            Some(msg) => format!("FAILED: {msg}"),
+            None => match r.constitution_min {
+                Some(s) => format!("constitution mean {:.1} min", s.mean),
+                None => "unconverged".to_string(),
+            },
+        };
+        eprintln!(
+            "  volume {:>5.1}% seeds {:>2}: {status}",
+            r.cell.volume_pct, r.cell.seeds
+        );
+    }
+    let failed = results.iter().filter(|r| r.failed.is_some()).count();
+    let json = serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?;
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if failed > 0 {
+        return Err(format!("{failed} sweep cell(s) failed"));
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated numeric list.
+fn parse_list<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<T>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad {what} entry `{s}`"))
+        })
+        .collect()
 }
 
 /// `vcount map`.

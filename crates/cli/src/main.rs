@@ -5,6 +5,8 @@
 //! vcount scenario --preset closed|open|fig1 [--volume N] [--seeds K] [--rng R] [--out FILE]
 //! vcount run SCENARIO.json [--goal constitution|collection] [--progress]
 //!             [--trace FILE.jsonl] [--trace-filter KINDS]
+//! vcount sweep [--volumes PCTS] [--seed-counts KS] [--replicates N]
+//!             [--threads N] [--goal G] [--map paper|small] [--open]
 //! vcount map --preset manhattan|small [--stats]
 //! vcount help
 //! ```
@@ -40,6 +42,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "scenario" => commands::scenario(&args),
         "run" => commands::run(&args),
+        "sweep" => commands::sweep(&args),
         "map" => commands::map(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

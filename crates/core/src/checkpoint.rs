@@ -9,7 +9,7 @@
 //! from the caller-provided `now` values, so the machine is equally at
 //! home under the simulator or on a wall clock.
 
-use crate::command::{Command, EnterOutcome};
+use crate::command::Command;
 use crate::config::{CheckpointConfig, ProtocolVariant};
 use crate::counter::Counters;
 use crate::observation::Observation;
@@ -18,10 +18,6 @@ use std::collections::BTreeMap;
 use vcount_obs::ProtocolEvent;
 use vcount_roadnet::{EdgeId, Interaction, NodeId, RoadNetwork};
 use vcount_v2x::{Label, PatrolStatus, VehicleClass, VehicleId};
-
-/// Vehicle id stamped on events emitted through the deprecated wrapper
-/// methods, which predate per-observation vehicle identification.
-pub const UNKNOWN_VEHICLE: VehicleId = VehicleId(u64::MAX);
 
 /// Counting state of one inbound direction `u ← v` (phase 1/3/4/5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,9 +85,6 @@ pub struct Checkpoint {
 
     /// Buffered protocol events `(time, event)`, drained by the harness.
     events: Vec<(f64, ProtocolEvent)>,
-    /// The `now` of the most recent [`Checkpoint::handle`] call (timestamp
-    /// source for the clock-less deprecated wrappers).
-    last_now: f64,
 }
 
 impl Checkpoint {
@@ -150,7 +143,6 @@ impl Checkpoint {
             stable_at: None,
             collected_at: None,
             events: Vec::new(),
-            last_now: 0.0,
         }
     }
 
@@ -164,7 +156,6 @@ impl Checkpoint {
     /// updates and buffered [`ProtocolEvent`]s (see
     /// [`Checkpoint::take_events`]).
     pub fn handle(&mut self, obs: Observation, now: f64) -> Vec<Command> {
-        self.last_now = now;
         let mut cmds = Vec::new();
         match obs {
             Observation::Entered {
@@ -619,162 +610,6 @@ impl Checkpoint {
             .filter(|(_, v)| self.known_preds.get(v) == Some(&Some(self.id)))
             .map(|(_, v)| *v)
             .collect()
-    }
-
-    // ------------------------------------------------------------------
-    // Deprecated per-event entry points (pre-`handle` API)
-    // ------------------------------------------------------------------
-
-    /// A vehicle entered the surveillance.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Entered { .. }, now); removal is slated for the next release"
-    )]
-    pub fn on_vehicle_entered(
-        &mut self,
-        now: f64,
-        via: Option<EdgeId>,
-        class: &VehicleClass,
-        label: Option<Label>,
-    ) -> EnterOutcome {
-        let start = self.events.len();
-        let commands = self.handle(
-            Observation::Entered {
-                vehicle: UNKNOWN_VEHICLE,
-                via,
-                class: *class,
-                label,
-            },
-            now,
-        );
-        let mut out = EnterOutcome {
-            commands,
-            ..Default::default()
-        };
-        for (_, ev) in &self.events[start..] {
-            match *ev {
-                ProtocolEvent::VehicleCounted { .. } | ProtocolEvent::BorderEntry { .. } => {
-                    out.counted = true
-                }
-                ProtocolEvent::CheckpointActivated { .. } => out.activated = true,
-                ProtocolEvent::InboundStopped { edge, .. } => out.stopped = Some(EdgeId(edge)),
-                _ => {}
-            }
-        }
-        out
-    }
-
-    /// The handoff for `onto` was acknowledged.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Departed { delivered: true, .. }, now)"
-    )]
-    pub fn label_delivered(&mut self, onto: EdgeId) {
-        let now = self.last_now;
-        self.handle(
-            Observation::Departed {
-                vehicle: UNKNOWN_VEHICLE,
-                onto,
-                delivered: true,
-                matches_filter: false,
-            },
-            now,
-        );
-    }
-
-    /// The handoff failed (Alg. 3 line 3).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Departed { delivered: false, .. }, now)"
-    )]
-    pub fn label_handoff_failed(
-        &mut self,
-        now: f64,
-        onto: EdgeId,
-        matches_filter: bool,
-    ) -> Vec<Command> {
-        self.handle(
-            Observation::Departed {
-                vehicle: UNKNOWN_VEHICLE,
-                onto,
-                delivered: false,
-                matches_filter,
-            },
-            now,
-        )
-    }
-
-    /// A vehicle left the region through this border checkpoint. Returns
-    /// whether the exit was counted.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::BorderExit { .. }, now)"
-    )]
-    pub fn on_vehicle_exited(&mut self, now: f64, class: &VehicleClass) -> bool {
-        let start = self.events.len();
-        self.handle(
-            Observation::BorderExit {
-                vehicle: UNKNOWN_VEHICLE,
-                class: *class,
-            },
-            now,
-        );
-        self.events[start..]
-            .iter()
-            .any(|(_, ev)| matches!(ev, ProtocolEvent::BorderExit { .. }))
-    }
-
-    /// A patrol car arrived carrying a status snapshot.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::PatrolStatus { .. }, now)"
-    )]
-    pub fn on_patrol_status(&mut self, now: f64, status: &PatrolStatus) -> Vec<Command> {
-        self.handle(
-            Observation::PatrolStatus {
-                vehicle: UNKNOWN_VEHICLE,
-                status: status.clone(),
-            },
-            now,
-        )
-    }
-
-    /// A relayed predecessor announcement from a one-way downstream
-    /// neighbour.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Announce { .. }, now)"
-    )]
-    pub fn on_pred_announce(
-        &mut self,
-        now: f64,
-        from: NodeId,
-        pred: Option<NodeId>,
-    ) -> Vec<Command> {
-        self.handle(Observation::Announce { from, pred }, now)
-    }
-
-    /// A child's subtree report arrived.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Report { .. }, now)"
-    )]
-    pub fn on_report(&mut self, now: f64, from: NodeId, total: i64, seq: u32) -> Vec<Command> {
-        self.handle(Observation::Report { from, total, seq }, now)
-    }
-
-    /// Applies a finalized segment-watch adjustment to `c(u)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Checkpoint::handle(Observation::Adjust { .. }, now)"
-    )]
-    pub fn apply_overtake_adjustment(
-        &mut self,
-        now: f64,
-        plus: usize,
-        minus: usize,
-    ) -> Vec<Command> {
-        self.handle(Observation::Adjust { plus, minus }, now)
     }
 
     // ------------------------------------------------------------------
@@ -1490,49 +1325,5 @@ mod tests {
                 new_seq: 2
             }
         ));
-    }
-
-    /// The pre-`handle` entry points must keep their exact behaviour for
-    /// one more release (migration window).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_handle_semantics() {
-        let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
-        let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
-        let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
-
-        let out = cps[0].on_vehicle_entered(1.0, Some(from1), &CAR, None);
-        assert!(out.counted && !out.activated && out.stopped.is_none());
-        assert_eq!(cps[0].local_count(), 1);
-
-        let cmds = cps[0].label_handoff_failed(2.0, e01, true);
-        assert!(cmds.is_empty());
-        assert_eq!(cps[0].local_count(), 0, "compensated");
-        assert!(cps[0].offer_label(e01).is_some(), "still pending");
-        cps[0].label_delivered(e01);
-        assert!(cps[0].offer_label(e01).is_none());
-
-        let l = Label {
-            origin: NodeId(1),
-            origin_pred: Some(NodeId(0)),
-            seed: NodeId(0),
-        };
-        let out = cps[0].on_vehicle_entered(3.0, Some(from1), &CAR, Some(l));
-        assert_eq!(out.stopped, Some(from1));
-
-        cps[0].apply_overtake_adjustment(4.0, 1, 0);
-        assert_eq!(cps[0].local_count(), 1);
-
-        cps[0].on_pred_announce(5.0, NodeId(2), Some(NodeId(0)));
-        cps[0].on_report(6.0, NodeId(1), 2, 1);
-        let status = PatrolStatus::default();
-        cps[0].on_patrol_status(7.0, &status);
-        // Events were emitted throughout with the sentinel vehicle id.
-        assert!(cps[0]
-            .take_events()
-            .iter()
-            .filter_map(|(_, e)| e.vehicle())
-            .all(|v| v == UNKNOWN_VEHICLE.0));
     }
 }

@@ -1,12 +1,11 @@
-//! Commands a checkpoint asks its communication layer to perform, and the
-//! outcome summary of a vehicle-entry observation.
+//! Commands a checkpoint asks its communication layer to perform.
 //!
 //! The checkpoint state machine is pure: it consumes observations and
 //! returns [`Command`]s; the harness (or real roadside hardware) performs
 //! the transport. This keeps Alg. 1/3/5 testable without any simulator.
 
 use serde::{Deserialize, Serialize};
-use vcount_roadnet::{EdgeId, NodeId};
+use vcount_roadnet::NodeId;
 
 /// A transport request emitted by the checkpoint state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,17 +33,4 @@ pub enum Command {
         /// Monotone per-sender sequence number (last writer wins).
         seq: u32,
     },
-}
-
-/// What happened when a vehicle entered the checkpoint's surveillance.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct EnterOutcome {
-    /// The vehicle was counted here (phase 5, or inbound interaction).
-    pub counted: bool,
-    /// This entry activated the checkpoint (phase 3).
-    pub activated: bool,
-    /// This entry stopped counting on an inbound direction (phase 4).
-    pub stopped: Option<EdgeId>,
-    /// Transport requests produced by the state change.
-    pub commands: Vec<Command>,
 }

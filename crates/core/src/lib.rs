@@ -34,8 +34,8 @@ pub mod counter;
 pub mod observation;
 
 pub use baseline::{ClassDedupCounter, NaiveIntervalCounter};
-pub use checkpoint::{Checkpoint, InboundState, LabelState, UNKNOWN_VEHICLE};
-pub use command::{Command, EnterOutcome};
+pub use checkpoint::{Checkpoint, InboundState, LabelState};
+pub use command::Command;
 pub use config::{CheckpointConfig, ProtocolVariant};
 pub use counter::Counters;
 pub use observation::Observation;

@@ -17,7 +17,7 @@ const CAR: VehicleClass = VehicleClass {
 };
 
 /// What one `Entered` observation did, reconstructed from the event
-/// stream (the old `EnterOutcome`, derived rather than returned).
+/// stream rather than returned by the protocol API.
 struct Entry {
     counted: bool,
     activated: bool,

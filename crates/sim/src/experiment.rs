@@ -37,6 +37,11 @@ pub struct CellResult {
     /// (absent in results serialized before the observability layer).
     #[serde(default)]
     pub telemetry: RunTelemetry,
+    /// Panic message if this cell's worker panicked. The sweep records the
+    /// failure here and keeps going instead of aborting the whole grid; a
+    /// failed cell has no runs and counts every replicate as unconverged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub failed: Option<String>,
     /// All replicate metrics, for deeper analysis.
     pub runs: Vec<RunMetrics>,
 }
@@ -112,20 +117,47 @@ where
                     break;
                 }
                 let cell = cells[i];
-                let result = run_cell(cell, cfg.replicates, goal, &make_scenario);
+                // One panicking cell (bad scenario, solver bug) must not
+                // abort the rest of the grid: record the failure in its
+                // result slot and keep draining cells.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_cell(cell, cfg.replicates, goal, &make_scenario)
+                }))
+                .unwrap_or_else(|payload| failed_cell(cell, cfg.replicates, payload));
                 results.lock().push(result);
             });
         }
     })
-    .expect("sweep worker panicked");
+    .expect("sweep scope failed");
 
     let mut out = results.into_inner();
     out.sort_by(|a, b| {
-        (a.cell.volume_pct, a.cell.seeds)
-            .partial_cmp(&(b.cell.volume_pct, b.cell.seeds))
-            .unwrap()
+        a.cell
+            .volume_pct
+            .total_cmp(&b.cell.volume_pct)
+            .then(a.cell.seeds.cmp(&b.cell.seeds))
     });
     out
+}
+
+/// The result slot of a cell whose worker panicked.
+fn failed_cell(cell: Cell, replicates: u64, payload: Box<dyn std::any::Any + Send>) -> CellResult {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    CellResult {
+        cell,
+        constitution_min: None,
+        collection_min: None,
+        per_checkpoint_min: None,
+        violations: 0,
+        unconverged: replicates as usize,
+        telemetry: RunTelemetry::default(),
+        failed: Some(msg),
+        runs: Vec::new(),
+    }
 }
 
 fn run_cell<F>(cell: Cell, replicates: u64, goal: Goal, make_scenario: &F) -> CellResult
@@ -173,6 +205,7 @@ where
         violations,
         unconverged,
         telemetry,
+        failed: None,
         runs,
     }
 }
@@ -228,6 +261,39 @@ mod tests {
             assert_eq!(r.violations, 0, "oracle violation in sweep cell");
             assert_eq!(r.unconverged, 0);
             assert!(r.constitution_min.is_some());
+            assert!(r.failed.is_none());
+        }
+    }
+
+    #[test]
+    fn sweep_survives_a_panicking_cell() {
+        let cfg = SweepConfig {
+            volumes: vec![50.0, 100.0],
+            seed_counts: vec![1, 2],
+            replicates: 1,
+            threads: 2,
+        };
+        let results = sweep(&cfg, Goal::Constitution, |cell, rep| {
+            if cell.volume_pct == 100.0 && cell.seeds == 1 {
+                panic!("scenario construction exploded");
+            }
+            tiny_scenario(cell, rep)
+        });
+        assert_eq!(results.len(), 4, "failed cell must still occupy its slot");
+        for r in &results {
+            if r.cell.volume_pct == 100.0 && r.cell.seeds == 1 {
+                let msg = r.failed.as_deref().expect("panicking cell marked failed");
+                assert!(msg.contains("scenario construction exploded"), "{msg}");
+                assert_eq!(r.unconverged, 1);
+                assert!(r.runs.is_empty());
+            } else {
+                assert!(
+                    r.failed.is_none(),
+                    "healthy cell {:?} marked failed",
+                    r.cell
+                );
+                assert!(r.constitution_min.is_some());
+            }
         }
     }
 }

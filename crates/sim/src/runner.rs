@@ -96,6 +96,15 @@ pub struct Runner {
     naive: NaiveIntervalCounter,
     dedup: ClassDedupCounter,
     events_scratch: Vec<TrafficEvent>,
+    /// Scratch: same-step `(edge, event index, vehicle)` departures
+    /// (rebuilt per step; flat — event counts per step are small).
+    departures_scratch: Vec<(EdgeId, usize, VehicleId)>,
+    /// Scratch: same-step `(edge, event index, vehicle)` entries.
+    entries_scratch: Vec<(EdgeId, usize, VehicleId)>,
+    /// Scratch: carried reports due at the node being processed.
+    due_reports_scratch: Vec<(NodeId, NodeId, i64, u32)>,
+    /// Scratch: patrol-carried messages due at the node being processed.
+    due_patrol_scratch: Vec<RelayMsg>,
 
     /// The run's RNG seed, stamped on every emitted event record.
     seed_epoch: u64,
@@ -203,12 +212,6 @@ impl Runner {
         RunnerBuilder::new(scenario)
     }
 
-    /// Builds the deployment with default observability (no user sinks).
-    #[deprecated(since = "0.1.0", note = "use Runner::builder(scenario).build()")]
-    pub fn new(scenario: &Scenario) -> Self {
-        Runner::builder(scenario).build()
-    }
-
     fn assemble(
         scenario: &Scenario,
         sinks: Vec<Box<dyn EventSink + Send>>,
@@ -280,6 +283,10 @@ impl Runner {
             naive: NaiveIntervalCounter::new(scenario.protocol.filter),
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
             events_scratch: Vec::new(),
+            departures_scratch: Vec::new(),
+            entries_scratch: Vec::new(),
+            due_reports_scratch: Vec::new(),
+            due_patrol_scratch: Vec::new(),
             seed_epoch: scenario.sim.seed,
             counters: CountersSink::new(),
             ring: RingBufferSink::new(ring_capacity),
@@ -440,20 +447,24 @@ impl Runner {
         self.ensure_vehicle_capacity();
 
         // Pre-scan same-step departures/entries per edge (watch 'ahead'
-        // reconstruction; see module docs).
-        let mut departures_onto: HashMap<EdgeId, Vec<(usize, VehicleId)>> = HashMap::new();
-        let mut entries_via: HashMap<EdgeId, Vec<(usize, VehicleId)>> = HashMap::new();
+        // reconstruction; see module docs). Flat reused buffers: a step
+        // carries few events, so a linear filter beats rebuilding a
+        // `HashMap` of fresh `Vec`s every step.
+        let mut departures_onto = std::mem::take(&mut self.departures_scratch);
+        let mut entries_via = std::mem::take(&mut self.entries_scratch);
+        departures_onto.clear();
+        entries_via.clear();
         for (i, ev) in events.iter().enumerate() {
             match *ev {
                 TrafficEvent::Departed { vehicle, onto, .. } => {
-                    departures_onto.entry(onto).or_default().push((i, vehicle));
+                    departures_onto.push((onto, i, vehicle));
                 }
                 TrafficEvent::Entered {
                     vehicle,
                     from: Some(e),
                     ..
                 } => {
-                    entries_via.entry(e).or_default().push((i, vehicle));
+                    entries_via.push((e, i, vehicle));
                 }
                 _ => {}
             }
@@ -480,6 +491,8 @@ impl Runner {
             }
         }
         self.events_scratch = events;
+        self.departures_scratch = departures_onto;
+        self.entries_scratch = entries_via;
         self.counters
             .add_phase(Phase::Protocol, t_protocol.elapsed());
         let t_relay = Instant::now();
@@ -499,15 +512,26 @@ impl Runner {
         let class = self.sim.vehicle(vehicle).class;
         let is_patrol = class.is_patrol();
 
-        // Deliver carried reports addressed to this node.
-        let due: Vec<(NodeId, NodeId, i64, u32)> = {
+        // Deliver carried reports addressed to this node: matching entries
+        // move into a reused scratch, the rest compact in place — no
+        // per-arrival partition allocation.
+        let mut due = std::mem::take(&mut self.due_reports_scratch);
+        due.clear();
+        {
             let list = &mut self.carried_reports[vehicle.index()];
-            let (here, rest): (Vec<_>, Vec<_>) =
-                list.drain(..).partition(|(to, _, _, _)| *to == node);
-            *list = rest;
-            here
-        };
-        for (_, reporter, total, seq) in due {
+            let mut kept = 0usize;
+            for i in 0..list.len() {
+                let item = list[i];
+                if item.0 == node {
+                    due.push(item);
+                } else {
+                    list[kept] = item;
+                    kept += 1;
+                }
+            }
+            list.truncate(kept);
+        }
+        for &(_, reporter, total, seq) in &due {
             let cmds = self.cps[node.index()].handle(
                 Observation::Report {
                     from: reporter,
@@ -519,20 +543,34 @@ impl Runner {
             self.pump(node);
             self.dispatch(node, cmds);
         }
+        self.due_reports_scratch = due;
 
         if is_patrol {
-            // Deliver circuitous messages addressed here.
-            let due: Vec<RelayMsg> = {
+            // Deliver circuitous messages addressed here (same in-place
+            // split as the carried reports above).
+            let mut due = std::mem::take(&mut self.due_patrol_scratch);
+            due.clear();
+            {
                 let list = self.patrol_carried.entry(vehicle).or_default();
-                let (here, rest): (Vec<_>, Vec<_>) = list.drain(..).partition(|m| match m {
-                    RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => *to == node,
-                });
-                *list = rest;
-                here
-            };
-            for m in due {
+                let mut kept = 0usize;
+                for i in 0..list.len() {
+                    let m = list[i];
+                    let here = match m {
+                        RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => to == node,
+                    };
+                    if here {
+                        due.push(m);
+                    } else {
+                        list[kept] = m;
+                        kept += 1;
+                    }
+                }
+                list.truncate(kept);
+            }
+            for &m in &due {
                 self.deliver_relay(now, m);
             }
+            self.due_patrol_scratch = due;
             // Pick up circuitous messages waiting here.
             let picked = std::mem::take(&mut self.pending_patrol[node.index()]);
             self.patrol_carried
@@ -605,21 +643,30 @@ impl Runner {
         vehicle: VehicleId,
         node: NodeId,
         onto: EdgeId,
-        departures_onto: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
-        entries_via: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+        departures_onto: &[(EdgeId, usize, VehicleId)],
+        entries_via: &[(EdgeId, usize, VehicleId)],
     ) {
         let class = self.sim.vehicle(vehicle).class;
         let is_patrol = class.is_patrol();
 
-        // Hand pending reports that ride this edge to the vehicle.
+        // Hand pending reports that ride this edge to the vehicle —
+        // moved directly into its carried list, the rest compacted in
+        // place (the two lists are disjoint fields, so no intermediate
+        // buffer is needed).
         if !self.pending_reports[node.index()].is_empty() {
-            let (take, keep): (Vec<_>, Vec<_>) = self.pending_reports[node.index()]
-                .drain(..)
-                .partition(|(e, _, _, _)| *e == onto);
-            self.pending_reports[node.index()] = keep;
-            for (_, dest, total, seq) in take {
-                self.carried_reports[vehicle.index()].push((dest, node, total, seq));
+            let pending = &mut self.pending_reports[node.index()];
+            let carried = &mut self.carried_reports[vehicle.index()];
+            let mut kept = 0usize;
+            for i in 0..pending.len() {
+                let (e, dest, total, seq) = pending[i];
+                if e == onto {
+                    carried.push((dest, node, total, seq));
+                } else {
+                    pending[kept] = pending[i];
+                    kept += 1;
+                }
             }
+            pending.truncate(kept);
         }
 
         // Phase 2: label handoff.
@@ -659,30 +706,23 @@ impl Runner {
         idx: usize,
         label_vehicle: VehicleId,
         onto: EdgeId,
-        departures_onto: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
-        entries_via: &HashMap<EdgeId, Vec<(usize, VehicleId)>>,
+        departures_onto: &[(EdgeId, usize, VehicleId)],
+        entries_via: &[(EdgeId, usize, VehicleId)],
     ) -> Vec<(VehicleId, bool)> {
-        let empty = Vec::new();
-        let later_departures: Vec<VehicleId> = departures_onto
-            .get(&onto)
-            .unwrap_or(&empty)
-            .iter()
-            .filter(|(i, _)| *i > idx)
-            .map(|(_, v)| *v)
-            .collect();
+        let later_departure = |v: VehicleId| {
+            departures_onto
+                .iter()
+                .any(|&(e, i, d)| e == onto && i > idx && d == v)
+        };
         let later_entries = entries_via
-            .get(&onto)
-            .unwrap_or(&empty)
             .iter()
-            .filter(|(i, _)| *i > idx)
-            .map(|(_, v)| *v);
+            .filter(|&&(e, i, _)| e == onto && i > idx)
+            .map(|&(_, _, v)| v);
 
         let mut ahead: Vec<VehicleId> = later_entries.collect();
         ahead.extend(self.sim.in_transit(onto));
         ahead.retain(|v| {
-            *v != label_vehicle
-                && !later_departures.contains(v)
-                && !self.sim.vehicle(*v).is_patrol()
+            *v != label_vehicle && !later_departure(*v) && !self.sim.vehicle(*v).is_patrol()
         });
         ahead.dedup();
         ahead

@@ -15,6 +15,7 @@
 
 pub mod config;
 pub mod events;
+pub mod order;
 pub mod signals;
 pub mod simulator;
 pub mod vehicle;

@@ -1,0 +1,159 @@
+//! Order maintenance for overtake detection: allocation-free inversion
+//! counting over per-edge vehicle orders.
+//!
+//! An overtake between two simulator steps is an *inversion* between the
+//! edge's previous and current leader-first orders: a pair that was
+//! `(a ahead of b)` and is now `(b ahead of a)`. The simulator maps the
+//! previous order to current ranks and hands the rank sequence to
+//! [`count_inversions`] — an O(n log n) bottom-up merge count over
+//! caller-provided scratch, replacing the all-pairs O(n²) scan. Only on
+//! the (rare) steps where the count is non-zero does it enumerate the
+//! inverted pairs with [`for_each_inversion`], which emits them in exactly
+//! the reference all-pairs order so the event stream is unchanged.
+
+/// Counts inversions in `seq` — pairs `i < j` with `seq[j] < seq[i]` — in
+/// O(n log n) with a bottom-up merge sort. **`seq` is sorted in place**;
+/// pass a scratch copy. `scratch` is the merge buffer, resized (never
+/// shrunk) to `seq.len()`: reusing it across calls makes the steady state
+/// allocation-free.
+pub fn count_inversions(seq: &mut [u32], scratch: &mut Vec<u32>) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    if scratch.len() < n {
+        scratch.resize(n, 0);
+    }
+    let mut inversions = 0u64;
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if seq[j] < seq[i] {
+                    // seq[j] jumps ahead of every remaining left element.
+                    inversions += (mid - i) as u64;
+                    scratch[k] = seq[j];
+                    j += 1;
+                } else {
+                    scratch[k] = seq[i];
+                    i += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                scratch[k] = seq[i];
+                i += 1;
+                k += 1;
+            }
+            while j < hi {
+                scratch[k] = seq[j];
+                j += 1;
+                k += 1;
+            }
+            seq[lo..hi].copy_from_slice(&scratch[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// Calls `f(i, j)` for every inverted pair `i < j`, `seq[j] < seq[i]`, in
+/// lexicographic `(i, j)` order — the exact emission order of the
+/// historical all-pairs scan, so downstream event streams stay
+/// byte-identical. Stops after `limit` pairs (pass the
+/// [`count_inversions`] result so the scan ends as soon as the last
+/// inversion is found).
+pub fn for_each_inversion(seq: &[u32], limit: u64, mut f: impl FnMut(usize, usize)) {
+    let mut remaining = limit;
+    if remaining == 0 {
+        return;
+    }
+    for i in 0..seq.len() {
+        for j in (i + 1)..seq.len() {
+            if seq[j] < seq[i] {
+                f(i, j);
+                remaining -= 1;
+                if remaining == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The historical reference: the all-pairs inversion scan.
+    fn all_pairs(seq: &[u32]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..seq.len() {
+            for j in (i + 1)..seq.len() {
+                if seq[j] < seq[i] {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn counts_match_all_pairs_on_edge_cases() {
+        let mut scratch = Vec::new();
+        for seq in [
+            vec![],
+            vec![5],
+            vec![1, 2, 3, 4],
+            vec![4, 3, 2, 1],
+            vec![2, 1],
+            vec![1, 3, 2, 4, 0],
+        ] {
+            let expect = all_pairs(&seq).len() as u64;
+            let mut copy = seq.clone();
+            assert_eq!(
+                count_inversions(&mut copy, &mut scratch),
+                expect,
+                "sequence {seq:?}"
+            );
+            assert!(copy.windows(2).all(|w| w[0] <= w[1]), "sorted after count");
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_all_pairs_order_on_random_sequences() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut scratch = Vec::new();
+        for _ in 0..500 {
+            let n = rng.gen_range(0..40usize);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..30u32)).collect();
+            let expect = all_pairs(&seq);
+            let mut copy = seq.clone();
+            let k = count_inversions(&mut copy, &mut scratch);
+            assert_eq!(k, expect.len() as u64, "count over {seq:?}");
+            let mut got = Vec::new();
+            for_each_inversion(&seq, k, |i, j| got.push((i, j)));
+            assert_eq!(got, expect, "pair order over {seq:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_without_growth() {
+        let mut scratch = Vec::new();
+        let mut seq: Vec<u32> = (0..64u32).rev().collect();
+        count_inversions(&mut seq, &mut scratch);
+        let cap = scratch.capacity();
+        for _ in 0..10 {
+            let mut again: Vec<u32> = (0..64u32).rev().collect();
+            assert_eq!(count_inversions(&mut again, &mut scratch), 64 * 63 / 2);
+        }
+        assert_eq!(scratch.capacity(), cap, "steady state must not reallocate");
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::config::{Demand, SimConfig};
 use crate::events::TrafficEvent;
+use crate::order::{count_inversions, for_each_inversion};
 use crate::signals::SignalPlan;
 use crate::vehicle::{sample_class, RoutePolicy, VehState, Vehicle};
 use rand::rngs::StdRng;
@@ -37,6 +38,27 @@ pub struct Simulator {
     signals: Option<SignalPlan>,
     /// Scratch buffer reused across steps.
     scratch_pos: Vec<f64>,
+    /// Scratch: the current per-edge order being built; swapped with
+    /// `prev_order[e]` each step so both buffers keep their capacity.
+    order_scratch: Vec<VehicleId>,
+    /// Scratch rank table keyed by vehicle index, validated by epoch stamp
+    /// (no per-step clearing or hashing).
+    rank_of: Vec<u32>,
+    /// Epoch stamp per vehicle slot; a rank is live iff its stamp equals
+    /// `rank_epoch`.
+    rank_stamp: Vec<u64>,
+    /// Current rank-table epoch (bumped per edge per step).
+    rank_epoch: u64,
+    /// Scratch: current ranks of the previous order's surviving vehicles.
+    inv_ranks: Vec<u32>,
+    /// Scratch: the vehicles parallel to `inv_ranks`.
+    inv_vehicles: Vec<VehicleId>,
+    /// Scratch: sort copy of `inv_ranks` consumed by the merge count.
+    inv_sort: Vec<u32>,
+    /// Scratch: merge buffer of the inversion count.
+    inv_merge: Vec<u32>,
+    /// Scratch: route candidates under consideration at an intersection.
+    route_scratch: Vec<EdgeId>,
 }
 
 impl Simulator {
@@ -66,6 +88,15 @@ impl Simulator {
             prev_order,
             signals,
             scratch_pos: Vec::new(),
+            order_scratch: Vec::new(),
+            rank_of: Vec::new(),
+            rank_stamp: Vec::new(),
+            rank_epoch: 0,
+            inv_ranks: Vec::new(),
+            inv_vehicles: Vec::new(),
+            inv_sort: Vec::new(),
+            inv_merge: Vec::new(),
+            route_scratch: Vec::new(),
         };
         sim.populate();
         sim
@@ -118,24 +149,36 @@ impl Simulator {
     /// leader-first. Exactly the set ahead of a vehicle departing onto
     /// `edge` right now.
     pub fn in_transit(&self, edge: EdgeId) -> Vec<VehicleId> {
-        let head = self.net.edge(edge).to;
-        let mut out: Vec<VehicleId> = self.queues[head.index()]
-            .iter()
-            .filter(|(_, from)| *from == edge)
-            .map(|(v, _)| *v)
-            .collect();
-        // Merge lanes by position, leader first.
-        let mut on_edge: Vec<(f64, VehicleId)> = Vec::new();
-        for lane in &self.lanes[edge.index()] {
-            for &vid in lane {
-                if let VehState::OnEdge { pos_m, .. } = self.vehicles[vid.index()].state {
-                    on_edge.push((pos_m, vid));
-                }
-            }
-        }
-        on_edge.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-        out.extend(on_edge.into_iter().map(|(_, v)| v));
+        let mut out = Vec::new();
+        self.in_transit_into(edge, &mut out);
         out
+    }
+
+    /// [`Simulator::in_transit`] into a caller-provided buffer (cleared
+    /// first). Reusing the buffer keeps per-step order maintenance
+    /// allocation-free; the sort is unstable (no heap) over a total order,
+    /// so the result is still deterministic.
+    pub fn in_transit_into(&self, edge: EdgeId, out: &mut Vec<VehicleId>) {
+        out.clear();
+        let head = self.net.edge(edge).to;
+        out.extend(
+            self.queues[head.index()]
+                .iter()
+                .filter(|(_, from)| *from == edge)
+                .map(|(v, _)| *v),
+        );
+        let queued = out.len();
+        for lane in &self.lanes[edge.index()] {
+            out.extend_from_slice(lane);
+        }
+        // Merge lanes by position, leader first; lane lists hold only
+        // on-edge vehicles, so every position lookup succeeds.
+        let vehicles = &self.vehicles;
+        let pos = |v: VehicleId| match vehicles[v.index()].state {
+            VehState::OnEdge { pos_m, .. } => pos_m,
+            _ => f64::MAX,
+        };
+        out[queued..].sort_unstable_by(|a, b| pos(*b).total_cmp(&pos(*a)).then(a.cmp(b)));
     }
 
     /// Adds a police patrol car driving `route` (a closed walk of edges)
@@ -181,6 +224,7 @@ impl Simulator {
     ) -> VehicleId {
         let id = VehicleId(self.vehicles.len() as u64);
         assert!((lane as usize) < self.lanes[edge.index()].len());
+        debug_assert!(pos_m.is_finite(), "vehicle position must be finite");
         assert!(pos_m >= 0.0 && pos_m <= self.net.edge(edge).length_m);
         self.vehicles.push(Vehicle {
             id,
@@ -231,7 +275,10 @@ impl Simulator {
 
     fn sort_lane(&mut self, edge: EdgeId, lane: u8) {
         let vehicles = &self.vehicles;
-        self.lanes[edge.index()][lane as usize].sort_by(|a, b| {
+        // Unstable sort: no heap allocation, and the comparator is a total
+        // order (position, then id), so the result is deterministic.
+        // `total_cmp` keeps a rogue NaN from panicking the simulation.
+        self.lanes[edge.index()][lane as usize].sort_unstable_by(|a, b| {
             let pa = match vehicles[a.index()].state {
                 VehState::OnEdge { pos_m, .. } => pos_m,
                 _ => f64::MAX,
@@ -240,7 +287,7 @@ impl Simulator {
                 VehState::OnEdge { pos_m, .. } => pos_m,
                 _ => f64::MAX,
             };
-            pb.partial_cmp(&pa).unwrap().then(a.cmp(b))
+            pb.total_cmp(&pa).then(a.cmp(b))
         });
     }
 
@@ -379,11 +426,15 @@ impl Simulator {
                     self.scratch_pos.push(pos + v * dt);
                 }
                 // Apply: crossers leave the lane into the head queue.
+                // Survivors are compacted in place (retain-style) so the
+                // lane vector keeps its capacity across steps.
                 let head = self.net.edge(EdgeId(ei as u32)).to;
-                let mut kept = Vec::with_capacity(lane.len());
-                let lane_vec = std::mem::take(&mut self.lanes[ei][li]);
-                for (i, vid) in lane_vec.into_iter().enumerate() {
+                let lane_len = self.lanes[ei][li].len();
+                let mut kept = 0usize;
+                for i in 0..lane_len {
+                    let vid = self.lanes[ei][li][i];
                     let new_pos = self.scratch_pos[i];
+                    debug_assert!(new_pos.is_finite(), "non-finite position for {vid:?}");
                     let veh = &mut self.vehicles[vid.index()];
                     let old_pos = match veh.state {
                         VehState::OnEdge { pos_m, .. } => pos_m,
@@ -401,42 +452,72 @@ impl Simulator {
                         if let VehState::OnEdge { pos_m, .. } = &mut veh.state {
                             *pos_m = new_pos;
                         }
-                        kept.push(vid);
+                        self.lanes[ei][li][kept] = vid;
+                        kept += 1;
                     }
                 }
-                self.lanes[ei][li] = kept;
+                self.lanes[ei][li].truncate(kept);
             }
         }
     }
 
+    /// Overtake detection without steady-state allocation: the per-edge
+    /// order is rebuilt into a reusable buffer and swapped with the cached
+    /// previous order; previous-order vehicles are mapped to current ranks
+    /// through an epoch-stamped table (no per-step `HashMap`), and an
+    /// O(n log n) merge-based inversion count decides whether anything
+    /// changed. Only on steps with inversions — rare by construction —
+    /// are the inverted pairs enumerated, in the exact order of the
+    /// historical all-pairs scan so the event stream is byte-identical.
     fn detect_overtakes(&mut self) {
+        if self.rank_of.len() < self.vehicles.len() {
+            self.rank_of.resize(self.vehicles.len(), 0);
+            self.rank_stamp.resize(self.vehicles.len(), 0);
+        }
+        let mut order = std::mem::take(&mut self.order_scratch);
         for ei in 0..self.lanes.len() {
             let edge = EdgeId(ei as u32);
-            let order = self.in_transit(edge);
-            let prev = std::mem::replace(&mut self.prev_order[ei], order);
-            let now = &self.prev_order[ei];
+            self.in_transit_into(edge, &mut order);
+            // `prev_order[ei]` now holds the current order; `order` holds
+            // the previous one (and donates its capacity to the next edge).
+            std::mem::swap(&mut self.prev_order[ei], &mut order);
+            let (prev, now) = (&order, &self.prev_order[ei]);
             if prev.len() < 2 || now.len() < 2 {
                 continue;
             }
-            // Rank of each vehicle now.
-            let rank: std::collections::HashMap<VehicleId, usize> =
-                now.iter().enumerate().map(|(i, v)| (*v, i)).collect();
-            for i in 0..prev.len() {
-                for j in (i + 1)..prev.len() {
-                    // prev: a ahead of b. Inversion when b is now ahead.
-                    let (a, b) = (prev[i], prev[j]);
-                    if let (Some(&ra), Some(&rb)) = (rank.get(&a), rank.get(&b)) {
-                        if rb < ra {
-                            self.events.push(TrafficEvent::Overtake {
-                                edge,
-                                overtaker: b,
-                                overtaken: a,
-                            });
-                        }
-                    }
+            // Rank of each vehicle now, stamped with a fresh epoch.
+            self.rank_epoch += 1;
+            for (i, v) in now.iter().enumerate() {
+                self.rank_of[v.index()] = i as u32;
+                self.rank_stamp[v.index()] = self.rank_epoch;
+            }
+            // The previous order, projected onto current ranks (vehicles
+            // that left the edge drop out, preserving relative order).
+            self.inv_ranks.clear();
+            self.inv_vehicles.clear();
+            for &v in prev {
+                if self.rank_stamp[v.index()] == self.rank_epoch {
+                    self.inv_ranks.push(self.rank_of[v.index()]);
+                    self.inv_vehicles.push(v);
                 }
             }
+            self.inv_sort.clear();
+            self.inv_sort.extend_from_slice(&self.inv_ranks);
+            let inversions = count_inversions(&mut self.inv_sort, &mut self.inv_merge);
+            if inversions == 0 {
+                continue;
+            }
+            let (vehicles, events) = (&self.inv_vehicles, &mut self.events);
+            for_each_inversion(&self.inv_ranks, inversions, |i, j| {
+                // prev: i ahead of j; inversion means j is now ahead.
+                events.push(TrafficEvent::Overtake {
+                    edge,
+                    overtaker: vehicles[j],
+                    overtaken: vehicles[i],
+                });
+            });
         }
+        self.order_scratch = order;
     }
 
     fn admissions(&mut self) {
@@ -547,25 +628,28 @@ impl Simulator {
         }
         let forbidden = twin_back;
         let out = self.net.out_edges(node);
-        let mut candidates: Vec<EdgeId> = out
-            .iter()
-            .copied()
-            .filter(|e| Some(*e) != forbidden)
-            .collect();
+        // Reused candidate buffer: route decisions happen for every
+        // admission every step, so this must not allocate.
+        let mut candidates = std::mem::take(&mut self.route_scratch);
+        candidates.clear();
+        candidates.extend(out.iter().copied().filter(|e| Some(*e) != forbidden));
         if candidates.is_empty() {
-            candidates = out.to_vec();
+            candidates.extend_from_slice(out);
         }
         // Fisher-Yates shuffle for unbiased random preference order.
         for i in (1..candidates.len()).rev() {
             let j = self.rng.gen_range(0..=i);
             candidates.swap(i, j);
         }
-        for e in candidates {
+        let mut decision = RouteDecision::Blocked;
+        for &e in &candidates {
             if let Some(lane) = self.entry_lane(e) {
-                return RouteDecision::Onto(e, lane);
+                decision = RouteDecision::Onto(e, lane);
+                break;
             }
         }
-        RouteDecision::Blocked
+        self.route_scratch = candidates;
+        decision
     }
 
     /// The entry lane with the most rear space, or `None` when every lane's

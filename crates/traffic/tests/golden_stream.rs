@@ -1,0 +1,113 @@
+//! Golden event-stream digests pinning the overtake refactor.
+//!
+//! The digests below were captured from the pre-refactor simulator, whose
+//! `detect_overtakes` was the all-pairs O(n²) inversion scan. The merge-based
+//! detector must reproduce the *byte-identical* event stream (same events,
+//! same order, same fields), so these FNV-1a digests over the
+//! `Debug`-formatted events must never change. If a legitimate semantic
+//! change to the simulator is intended, regenerate them with the same digest
+//! recipe and say so loudly in the commit message.
+
+use vcount_roadnet::builders::grid;
+use vcount_traffic::{Demand, SimConfig, Simulator};
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn digest(cols: usize, rows: usize, lanes: u8, demand: f64, seed: u64, steps: u64) -> (u64, u64) {
+    let net = grid(cols, rows, 150.0, lanes, 10.0);
+    let cfg = SimConfig {
+        detect_overtakes: true,
+        speed_factor_range: (0.5, 1.0),
+        seed,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(net, cfg, Demand::at_volume(demand));
+    let mut h = 0xcbf29ce484222325u64;
+    let mut n = 0u64;
+    for _ in 0..steps {
+        for ev in sim.step() {
+            fnv1a(&mut h, format!("{ev:?}").as_bytes());
+            n += 1;
+        }
+    }
+    (h, n)
+}
+
+/// One pinned configuration and its expected digest, captured from the
+/// all-pairs reference implementation.
+struct Golden {
+    cols: usize,
+    rows: usize,
+    lanes: u8,
+    demand: f64,
+    seed: u64,
+    steps: u64,
+    events: u64,
+    fnv: u64,
+}
+
+const GOLDENS: [Golden; 3] = [
+    Golden {
+        cols: 4,
+        rows: 4,
+        lanes: 2,
+        demand: 60.0,
+        seed: 7,
+        steps: 800,
+        events: 4620,
+        fnv: 0x8c11f72e6f0865c7,
+    },
+    Golden {
+        cols: 5,
+        rows: 5,
+        lanes: 3,
+        demand: 100.0,
+        seed: 11,
+        steps: 600,
+        events: 16239,
+        fnv: 0x8751f0aac578ae99,
+    },
+    Golden {
+        cols: 3,
+        rows: 3,
+        lanes: 1,
+        demand: 80.0,
+        seed: 23,
+        steps: 1000,
+        events: 1628,
+        fnv: 0xb734512cc6613166,
+    },
+];
+
+#[test]
+fn event_stream_matches_all_pairs_reference_goldens() {
+    for Golden {
+        cols,
+        rows,
+        lanes,
+        demand,
+        seed,
+        steps,
+        events: want_n,
+        fnv: want_h,
+    } in GOLDENS
+    {
+        let (h, n) = digest(cols, rows, lanes, demand, seed, steps);
+        assert_eq!(
+            n, want_n,
+            "event count drifted for grid {cols}x{rows} lanes={lanes} \
+             demand={demand} seed={seed}"
+        );
+        assert_eq!(
+            h, want_h,
+            "event stream digest drifted for grid {cols}x{rows} lanes={lanes} \
+             demand={demand} seed={seed} — the overtake detector no longer \
+             reproduces the all-pairs reference byte-for-byte"
+        );
+    }
+}

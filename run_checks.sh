@@ -17,4 +17,20 @@ run cargo build --release
 run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --all --check
+
+# Bench smoke: the hotpath bin must run end to end and emit well-formed
+# JSON (tiny grid, a few hundred steps — seconds, not minutes).
+smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+run cargo run --release -q -p vcount-bench --bin hotpath -- --smoke --out "$smoke_out"
+if command -v jq >/dev/null 2>&1; then
+    run jq -e '.schema == "vcount-hotpath-bench/v1" and (.cases | length) > 0 and all(.cases[]; .steps_per_sec > 0)' "$smoke_out" >/dev/null
+else
+    run python3 - "$smoke_out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "vcount-hotpath-bench/v1", r["schema"]
+assert r["cases"] and all(c["steps_per_sec"] > 0 for c in r["cases"])
+EOF
+fi
 echo "All checks passed."
