@@ -148,6 +148,7 @@ fn bench_codec(c: &mut Criterion) {
             from: NodeId(12),
             to: NodeId(4),
             subtree_total: -3,
+            seq: 2,
         }),
         Message::Ack {
             vehicle: VehicleId(99),

@@ -7,8 +7,14 @@
 //! perf trajectory of the step hot path; regenerate it after any change
 //! to `Simulator::step` or the runner's delivery path.
 //!
+//! The `exchange…` cases drive the full engine — checkpoints, oracle, and
+//! the wire-encoding Exchange message layer — so a per-step allocation
+//! reintroduced into the encode/decode path shows up as a throughput drop
+//! here, not just in a profiler.
+//!
 //! ```text
-//! hotpath [--out FILE] [--steps N] [--warmup N] [--smoke] [--baseline FILE]
+//! hotpath [--out FILE] [--steps N] [--warmup N] [--smoke]
+//!         [--baseline FILE] [--guard FILE] [--tolerance F]
 //! ```
 //!
 //! * `--out FILE`      where to write the JSON report (default
@@ -18,11 +24,19 @@
 //! * `--smoke`         tiny 3×3 grid, one demand level — CI smoke mode.
 //! * `--baseline FILE` embed a previous report as the `baseline` field,
 //!   so before/after throughput lives in one committed artifact.
+//! * `--guard FILE`    regression guard: compare each measured case to the
+//!   same-named case in FILE and exit nonzero if throughput fell by more
+//!   than the tolerance (a flagged case is re-measured up to two more
+//!   times, best-of-3, to damp scheduler noise).
+//! * `--tolerance F`   allowed fractional drop for `--guard` (default 0.05).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::grid;
+use vcount_sim::{MapSpec, Runner, Scenario, SeedSpec};
 use vcount_traffic::{Demand, SimConfig, Simulator};
+use vcount_v2x::ChannelKind;
 
 /// One measured (grid × demand) configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -113,6 +127,175 @@ fn run_case(
     }
 }
 
+/// Like [`run_case`], but drives the full engine — one checkpoint per
+/// intersection, the lossy paper channel, and every message wire-encoded
+/// through the Exchange — instead of the bare simulator. `events` counts
+/// protocol events; `peak_vehicles` is still the traffic peak.
+fn run_exchange_case(
+    name: &str,
+    cols: usize,
+    rows: usize,
+    demand_pct: f64,
+    seed: u64,
+    warmup: u64,
+    steps: u64,
+) -> Case {
+    let scenario = Scenario {
+        map: MapSpec::Grid {
+            cols,
+            rows,
+            spacing_m: 150.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            detect_overtakes: true,
+            speed_factor_range: (0.5, 1.0),
+            seed,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(demand_pct),
+        protocol: CheckpointConfig::default(),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Explicit(vec![0]),
+        transport: Default::default(),
+        patrol: Default::default(),
+        max_time_s: f64::INFINITY,
+    };
+    let mut runner = Runner::builder(&scenario).build();
+    for _ in 0..warmup {
+        runner.step();
+    }
+    let events_before = runner.telemetry().events_total();
+    let mut peak = 0usize;
+    let start = Instant::now();
+    for _ in 0..steps {
+        runner.step();
+        peak = peak.max(runner.simulator().civilian_population());
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = runner.telemetry().events_total() - events_before;
+    Case {
+        name: name.to_string(),
+        cols,
+        rows,
+        demand_pct,
+        seed,
+        steps,
+        wall_s,
+        steps_per_sec: steps as f64 / wall_s.max(1e-12),
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-12),
+        peak_vehicles: peak,
+    }
+}
+
+/// One case description: plain simulator hot path or full engine.
+#[derive(Clone, Copy)]
+struct CaseSpec {
+    cols: usize,
+    rows: usize,
+    demand_pct: f64,
+    engine: bool,
+}
+
+impl CaseSpec {
+    fn name(&self) -> String {
+        let prefix = if self.engine { "exchange" } else { "grid" };
+        format!(
+            "{prefix}{}x{}_v{:.0}",
+            self.cols, self.rows, self.demand_pct
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        42 + self.cols as u64 * 1000 + self.demand_pct as u64
+    }
+
+    fn run(&self, warmup: u64, steps: u64) -> Case {
+        let (name, seed) = (self.name(), self.seed());
+        if self.engine {
+            run_exchange_case(
+                &name,
+                self.cols,
+                self.rows,
+                self.demand_pct,
+                seed,
+                warmup,
+                steps,
+            )
+        } else {
+            run_case(
+                &name,
+                self.cols,
+                self.rows,
+                self.demand_pct,
+                seed,
+                warmup,
+                steps,
+            )
+        }
+    }
+}
+
+/// Compares measured cases to the same-named cases of a committed report;
+/// a case below `1 - tolerance` of its reference throughput is re-measured
+/// (best-of-3) before being reported as a regression. Returns the failing
+/// case names.
+fn guard_against(
+    reference: &Report,
+    cases: &mut [Case],
+    specs: &[CaseSpec],
+    warmup: u64,
+    steps: u64,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (case, spec) in cases.iter_mut().zip(specs) {
+        let Some(base) = reference.cases.iter().find(|b| b.name == case.name) else {
+            eprintln!("guard: no reference case named {} — skipping", case.name);
+            continue;
+        };
+        let floor = base.steps_per_sec * (1.0 - tolerance);
+        for attempt in 0..2 {
+            if case.steps_per_sec >= floor {
+                break;
+            }
+            eprintln!(
+                "guard: {} at {:.0} steps/s vs floor {floor:.0} — re-measuring ({})...",
+                case.name,
+                case.steps_per_sec,
+                attempt + 2
+            );
+            // Re-measure at no less than the committed report's length so a
+            // short smoke run is not condemned by cold-start effects.
+            let retry = spec.run(warmup.max(300), steps.max(base.steps));
+            if retry.steps_per_sec > case.steps_per_sec {
+                *case = retry;
+            }
+        }
+        if case.steps_per_sec < floor {
+            eprintln!(
+                "guard: REGRESSION {}: {:.0} steps/s < {:.0} ({}% of committed {:.0})",
+                case.name,
+                case.steps_per_sec,
+                floor,
+                (100.0 * case.steps_per_sec / base.steps_per_sec).round(),
+                base.steps_per_sec
+            );
+            failures.push(case.name.clone());
+        } else {
+            eprintln!(
+                "guard: {} ok ({:.0}% of committed throughput)",
+                case.name,
+                100.0 * case.steps_per_sec / base.steps_per_sec
+            );
+        }
+    }
+    failures
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut out = "BENCH_hotpath.json".to_string();
@@ -120,6 +303,8 @@ fn main() {
     let mut warmup = 300u64;
     let mut smoke = false;
     let mut baseline_path: Option<String> = None;
+    let mut guard_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -149,38 +334,91 @@ fn main() {
                 baseline_path = Some(argv.get(i + 1).expect("--baseline needs a path").clone());
                 i += 2;
             }
+            "--guard" => {
+                guard_path = Some(argv.get(i + 1).expect("--guard needs a path").clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a fraction");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: hotpath [--out FILE] [--steps N] [--warmup N] [--smoke] [--baseline FILE]");
+                eprintln!(
+                    "usage: hotpath [--out FILE] [--steps N] [--warmup N] [--smoke] \
+                     [--baseline FILE] [--guard FILE] [--tolerance F]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    // (cols, rows) × demand levels, fixed seeds: the paper-scale grids.
-    let grids: Vec<(usize, usize)> = if smoke {
+    // (cols, rows) × demand levels, fixed seeds: the paper-scale grids for
+    // the bare simulator, plus one full-engine `exchange` case per grid.
+    // Smoke mode measures the 3×3 pair only — the same names exist in the
+    // committed full report, so `--guard` works in both modes.
+    let mut specs: Vec<CaseSpec> = Vec::new();
+    if smoke {
         steps = steps.min(300);
         warmup = warmup.min(50);
-        vec![(3, 3)]
     } else {
-        vec![(5, 5), (10, 10)]
-    };
-    let demands: &[f64] = if smoke { &[60.0] } else { &[30.0, 60.0, 100.0] };
-
-    let mut cases = Vec::new();
-    for &(cols, rows) in &grids {
-        for &demand_pct in demands {
-            let seed = 42 + cols as u64 * 1000 + demand_pct as u64;
-            let name = format!("grid{cols}x{rows}_v{demand_pct:.0}");
-            eprintln!("running {name} ({steps} steps after {warmup} warm-up)...");
-            let case = run_case(&name, cols, rows, demand_pct, seed, warmup, steps);
-            eprintln!(
-                "  {:>10.0} steps/s  {:>12.0} events/s  peak {} vehicles",
-                case.steps_per_sec, case.events_per_sec, case.peak_vehicles
-            );
-            cases.push(case);
+        for &(cols, rows) in &[(5usize, 5usize), (10, 10)] {
+            for &demand_pct in &[30.0, 60.0, 100.0] {
+                specs.push(CaseSpec {
+                    cols,
+                    rows,
+                    demand_pct,
+                    engine: false,
+                });
+            }
         }
     }
+    for &(cols, rows) in if smoke {
+        &[(3usize, 3usize)][..]
+    } else {
+        &[(3, 3), (5, 5), (10, 10)][..]
+    } {
+        for engine in [false, true] {
+            // The 3×3 plain case exists in full mode too, purely so the
+            // smoke guard has a committed reference.
+            if !smoke && !engine && cols != 3 {
+                continue; // already covered by the demand sweep above
+            }
+            specs.push(CaseSpec {
+                cols,
+                rows,
+                demand_pct: 60.0,
+                engine,
+            });
+        }
+    }
+
+    let mut cases = Vec::new();
+    for spec in &specs {
+        eprintln!(
+            "running {} ({steps} steps after {warmup} warm-up)...",
+            spec.name()
+        );
+        let case = spec.run(warmup, steps);
+        eprintln!(
+            "  {:>10.0} steps/s  {:>12.0} events/s  peak {} vehicles",
+            case.steps_per_sec, case.events_per_sec, case.peak_vehicles
+        );
+        cases.push(case);
+    }
+
+    let guard_failures = match &guard_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+            let reference: Report =
+                serde_json::from_str(&text).unwrap_or_else(|e| panic!("{p}: invalid report: {e}"));
+            guard_against(&reference, &mut cases, &specs, warmup, steps, tolerance)
+        }
+        None => Vec::new(),
+    };
 
     let baseline = baseline_path.map(|p| {
         let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{p}: {e}"));
@@ -200,4 +438,12 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("{out}: {e}"));
     eprintln!("wrote {out}");
+    if !guard_failures.is_empty() {
+        eprintln!(
+            "throughput regression in {} case(s): {}",
+            guard_failures.len(),
+            guard_failures.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

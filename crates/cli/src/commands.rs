@@ -1,11 +1,12 @@
 //! The `vcount` subcommands.
 
 use crate::args::Args;
-use crate::{build_scenario, run_with_progress};
+use crate::{build_scenario, drive, SnapshotCfg};
 use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
-use vcount_sim::{sweep as run_sweep, Goal, Scenario, SweepConfig};
+use vcount_sim::runner::DEFAULT_RING_CAPACITY;
+use vcount_sim::{sweep as run_sweep, EngineSnapshot, Goal, Runner, Scenario, SweepConfig};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -19,10 +20,19 @@ USAGE:
 
   vcount run SCENARIO.json [--goal constitution|collection] [--progress]
               [--trace FILE.jsonl] [--trace-filter KIND,KIND,...]
+              [--snapshot-every N] [--snapshot-out FILE]
       Run a scenario to convergence and print the metrics as JSON.
       --progress streams wave progress to stderr. --trace streams every
       protocol event as JSON lines; --trace-filter restricts it to the
       named event kinds (e.g. label_emitted,report_sent).
+      --snapshot-every N freezes the full engine state to a JSON snapshot
+      every N simulation steps (overwriting --snapshot-out, default
+      vcount-snapshot.json); a resumed run replays the identical event
+      stream the uninterrupted run would have produced.
+
+  vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
+      Resume a run frozen by --snapshot-every. The snapshot embeds its
+      scenario, so no scenario argument is given.
 
   vcount sweep [--volumes PCT,PCT,...] [--seed-counts K,K,...]
                [--replicates N] [--threads N] [--goal constitution|collection]
@@ -62,8 +72,15 @@ pub fn scenario(args: &Args) -> Result<(), String> {
 
 /// `vcount run`.
 pub fn run(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["goal", "progress", "trace", "trace-filter"])?;
-    let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
+    args.reject_unknown(&[
+        "goal",
+        "progress",
+        "trace",
+        "trace-filter",
+        "snapshot-every",
+        "snapshot-out",
+        "resume",
+    ])?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
         "collection" => Goal::Collection,
@@ -76,15 +93,57 @@ pub fn run(args: &Args) -> Result<(), String> {
         (None, Some(_)) => return Err("--trace-filter requires --trace".into()),
         (None, None) => EventFilter::all(),
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = match args.flag_parsed::<u64>("snapshot-every")? {
+        Some(0) => return Err("--snapshot-every must be at least 1".into()),
+        Some(every) => Some(SnapshotCfg {
+            every,
+            out: args
+                .flag("snapshot-out")
+                .unwrap_or("vcount-snapshot.json")
+                .to_string(),
+        }),
+        None => {
+            if args.flag("snapshot-out").is_some() {
+                return Err("--snapshot-out requires --snapshot-every".into());
+            }
+            None
+        }
+    };
     let mut sinks: Vec<Box<dyn EventSink + Send>> = Vec::new();
     if let Some(trace) = trace_path {
         let sink = JsonlSink::to_file(std::path::Path::new(trace), filter)
             .map_err(|e| format!("{trace}: {e}"))?;
         sinks.push(Box::new(sink));
     }
-    let metrics = run_with_progress(&scenario, goal, args.switch("progress"), sinks);
+    let (runner, max_time_s) = match args.flag("resume") {
+        Some(snap_path) => {
+            if args.positional(0).is_some() {
+                return Err(
+                    "--resume takes no scenario argument (the snapshot embeds its scenario)".into(),
+                );
+            }
+            let text =
+                std::fs::read_to_string(snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
+            let snap = EngineSnapshot::from_json(&text).map_err(|e| format!("{snap_path}: {e}"))?;
+            let max = snap.scenario.max_time_s;
+            (
+                Runner::resume_with(&snap, sinks, DEFAULT_RING_CAPACITY),
+                max,
+            )
+        }
+        None => {
+            let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let scenario: Scenario =
+                serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            let mut builder = Runner::builder(&scenario);
+            for sink in sinks {
+                builder = builder.sink(sink);
+            }
+            (builder.build(), scenario.max_time_s)
+        }
+    };
+    let metrics = drive(runner, max_time_s, goal, args.switch("progress"), snapshot)?;
     if let Some(trace) = trace_path {
         eprintln!("wrote event trace to {trace}");
     }

@@ -5,6 +5,8 @@
 //! vcount scenario --preset closed|open|fig1 [--volume N] [--seeds K] [--rng R] [--out FILE]
 //! vcount run SCENARIO.json [--goal constitution|collection] [--progress]
 //!             [--trace FILE.jsonl] [--trace-filter KINDS]
+//!             [--snapshot-every N] [--snapshot-out FILE]
+//! vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
 //! vcount sweep [--volumes PCTS] [--seed-counts KS] [--replicates N]
 //!             [--threads N] [--goal G] [--map paper|small] [--open]
 //! vcount map --preset manhattan|small [--stats]
@@ -12,7 +14,6 @@
 //! ```
 
 use std::process::ExitCode;
-use vcount_obs::EventSink;
 use vcount_roadnet::builders::ManhattanConfig;
 use vcount_sim::{Goal, Runner, Scenario};
 
@@ -68,25 +69,39 @@ pub(crate) fn build_scenario(
     }
 }
 
-pub(crate) fn run_with_progress(
-    scenario: &Scenario,
+/// Periodic snapshotting configuration for [`drive`].
+pub(crate) struct SnapshotCfg {
+    /// Write a snapshot every this many simulation steps.
+    pub every: u64,
+    /// Snapshot file path; overwritten on each write (latest wins).
+    pub out: String,
+}
+
+pub(crate) fn drive(
+    mut runner: Runner,
+    max_time_s: f64,
     goal: Goal,
     progress: bool,
-    sinks: Vec<Box<dyn EventSink + Send>>,
-) -> vcount_sim::RunMetrics {
-    let mut builder = Runner::builder(scenario);
-    for sink in sinks {
-        builder = builder.sink(sink);
+    snapshot: Option<SnapshotCfg>,
+) -> Result<vcount_sim::RunMetrics, String> {
+    if !progress && snapshot.is_none() {
+        return Ok(runner.run(goal, max_time_s));
     }
-    let mut runner = builder.build();
-    if !progress {
-        return runner.run(goal, scenario.max_time_s);
-    }
-    // Re-implement the run loop with periodic progress lines.
+    // Re-implement the run loop with periodic progress lines and/or
+    // snapshot writes.
     let mut next_tick = 0.0;
+    let mut steps_since_snap = 0u64;
     loop {
         runner.step();
-        if runner.time_s() >= next_tick {
+        if let Some(cfg) = &snapshot {
+            steps_since_snap += 1;
+            if steps_since_snap >= cfg.every {
+                steps_since_snap = 0;
+                std::fs::write(&cfg.out, runner.snapshot().to_json())
+                    .map_err(|e| format!("{}: {e}", cfg.out))?;
+            }
+        }
+        if progress && runner.time_s() >= next_tick {
             let p = runner.progress();
             eprintln!(
                 "t={:>6.1}min active={}/{} stable={}/{} count={} truth={}",
@@ -106,10 +121,10 @@ pub(crate) fn run_with_progress(
                 runner.all_stable() && runner.all_collected() && !runner.reports_in_flight()
             }
         };
-        if done || runner.time_s() >= scenario.max_time_s {
+        if done || runner.time_s() >= max_time_s {
             break;
         }
     }
     runner.flush_sinks();
-    runner.metrics_now()
+    Ok(runner.metrics_now())
 }

@@ -43,6 +43,48 @@ pub enum LabelState {
     Done,
 }
 
+/// Serializable dynamic state of a [`Checkpoint`] at a step boundary,
+/// produced by [`Checkpoint::export_state`] and re-applied with
+/// [`Checkpoint::restore_state`]. The topology view (inbound/outbound
+/// directions, one-way neighbours, interaction flags) is *not* included —
+/// it is a pure function of the network and is rebuilt by
+/// [`Checkpoint::new`] on restore. The event buffer is excluded too: the
+/// engine drains it after every observation, so it is provably empty at
+/// snapshot points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointState {
+    /// Whether the checkpoint has been activated (phase 1/3).
+    pub active: bool,
+    /// Whether it was activated as a seed.
+    pub is_seed: bool,
+    /// `p(u)` — the spanning-tree predecessor.
+    pub pred: Option<NodeId>,
+    /// The seed whose wave activated this checkpoint.
+    pub wave_seed: Option<NodeId>,
+    /// Per-inbound-direction counting state.
+    pub inbound_state: BTreeMap<EdgeId, InboundState>,
+    /// Per-outbound-direction labelling state.
+    pub label_state: BTreeMap<EdgeId, LabelState>,
+    /// The local counter components `c(u)`.
+    pub counters: Counters,
+    /// Learned predecessor per neighbour.
+    pub known_preds: BTreeMap<NodeId, Option<NodeId>>,
+    /// Highest-sequence report per child: `(seq, total)`.
+    pub child_reports: BTreeMap<NodeId, (u32, i64)>,
+    /// Last subtree total reported upward.
+    pub last_report: Option<i64>,
+    /// Next outgoing report sequence number.
+    pub report_seq: u32,
+    /// Collected tree total (seeds only).
+    pub tree_total: Option<i64>,
+    /// Activation time, if activated.
+    pub activated_at: Option<f64>,
+    /// Local stabilization time, if stable.
+    pub stable_at: Option<f64>,
+    /// Collection time (seeds only).
+    pub collected_at: Option<f64>,
+}
+
 /// One checkpoint of the deployment. See module docs.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -144,6 +186,52 @@ impl Checkpoint {
             collected_at: None,
             events: Vec::new(),
         }
+    }
+
+    /// Captures the dynamic protocol state for snapshot/resume. Must be
+    /// called with the event buffer drained (i.e. at a step boundary).
+    pub fn export_state(&self) -> CheckpointState {
+        debug_assert!(
+            self.events.is_empty(),
+            "export_state with undrained protocol events"
+        );
+        CheckpointState {
+            active: self.active,
+            is_seed: self.is_seed,
+            pred: self.pred,
+            wave_seed: self.wave_seed,
+            inbound_state: self.inbound_state.clone(),
+            label_state: self.label_state.clone(),
+            counters: self.counters.clone(),
+            known_preds: self.known_preds.clone(),
+            child_reports: self.child_reports.clone(),
+            last_report: self.last_report,
+            report_seq: self.report_seq,
+            tree_total: self.tree_total,
+            activated_at: self.activated_at,
+            stable_at: self.stable_at,
+            collected_at: self.collected_at,
+        }
+    }
+
+    /// Re-applies state captured by [`Checkpoint::export_state`] onto a
+    /// freshly built checkpoint (same network, same node).
+    pub fn restore_state(&mut self, state: CheckpointState) {
+        self.active = state.active;
+        self.is_seed = state.is_seed;
+        self.pred = state.pred;
+        self.wave_seed = state.wave_seed;
+        self.inbound_state = state.inbound_state;
+        self.label_state = state.label_state;
+        self.counters = state.counters;
+        self.known_preds = state.known_preds;
+        self.child_reports = state.child_reports;
+        self.last_report = state.last_report;
+        self.report_seq = state.report_seq;
+        self.tree_total = state.tree_total;
+        self.activated_at = state.activated_at;
+        self.stable_at = state.stable_at;
+        self.collected_at = state.collected_at;
     }
 
     // ------------------------------------------------------------------

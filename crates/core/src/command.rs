@@ -13,7 +13,7 @@ pub enum Command {
     /// Announce this checkpoint's predecessor choice to an upstream
     /// neighbour that cannot receive our label because the connecting
     /// street is one-way toward us (delivered via the directional V2V
-    /// relay of ref [7], or by patrol under Alg. 4).
+    /// relay of ref \[7\], or by patrol under Alg. 4).
     SendPredAnnounce {
         /// The neighbour that needs to learn our predecessor.
         to: NodeId,

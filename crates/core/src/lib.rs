@@ -34,7 +34,7 @@ pub mod counter;
 pub mod observation;
 
 pub use baseline::{ClassDedupCounter, NaiveIntervalCounter};
-pub use checkpoint::{Checkpoint, InboundState, LabelState};
+pub use checkpoint::{Checkpoint, CheckpointState, InboundState, LabelState};
 pub use command::Command;
 pub use config::{CheckpointConfig, ProtocolVariant};
 pub use counter::Counters;

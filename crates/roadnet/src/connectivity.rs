@@ -7,7 +7,7 @@
 //! connectivity of the directed road graph. Map builders call
 //! [`make_strongly_connected`] after assigning one-way directions, mirroring
 //! how cities upgrade one-way streets when they strand traffic (the paper's
-//! ref [10]).
+//! ref \[10\]).
 
 use crate::graph::{EdgeId, NodeId, RoadNetwork};
 

@@ -113,7 +113,7 @@ impl Bounds {
 }
 
 /// Converts miles per hour to metres per second. The paper specifies speed
-/// limits of 15 mph and 25 mph (NYC's then-proposed limit, ref [14]).
+/// limits of 15 mph and 25 mph (NYC's then-proposed limit, ref \[14\]).
 pub fn mph_to_mps(mph: f64) -> f64 {
     mph * 0.44704
 }

@@ -257,7 +257,7 @@ impl RoadNetwork {
     /// reverse direction; no-op when a twin already exists. Returns the
     /// reverse edge. (Used by the strong-connectivity repair pass, and
     /// mirroring the real-world "return of the two-way street" the paper
-    /// cites as ref [10].)
+    /// cites as ref \[10\].)
     pub fn twin_edge(&mut self, e: EdgeId) -> EdgeId {
         if let Some(t) = self.edges[e.index()].twin {
             return t;

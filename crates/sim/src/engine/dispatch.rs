@@ -1,0 +1,70 @@
+//! Stage 3: route checkpoint transport commands into the
+//! [`super::Exchange`].
+//!
+//! Every command becomes a wire-encoded [`vcount_v2x::Message`] the moment
+//! it enters the exchange — vehicle-carried, relayed, or patrol-carried —
+//! so the codec is the canonical payload representation throughout.
+
+use super::StepCtx;
+use crate::scenario::TransportMode;
+use vcount_core::Command;
+use vcount_roadnet::NodeId;
+use vcount_v2x::{Announce, Message, Report};
+
+/// Routes the commands `from` emitted into the exchange, per the
+/// scenario's transport mode.
+pub fn dispatch(ctx: &mut StepCtx<'_>, from: NodeId, cmds: Vec<Command>) {
+    for cmd in cmds {
+        match cmd {
+            Command::SendPredAnnounce { to, pred } => {
+                let msg = Message::Announce(Announce { to, from, pred });
+                match ctx.transport {
+                    TransportMode::VehicleWithRelayFallback { relay_speed_mps }
+                    | TransportMode::RelayOnly { relay_speed_mps } => {
+                        queue_relay(ctx, from, relay_speed_mps, to, &msg);
+                    }
+                    TransportMode::VehicleWithPatrolFallback => {
+                        ctx.exchange.post_patrol(from, to, &msg);
+                    }
+                }
+            }
+            Command::SendReport { to, total, seq } => {
+                let msg = Message::Report(Report {
+                    from,
+                    to,
+                    subtree_total: total,
+                    seq,
+                });
+                let edge = ctx.sim.net().edge_between(from, to);
+                match (edge, ctx.transport) {
+                    (Some(e), TransportMode::VehicleWithRelayFallback { .. })
+                    | (Some(e), TransportMode::VehicleWithPatrolFallback) => {
+                        ctx.exchange.post_report(from, e, to, &msg);
+                    }
+                    (_, TransportMode::RelayOnly { relay_speed_mps })
+                    | (None, TransportMode::VehicleWithRelayFallback { relay_speed_mps }) => {
+                        queue_relay(ctx, from, relay_speed_mps, to, &msg);
+                    }
+                    (None, TransportMode::VehicleWithPatrolFallback) => {
+                        ctx.exchange.post_patrol(from, to, &msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Queues `msg` on the directional relay with a distance-proportional
+/// delivery delay (see [`super::Exchange::queue_relay`]).
+fn queue_relay(
+    ctx: &mut StepCtx<'_>,
+    from: NodeId,
+    relay_speed_mps: f64,
+    to: NodeId,
+    msg: &Message,
+) {
+    let net = ctx.sim.net();
+    let dist = net.node(from).pos.distance(&net.node(to).pos);
+    let due = ctx.now + dist / relay_speed_mps.max(1.0) + 1.0;
+    ctx.exchange.queue_relay(due, to, msg);
+}

@@ -1,0 +1,439 @@
+//! The message Exchange: the engine's only inter-checkpoint path.
+//!
+//! Every message between checkpoints — the vehicle-carried activation
+//! label, vehicle-carried subtree reports, directional V2V relay traffic,
+//! and patrol-carried circuitous messages — lives here as an [`Envelope`]:
+//! the destination plus the payload in [`vcount_v2x::Message`] wire form.
+//! Payloads are encoded once on send (through a reused scratch buffer, so
+//! the steady-state hot path stays allocation-free) and decoded exactly
+//! once on delivery, so the binary codec is exercised on every run.
+//!
+//! The exchange also owns the segment watches (in-flight overtake
+//! collaboration state) and the wire counters surfaced through
+//! [`crate::metrics::RunTelemetry`]. Everything here serializes into an
+//! [`ExchangeSnapshot`] for snapshot/resume.
+
+use super::{audit, dispatch, StepCtx};
+use bytes::{Buf, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vcount_core::Observation;
+use vcount_roadnet::{EdgeId, NodeId};
+use vcount_v2x::message::TAG_REPORT;
+use vcount_v2x::{Label, Message, PatrolStatus, SegmentWatch, VehicleId};
+
+/// A wire-encoded message plus its routing header — what actually travels
+/// between checkpoints (on a vehicle, the relay, or a patrol car).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Destination checkpoint.
+    pub to: NodeId,
+    /// The payload in [`vcount_v2x::Message`] wire form.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Placeholder left behind while compacting in place (never observed).
+    fn hole() -> Envelope {
+        Envelope {
+            to: NodeId(u32::MAX),
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// A relay message in flight, due for delivery at `due_s`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelayInFlight {
+    /// Simulated delivery time, seconds.
+    pub due_s: f64,
+    /// The routed payload.
+    pub env: Envelope,
+}
+
+/// An open segment watch: the label's origin checkpoint plus the V2V
+/// collaboration state accumulating overtake adjustments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Watch {
+    /// The checkpoint that handed off the watched label.
+    pub origin: NodeId,
+    /// The relative-position collaboration state machine.
+    pub sw: SegmentWatch,
+}
+
+/// Wire-level traffic counters (surfaced as telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCounters {
+    /// Messages encoded onto the wire.
+    pub encoded: u64,
+    /// Messages decoded off the wire.
+    pub decoded: u64,
+    /// Total payload bytes encoded.
+    pub bytes: u64,
+    /// Messages delivered through the directional relay.
+    pub relay_messages: u64,
+}
+
+/// The in-flight message store. See the module docs for the invariants.
+#[derive(Debug)]
+pub struct Exchange {
+    /// Wire-encoded activation label carried per vehicle (phase 2).
+    carried_label: Vec<Option<Vec<u8>>>,
+    /// Wire-encoded reports carried per vehicle.
+    carried_reports: Vec<Vec<Envelope>>,
+    /// Reports waiting at a node for a carrier onto a specific edge.
+    pending_reports: Vec<Vec<(EdgeId, Envelope)>>,
+    /// Circuitous messages waiting at a node for a patrol car (Alg. 4).
+    pending_patrol: Vec<Vec<Envelope>>,
+    /// Directional V2V relay traffic in flight.
+    relay: Vec<RelayInFlight>,
+    /// Open segment watches, keyed by the watched edge.
+    watches: BTreeMap<EdgeId, Watch>,
+    /// Patrol cars' accumulated status snapshots.
+    patrol_status: BTreeMap<VehicleId, PatrolStatus>,
+    /// Messages riding each patrol car.
+    patrol_carried: BTreeMap<VehicleId, Vec<Envelope>>,
+    /// Reused encode buffer — keeps steady-state encoding allocation-free.
+    scratch: BytesMut,
+    /// Reused due-delivery buffer (taken and recycled by the observe stage).
+    due_scratch: Vec<Envelope>,
+    counters: WireCounters,
+}
+
+/// Serializable image of an [`Exchange`] (every queue and counter; the
+/// scratch buffers are rebuilt empty on restore).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExchangeSnapshot {
+    /// Per-vehicle carried label payloads.
+    pub carried_label: Vec<Option<Vec<u8>>>,
+    /// Per-vehicle carried report envelopes.
+    pub carried_reports: Vec<Vec<Envelope>>,
+    /// Per-node reports awaiting a carrier, with their required edge.
+    pub pending_reports: Vec<Vec<(EdgeId, Envelope)>>,
+    /// Per-node circuitous messages awaiting a patrol car.
+    pub pending_patrol: Vec<Vec<Envelope>>,
+    /// Relay messages in flight.
+    pub relay: Vec<RelayInFlight>,
+    /// Open segment watches.
+    pub watches: BTreeMap<EdgeId, Watch>,
+    /// Patrol status snapshots.
+    pub patrol_status: BTreeMap<VehicleId, PatrolStatus>,
+    /// Patrol-carried messages.
+    pub patrol_carried: BTreeMap<VehicleId, Vec<Envelope>>,
+    /// Wire counters at snapshot time.
+    pub counters: WireCounters,
+}
+
+impl Exchange {
+    /// An empty exchange sized for `vehicles` vehicles and `nodes`
+    /// checkpoints.
+    pub fn new(vehicles: usize, nodes: usize) -> Self {
+        Exchange {
+            carried_label: vec![None; vehicles],
+            carried_reports: vec![Vec::new(); vehicles],
+            pending_reports: vec![Vec::new(); nodes],
+            pending_patrol: vec![Vec::new(); nodes],
+            relay: Vec::new(),
+            watches: BTreeMap::new(),
+            patrol_status: BTreeMap::new(),
+            patrol_carried: BTreeMap::new(),
+            scratch: BytesMut::with_capacity(64),
+            due_scratch: Vec::new(),
+            counters: WireCounters::default(),
+        }
+    }
+
+    /// Grows the per-vehicle queues to cover `n` vehicles (open-system
+    /// demand spawns new vehicles mid-run).
+    pub fn ensure_vehicle_capacity(&mut self, n: usize) {
+        if self.carried_label.len() < n {
+            self.carried_label.resize(n, None);
+            self.carried_reports.resize(n, Vec::new());
+        }
+    }
+
+    /// The wire counters so far.
+    pub fn counters(&self) -> WireCounters {
+        self.counters
+    }
+
+    /// Encodes `msg` through the reused scratch buffer into an owned
+    /// payload, counting the wire traffic.
+    fn encode(&mut self, msg: &Message) -> Vec<u8> {
+        self.scratch.clear();
+        msg.encode_into(&mut self.scratch);
+        self.counters.encoded += 1;
+        self.counters.bytes += self.scratch.len() as u64;
+        self.scratch.to_vec()
+    }
+
+    /// Decodes a payload this exchange previously encoded. Payloads are
+    /// self-produced, so a decode failure is a codec bug, not bad input.
+    pub fn decode_payload(&mut self, payload: &[u8]) -> Message {
+        self.counters.decoded += 1;
+        let mut buf = Bytes::from(payload.to_vec());
+        let msg = Message::decode(&mut buf).expect("exchange-owned payloads always decode");
+        debug_assert_eq!(buf.remaining(), 0, "trailing bytes in exchange payload");
+        msg
+    }
+
+    /// Stores a delivered label on its carrier vehicle.
+    pub fn hand_label(&mut self, vehicle: VehicleId, label: Label) {
+        let payload = self.encode(&Message::Label(label));
+        self.carried_label[vehicle.index()] = Some(payload);
+    }
+
+    /// Takes and decodes the label `vehicle` carries, if any.
+    pub fn take_label(&mut self, vehicle: VehicleId) -> Option<Label> {
+        let payload = self.carried_label[vehicle.index()].take()?;
+        match self.decode_payload(&payload) {
+            Message::Label(l) => Some(l),
+            other => unreachable!("label slot held {other:?}"),
+        }
+    }
+
+    /// Round-trips the handoff acknowledgement a civilian vehicle radios
+    /// back on successful label receipt (the codec's ack leg).
+    pub fn ack_handoff(&mut self, vehicle: VehicleId) {
+        let payload = self.encode(&Message::Ack { vehicle });
+        match self.decode_payload(&payload) {
+            Message::Ack { vehicle: v } => debug_assert_eq!(v, vehicle),
+            other => unreachable!("ack decoded as {other:?}"),
+        }
+    }
+
+    /// Opens a segment watch for a label handed off onto `edge`.
+    pub fn insert_watch(&mut self, edge: EdgeId, origin: NodeId, sw: SegmentWatch) {
+        self.watches.insert(edge, Watch { origin, sw });
+    }
+
+    /// The open watch on `edge`, if any.
+    pub fn watch_mut(&mut self, edge: EdgeId) -> Option<&mut Watch> {
+        self.watches.get_mut(&edge)
+    }
+
+    /// Closes and returns the watch on `edge`.
+    pub fn remove_watch(&mut self, edge: EdgeId) -> Option<Watch> {
+        self.watches.remove(&edge)
+    }
+
+    /// Posts a report at `from`, waiting for a vehicle departing onto
+    /// `edge` toward `to`.
+    pub fn post_report(&mut self, from: NodeId, edge: EdgeId, to: NodeId, msg: &Message) {
+        let payload = self.encode(msg);
+        self.pending_reports[from.index()].push((edge, Envelope { to, payload }));
+    }
+
+    /// Posts a circuitous message at `from`, waiting for a patrol car.
+    pub fn post_patrol(&mut self, from: NodeId, to: NodeId, msg: &Message) {
+        let payload = self.encode(msg);
+        self.pending_patrol[from.index()].push(Envelope { to, payload });
+    }
+
+    /// Queues a message on the directional relay, due at `due_s`.
+    pub fn queue_relay(&mut self, due_s: f64, to: NodeId, msg: &Message) {
+        let payload = self.encode(msg);
+        self.relay.push(RelayInFlight {
+            due_s,
+            env: Envelope { to, payload },
+        });
+    }
+
+    /// Moves the reports waiting at `node` for edge `onto` into the
+    /// departing vehicle's carried queue (stable in-place compaction).
+    pub fn load_reports(&mut self, node: NodeId, vehicle: VehicleId, onto: EdgeId) {
+        let pending = &mut self.pending_reports[node.index()];
+        if pending.is_empty() {
+            return;
+        }
+        let carried = &mut self.carried_reports[vehicle.index()];
+        let mut kept = 0usize;
+        for i in 0..pending.len() {
+            if pending[i].0 == onto {
+                let (_, env) = std::mem::replace(&mut pending[i], (onto, Envelope::hole()));
+                carried.push(env);
+            } else {
+                pending.swap(kept, i);
+                kept += 1;
+            }
+        }
+        pending.truncate(kept);
+    }
+
+    /// Takes the reports `vehicle` carries that are addressed to `node`,
+    /// preserving order on both sides. Return the buffer with
+    /// [`Exchange::recycle`] when done.
+    pub(crate) fn take_due_reports(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        Self::split_due(&mut self.carried_reports[vehicle.index()], node, &mut due);
+        due
+    }
+
+    /// Takes the patrol-carried messages addressed to `node`. Return the
+    /// buffer with [`Exchange::recycle`] when done.
+    pub(crate) fn take_due_patrol(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        if let Some(list) = self.patrol_carried.get_mut(&vehicle) {
+            Self::split_due(list, node, &mut due);
+        }
+        due
+    }
+
+    /// Stable in-place split: envelopes addressed to `node` move into
+    /// `due`, the rest compact in place — no per-arrival allocation.
+    fn split_due(list: &mut Vec<Envelope>, node: NodeId, due: &mut Vec<Envelope>) {
+        let mut kept = 0usize;
+        for i in 0..list.len() {
+            if list[i].to == node {
+                due.push(std::mem::replace(&mut list[i], Envelope::hole()));
+            } else {
+                list.swap(kept, i);
+                kept += 1;
+            }
+        }
+        list.truncate(kept);
+    }
+
+    /// Returns a due-delivery buffer for reuse.
+    pub(crate) fn recycle(&mut self, mut scratch: Vec<Envelope>) {
+        scratch.clear();
+        self.due_scratch = scratch;
+    }
+
+    /// A patrol car picks up every circuitous message waiting at `node`.
+    pub fn pickup_patrol(&mut self, vehicle: VehicleId, node: NodeId) {
+        let picked = std::mem::take(&mut self.pending_patrol[node.index()]);
+        self.patrol_carried
+            .entry(vehicle)
+            .or_default()
+            .extend(picked);
+    }
+
+    /// Records a patrol car's status observation of `node`.
+    pub fn observe_status(&mut self, vehicle: VehicleId, node: NodeId, active: bool) {
+        self.patrol_status
+            .entry(vehicle)
+            .or_default()
+            .observe(node, active);
+    }
+
+    /// The status snapshot a patrol car radios to the checkpoint it is
+    /// visiting, round-tripped through the wire codec like a real
+    /// transmission.
+    pub fn relay_status(&mut self, vehicle: VehicleId) -> PatrolStatus {
+        let status = self.patrol_status.entry(vehicle).or_default().clone();
+        let payload = self.encode(&Message::Patrol(status));
+        match self.decode_payload(&payload) {
+            Message::Patrol(p) => p,
+            other => unreachable!("patrol status decoded as {other:?}"),
+        }
+    }
+
+    /// Number of relay messages currently in flight.
+    pub(crate) fn relay_len(&self) -> usize {
+        self.relay.len()
+    }
+
+    /// Removes and returns the relay message at `i` if it is due
+    /// (`swap_remove`: the caller re-examines index `i` on `Some`).
+    pub(crate) fn take_relay_if_due(&mut self, i: usize, now: f64) -> Option<Envelope> {
+        if self.relay[i].due_s <= now {
+            self.counters.relay_messages += 1;
+            Some(self.relay.swap_remove(i).env)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `vehicle` carries no reports (border-exit invariant: every
+    /// report is delivered at the node before an exit).
+    pub fn carried_is_empty(&self, vehicle: VehicleId) -> bool {
+        self.carried_reports[vehicle.index()].is_empty()
+    }
+
+    /// Whether any report payload is still in transit anywhere (on a
+    /// vehicle, waiting at a node, in the relay, or on a patrol car).
+    /// Collection is final only when the last re-report has landed.
+    pub fn reports_in_flight(&self) -> bool {
+        let is_report = |env: &Envelope| env.payload.first() == Some(&TAG_REPORT);
+        self.carried_reports.iter().flatten().any(is_report)
+            || self
+                .pending_reports
+                .iter()
+                .flatten()
+                .any(|(_, env)| is_report(env))
+            || self.relay.iter().any(|r| is_report(&r.env))
+            || self.pending_patrol.iter().flatten().any(is_report)
+            || self.patrol_carried.values().flatten().any(is_report)
+    }
+
+    /// Serializable image of every queue and counter.
+    pub fn snapshot(&self) -> ExchangeSnapshot {
+        ExchangeSnapshot {
+            carried_label: self.carried_label.clone(),
+            carried_reports: self.carried_reports.clone(),
+            pending_reports: self.pending_reports.clone(),
+            pending_patrol: self.pending_patrol.clone(),
+            relay: self.relay.clone(),
+            watches: self.watches.clone(),
+            patrol_status: self.patrol_status.clone(),
+            patrol_carried: self.patrol_carried.clone(),
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds an exchange from a snapshot (scratch buffers start empty).
+    pub fn restore(snap: &ExchangeSnapshot) -> Self {
+        Exchange {
+            carried_label: snap.carried_label.clone(),
+            carried_reports: snap.carried_reports.clone(),
+            pending_reports: snap.pending_reports.clone(),
+            pending_patrol: snap.pending_patrol.clone(),
+            relay: snap.relay.clone(),
+            watches: snap.watches.clone(),
+            patrol_status: snap.patrol_status.clone(),
+            patrol_carried: snap.patrol_carried.clone(),
+            scratch: BytesMut::with_capacity(64),
+            due_scratch: Vec::new(),
+            counters: snap.counters,
+        }
+    }
+}
+
+/// Stage 4: delivers every relay message that came due this step. A
+/// delivery can queue further relay traffic (a report triggered by an
+/// announce); the scan picks those up in the same pass, though their due
+/// times always land in a later step.
+pub fn exchange(ctx: &mut StepCtx<'_>) {
+    let mut i = 0;
+    while i < ctx.exchange.relay_len() {
+        match ctx.exchange.take_relay_if_due(i, ctx.now) {
+            Some(env) => deliver_envelope(ctx, &env),
+            None => i += 1,
+        }
+    }
+}
+
+/// Decodes a routed payload at its destination checkpoint and feeds the
+/// resulting observation through the machine (shared by the relay and the
+/// patrol delivery paths).
+pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
+    let obs = match ctx.exchange.decode_payload(&env.payload) {
+        Message::Announce(a) => Observation::Announce {
+            from: a.from,
+            pred: a.pred,
+        },
+        Message::Report(r) => Observation::Report {
+            from: r.from,
+            total: r.subtree_total,
+            seq: r.seq,
+        },
+        other => unreachable!("exchange routes only announces and reports, got {other:?}"),
+    };
+    let node = env.to;
+    let cmds = ctx.cps[node.index()].handle(obs, ctx.now);
+    audit::audit(ctx, node);
+    dispatch::dispatch(ctx, node, cmds);
+}

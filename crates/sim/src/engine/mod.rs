@@ -1,0 +1,83 @@
+//! The layered deterministic engine behind [`crate::runner::Runner`].
+//!
+//! One simulation step decomposes into five single-responsibility stages,
+//! each a named free function over explicit `(state, inputs) -> outputs`
+//! pieces:
+//!
+//! 1. [`traffic_step()`] — advance the microsimulator one tick and index
+//!    its event batch;
+//! 2. [`observe()`] — feed each surveillance event to the checkpoint state
+//!    machines (label delivery, lossy handoffs, segment watches,
+//!    baselines);
+//! 3. [`dispatch()`] — route the transport commands checkpoints emit into
+//!    the [`Exchange`], encoding each payload with the
+//!    [`vcount_v2x::Message`] wire codec;
+//! 4. [`exchange()`] — deliver relay messages that came due, decoding each
+//!    payload back at the receiving checkpoint;
+//! 5. [`audit()`] — drain buffered protocol events into the ground-truth
+//!    oracle and the observability sinks.
+//!
+//! Stages 3 and 5 are also invoked *within* stage 2 after every checkpoint
+//! interaction: the protocol is event-driven, and a command produced
+//! mid-step (say, a report posted at a node) can be picked up by a later
+//! event of the same step. The decomposition preserves that interleaving
+//! exactly — the stages are units of responsibility, not barriers.
+//!
+//! All in-flight message state lives in the [`Exchange`] — the sole path
+//! between checkpoints — and the whole engine state serializes as an
+//! [`EngineSnapshot`] for byte-identical snapshot/resume (DESIGN.md
+//! §6quater).
+
+pub mod audit;
+pub mod dispatch;
+pub mod exchange;
+pub mod observe;
+pub mod snapshot;
+pub mod traffic_step;
+
+pub use audit::{audit, AuditLog};
+pub use dispatch::dispatch;
+pub use exchange::{exchange, Envelope, Exchange, ExchangeSnapshot, Watch, WireCounters};
+pub use observe::observe;
+pub use snapshot::{EngineSnapshot, SNAPSHOT_SCHEMA};
+pub use traffic_step::{traffic_step, TrafficBatch};
+
+use crate::oracle::Oracle;
+use crate::scenario::TransportMode;
+use vcount_core::{Checkpoint, ClassDedupCounter, NaiveIntervalCounter};
+use vcount_traffic::{ReplayRng, Simulator};
+use vcount_v2x::{AdjustMode, ClassFilter, LossModel};
+
+/// Borrowed view of one engine step: every stage receives the same context
+/// and mutates only the state its responsibility covers. The fields are
+/// disjoint borrows of the runner, so stages can call each other (observe →
+/// dispatch → audit) without hidden cross-stage mutation.
+pub struct StepCtx<'a> {
+    /// Event timestamp: simulated time at the end of the current step.
+    pub now: f64,
+    /// The traffic substrate (read-only during protocol processing).
+    pub sim: &'a Simulator,
+    /// One checkpoint state machine per intersection.
+    pub cps: &'a mut [Checkpoint],
+    /// The message layer owning every in-flight payload.
+    pub exchange: &'a mut Exchange,
+    /// Ground-truth attribution ledger.
+    pub oracle: &'a mut Oracle,
+    /// Lossy handoff channel.
+    pub channel: &'a (dyn LossModel + Send),
+    /// Protocol-side RNG (channel and seed-selection draws), draw-counted
+    /// so a resumed run continues the identical stream.
+    pub proto_rng: &'a mut ReplayRng,
+    /// Collection transport selection.
+    pub transport: TransportMode,
+    /// The specified-type filter checkpoints count against.
+    pub filter: ClassFilter,
+    /// Overtake adjustment mode.
+    pub adjust_mode: AdjustMode,
+    /// Naive per-checkpoint interval baseline.
+    pub naive: &'a mut NaiveIntervalCounter,
+    /// Image-recognition dedup baseline.
+    pub dedup: &'a mut ClassDedupCounter,
+    /// Event audit trail: oracle mirroring and observability sinks.
+    pub audit: &'a mut AuditLog,
+}

@@ -1,0 +1,267 @@
+//! Stage 2: feed each surveillance event to the checkpoint machines.
+//!
+//! This stage drives the per-event protocol loop. After every checkpoint
+//! interaction it invokes the [`super::audit()`] stage (event draining) and
+//! the [`super::dispatch()`] stage (command routing) so that intra-step
+//! interleaving — a report posted mid-step being picked up by a later
+//! departure of the same step — is preserved exactly.
+
+use super::exchange::deliver_envelope;
+use super::{audit, dispatch, StepCtx, TrafficBatch, Watch};
+use vcount_core::Observation;
+use vcount_roadnet::{EdgeId, NodeId};
+use vcount_traffic::TrafficEvent;
+use vcount_v2x::{AdjustMode, Message, SegmentWatch, VehicleId};
+
+/// Replays the step's event batch through the protocol, in order.
+pub fn observe(ctx: &mut StepCtx<'_>, batch: &TrafficBatch) {
+    for (i, ev) in batch.events.iter().enumerate() {
+        match *ev {
+            TrafficEvent::Entered {
+                vehicle,
+                node,
+                from,
+            } => on_entered(ctx, vehicle, node, from),
+            TrafficEvent::Departed {
+                vehicle,
+                node,
+                onto,
+            } => on_departed(ctx, batch, i, vehicle, node, onto),
+            TrafficEvent::Exited { vehicle, node } => on_exited(ctx, vehicle, node),
+            TrafficEvent::Overtake {
+                edge,
+                overtaker,
+                overtaken,
+            } => on_overtake(ctx, edge, overtaker, overtaken),
+        }
+    }
+}
+
+fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Option<EdgeId>) {
+    let class = ctx.sim.vehicle(vehicle).class;
+    let is_patrol = class.is_patrol();
+
+    // Deliver carried reports addressed to this node, decoding each
+    // payload off the wire.
+    let due = ctx.exchange.take_due_reports(vehicle, node);
+    for env in &due {
+        let r = match ctx.exchange.decode_payload(&env.payload) {
+            Message::Report(r) => r,
+            other => unreachable!("carried report queue held {other:?}"),
+        };
+        let cmds = ctx.cps[node.index()].handle(
+            Observation::Report {
+                from: r.from,
+                total: r.subtree_total,
+                seq: r.seq,
+            },
+            ctx.now,
+        );
+        audit::audit(ctx, node);
+        dispatch::dispatch(ctx, node, cmds);
+    }
+    ctx.exchange.recycle(due);
+
+    if is_patrol {
+        // Deliver circuitous messages addressed here, then pick up the
+        // ones waiting, then exchange status snapshots.
+        let due = ctx.exchange.take_due_patrol(vehicle, node);
+        for env in &due {
+            deliver_envelope(ctx, env);
+        }
+        ctx.exchange.recycle(due);
+        ctx.exchange.pickup_patrol(vehicle, node);
+        let status = ctx.exchange.relay_status(vehicle);
+        let cmds =
+            ctx.cps[node.index()].handle(Observation::PatrolStatus { vehicle, status }, ctx.now);
+        audit::audit(ctx, node);
+        dispatch::dispatch(ctx, node, cmds);
+    }
+
+    // Segment-watch bookkeeping on the arrival edge.
+    if let Some(e) = from {
+        let finalize = match ctx.exchange.watch_mut(e) {
+            Some(w) if w.sw.label_vehicle() == vehicle => true,
+            Some(w) => {
+                if !is_patrol {
+                    let counted = ctx.oracle.ever_counted(vehicle);
+                    w.sw.record_arrival(vehicle, counted);
+                }
+                false
+            }
+            None => false,
+        };
+        if finalize {
+            let w = ctx.exchange.remove_watch(e).expect("checked above");
+            finalize_watch(ctx, w);
+        }
+    }
+
+    // Label delivery + phase 3/4/5 processing; the oracle attribution
+    // (counted / interaction-in) is derived from the emitted events.
+    let label = ctx.exchange.take_label(vehicle);
+    let cmds = ctx.cps[node.index()].handle(
+        Observation::Entered {
+            vehicle,
+            via: from,
+            class,
+            label,
+        },
+        ctx.now,
+    );
+    audit::audit(ctx, node);
+    dispatch::dispatch(ctx, node, cmds);
+
+    // Patrol observation recorded after processing: the status carried
+    // onward reflects this checkpoint's state as the patrol leaves it.
+    if is_patrol {
+        let active = ctx.cps[node.index()].is_active();
+        ctx.exchange.observe_status(vehicle, node, active);
+    }
+
+    // Unsynchronized baselines observe the same surveillance stream.
+    ctx.naive.observe(&class);
+    ctx.dedup.observe(&class);
+}
+
+fn on_departed(
+    ctx: &mut StepCtx<'_>,
+    batch: &TrafficBatch,
+    event_idx: usize,
+    vehicle: VehicleId,
+    node: NodeId,
+    onto: EdgeId,
+) {
+    let class = ctx.sim.vehicle(vehicle).class;
+    let is_patrol = class.is_patrol();
+
+    // Pending reports that ride this edge board the departing vehicle.
+    ctx.exchange.load_reports(node, vehicle, onto);
+
+    // Phase 2: label handoff.
+    if let Some(label) = ctx.cps[node.index()].offer_label(onto) {
+        let delivered = is_patrol || {
+            // Police equipment is reliable; civilian handoffs go through
+            // the lossy channel with ack confirmation.
+            ctx.channel.attempt(&mut *ctx.proto_rng).delivered()
+        };
+        // On failure the checkpoint emits the compensation event (when
+        // configured), and the audit stage mirrors it into the oracle — so
+        // the compensation-disabled ablation shows up as violations.
+        let cmds = ctx.cps[node.index()].handle(
+            Observation::Departed {
+                vehicle,
+                onto,
+                delivered,
+                matches_filter: ctx.filter.matches(&class),
+            },
+            ctx.now,
+        );
+        audit::audit(ctx, node);
+        dispatch::dispatch(ctx, node, cmds);
+        if delivered {
+            ctx.exchange.hand_label(vehicle, label);
+            if !is_patrol {
+                ctx.exchange.ack_handoff(vehicle);
+            }
+            let ahead = ahead_of(ctx, batch, event_idx, vehicle, onto);
+            let sw = SegmentWatch::new(ctx.adjust_mode, vehicle, ahead);
+            ctx.exchange.insert_watch(onto, node, sw);
+        }
+    }
+}
+
+/// Vehicles ahead of a label departing onto `onto` at event `idx`, with
+/// their counted status (see the runner's module docs for the
+/// reconstruction from the end-of-step snapshot).
+fn ahead_of(
+    ctx: &StepCtx<'_>,
+    batch: &TrafficBatch,
+    idx: usize,
+    label_vehicle: VehicleId,
+    onto: EdgeId,
+) -> Vec<(VehicleId, bool)> {
+    let later_departure = |v: VehicleId| {
+        batch
+            .departures_onto
+            .iter()
+            .any(|&(e, i, d)| e == onto && i > idx && d == v)
+    };
+    let later_entries = batch
+        .entries_via
+        .iter()
+        .filter(|&&(e, i, _)| e == onto && i > idx)
+        .map(|&(_, _, v)| v);
+
+    let mut ahead: Vec<VehicleId> = later_entries.collect();
+    ahead.extend(ctx.sim.in_transit(onto));
+    ahead.retain(|v| {
+        *v != label_vehicle && !later_departure(*v) && !ctx.sim.vehicle(*v).is_patrol()
+    });
+    ahead.dedup();
+    ahead
+        .into_iter()
+        .map(|v| (v, ctx.oracle.ever_counted(v)))
+        .collect()
+}
+
+fn finalize_watch(ctx: &mut StepCtx<'_>, w: Watch) {
+    let adj = w.sw.finalize();
+    let mut plus = 0usize;
+    let mut minus = 0usize;
+    for v in &adj.plus {
+        if vehicle_matches(ctx, *v) {
+            ctx.oracle
+                .record(*v, crate::oracle::Attribution::AdjustPlus);
+            plus += 1;
+        }
+    }
+    for v in &adj.minus {
+        if vehicle_matches(ctx, *v) {
+            ctx.oracle
+                .record(*v, crate::oracle::Attribution::AdjustMinus);
+            minus += 1;
+        }
+    }
+    if plus > 0 || minus > 0 {
+        let cmds = ctx.cps[w.origin.index()].handle(Observation::Adjust { plus, minus }, ctx.now);
+        audit::audit(ctx, w.origin);
+        dispatch::dispatch(ctx, w.origin, cmds);
+    }
+}
+
+fn vehicle_matches(ctx: &StepCtx<'_>, v: VehicleId) -> bool {
+    let veh = ctx.sim.vehicle(v);
+    !veh.is_patrol() && ctx.filter.matches(&veh.class)
+}
+
+fn on_exited(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId) {
+    let class = ctx.sim.vehicle(vehicle).class;
+    debug_assert!(
+        ctx.exchange.carried_is_empty(vehicle),
+        "reports are always delivered at the node before an exit"
+    );
+    // A counted exit emits a BorderExit event; the audit stage mirrors it
+    // into the oracle as an interaction-out attribution.
+    ctx.cps[node.index()].handle(Observation::BorderExit { vehicle, class }, ctx.now);
+    audit::audit(ctx, node);
+}
+
+fn on_overtake(ctx: &mut StepCtx<'_>, edge: EdgeId, overtaker: VehicleId, overtaken: VehicleId) {
+    // Only meaningful for the per-event adjustment ablation.
+    if ctx.adjust_mode != AdjustMode::PerEvent {
+        return;
+    }
+    let counted_overtaken = ctx.oracle.ever_counted(overtaken);
+    let counted_overtaker = ctx.oracle.ever_counted(overtaker);
+    let matches_overtaken = vehicle_matches(ctx, overtaken);
+    let matches_overtaker = vehicle_matches(ctx, overtaker);
+    if let Some(w) = ctx.exchange.watch_mut(edge) {
+        let label = w.sw.label_vehicle();
+        if overtaker == label && matches_overtaken {
+            w.sw.label_overtakes(overtaken, counted_overtaken);
+        } else if overtaken == label && matches_overtaker {
+            w.sw.label_overtaken_by(overtaker, counted_overtaker);
+        }
+    }
+}

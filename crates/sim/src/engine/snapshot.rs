@@ -1,0 +1,75 @@
+//! Whole-engine snapshots: serialize a mid-run deployment, resume it
+//! later, and replay a byte-identical event stream (DESIGN.md §6quater).
+
+use super::ExchangeSnapshot;
+use crate::oracle::Attribution;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vcount_core::{CheckpointState, ClassDedupCounter, NaiveIntervalCounter};
+use vcount_roadnet::NodeId;
+use vcount_traffic::SimSnapshot;
+use vcount_v2x::VehicleId;
+
+/// Schema tag stamped on every serialized snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v1";
+
+/// Protocol-side RNG seed derivation: decoupled from the traffic stream
+/// but derived from the same scenario seed for whole-run reproducibility.
+pub(crate) fn proto_seed(sim_seed: u64) -> u64 {
+    sim_seed.wrapping_mul(0x9E37_79B9).wrapping_add(7)
+}
+
+/// Everything needed to resume a run exactly where it left off: the full
+/// scenario, the simulator's dynamic state, every checkpoint state
+/// machine, the exchange's in-flight queues, the oracle ledger, both
+/// baselines, and the positions of both RNG streams.
+///
+/// The observability sinks (telemetry counters, post-mortem ring, user
+/// sinks) are *not* captured — a resumed run audits its own tail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Schema tag ([`SNAPSHOT_SCHEMA`]); rejected on mismatch.
+    pub schema: String,
+    /// The complete scenario, making the snapshot self-contained.
+    pub scenario: Scenario,
+    /// The seed checkpoints selected at assembly (an RNG-dependent choice
+    /// that must not be redrawn on resume).
+    pub seeds: Vec<NodeId>,
+    /// Draws consumed from the protocol RNG stream.
+    pub proto_rng_draws: u64,
+    /// Opaque interior state of the loss model (Gilbert–Elliott burst
+    /// phase; `0` for memoryless models).
+    pub channel_state: u64,
+    /// The traffic simulator's dynamic state.
+    pub sim: SimSnapshot,
+    /// Every checkpoint's dynamic state, in node order.
+    pub checkpoints: Vec<CheckpointState>,
+    /// The exchange's in-flight queues and wire counters.
+    pub exchange: ExchangeSnapshot,
+    /// The ground-truth oracle's attribution ledger.
+    pub ledger: BTreeMap<VehicleId, Vec<Attribution>>,
+    /// The naive interval-counting baseline.
+    pub naive: NaiveIntervalCounter,
+    /// The image-recognition dedup baseline.
+    pub dedup: ClassDedupCounter,
+}
+
+impl EngineSnapshot {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("engine snapshots always serialize")
+    }
+
+    /// Parses a snapshot, validating the schema tag.
+    pub fn from_json(s: &str) -> Result<EngineSnapshot, String> {
+        let snap: EngineSnapshot = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if snap.schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported snapshot schema {:?} (expected {SNAPSHOT_SCHEMA:?})",
+                snap.schema
+            ));
+        }
+        Ok(snap)
+    }
+}

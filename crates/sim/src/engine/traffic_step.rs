@@ -1,0 +1,46 @@
+//! Stage 1: advance the traffic microsimulation and index its events.
+
+use vcount_roadnet::EdgeId;
+use vcount_traffic::{Simulator, TrafficEvent};
+use vcount_v2x::VehicleId;
+
+/// One step's surveillance events plus the per-edge indices the observe
+/// stage needs for watch "ahead" reconstruction (see the runner's module
+/// docs). All buffers are reused across steps.
+#[derive(Debug, Default)]
+pub struct TrafficBatch {
+    /// The step's events, in the simulator's deterministic order.
+    pub events: Vec<TrafficEvent>,
+    /// Same-step `(edge, event index, vehicle)` departures onto each edge.
+    pub departures_onto: Vec<(EdgeId, usize, VehicleId)>,
+    /// Same-step `(edge, event index, vehicle)` entries via each edge.
+    pub entries_via: Vec<(EdgeId, usize, VehicleId)>,
+}
+
+/// Advances the simulator one tick and rebuilds the batch: events are
+/// copied out (the simulator's buffer is reused next step) and the
+/// departure/entry indices are re-derived. Flat reused buffers: a step
+/// carries few events, so a linear filter beats rebuilding a map of fresh
+/// vectors every step.
+pub fn traffic_step(sim: &mut Simulator, batch: &mut TrafficBatch) {
+    batch.events.clear();
+    let events = sim.step();
+    batch.events.extend(events.iter().copied());
+    batch.departures_onto.clear();
+    batch.entries_via.clear();
+    for (i, ev) in batch.events.iter().enumerate() {
+        match *ev {
+            TrafficEvent::Departed { vehicle, onto, .. } => {
+                batch.departures_onto.push((onto, i, vehicle));
+            }
+            TrafficEvent::Entered {
+                vehicle,
+                from: Some(e),
+                ..
+            } => {
+                batch.entries_via.push((e, i, vehicle));
+            }
+            _ => {}
+        }
+    }
+}

@@ -14,17 +14,23 @@
 //!   closed and open midtown setups;
 //! * [`experiment`] — the volume × seed-count sweep grid behind
 //!   Figs. 2–5, parallelized across worker threads;
-//! * [`metrics`] — the reported quantities.
+//! * [`metrics`] — the reported quantities;
+//! * [`engine`] — the five named per-step stages (`traffic_step`,
+//!   `observe`, `dispatch`, `exchange`, `audit`), the [`engine::Exchange`]
+//!   message layer that owns every in-flight payload, and
+//!   [`engine::EngineSnapshot`] for freezing and resuming runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
+pub use engine::{EngineSnapshot, Exchange};
 pub use experiment::{sweep, Cell, CellResult, SweepConfig};
 pub use metrics::{ProgressSnapshot, RunMetrics, RunTelemetry, Summary};
 pub use oracle::{Attribution, Oracle, Violation};

@@ -94,6 +94,12 @@ pub struct RunTelemetry {
     pub border_exits: u64,
     /// Messages delivered through the directional V2V relay.
     pub relay_messages: u64,
+    /// Payloads encoded to the wire format by the exchange.
+    pub messages_encoded: u64,
+    /// Payloads decoded from the wire format on delivery.
+    pub messages_decoded: u64,
+    /// Total wire bytes produced by the exchange's encoder.
+    pub wire_bytes: u64,
     /// Wall-clock seconds advancing the traffic microsimulation.
     pub traffic_step_secs: f64,
     /// Wall-clock seconds driving checkpoint state machines and sinks.
@@ -121,6 +127,9 @@ impl RunTelemetry {
             border_entries: c.border_entries,
             border_exits: c.border_exits,
             relay_messages: 0,
+            messages_encoded: 0,
+            messages_decoded: 0,
+            wire_bytes: 0,
             traffic_step_secs: 0.0,
             protocol_secs: 0.0,
             relay_secs: 0.0,
@@ -162,6 +171,9 @@ impl RunTelemetry {
         self.border_entries += other.border_entries;
         self.border_exits += other.border_exits;
         self.relay_messages += other.relay_messages;
+        self.messages_encoded += other.messages_encoded;
+        self.messages_decoded += other.messages_decoded;
+        self.wire_bytes += other.wire_bytes;
         self.traffic_step_secs += other.traffic_step_secs;
         self.protocol_secs += other.protocol_secs;
         self.relay_secs += other.relay_secs;

@@ -16,12 +16,13 @@
 //! population` but also catches compensating-error pairs the aggregate
 //! would miss.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vcount_v2x::VehicleId;
 
 /// Why an attribution was recorded (kept for diagnostics and error
 /// reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Attribution {
     /// Phase-5 count at a checkpoint.
     Counted,
@@ -72,6 +73,17 @@ impl Oracle {
     /// Creates an empty oracle.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds an oracle from a previously exported ledger (snapshot
+    /// resume).
+    pub fn from_ledger(ledger: BTreeMap<VehicleId, Vec<Attribution>>) -> Self {
+        Oracle { ledger }
+    }
+
+    /// The full attribution ledger (snapshot export).
+    pub fn ledger(&self) -> &BTreeMap<VehicleId, Vec<Attribution>> {
+        &self.ledger
     }
 
     /// Records one attribution for `vehicle`.

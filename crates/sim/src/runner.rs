@@ -3,35 +3,40 @@
 //! deployment, tracks ground truth in the [`Oracle`], and measures the
 //! times the paper's figures report.
 //!
+//! The per-step work is decomposed into the five named stages of
+//! [`crate::engine`] — `traffic_step`, `observe`, `dispatch`, `exchange`,
+//! `audit` — with every in-flight message owned by the
+//! [`crate::engine::Exchange`]. The runner itself only assembles the
+//! deployment, sequences the stages, and exposes metrics; it holds no
+//! message state. A run can be frozen at any step boundary into an
+//! [`EngineSnapshot`] and resumed to a byte-identical event stream.
+//!
 //! ## Intra-step ordering
 //!
 //! The simulator emits its step's events in deterministic order. A label
 //! handoff at a `Departed` event needs the set of vehicles *ahead* of the
-//! label on the joined segment at that instant; the runner reconstructs it
-//! from the end-of-step `in_transit` snapshot by adding vehicles whose
-//! same-step `Entered` (via that edge) events come later — they were still
-//! on the segment at the departure instant — and removing vehicles whose
-//! same-step `Departed` (onto that edge) events come later — they joined
-//! behind the label.
+//! label on the joined segment at that instant; the observe stage
+//! reconstructs it from the end-of-step `in_transit` snapshot by adding
+//! vehicles whose same-step `Entered` (via that edge) events come later —
+//! they were still on the segment at the departure instant — and removing
+//! vehicles whose same-step `Departed` (onto that edge) events come later —
+//! they joined behind the label.
 
+use crate::engine::{self, AuditLog, EngineSnapshot, Exchange, StepCtx, TrafficBatch};
 use crate::metrics::{ProgressSnapshot, RunMetrics, RunTelemetry};
-use crate::oracle::{Attribution, Oracle};
+use crate::oracle::Oracle;
 use crate::scenario::{Scenario, SeedSpec, TransportMode};
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::time::Instant;
-use vcount_core::{Checkpoint, Command, Observation};
+use vcount_core::Checkpoint;
 use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
-use vcount_obs::{CountersSink, EventRecord, EventSink, Phase, ProtocolEvent, RingBufferSink};
-use vcount_roadnet::{edge_covering_cycle, EdgeId, NodeId, RoadNetwork};
-use vcount_traffic::{Simulator, TrafficEvent};
-use vcount_v2x::{
-    AdjustMode, ClassFilter, Label, LossModel, PatrolStatus, SegmentWatch, VehicleId,
-};
+use vcount_obs::{EventRecord, EventSink, Phase};
+use vcount_roadnet::{edge_covering_cycle, NodeId, RoadNetwork};
+use vcount_traffic::{ReplayRng, Simulator};
+use vcount_v2x::{AdjustMode, ClassFilter, LossModel, VehicleId};
 
 /// Ring-buffer capacity of the always-on post-mortem sink.
-const DEFAULT_RING_CAPACITY: usize = 4096;
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
 /// What a run is trying to reach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,80 +49,28 @@ pub enum Goal {
     Collection,
 }
 
-struct Watch {
-    origin: NodeId,
-    sw: SegmentWatch,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum RelayMsg {
-    Announce {
-        to: NodeId,
-        from: NodeId,
-        pred: Option<NodeId>,
-    },
-    Report {
-        to: NodeId,
-        from: NodeId,
-        total: i64,
-        seq: u32,
-    },
-}
-
-struct RelayInFlight {
-    due_s: f64,
-    msg: RelayMsg,
-}
-
 /// A fully wired deployment under simulation.
 pub struct Runner {
+    /// The scenario this deployment was assembled from (kept so snapshots
+    /// are self-contained).
+    scenario: Scenario,
     sim: Simulator,
     cps: Vec<Checkpoint>,
     channel: Box<dyn LossModel + Send>,
-    proto_rng: StdRng,
+    proto_rng: ReplayRng,
     oracle: Oracle,
     transport: TransportMode,
     filter: ClassFilter,
     adjust_mode: AdjustMode,
     seeds: Vec<NodeId>,
-
-    carried_label: Vec<Option<Label>>,
-    /// (destination, reporting checkpoint, subtree total, seq) per vehicle.
-    carried_reports: Vec<Vec<(NodeId, NodeId, i64, u32)>>,
-    watches: HashMap<EdgeId, Watch>,
-    /// Reports waiting at a node for a carrier onto a specific edge.
-    pending_reports: Vec<Vec<(EdgeId, NodeId, i64, u32)>>,
-    /// Circuitous messages waiting for a patrol car (Alg. 4 mode).
-    pending_patrol: Vec<Vec<RelayMsg>>,
-    relay: Vec<RelayInFlight>,
-    patrol_status: HashMap<VehicleId, PatrolStatus>,
-    patrol_carried: HashMap<VehicleId, Vec<RelayMsg>>,
-
+    /// The message layer: every in-flight payload lives here.
+    exchange: Exchange,
     naive: NaiveIntervalCounter,
     dedup: ClassDedupCounter,
-    events_scratch: Vec<TrafficEvent>,
-    /// Scratch: same-step `(edge, event index, vehicle)` departures
-    /// (rebuilt per step; flat — event counts per step are small).
-    departures_scratch: Vec<(EdgeId, usize, VehicleId)>,
-    /// Scratch: same-step `(edge, event index, vehicle)` entries.
-    entries_scratch: Vec<(EdgeId, usize, VehicleId)>,
-    /// Scratch: carried reports due at the node being processed.
-    due_reports_scratch: Vec<(NodeId, NodeId, i64, u32)>,
-    /// Scratch: patrol-carried messages due at the node being processed.
-    due_patrol_scratch: Vec<RelayMsg>,
-
-    /// The run's RNG seed, stamped on every emitted event record.
-    seed_epoch: u64,
-    /// Always-on telemetry aggregation (counters + phase timings).
-    counters: CountersSink,
-    /// Always-on last-N ring for post-mortem attribution chains.
-    ring: RingBufferSink,
-    /// User-configured sinks (JSONL export, custom consumers).
-    sinks: Vec<Box<dyn EventSink + Send>>,
-    /// Messages delivered through the directional relay.
-    relay_messages: u64,
-    /// Scratch buffer for draining checkpoint events.
-    event_drain: Vec<(f64, ProtocolEvent)>,
+    /// Reused per-step event batch and indices.
+    batch: TrafficBatch,
+    /// Event stamping, telemetry and sink fan-out.
+    audit: AuditLog,
 }
 
 /// Chained-setter construction of a [`Runner`]: scenario first, then
@@ -228,9 +181,10 @@ impl Runner {
             .collect();
         // Protocol-side randomness (seed selection, channel draws) is
         // decoupled from traffic randomness but derived from the same seed
-        // for whole-run reproducibility.
+        // for whole-run reproducibility. Draw-counted so snapshots can
+        // resume the exact stream position.
         let mut proto_rng =
-            StdRng::seed_from_u64(scenario.sim.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+            ReplayRng::seed_from_u64(engine::snapshot::proto_seed(scenario.sim.seed));
 
         if scenario.patrol.cars > 0 {
             let cycle = edge_covering_cycle(sim.net(), NodeId(0))
@@ -263,6 +217,7 @@ impl Runner {
 
         let vehicles = sim.vehicles().len();
         let mut runner = Runner {
+            scenario: scenario.clone(),
             sim,
             cps,
             channel: scenario.channel.build(),
@@ -272,76 +227,135 @@ impl Runner {
             filter: scenario.protocol.filter,
             adjust_mode: scenario.protocol.adjust_mode,
             seeds: seeds.clone(),
-            carried_label: vec![None; vehicles],
-            carried_reports: vec![Vec::new(); vehicles],
-            watches: HashMap::new(),
-            pending_reports: vec![Vec::new(); n],
-            pending_patrol: vec![Vec::new(); n],
-            relay: Vec::new(),
-            patrol_status: HashMap::new(),
-            patrol_carried: HashMap::new(),
+            exchange: Exchange::new(vehicles, n),
             naive: NaiveIntervalCounter::new(scenario.protocol.filter),
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
-            events_scratch: Vec::new(),
-            departures_scratch: Vec::new(),
-            entries_scratch: Vec::new(),
-            due_reports_scratch: Vec::new(),
-            due_patrol_scratch: Vec::new(),
-            seed_epoch: scenario.sim.seed,
-            counters: CountersSink::new(),
-            ring: RingBufferSink::new(ring_capacity),
-            sinks,
-            relay_messages: 0,
-            event_drain: Vec::new(),
+            batch: TrafficBatch::default(),
+            audit: AuditLog::new(scenario.sim.seed, ring_capacity, sinks),
         };
         for s in seeds {
             let cmds = runner.cps[s.index()].activate_as_seed(0.0);
-            runner.pump(s);
-            runner.dispatch(s, cmds);
+            runner.with_ctx(0.0, |ctx| {
+                engine::audit(ctx, s);
+                engine::dispatch(ctx, s, cmds);
+            });
         }
         runner
     }
 
-    /// Drains the protocol events a checkpoint buffered, derives the
-    /// oracle attributions they imply, and fans the stamped records into
-    /// the telemetry, ring, and user sinks.
-    fn pump(&mut self, node: NodeId) {
-        let mut drained = std::mem::take(&mut self.event_drain);
-        self.cps[node.index()].drain_events_into(&mut drained);
-        for &(t, event) in &drained {
-            // The oracle ledger mirrors exactly what the protocol applied;
-            // attribution-bearing events carry the vehicle they concern.
-            match event {
-                ProtocolEvent::VehicleCounted { vehicle, .. } => {
-                    self.oracle.record(VehicleId(vehicle), Attribution::Counted);
-                }
-                ProtocolEvent::BorderEntry { vehicle, .. } => {
-                    self.oracle
-                        .record(VehicleId(vehicle), Attribution::InteractionIn);
-                }
-                ProtocolEvent::BorderExit { vehicle, .. } => {
-                    self.oracle
-                        .record(VehicleId(vehicle), Attribution::InteractionOut);
-                }
-                ProtocolEvent::LossCompensation { vehicle, .. } => {
-                    self.oracle
-                        .record(VehicleId(vehicle), Attribution::LossCompensation);
-                }
-                _ => {}
-            }
-            let rec = EventRecord {
-                time_s: t,
-                seed_epoch: self.seed_epoch,
-                event,
-            };
-            self.counters.record(&rec);
-            self.ring.record(&rec);
-            for sink in &mut self.sinks {
-                sink.record(&rec);
-            }
+    /// Resumes a deployment from a snapshot, with no extra sinks and the
+    /// default ring capacity. The resumed run replays the event stream the
+    /// snapshotted run would have produced, byte for byte.
+    pub fn resume(snap: &EngineSnapshot) -> Runner {
+        Runner::resume_with(snap, Vec::new(), DEFAULT_RING_CAPACITY)
+    }
+
+    /// Resumes a deployment from a snapshot with the given sinks and ring
+    /// capacity. The sinks receive only the tail of the run — telemetry
+    /// and post-mortem state are not part of the snapshot.
+    pub fn resume_with(
+        snap: &EngineSnapshot,
+        sinks: Vec<Box<dyn EventSink + Send>>,
+        ring_capacity: usize,
+    ) -> Runner {
+        let scenario = snap.scenario.clone();
+        let net = scenario.map.build(scenario.closed);
+        net.validate().expect("snapshot scenario map must be valid");
+        assert_eq!(
+            snap.checkpoints.len(),
+            net.node_count(),
+            "snapshot checkpoint count must match the scenario map"
+        );
+        let sim = Simulator::restore(
+            net,
+            scenario.sim.clone(),
+            scenario.demand.clone(),
+            &snap.sim,
+        );
+        let mut cps: Vec<Checkpoint> = sim
+            .net()
+            .node_ids()
+            .map(|node| Checkpoint::new(sim.net(), node, scenario.protocol))
+            .collect();
+        for (cp, state) in cps.iter_mut().zip(&snap.checkpoints) {
+            cp.restore_state(state.clone());
         }
-        drained.clear();
-        self.event_drain = drained;
+        let proto_rng = ReplayRng::resume(
+            engine::snapshot::proto_seed(scenario.sim.seed),
+            snap.proto_rng_draws,
+        );
+        let channel = scenario.channel.build();
+        channel.restore_state(snap.channel_state);
+        Runner {
+            transport: scenario.transport,
+            filter: scenario.protocol.filter,
+            adjust_mode: scenario.protocol.adjust_mode,
+            scenario,
+            sim,
+            cps,
+            channel,
+            proto_rng,
+            oracle: Oracle::from_ledger(snap.ledger.clone()),
+            seeds: snap.seeds.clone(),
+            exchange: Exchange::restore(&snap.exchange),
+            naive: snap.naive.clone(),
+            dedup: snap.dedup.clone(),
+            batch: TrafficBatch::default(),
+            audit: AuditLog::new(snap.scenario.sim.seed, ring_capacity, sinks),
+        }
+    }
+
+    /// Freezes the deployment at the current step boundary. The snapshot
+    /// embeds the scenario, so [`Runner::resume`] needs nothing else.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            schema: engine::SNAPSHOT_SCHEMA.to_string(),
+            scenario: self.scenario.clone(),
+            seeds: self.seeds.clone(),
+            proto_rng_draws: self.proto_rng.draws(),
+            channel_state: self.channel.save_state(),
+            sim: self.sim.snapshot(),
+            checkpoints: self.cps.iter().map(Checkpoint::export_state).collect(),
+            exchange: self.exchange.snapshot(),
+            ledger: self.oracle.ledger().clone(),
+            naive: self.naive.clone(),
+            dedup: self.dedup.clone(),
+        }
+    }
+
+    /// Builds a stage context over this runner's state and runs `f` in it.
+    fn with_ctx<R>(&mut self, now: f64, f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
+        let Runner {
+            sim,
+            cps,
+            channel,
+            proto_rng,
+            oracle,
+            transport,
+            filter,
+            adjust_mode,
+            exchange,
+            naive,
+            dedup,
+            audit,
+            ..
+        } = self;
+        let mut ctx = StepCtx {
+            now,
+            sim,
+            cps,
+            exchange,
+            oracle,
+            channel: &**channel,
+            proto_rng,
+            transport: *transport,
+            filter: *filter,
+            adjust_mode: *adjust_mode,
+            naive,
+            dedup,
+            audit,
+        };
+        f(&mut ctx)
     }
 
     /// The road network under simulation.
@@ -431,480 +445,69 @@ impl Runner {
         self.oracle.verify(pop)
     }
 
-    /// Advances one simulation step, driving the protocol from the event
-    /// stream.
+    /// Advances one simulation step: the five engine stages in order
+    /// (observe invokes dispatch and audit per interaction; exchange
+    /// delivers due relay traffic end-of-step).
     pub fn step(&mut self) {
         let t_traffic = Instant::now();
-        self.events_scratch.clear();
-        self.events_scratch.extend(self.sim.step().iter().copied());
-        self.counters
+        engine::traffic_step(&mut self.sim, &mut self.batch);
+        self.exchange
+            .ensure_vehicle_capacity(self.sim.vehicles().len());
+        self.audit
+            .counters
             .add_phase(Phase::TrafficStep, t_traffic.elapsed());
-        let t_protocol = Instant::now();
-        let events = std::mem::take(&mut self.events_scratch);
+
         // Events are timestamped at the end of the step they occurred in.
         let now = self.sim.time_s();
-
-        self.ensure_vehicle_capacity();
-
-        // Pre-scan same-step departures/entries per edge (watch 'ahead'
-        // reconstruction; see module docs). Flat reused buffers: a step
-        // carries few events, so a linear filter beats rebuilding a
-        // `HashMap` of fresh `Vec`s every step.
-        let mut departures_onto = std::mem::take(&mut self.departures_scratch);
-        let mut entries_via = std::mem::take(&mut self.entries_scratch);
-        departures_onto.clear();
-        entries_via.clear();
-        for (i, ev) in events.iter().enumerate() {
-            match *ev {
-                TrafficEvent::Departed { vehicle, onto, .. } => {
-                    departures_onto.push((onto, i, vehicle));
-                }
-                TrafficEvent::Entered {
-                    vehicle,
-                    from: Some(e),
-                    ..
-                } => {
-                    entries_via.push((e, i, vehicle));
-                }
-                _ => {}
-            }
-        }
-
-        for (i, ev) in events.iter().enumerate() {
-            match *ev {
-                TrafficEvent::Entered {
-                    vehicle,
-                    node,
-                    from,
-                } => self.on_entered(now, vehicle, node, from),
-                TrafficEvent::Departed {
-                    vehicle,
-                    node,
-                    onto,
-                } => self.on_departed(now, i, vehicle, node, onto, &departures_onto, &entries_via),
-                TrafficEvent::Exited { vehicle, node } => self.on_exited(now, vehicle, node),
-                TrafficEvent::Overtake {
-                    edge,
-                    overtaker,
-                    overtaken,
-                } => self.on_overtake(edge, overtaker, overtaken),
-            }
-        }
-        self.events_scratch = events;
-        self.departures_scratch = departures_onto;
-        self.entries_scratch = entries_via;
-        self.counters
-            .add_phase(Phase::Protocol, t_protocol.elapsed());
-        let t_relay = Instant::now();
-        self.deliver_due_relays(now);
-        self.counters.add_phase(Phase::Relay, t_relay.elapsed());
-    }
-
-    fn ensure_vehicle_capacity(&mut self) {
-        let n = self.sim.vehicles().len();
-        if self.carried_label.len() < n {
-            self.carried_label.resize(n, None);
-            self.carried_reports.resize(n, Vec::new());
-        }
-    }
-
-    fn on_entered(&mut self, now: f64, vehicle: VehicleId, node: NodeId, from: Option<EdgeId>) {
-        let class = self.sim.vehicle(vehicle).class;
-        let is_patrol = class.is_patrol();
-
-        // Deliver carried reports addressed to this node: matching entries
-        // move into a reused scratch, the rest compact in place — no
-        // per-arrival partition allocation.
-        let mut due = std::mem::take(&mut self.due_reports_scratch);
-        due.clear();
-        {
-            let list = &mut self.carried_reports[vehicle.index()];
-            let mut kept = 0usize;
-            for i in 0..list.len() {
-                let item = list[i];
-                if item.0 == node {
-                    due.push(item);
-                } else {
-                    list[kept] = item;
-                    kept += 1;
-                }
-            }
-            list.truncate(kept);
-        }
-        for &(_, reporter, total, seq) in &due {
-            let cmds = self.cps[node.index()].handle(
-                Observation::Report {
-                    from: reporter,
-                    total,
-                    seq,
-                },
-                now,
-            );
-            self.pump(node);
-            self.dispatch(node, cmds);
-        }
-        self.due_reports_scratch = due;
-
-        if is_patrol {
-            // Deliver circuitous messages addressed here (same in-place
-            // split as the carried reports above).
-            let mut due = std::mem::take(&mut self.due_patrol_scratch);
-            due.clear();
-            {
-                let list = self.patrol_carried.entry(vehicle).or_default();
-                let mut kept = 0usize;
-                for i in 0..list.len() {
-                    let m = list[i];
-                    let here = match m {
-                        RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => to == node,
-                    };
-                    if here {
-                        due.push(m);
-                    } else {
-                        list[kept] = m;
-                        kept += 1;
-                    }
-                }
-                list.truncate(kept);
-            }
-            for &m in &due {
-                self.deliver_relay(now, m);
-            }
-            self.due_patrol_scratch = due;
-            // Pick up circuitous messages waiting here.
-            let picked = std::mem::take(&mut self.pending_patrol[node.index()]);
-            self.patrol_carried
-                .entry(vehicle)
-                .or_default()
-                .extend(picked);
-            // Status snapshot exchange (stale-stop ablation; a no-op for
-            // the default configuration).
-            let status = self.patrol_status.entry(vehicle).or_default().clone();
-            let cmds =
-                self.cps[node.index()].handle(Observation::PatrolStatus { vehicle, status }, now);
-            self.pump(node);
-            self.dispatch(node, cmds);
-        }
-
-        // Segment-watch bookkeeping on the arrival edge.
-        if let Some(e) = from {
-            let finalize = match self.watches.get_mut(&e) {
-                Some(w) if w.sw.label_vehicle() == vehicle => true,
-                Some(w) => {
-                    if !is_patrol {
-                        let counted = self.oracle.ever_counted(vehicle);
-                        w.sw.record_arrival(vehicle, counted);
-                    }
-                    false
-                }
-                None => false,
-            };
-            if finalize {
-                let w = self.watches.remove(&e).expect("checked above");
-                self.finalize_watch(w);
-            }
-        }
-
-        // Label delivery + phase 3/4/5 processing; the oracle attribution
-        // (counted / interaction-in) is derived from the emitted events.
-        let label = self.carried_label[vehicle.index()].take();
-        let cmds = self.cps[node.index()].handle(
-            Observation::Entered {
-                vehicle,
-                via: from,
-                class,
-                label,
-            },
+        let Runner {
+            sim,
+            cps,
+            channel,
+            proto_rng,
+            oracle,
+            transport,
+            filter,
+            adjust_mode,
+            exchange,
+            naive,
+            dedup,
+            batch,
+            audit,
+            ..
+        } = self;
+        let mut ctx = StepCtx {
             now,
-        );
-        self.pump(node);
-        self.dispatch(node, cmds);
-
-        // Patrol observation recorded after processing: the status carried
-        // onward reflects this checkpoint's state as the patrol leaves it.
-        if is_patrol {
-            let active = self.cps[node.index()].is_active();
-            self.patrol_status
-                .entry(vehicle)
-                .or_default()
-                .observe(node, active);
-        }
-
-        // Unsynchronized baselines observe the same surveillance stream.
-        self.naive.observe(&class);
-        self.dedup.observe(&class);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_departed(
-        &mut self,
-        now: f64,
-        event_idx: usize,
-        vehicle: VehicleId,
-        node: NodeId,
-        onto: EdgeId,
-        departures_onto: &[(EdgeId, usize, VehicleId)],
-        entries_via: &[(EdgeId, usize, VehicleId)],
-    ) {
-        let class = self.sim.vehicle(vehicle).class;
-        let is_patrol = class.is_patrol();
-
-        // Hand pending reports that ride this edge to the vehicle —
-        // moved directly into its carried list, the rest compacted in
-        // place (the two lists are disjoint fields, so no intermediate
-        // buffer is needed).
-        if !self.pending_reports[node.index()].is_empty() {
-            let pending = &mut self.pending_reports[node.index()];
-            let carried = &mut self.carried_reports[vehicle.index()];
-            let mut kept = 0usize;
-            for i in 0..pending.len() {
-                let (e, dest, total, seq) = pending[i];
-                if e == onto {
-                    carried.push((dest, node, total, seq));
-                } else {
-                    pending[kept] = pending[i];
-                    kept += 1;
-                }
-            }
-            pending.truncate(kept);
-        }
-
-        // Phase 2: label handoff.
-        if let Some(label) = self.cps[node.index()].offer_label(onto) {
-            let delivered = is_patrol || {
-                // Police equipment is reliable; civilian handoffs go
-                // through the lossy channel with ack confirmation.
-                self.channel.attempt(&mut self.proto_rng).delivered()
-            };
-            // On failure the checkpoint emits the compensation event (when
-            // configured), and pump() mirrors it into the oracle — so the
-            // compensation-disabled ablation shows up as violations.
-            let cmds = self.cps[node.index()].handle(
-                Observation::Departed {
-                    vehicle,
-                    onto,
-                    delivered,
-                    matches_filter: self.filter.matches(&class),
-                },
-                now,
-            );
-            self.pump(node);
-            self.dispatch(node, cmds);
-            if delivered {
-                self.carried_label[vehicle.index()] = Some(label);
-                let ahead = self.ahead_of(event_idx, vehicle, onto, departures_onto, entries_via);
-                let sw = SegmentWatch::new(self.adjust_mode, vehicle, ahead);
-                self.watches.insert(onto, Watch { origin: node, sw });
-            }
-        }
-    }
-
-    /// Vehicles ahead of a label departing onto `onto` at event `idx`, with
-    /// their counted status (see module docs for the reconstruction).
-    fn ahead_of(
-        &self,
-        idx: usize,
-        label_vehicle: VehicleId,
-        onto: EdgeId,
-        departures_onto: &[(EdgeId, usize, VehicleId)],
-        entries_via: &[(EdgeId, usize, VehicleId)],
-    ) -> Vec<(VehicleId, bool)> {
-        let later_departure = |v: VehicleId| {
-            departures_onto
-                .iter()
-                .any(|&(e, i, d)| e == onto && i > idx && d == v)
+            sim,
+            cps,
+            exchange,
+            oracle,
+            channel: &**channel,
+            proto_rng,
+            transport: *transport,
+            filter: *filter,
+            adjust_mode: *adjust_mode,
+            naive,
+            dedup,
+            audit,
         };
-        let later_entries = entries_via
-            .iter()
-            .filter(|&&(e, i, _)| e == onto && i > idx)
-            .map(|&(_, _, v)| v);
+        let t_protocol = Instant::now();
+        engine::observe(&mut ctx, batch);
+        ctx.audit
+            .counters
+            .add_phase(Phase::Protocol, t_protocol.elapsed());
 
-        let mut ahead: Vec<VehicleId> = later_entries.collect();
-        ahead.extend(self.sim.in_transit(onto));
-        ahead.retain(|v| {
-            *v != label_vehicle && !later_departure(*v) && !self.sim.vehicle(*v).is_patrol()
-        });
-        ahead.dedup();
-        ahead
-            .into_iter()
-            .map(|v| (v, self.oracle.ever_counted(v)))
-            .collect()
-    }
-
-    fn finalize_watch(&mut self, w: Watch) {
-        let adj = w.sw.finalize();
-        let mut plus = 0usize;
-        let mut minus = 0usize;
-        for v in &adj.plus {
-            if self.vehicle_matches(*v) {
-                self.oracle.record(*v, Attribution::AdjustPlus);
-                plus += 1;
-            }
-        }
-        for v in &adj.minus {
-            if self.vehicle_matches(*v) {
-                self.oracle.record(*v, Attribution::AdjustMinus);
-                minus += 1;
-            }
-        }
-        if plus > 0 || minus > 0 {
-            let now = self.sim.time_s();
-            let cmds = self.cps[w.origin.index()].handle(Observation::Adjust { plus, minus }, now);
-            self.pump(w.origin);
-            self.dispatch(w.origin, cmds);
-        }
-    }
-
-    fn vehicle_matches(&self, v: VehicleId) -> bool {
-        let veh = self.sim.vehicle(v);
-        !veh.is_patrol() && self.filter.matches(&veh.class)
-    }
-
-    fn on_exited(&mut self, now: f64, vehicle: VehicleId, node: NodeId) {
-        let class = self.sim.vehicle(vehicle).class;
-        debug_assert!(
-            self.carried_reports[vehicle.index()].is_empty(),
-            "reports are always delivered at the node before an exit"
-        );
-        // A counted exit emits a BorderExit event; pump() mirrors it into
-        // the oracle as an interaction-out attribution.
-        self.cps[node.index()].handle(Observation::BorderExit { vehicle, class }, now);
-        self.pump(node);
-    }
-
-    fn on_overtake(&mut self, edge: EdgeId, overtaker: VehicleId, overtaken: VehicleId) {
-        // Only meaningful for the per-event adjustment ablation.
-        if self.adjust_mode != AdjustMode::PerEvent {
-            return;
-        }
-        let counted_overtaken = self.oracle.ever_counted(overtaken);
-        let counted_overtaker = self.oracle.ever_counted(overtaker);
-        let matches_overtaken = self.vehicle_matches(overtaken);
-        let matches_overtaker = self.vehicle_matches(overtaker);
-        if let Some(w) = self.watches.get_mut(&edge) {
-            let label = w.sw.label_vehicle();
-            if overtaker == label && matches_overtaken {
-                w.sw.label_overtakes(overtaken, counted_overtaken);
-            } else if overtaken == label && matches_overtaker {
-                w.sw.label_overtaken_by(overtaker, counted_overtaker);
-            }
-        }
-    }
-
-    fn dispatch(&mut self, from: NodeId, cmds: Vec<Command>) {
-        for cmd in cmds {
-            match cmd {
-                Command::SendPredAnnounce { to, pred } => match self.transport {
-                    TransportMode::VehicleWithRelayFallback { relay_speed_mps }
-                    | TransportMode::RelayOnly { relay_speed_mps } => {
-                        self.queue_relay(
-                            from,
-                            relay_speed_mps,
-                            RelayMsg::Announce { to, from, pred },
-                        );
-                    }
-                    TransportMode::VehicleWithPatrolFallback => {
-                        self.pending_patrol[from.index()].push(RelayMsg::Announce {
-                            to,
-                            from,
-                            pred,
-                        });
-                    }
-                },
-                Command::SendReport { to, total, seq } => {
-                    let edge = self.sim.net().edge_between(from, to);
-                    match (edge, self.transport) {
-                        (Some(e), TransportMode::VehicleWithRelayFallback { .. })
-                        | (Some(e), TransportMode::VehicleWithPatrolFallback) => {
-                            self.pending_reports[from.index()].push((e, to, total, seq));
-                        }
-                        (_, TransportMode::RelayOnly { relay_speed_mps })
-                        | (None, TransportMode::VehicleWithRelayFallback { relay_speed_mps }) => {
-                            self.queue_relay(
-                                from,
-                                relay_speed_mps,
-                                RelayMsg::Report {
-                                    to,
-                                    from,
-                                    total,
-                                    seq,
-                                },
-                            );
-                        }
-                        (None, TransportMode::VehicleWithPatrolFallback) => {
-                            self.pending_patrol[from.index()].push(RelayMsg::Report {
-                                to,
-                                from,
-                                total,
-                                seq,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn queue_relay(&mut self, from: NodeId, relay_speed_mps: f64, msg: RelayMsg) {
-        let to = match msg {
-            RelayMsg::Announce { to, .. } | RelayMsg::Report { to, .. } => to,
-        };
-        let dist = self
-            .sim
-            .net()
-            .node(from)
-            .pos
-            .distance(&self.sim.net().node(to).pos);
-        let due = self.sim.time_s() + dist / relay_speed_mps.max(1.0) + 1.0;
-        self.relay.push(RelayInFlight { due_s: due, msg });
-    }
-
-    fn deliver_due_relays(&mut self, now: f64) {
-        let mut i = 0;
-        while i < self.relay.len() {
-            if self.relay[i].due_s <= now {
-                let RelayInFlight { msg, .. } = self.relay.swap_remove(i);
-                self.relay_messages += 1;
-                self.deliver_relay(now, msg);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    fn deliver_relay(&mut self, now: f64, msg: RelayMsg) {
-        let (to, obs) = match msg {
-            RelayMsg::Announce { to, from, pred } => (to, Observation::Announce { from, pred }),
-            RelayMsg::Report {
-                to,
-                from,
-                total,
-                seq,
-            } => (to, Observation::Report { from, total, seq }),
-        };
-        let cmds = self.cps[to.index()].handle(obs, now);
-        self.pump(to);
-        self.dispatch(to, cmds);
+        let t_relay = Instant::now();
+        engine::exchange(&mut ctx);
+        ctx.audit
+            .counters
+            .add_phase(Phase::Relay, t_relay.elapsed());
     }
 
     /// Whether any report message is still in transit (on a vehicle,
     /// waiting at a node, in the relay, or on a patrol car). Collection is
     /// final only when the last re-report has landed.
     pub fn reports_in_flight(&self) -> bool {
-        self.pending_reports.iter().any(|v| !v.is_empty())
-            || self.carried_reports.iter().any(|v| !v.is_empty())
-            || self
-                .relay
-                .iter()
-                .any(|r| matches!(r.msg, RelayMsg::Report { .. }))
-            || self
-                .pending_patrol
-                .iter()
-                .any(|v| v.iter().any(|m| matches!(m, RelayMsg::Report { .. })))
-            || self
-                .patrol_carried
-                .values()
-                .any(|v| v.iter().any(|m| matches!(m, RelayMsg::Report { .. })))
+        self.exchange.reports_in_flight()
     }
 
     /// Runs until `goal` is reached or `max_time_s` elapses, then evaluates
@@ -943,26 +546,30 @@ impl Runner {
     /// of [`Runner::run`]; externally driven loops should call it once
     /// done stepping).
     pub fn flush_sinks(&mut self) {
-        for sink in &mut self.sinks {
+        for sink in &mut self.audit.sinks {
             sink.flush();
         }
     }
 
-    /// The run's telemetry so far: aggregated event counters, relay
-    /// message count, and wall-clock phase attribution.
+    /// The run's telemetry so far: aggregated event counters, wire-level
+    /// exchange counters, and wall-clock phase attribution.
     pub fn telemetry(&self) -> RunTelemetry {
-        let mut t = RunTelemetry::from_counters(self.counters.counters());
-        t.relay_messages = self.relay_messages;
-        t.traffic_step_secs = self.counters.phase_secs(Phase::TrafficStep);
-        t.protocol_secs = self.counters.phase_secs(Phase::Protocol);
-        t.relay_secs = self.counters.phase_secs(Phase::Relay);
+        let mut t = RunTelemetry::from_counters(self.audit.counters.counters());
+        let wire = self.exchange.counters();
+        t.relay_messages = wire.relay_messages;
+        t.messages_encoded = wire.encoded;
+        t.messages_decoded = wire.decoded;
+        t.wire_bytes = wire.bytes;
+        t.traffic_step_secs = self.audit.counters.phase_secs(Phase::TrafficStep);
+        t.protocol_secs = self.audit.counters.phase_secs(Phase::Protocol);
+        t.relay_secs = self.audit.counters.phase_secs(Phase::Relay);
         t
     }
 
     /// The retained post-mortem events mentioning `vehicle`, oldest first —
     /// its attribution chain as far as the ring buffer remembers.
     pub fn violation_trace(&self, vehicle: VehicleId) -> Vec<EventRecord> {
-        self.ring.for_vehicle(vehicle.0)
+        self.audit.ring.for_vehicle(vehicle.0)
     }
 
     fn metrics(&self, constitution_done: Option<f64>, collection_done: Option<f64>) -> RunMetrics {
@@ -978,7 +585,7 @@ impl Runner {
                 v.expected,
                 violations.len()
             );
-            let chain = self.ring.for_vehicle(v.vehicle.0);
+            let chain = self.audit.ring.for_vehicle(v.vehicle.0);
             if chain.is_empty() {
                 eprintln!("  (no retained events — raise the ring capacity)");
             }
@@ -1005,7 +612,7 @@ impl Runner {
             global_count,
             true_population: self.true_population(),
             oracle_violations: violations.len(),
-            handoff_failures: self.counters.counters().handoff_retries,
+            handoff_failures: self.audit.counters.counters().handoff_retries,
             overtake_adjustments: self.cps.iter().map(|c| c.counters().overtake_total()).sum(),
             baseline_naive: self.naive.total(),
             baseline_dedup: self.dedup.total(),

@@ -108,7 +108,7 @@ impl Default for SeedSpec {
 pub enum TransportMode {
     /// Reports ride vehicles along the `u -> p(u)` segment when it exists;
     /// one-way reverse deliveries use the directional multi-hop V2V relay
-    /// of ref [7], modelled as a distance-proportional delay.
+    /// of ref \[7\], modelled as a distance-proportional delay.
     VehicleWithRelayFallback {
         /// Relay propagation speed, m/s (radio hops are much faster than
         /// traffic).

@@ -16,12 +16,14 @@
 pub mod config;
 pub mod events;
 pub mod order;
+pub mod rng;
 pub mod signals;
 pub mod simulator;
 pub mod vehicle;
 
 pub use config::{Demand, SimConfig};
 pub use events::TrafficEvent;
+pub use rng::ReplayRng;
 pub use signals::{SignalPlan, SignalTiming};
-pub use simulator::Simulator;
+pub use simulator::{SimSnapshot, Simulator};
 pub use vehicle::{sample_class, RoutePolicy, VehState, Vehicle};

@@ -1,0 +1,122 @@
+//! Draw-counting RNG wrapper enabling exact snapshot/resume.
+//!
+//! The workspace RNG ([`StdRng`]) is a pure function of its seed whose every
+//! `Rng` operation advances the internal state a whole number of times
+//! (`next_u32` and `next_u64` once, `fill_bytes` once per started 8-byte
+//! chunk). [`ReplayRng`] counts those advances, so a stream can be captured
+//! as `(seed, draws)` and replayed by reseeding and fast-forwarding —
+//! without exposing or serializing generator internals.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// An [`StdRng`] that knows how many state advances it has performed.
+///
+/// Produces bit-identical streams to a bare `StdRng` with the same seed; the
+/// only addition is the [`ReplayRng::draws`] counter and the
+/// [`ReplayRng::resume`] constructor that fast-forwards to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRng {
+    inner: StdRng,
+    seed: u64,
+    draws: u64,
+}
+
+impl ReplayRng {
+    /// The seed this stream started from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// State advances performed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Reconstructs the stream position captured by `(seed, draws)`:
+    /// reseeds and fast-forwards, after which the stream continues exactly
+    /// where the captured one left off.
+    pub fn resume(seed: u64, draws: u64) -> Self {
+        let mut inner = StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let _ = inner.next_u64();
+        }
+        ReplayRng { inner, seed, draws }
+    }
+}
+
+impl SeedableRng for ReplayRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ReplayRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
+    }
+}
+
+impl RngCore for ReplayRng {
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += (dest.len() as u64).div_ceil(8);
+        self.inner.fill_bytes(dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn matches_bare_stdrng_stream() {
+        let mut bare = StdRng::seed_from_u64(42);
+        let mut counted = ReplayRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(bare.next_u64(), counted.next_u64());
+        }
+        assert_eq!(bare.next_u32(), counted.next_u32());
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        bare.fill_bytes(&mut a);
+        counted.fill_bytes(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resume_continues_exactly() {
+        let mut original = ReplayRng::seed_from_u64(7);
+        for _ in 0..19 {
+            let _: f64 = original.gen_range(0.0..1.0);
+        }
+        let _ = original.gen_range(0usize..10);
+        let mut buf = [0u8; 5];
+        original.fill_bytes(&mut buf);
+        let mut resumed = ReplayRng::resume(original.seed(), original.draws());
+        for _ in 0..50 {
+            assert_eq!(original.next_u64(), resumed.next_u64());
+        }
+        assert_eq!(original.draws(), resumed.draws());
+    }
+
+    #[test]
+    fn draw_count_tracks_every_rng_operation() {
+        let mut rng = ReplayRng::seed_from_u64(1);
+        let _: bool = rng.gen_bool(0.5);
+        assert_eq!(rng.draws(), 1);
+        let _: u64 = rng.gen_range(3..900);
+        assert_eq!(rng.draws(), 2);
+        let mut buf = [0u8; 17]; // three 8-byte chunks started
+        rng.fill_bytes(&mut buf);
+        assert_eq!(rng.draws(), 5);
+    }
+}

@@ -10,20 +10,44 @@
 use crate::config::{Demand, SimConfig};
 use crate::events::TrafficEvent;
 use crate::order::{count_inversions, for_each_inversion};
+use crate::rng::ReplayRng;
 use crate::signals::SignalPlan;
 use crate::vehicle::{sample_class, RoutePolicy, VehState, Vehicle};
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vcount_roadnet::{EdgeId, NodeId, NodeKind, RoadNetwork};
 use vcount_v2x::{VehicleClass, VehicleId};
+
+/// Serializable dynamic state of a [`Simulator`], produced by
+/// [`Simulator::snapshot`] and consumed by [`Simulator::restore`]. The
+/// static inputs (network, config, demand) are *not* included — the caller
+/// re-supplies them, and the RNG stream is captured as its draw count (see
+/// [`ReplayRng`]), so a restored simulator replays bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// RNG state advances performed so far (seed comes from the config).
+    pub rng_draws: u64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Every vehicle ever created, including exited ones.
+    pub vehicles: Vec<Vehicle>,
+    /// edge -> lane -> vehicles ordered leader-first.
+    pub lanes: Vec<Vec<Vec<VehicleId>>>,
+    /// node -> FIFO of (vehicle, arrival edge) at the stop line.
+    pub queues: Vec<Vec<(VehicleId, EdgeId)>>,
+    /// Previous cross-lane order per edge (overtake detection).
+    pub prev_order: Vec<Vec<VehicleId>>,
+}
 
 /// The microsimulator. See module docs for the step structure.
 pub struct Simulator {
     net: RoadNetwork,
     cfg: SimConfig,
     demand: Demand,
-    rng: StdRng,
+    rng: ReplayRng,
     time_s: f64,
     steps: u64,
     vehicles: Vec<Vehicle>,
@@ -66,7 +90,7 @@ impl Simulator {
     /// `demand` (uniformly over lane-metres). Panics on invalid config.
     pub fn new(net: RoadNetwork, cfg: SimConfig, demand: Demand) -> Self {
         cfg.validate().expect("invalid simulator config");
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = ReplayRng::seed_from_u64(cfg.seed);
         let lanes = net
             .edges()
             .map(|e| vec![Vec::new(); e.lanes as usize])
@@ -100,6 +124,68 @@ impl Simulator {
         };
         sim.populate();
         sim
+    }
+
+    /// Captures the dynamic state at a step boundary. Scratch buffers and
+    /// the per-step event list are excluded: both are rebuilt from scratch
+    /// by the next [`Simulator::step`] regardless.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            rng_draws: self.rng.draws(),
+            time_s: self.time_s,
+            steps: self.steps,
+            vehicles: self.vehicles.clone(),
+            lanes: self.lanes.clone(),
+            queues: self
+                .queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            prev_order: self.prev_order.clone(),
+        }
+    }
+
+    /// Rebuilds a simulator from static inputs plus a [`SimSnapshot`]. The
+    /// initial population draw is skipped; the RNG is fast-forwarded to the
+    /// captured position, so the restored simulator produces the exact
+    /// event stream the original would have from this point on.
+    pub fn restore(net: RoadNetwork, cfg: SimConfig, demand: Demand, snap: &SimSnapshot) -> Self {
+        cfg.validate().expect("invalid simulator config");
+        assert_eq!(
+            snap.lanes.len(),
+            net.edge_count(),
+            "snapshot was taken on a different network"
+        );
+        assert_eq!(snap.queues.len(), net.node_count());
+        let signals = cfg.signals.map(|t| SignalPlan::build(&net, t));
+        Simulator {
+            rng: ReplayRng::resume(cfg.seed, snap.rng_draws),
+            time_s: snap.time_s,
+            steps: snap.steps,
+            vehicles: snap.vehicles.clone(),
+            lanes: snap.lanes.clone(),
+            queues: snap
+                .queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            prev_order: snap.prev_order.clone(),
+            events: Vec::new(),
+            signals,
+            net,
+            cfg,
+            demand,
+            scratch_pos: Vec::new(),
+            order_scratch: Vec::new(),
+            rank_of: Vec::new(),
+            rank_stamp: Vec::new(),
+            rank_epoch: 0,
+            inv_ranks: Vec::new(),
+            inv_vehicles: Vec::new(),
+            inv_sort: Vec::new(),
+            inv_merge: Vec::new(),
+            route_scratch: Vec::new(),
+        }
     }
 
     /// The road network being simulated.
@@ -800,6 +886,34 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_replays_identical_events() {
+        let net = grid(4, 4, 200.0, 2, 10.0);
+        let cfg = SimConfig {
+            seed: 21,
+            detect_overtakes: true,
+            spawn_rate_hz: 0.1,
+            speed_factor_range: (0.5, 1.0),
+            ..Default::default()
+        };
+        let mut full = Simulator::new(net.clone(), cfg.clone(), Demand::at_volume(60.0));
+        let mut interrupted = Simulator::new(net.clone(), cfg.clone(), Demand::at_volume(60.0));
+        for _ in 0..150 {
+            full.step();
+            interrupted.step();
+        }
+        let snap = interrupted.snapshot();
+        // Round-trip through JSON like the engine snapshot does.
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap: SimSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = Simulator::restore(net, cfg, Demand::at_volume(60.0), &snap);
+        for _ in 0..250 {
+            let a = full.step().to_vec();
+            let b = resumed.step().to_vec();
+            assert_eq!(a, b, "resumed stream diverged at step {}", resumed.steps());
+        }
+    }
+
+    #[test]
     fn closed_system_conserves_population() {
         let mut sim = sim_on_grid(2);
         let before = sim.civilian_population();
@@ -1013,7 +1127,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_lambda() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let lambda = 2.5;
         let n = 50_000;
         let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();

@@ -6,7 +6,7 @@ use vcount_roadnet::{EdgeId, NodeId};
 use vcount_v2x::{BodyType, Brand, Color, VehicleClass, VehicleId};
 
 /// Where a vehicle currently is.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum VehState {
     /// Driving along a segment direction, `pos_m` metres from its start,
     /// in lane `lane` (0 = rightmost).
@@ -46,7 +46,7 @@ pub enum RoutePolicy {
 }
 
 /// A simulated vehicle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Vehicle {
     /// VANET radio identity.
     pub id: VehicleId,

@@ -2,7 +2,7 @@
 //!
 //! The paper's simulation uses "lossy wireless communication, with a 30%
 //! chance of failure". A *handoff* here is the complete checkpoint↔vehicle
-//! exchange (payload plus TCP-style acknowledgement, ref [6]) performed
+//! exchange (payload plus TCP-style acknowledgement, ref \[6\]) performed
 //! while the vehicle is within range of the checkpoint — it either completes
 //! confirmed on both sides or fails visibly to the sender, which is what
 //! lets Alg. 3 line 3 compensate (`c(u) -= 1`) and retry with the next
@@ -36,6 +36,16 @@ pub trait LossModel {
 
     /// The long-run failure probability, for reporting.
     fn failure_rate(&self) -> f64;
+
+    /// Opaque interior state for snapshot/resume. Memoryless models return
+    /// `0`; stateful ones (e.g. [`GilbertElliott`]) encode their current
+    /// state so a resumed run replays identically.
+    fn save_state(&self) -> u64 {
+        0
+    }
+
+    /// Restores interior state captured by [`LossModel::save_state`].
+    fn restore_state(&self, _state: u64) {}
 }
 
 /// The ideal channel of the simple road model (Alg. 1): every exchange
@@ -152,6 +162,14 @@ impl LossModel for GilbertElliott {
         }
         let frac_bad = self.p_g2b / denom;
         frac_bad * self.p_bad + (1.0 - frac_bad) * self.p_good
+    }
+
+    fn save_state(&self) -> u64 {
+        u64::from(self.state_bad.get())
+    }
+
+    fn restore_state(&self, state: u64) {
+        self.state_bad.set(state != 0);
     }
 }
 
@@ -272,6 +290,28 @@ mod tests {
         let bursty = ChannelKind::BURSTY.build();
         let expected = 0.1 / (0.1 + 0.2) * 0.8 + 0.2 / (0.1 + 0.2) * 0.05;
         assert!((bursty.failure_rate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gilbert_elliott_state_survives_save_restore() {
+        let ch = GilbertElliott::new(0.05, 0.8, 0.5, 0.1);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..37 {
+            let _ = ch.attempt(&mut rng);
+        }
+        let saved = ch.save_state();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let tail_a: Vec<bool> = (0..64)
+            .map(|_| ch.attempt(&mut rng_a).delivered())
+            .collect();
+        // A fresh channel resumed from the saved state replays the tail.
+        let fresh = GilbertElliott::new(0.05, 0.8, 0.5, 0.1);
+        fresh.restore_state(saved);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let tail_b: Vec<bool> = (0..64)
+            .map(|_| fresh.attempt(&mut rng_b).delivered())
+            .collect();
+        assert_eq!(tail_a, tail_b);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Collaborative V2V overtake accounting (the extension of Alg. 3
-//! lines 5–8, built on the relative-position collaboration of ref [8]).
+//! lines 5–8, built on the relative-position collaboration of ref \[8\]).
 //!
 //! When a labeled vehicle `L` traverses a multi-lane segment `u -> v`,
 //! overtakes can reorder vehicles relative to `L`, breaking the FIFO
@@ -38,7 +38,7 @@ pub enum AdjustMode {
 
 /// The counter corrections produced by one labeled segment traversal,
 /// attributed to the labelling checkpoint's counter `c(u)`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Adjustment {
     /// Vehicles contributing +1 each.
     pub plus: Vec<VehicleId>,
@@ -70,7 +70,7 @@ impl Adjustment {
 /// 3. In [`AdjustMode::PerEvent`], overtake events are additionally fed via
 ///    [`SegmentWatch::label_overtakes`] / [`SegmentWatch::label_overtaken_by`].
 /// 4. [`SegmentWatch::finalize`] when the label reaches `v`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SegmentWatch {
     mode: AdjustMode,
     label_vehicle: VehicleId,

@@ -5,7 +5,7 @@
 //! ownership data (no VIN, no registration), matching the paper's privacy
 //! constraint. What checkpoints *see* is the vehicle's exterior
 //! characteristics ([`VehicleClass`]): color, brand and body type, as
-//! recognised by the intersection cameras (refs [2], [3]).
+//! recognised by the intersection cameras (refs \[2\], \[3\]).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

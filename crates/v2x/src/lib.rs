@@ -1,7 +1,7 @@
 //! # vcount-v2x — wireless communication substrate
 //!
 //! Everything the counting protocol needs from the VANET radio layer
-//! (paper refs [6]–[8]), rebuilt from scratch:
+//! (paper refs \[6\]–\[8\]), rebuilt from scratch:
 //!
 //! * [`ids`] — VANET node identity and the exterior characteristics
 //!   checkpoints may observe (no VIN, no ownership data);
@@ -24,4 +24,4 @@ pub mod message;
 pub use channel::{Bernoulli, ChannelKind, GilbertElliott, Handoff, LossModel, Perfect};
 pub use collaboration::{AdjustMode, Adjustment, SegmentWatch};
 pub use ids::{BodyType, Brand, ClassFilter, Color, VehicleClass, VehicleId};
-pub use message::{DecodeError, Label, Message, PatrolStatus, Report};
+pub use message::{Announce, DecodeError, Label, Message, PatrolStatus, Report};

@@ -44,6 +44,22 @@ pub struct Report {
     /// `c(from) + Σ_{v ∈ children(from)} subtree(v)` — may be negative
     /// transiently under lossy-handoff compensation.
     pub subtree_total: i64,
+    /// Monotonic per-reporter sequence number; the destination keeps only
+    /// the freshest report per child (Alg. 4 re-reporting).
+    pub seq: u32,
+}
+
+/// A predecessor announcement relayed checkpoint-to-checkpoint (Alg. 2
+/// phase 1 under the relay/patrol transports): `from` tells `to` that its
+/// spanning-tree predecessor is `pred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announce {
+    /// Destination checkpoint.
+    pub to: NodeId,
+    /// Announcing checkpoint.
+    pub from: NodeId,
+    /// The announced predecessor of `from` (`None` at a seed).
+    pub pred: Option<NodeId>,
 }
 
 /// Checkpoint statuses observed by a patrol car along its cycle
@@ -87,6 +103,8 @@ pub enum Message {
         /// The acknowledging vehicle.
         vehicle: VehicleId,
     },
+    /// Predecessor announcement (checkpoint → relay/patrol → checkpoint).
+    Announce(Announce),
 }
 
 /// Errors from [`Message::decode`].
@@ -109,10 +127,16 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-const TAG_LABEL: u8 = 1;
-const TAG_REPORT: u8 = 2;
-const TAG_PATROL: u8 = 3;
-const TAG_ACK: u8 = 4;
+/// Wire tag of [`Message::Label`] payloads.
+pub const TAG_LABEL: u8 = 1;
+/// Wire tag of [`Message::Report`] payloads.
+pub const TAG_REPORT: u8 = 2;
+/// Wire tag of [`Message::Patrol`] payloads.
+pub const TAG_PATROL: u8 = 3;
+/// Wire tag of [`Message::Ack`] payloads.
+pub const TAG_ACK: u8 = 4;
+/// Wire tag of [`Message::Announce`] payloads.
+pub const TAG_ANNOUNCE: u8 = 5;
 const NODE_NONE: u32 = u32::MAX;
 
 impl Message {
@@ -137,6 +161,7 @@ impl Message {
                 buf.put_u32(r.from.0);
                 buf.put_u32(r.to.0);
                 buf.put_i64(r.subtree_total);
+                buf.put_u32(r.seq);
             }
             Message::Patrol(p) => {
                 buf.put_u8(TAG_PATROL);
@@ -149,6 +174,12 @@ impl Message {
             Message::Ack { vehicle } => {
                 buf.put_u8(TAG_ACK);
                 buf.put_u64(vehicle.0);
+            }
+            Message::Announce(a) => {
+                buf.put_u8(TAG_ANNOUNCE);
+                buf.put_u32(a.to.0);
+                buf.put_u32(a.from.0);
+                buf.put_u32(a.pred.map_or(NODE_NONE, |n| n.0));
             }
         }
     }
@@ -174,13 +205,14 @@ impl Message {
                 }))
             }
             TAG_REPORT => {
-                if buf.remaining() < 16 {
+                if buf.remaining() < 20 {
                     return Err(DecodeError::Truncated);
                 }
                 Ok(Message::Report(Report {
                     from: NodeId(buf.get_u32()),
                     to: NodeId(buf.get_u32()),
                     subtree_total: buf.get_i64(),
+                    seq: buf.get_u32(),
                 }))
             }
             TAG_PATROL => {
@@ -206,6 +238,19 @@ impl Message {
                 Ok(Message::Ack {
                     vehicle: VehicleId(buf.get_u64()),
                 })
+            }
+            TAG_ANNOUNCE => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                let to = NodeId(buf.get_u32());
+                let from = NodeId(buf.get_u32());
+                let pred_raw = buf.get_u32();
+                Ok(Message::Announce(Announce {
+                    to,
+                    from,
+                    pred: (pred_raw != NODE_NONE).then_some(NodeId(pred_raw)),
+                }))
             }
             other => Err(DecodeError::BadTag(other)),
         }
@@ -243,6 +288,21 @@ mod tests {
             from: NodeId(12),
             to: NodeId(4),
             subtree_total: -3,
+            seq: 17,
+        }));
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        roundtrip(Message::Announce(Announce {
+            to: NodeId(5),
+            from: NodeId(9),
+            pred: Some(NodeId(2)),
+        }));
+        roundtrip(Message::Announce(Announce {
+            to: NodeId(5),
+            from: NodeId(9),
+            pred: None,
         }));
     }
 
@@ -272,6 +332,7 @@ mod tests {
             from: NodeId(1),
             to: NodeId(2),
             subtree_total: 10,
+            seq: 0,
         })
         .encode();
         for cut in 0..full.len() {

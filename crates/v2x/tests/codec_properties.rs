@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vcount_roadnet::NodeId;
-use vcount_v2x::{Bernoulli, Label, LossModel, Message, PatrolStatus, Report, VehicleId};
+use vcount_v2x::{
+    Announce, Bernoulli, DecodeError, Label, LossModel, Message, PatrolStatus, Report, VehicleId,
+};
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
@@ -20,11 +22,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 origin_pred: p.map(|v| NodeId(v % (u32::MAX - 1))),
                 seed: NodeId(s % (u32::MAX - 1)),
             })),
-        (any::<u32>(), any::<u32>(), any::<i64>()).prop_map(|(f, t, c)| Message::Report(Report {
-            from: NodeId(f),
-            to: NodeId(t),
-            subtree_total: c,
-        })),
+        (any::<u32>(), any::<u32>(), any::<i64>(), any::<u32>()).prop_map(|(f, t, c, q)| {
+            Message::Report(Report {
+                from: NodeId(f),
+                to: NodeId(t),
+                subtree_total: c,
+                seq: q,
+            })
+        }),
         proptest::collection::vec((any::<u32>(), any::<bool>()), 0..20).prop_map(|obs| {
             let mut p = PatrolStatus::default();
             for (n, a) in obs {
@@ -35,6 +40,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u64>().prop_map(|v| Message::Ack {
             vehicle: VehicleId(v)
         }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            proptest::option::of(any::<u32>())
+        )
+            .prop_map(|(t, f, p)| Message::Announce(Announce {
+                to: NodeId(t),
+                from: NodeId(f),
+                // u32::MAX encodes None on the wire; keep ids below it.
+                pred: p.map(|v| NodeId(v % (u32::MAX - 1))),
+            })),
     ]
 }
 
@@ -79,6 +95,50 @@ proptest! {
     fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
         let mut wire = bytes::Bytes::from(bytes);
         let _ = Message::decode(&mut wire);
+    }
+
+    /// Adversarial hardening: every strict prefix of a valid encoding is a
+    /// clean `Truncated` error — never a panic, never an over-read.
+    #[test]
+    fn truncation_always_clean_error(m in arb_message()) {
+        if let Message::Label(l) = &m {
+            prop_assume!(l.origin.0 != u32::MAX);
+        }
+        let full = m.encode();
+        for cut in 0..full.len() {
+            let mut part = full.slice(0..cut);
+            prop_assert_eq!(Message::decode(&mut part), Err(DecodeError::Truncated));
+        }
+    }
+
+    /// Adversarial hardening: corrupting the tag byte to anything outside
+    /// the known tag set yields `BadTag`, never a panic.
+    #[test]
+    fn tag_corruption_always_bad_tag(m in arb_message(), bad in any::<u8>()) {
+        prop_assume!(!(1..=5).contains(&bad));
+        let full = m.encode();
+        let mut bytes = full.to_vec();
+        bytes[0] = bad;
+        let mut wire = bytes::Bytes::from(bytes);
+        prop_assert_eq!(Message::decode(&mut wire), Err(DecodeError::BadTag(bad)));
+    }
+
+    /// Adversarial hardening: single bit flips anywhere in a valid encoding
+    /// never panic and never make the decoder read past the buffer. A flip
+    /// may still decode (e.g. inside an id field) — that is fine; what must
+    /// hold is memory safety and bounded consumption.
+    #[test]
+    fn bit_flips_never_panic_or_overread(m in arb_message(), pos in any::<u16>(), bit in 0u8..8) {
+        let full = m.encode();
+        let mut bytes = full.to_vec();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let len = bytes.len();
+        let mut wire = bytes::Bytes::from(bytes);
+        let res = Message::decode(&mut wire);
+        if res.is_ok() {
+            prop_assert!(wire.remaining() <= len);
+        }
     }
 
     /// Bernoulli failure frequency tracks the configured probability.

@@ -189,6 +189,16 @@ impl BytesMut {
             pos: 0,
         }
     }
+
+    /// Empties the buffer, keeping its allocation (like real `bytes`).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Copies the current contents out as an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
 }
 
 impl BufMut for BytesMut {

@@ -18,11 +18,56 @@ run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --all --check
 
-# Bench smoke: the hotpath bin must run end to end and emit well-formed
-# JSON (tiny grid, a few hundred steps — seconds, not minutes).
+# Docs must build clean: every public item is documented, every intra-doc
+# link resolves, and cargo itself emits no warnings (e.g. doc-path
+# collisions, which -D warnings alone would not catch).
+echo "+ cargo doc --workspace --no-deps (zero warnings required)"
+doc_log="$(mktemp /tmp/doc_log.XXXXXX)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps 2>"$doc_log" || {
+    cat "$doc_log"
+    rm -f "$doc_log"
+    echo "cargo doc failed (warnings are errors)" >&2
+    exit 1
+}
+if grep -q "^warning" "$doc_log"; then
+    cat "$doc_log"
+    rm -f "$doc_log"
+    echo "cargo doc emitted warnings" >&2
+    exit 1
+fi
+rm -f "$doc_log"
+
+# Snapshot → resume smoke: on a tiny grid, a run interrupted by a snapshot
+# and resumed must emit the byte-identical tail of the uninterrupted run's
+# event trace (the per-variant digest test lives in crates/sim/tests/).
+snap_dir="$(mktemp -d /tmp/vcount_snap.XXXXXX)"
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
-run cargo run --release -q -p vcount-bench --bin hotpath -- --smoke --out "$smoke_out"
+trap 'rm -rf "$snap_dir" "$smoke_out"' EXIT
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    scenario --preset closed --volume 40 --seeds 2 --rng 9 --out "$snap_dir/scen.json"
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$snap_dir/scen.json" --goal constitution \
+    --snapshot-every 50 --snapshot-out "$snap_dir/snap.json" \
+    --trace "$snap_dir/full.jsonl" >/dev/null
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    run --resume "$snap_dir/snap.json" --goal constitution \
+    --trace "$snap_dir/tail.jsonl" >/dev/null
+run python3 - "$snap_dir" <<'EOF'
+import sys
+d = sys.argv[1]
+full = open(f"{d}/full.jsonl", "rb").read()
+tail = open(f"{d}/tail.jsonl", "rb").read()
+assert tail and full.endswith(tail), \
+    "resumed trace is not a byte-identical suffix of the uninterrupted trace"
+print(f"snapshot/resume smoke ok: {len(tail)} byte tail of {len(full)} byte trace")
+EOF
+
+# Bench smoke: the hotpath bin must run end to end, emit well-formed JSON,
+# and stay within 5% of the committed throughput baseline (tiny grid, a
+# few hundred steps — seconds, not minutes; regressions re-measure at the
+# committed length before failing).
+run cargo run --release -q -p vcount-bench --bin hotpath -- --smoke --out "$smoke_out" \
+    --guard BENCH_hotpath.json --tolerance 0.05
 if command -v jq >/dev/null 2>&1; then
     run jq -e '.schema == "vcount-hotpath-bench/v1" and (.cases | length) > 0 and all(.cases[]; .steps_per_sec > 0)' "$smoke_out" >/dev/null
 else
