@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::grid;
+use vcount_sim::{Blackout, ChaosFault, CrashFault, FaultPlan};
 use vcount_sim::{MapSpec, Runner, Scenario, SeedSpec};
 use vcount_traffic::{Demand, SimConfig, Simulator};
 use vcount_v2x::ChannelKind;
@@ -127,10 +128,41 @@ fn run_case(
     }
 }
 
+/// The fixed fault plan of the `…_faults` bench cases: a mid-run crash
+/// with recovery, a short regional blackout, and a chaos window — so the
+/// fault layer's per-step cost (image refreshes, window checks, chaos
+/// draws) is measured on the same grid as the fault-free engine case.
+fn bench_fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 7,
+        crashes: vec![CrashFault {
+            node: 4,
+            at_s: 60.0,
+            recover_s: 120.0,
+        }],
+        blackouts: vec![Blackout {
+            nodes: vec![1, 2],
+            from_s: 30.0,
+            until_s: 90.0,
+        }],
+        chaos: Some(ChaosFault {
+            from_s: 0.0,
+            until_s: 150.0,
+            duplicate_p: 0.2,
+            delay_p: 0.2,
+            max_delay_s: 10.0,
+            reorder_p: 0.2,
+        }),
+        image_every_s: 30.0,
+    }
+}
+
 /// Like [`run_case`], but drives the full engine — one checkpoint per
 /// intersection, the lossy paper channel, and every message wire-encoded
 /// through the Exchange — instead of the bare simulator. `events` counts
-/// protocol events; `peak_vehicles` is still the traffic peak.
+/// protocol events; `peak_vehicles` is still the traffic peak. With
+/// `faults`, the engine additionally runs the fault-injection layer.
+#[allow(clippy::too_many_arguments)]
 fn run_exchange_case(
     name: &str,
     cols: usize,
@@ -139,6 +171,7 @@ fn run_exchange_case(
     seed: u64,
     warmup: u64,
     steps: u64,
+    faults: Option<FaultPlan>,
 ) -> Case {
     let scenario = Scenario {
         map: MapSpec::Grid {
@@ -163,7 +196,11 @@ fn run_exchange_case(
         patrol: Default::default(),
         max_time_s: f64::INFINITY,
     };
-    let mut runner = Runner::builder(&scenario).build();
+    let mut builder = Runner::builder(&scenario);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let mut runner = builder.build();
     for _ in 0..warmup {
         runner.step();
     }
@@ -191,20 +228,23 @@ fn run_exchange_case(
     }
 }
 
-/// One case description: plain simulator hot path or full engine.
+/// One case description: plain simulator hot path, full engine, or full
+/// engine with the fixed fault plan.
 #[derive(Clone, Copy)]
 struct CaseSpec {
     cols: usize,
     rows: usize,
     demand_pct: f64,
     engine: bool,
+    faults: bool,
 }
 
 impl CaseSpec {
     fn name(&self) -> String {
         let prefix = if self.engine { "exchange" } else { "grid" };
+        let suffix = if self.faults { "_faults" } else { "" };
         format!(
-            "{prefix}{}x{}_v{:.0}",
+            "{prefix}{}x{}_v{:.0}{suffix}",
             self.cols, self.rows, self.demand_pct
         )
     }
@@ -224,6 +264,7 @@ impl CaseSpec {
                 seed,
                 warmup,
                 steps,
+                self.faults.then(bench_fault_plan),
             )
         } else {
             run_case(
@@ -372,6 +413,7 @@ fn main() {
                     rows,
                     demand_pct,
                     engine: false,
+                    faults: false,
                 });
             }
         }
@@ -392,9 +434,19 @@ fn main() {
                 rows,
                 demand_pct: 60.0,
                 engine,
+                faults: false,
             });
         }
     }
+    // The fault-injection engine case (both modes, same name, so the
+    // smoke guard has a committed reference).
+    specs.push(CaseSpec {
+        cols: 3,
+        rows: 3,
+        demand_pct: 60.0,
+        engine: true,
+        faults: true,
+    });
 
     let mut cases = Vec::new();
     for spec in &specs {

@@ -234,6 +234,7 @@ mod tests {
             per_checkpoint_min: None,
             violations: 0,
             unconverged: 0,
+            degraded: 0,
             telemetry: Default::default(),
             failed: None,
             runs: vec![],

@@ -6,7 +6,9 @@ use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
 use vcount_sim::runner::DEFAULT_RING_CAPACITY;
-use vcount_sim::{sweep as run_sweep, EngineSnapshot, Goal, Runner, Scenario, SweepConfig};
+use vcount_sim::{
+    sweep_with_faults, EngineSnapshot, FaultPlan, Goal, Runner, Scenario, SweepConfig,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -20,7 +22,7 @@ USAGE:
 
   vcount run SCENARIO.json [--goal constitution|collection] [--progress]
               [--trace FILE.jsonl] [--trace-filter KIND,KIND,...]
-              [--snapshot-every N] [--snapshot-out FILE]
+              [--snapshot-every N] [--snapshot-out FILE] [--faults PLAN.json]
       Run a scenario to convergence and print the metrics as JSON.
       --progress streams wave progress to stderr. --trace streams every
       protocol event as JSON lines; --trace-filter restricts it to the
@@ -29,19 +31,27 @@ USAGE:
       every N simulation steps (overwriting --snapshot-out, default
       vcount-snapshot.json); a resumed run replays the identical event
       stream the uninterrupted run would have produced.
+      --faults injects a deterministic fault plan (checkpoint crashes,
+      channel blackouts, message chaos — see DESIGN.md §7). A run that
+      provably lost protocol information reports `degraded: true` and
+      still exits 0; oracle violations without the degraded flag are an
+      error, exactly as without faults.
 
   vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
       Resume a run frozen by --snapshot-every. The snapshot embeds its
-      scenario, so no scenario argument is given.
+      scenario and any fault plan, so neither argument is given.
 
   vcount sweep [--volumes PCT,PCT,...] [--seed-counts K,K,...]
                [--replicates N] [--threads N] [--goal constitution|collection]
                [--map paper|small] [--open] [--rng SEED] [--out FILE]
+               [--faults PLAN.json]
       Run the paper's evaluation grid (traffic volume x seed count) across
       worker threads (--threads 0 = all cores) and print the per-cell
       results as JSON. Defaults to the reduced CI grid on the small map;
       a cell whose worker panics is reported in its result's `failed`
-      field without aborting the rest of the grid.
+      field without aborting the rest of the grid. --faults injects the
+      same fault plan into every replicate; each cell reports how many
+      replicates ended degraded.
 
   vcount map [--preset paper|small] [--speed-mph MPH]
       Build the synthetic midtown map and print its statistics.
@@ -80,6 +90,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         "snapshot-every",
         "snapshot-out",
         "resume",
+        "faults",
     ])?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
@@ -115,11 +126,18 @@ pub fn run(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("{trace}: {e}"))?;
         sinks.push(Box::new(sink));
     }
+    let faults = load_fault_plan(args)?;
     let (runner, max_time_s) = match args.flag("resume") {
         Some(snap_path) => {
             if args.positional(0).is_some() {
                 return Err(
                     "--resume takes no scenario argument (the snapshot embeds its scenario)".into(),
+                );
+            }
+            if faults.is_some() {
+                return Err(
+                    "--faults cannot be combined with --resume (the snapshot embeds its fault plan)"
+                        .into(),
                 );
             }
             let text =
@@ -140,7 +158,13 @@ pub fn run(args: &Args) -> Result<(), String> {
             for sink in sinks {
                 builder = builder.sink(sink);
             }
-            (builder.build(), scenario.max_time_s)
+            if let Some(plan) = faults {
+                builder = builder.faults(plan);
+            }
+            let runner = builder
+                .try_build()
+                .map_err(|e| format!("fault plan: {e}"))?;
+            (runner, scenario.max_time_s)
         }
     };
     let metrics = drive(runner, max_time_s, goal, args.switch("progress"), snapshot)?;
@@ -151,13 +175,32 @@ pub fn run(args: &Args) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?
     );
-    if metrics.oracle_violations > 0 {
+    if metrics.degraded {
+        eprintln!(
+            "note: injected faults cost protocol information (degraded: true) — \
+             the count is not guaranteed exact"
+        );
+    } else if metrics.oracle_violations > 0 {
         return Err(format!(
             "{} per-vehicle oracle violations — counting was not exact",
             metrics.oracle_violations
         ));
     }
     Ok(())
+}
+
+/// Reads and parses `--faults PLAN.json`, if given. Structural validation
+/// against the scenario happens in [`vcount_sim::RunnerBuilder::try_build`].
+fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    match args.flag("faults") {
+        None => Ok(None),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            FaultPlan::from_json(&text)
+                .map(Some)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
 }
 
 /// `vcount sweep`.
@@ -172,6 +215,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
         "open",
         "rng",
         "out",
+        "faults",
     ])?;
     let quick = SweepConfig::quick();
     let cfg = SweepConfig {
@@ -201,6 +245,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
     };
     let open = args.switch("open");
     let rng = args.flag_or("rng", 1u64)?;
+    let faults = load_fault_plan(args)?;
 
     let cells = cfg.volumes.len() * cfg.seed_counts.len();
     eprintln!(
@@ -212,7 +257,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
             cfg.threads.to_string()
         }
     );
-    let results = run_sweep(&cfg, goal, |cell, rep| {
+    let results = sweep_with_faults(&cfg, goal, faults, |cell, rep| {
         let seed = rng
             .wrapping_mul(1_000_003)
             .wrapping_add(rep.wrapping_mul(7919))
@@ -226,13 +271,16 @@ pub fn sweep(args: &Args) -> Result<(), String> {
     });
 
     for r in &results {
-        let status = match &r.failed {
+        let mut status = match &r.failed {
             Some(msg) => format!("FAILED: {msg}"),
             None => match r.constitution_min {
                 Some(s) => format!("constitution mean {:.1} min", s.mean),
                 None => "unconverged".to_string(),
             },
         };
+        if r.degraded > 0 {
+            status.push_str(&format!(" ({} degraded)", r.degraded));
+        }
         eprintln!(
             "  volume {:>5.1}% seeds {:>2}: {status}",
             r.cell.volume_pct, r.cell.seeds

@@ -5,10 +5,11 @@
 //! vcount scenario --preset closed|open|fig1 [--volume N] [--seeds K] [--rng R] [--out FILE]
 //! vcount run SCENARIO.json [--goal constitution|collection] [--progress]
 //!             [--trace FILE.jsonl] [--trace-filter KINDS]
-//!             [--snapshot-every N] [--snapshot-out FILE]
+//!             [--snapshot-every N] [--snapshot-out FILE] [--faults PLAN.json]
 //! vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
 //! vcount sweep [--volumes PCTS] [--seed-counts KS] [--replicates N]
 //!             [--threads N] [--goal G] [--map paper|small] [--open]
+//!             [--faults PLAN.json]
 //! vcount map --preset manhattan|small [--stats]
 //! vcount help
 //! ```

@@ -51,7 +51,7 @@ pub enum LabelState {
 /// [`Checkpoint::new`] on restore. The event buffer is excluded too: the
 /// engine drains it after every observation, so it is provably empty at
 /// snapshot points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointState {
     /// Whether the checkpoint has been activated (phase 1/3).
     pub active: bool,

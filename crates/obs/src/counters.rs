@@ -36,6 +36,14 @@ pub struct Counters {
     pub border_entries: u64,
     /// Border exits counted (−1 live interaction).
     pub border_exits: u64,
+    /// Injected checkpoint crashes.
+    pub crashes: u64,
+    /// Crashed checkpoints that rejoined from their state image.
+    pub recoveries: u64,
+    /// Messages dropped because their destination (or holder) was down.
+    pub fault_messages_dropped: u64,
+    /// Handoffs forced to fail by a regional radio blackout.
+    pub blackout_failures: u64,
 }
 
 impl Counters {
@@ -55,6 +63,10 @@ impl Counters {
             + self.patrol_relays
             + self.border_entries
             + self.border_exits
+            + self.crashes
+            + self.recoveries
+            + self.fault_messages_dropped
+            + self.blackout_failures
     }
 
     /// Field-wise sum, for aggregating replicates of a sweep cell.
@@ -73,6 +85,10 @@ impl Counters {
         self.patrol_relays += other.patrol_relays;
         self.border_entries += other.border_entries;
         self.border_exits += other.border_exits;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.fault_messages_dropped += other.fault_messages_dropped;
+        self.blackout_failures += other.blackout_failures;
     }
 }
 
@@ -140,6 +156,10 @@ impl EventSink for CountersSink {
             ProtocolEvent::PatrolStatusRelay { .. } => c.patrol_relays += 1,
             ProtocolEvent::BorderEntry { .. } => c.border_entries += 1,
             ProtocolEvent::BorderExit { .. } => c.border_exits += 1,
+            ProtocolEvent::CheckpointCrashed { .. } => c.crashes += 1,
+            ProtocolEvent::CheckpointRecovered { .. } => c.recoveries += 1,
+            ProtocolEvent::FaultMessageDropped { .. } => c.fault_messages_dropped += 1,
+            ProtocolEvent::ChannelBlackout { .. } => c.blackout_failures += 1,
         }
     }
 }

@@ -142,6 +142,40 @@ pub enum ProtocolEvent {
         /// The leaving vehicle.
         vehicle: u64,
     },
+    /// Fault injection: a checkpoint crashed, dropping its volatile message
+    /// queues and (when `state_lost`) the protocol state accrued since its
+    /// last state image.
+    CheckpointCrashed {
+        /// The crashed checkpoint.
+        node: u32,
+        /// Whether the recovery image is stale (state accrued since the
+        /// last image is lost).
+        state_lost: bool,
+    },
+    /// Fault injection: a crashed checkpoint rejoined from its last state
+    /// image.
+    CheckpointRecovered {
+        /// The recovered checkpoint.
+        node: u32,
+    },
+    /// Fault injection: messages addressed to (or queued at) a down
+    /// checkpoint were dropped.
+    FaultMessageDropped {
+        /// The down checkpoint.
+        node: u32,
+        /// How many messages were lost.
+        messages: u32,
+    },
+    /// Fault injection: a regional radio blackout forced a handoff attempt
+    /// to fail without consulting the loss model.
+    ChannelBlackout {
+        /// The checkpoint whose handoff was suppressed.
+        node: u32,
+        /// The outbound direction of the suppressed handoff.
+        edge: u32,
+        /// The vehicle that escaped unlabelled.
+        vehicle: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -162,6 +196,10 @@ impl ProtocolEvent {
             ProtocolEvent::PatrolStatusRelay { .. } => EventKind::PatrolStatusRelay,
             ProtocolEvent::BorderEntry { .. } => EventKind::BorderEntry,
             ProtocolEvent::BorderExit { .. } => EventKind::BorderExit,
+            ProtocolEvent::CheckpointCrashed { .. } => EventKind::CheckpointCrashed,
+            ProtocolEvent::CheckpointRecovered { .. } => EventKind::CheckpointRecovered,
+            ProtocolEvent::FaultMessageDropped { .. } => EventKind::FaultMessageDropped,
+            ProtocolEvent::ChannelBlackout { .. } => EventKind::ChannelBlackout,
         }
     }
 
@@ -181,7 +219,11 @@ impl ProtocolEvent {
             | ProtocolEvent::ReportSuperseded { node, .. }
             | ProtocolEvent::PatrolStatusRelay { node, .. }
             | ProtocolEvent::BorderEntry { node, .. }
-            | ProtocolEvent::BorderExit { node, .. } => node,
+            | ProtocolEvent::BorderExit { node, .. }
+            | ProtocolEvent::CheckpointCrashed { node, .. }
+            | ProtocolEvent::CheckpointRecovered { node }
+            | ProtocolEvent::FaultMessageDropped { node, .. }
+            | ProtocolEvent::ChannelBlackout { node, .. } => node,
         }
     }
 
@@ -195,7 +237,8 @@ impl ProtocolEvent {
             | ProtocolEvent::VehicleCounted { vehicle, .. }
             | ProtocolEvent::PatrolStatusRelay { vehicle, .. }
             | ProtocolEvent::BorderEntry { vehicle, .. }
-            | ProtocolEvent::BorderExit { vehicle, .. } => Some(vehicle),
+            | ProtocolEvent::BorderExit { vehicle, .. }
+            | ProtocolEvent::ChannelBlackout { vehicle, .. } => Some(vehicle),
             _ => None,
         }
     }
@@ -234,10 +277,18 @@ pub enum EventKind {
     BorderEntry = 12,
     /// [`ProtocolEvent::BorderExit`].
     BorderExit = 13,
+    /// [`ProtocolEvent::CheckpointCrashed`].
+    CheckpointCrashed = 14,
+    /// [`ProtocolEvent::CheckpointRecovered`].
+    CheckpointRecovered = 15,
+    /// [`ProtocolEvent::FaultMessageDropped`].
+    FaultMessageDropped = 16,
+    /// [`ProtocolEvent::ChannelBlackout`].
+    ChannelBlackout = 17,
 }
 
 /// All kinds, in declaration order.
-pub const ALL_KINDS: [EventKind; 14] = [
+pub const ALL_KINDS: [EventKind; 18] = [
     EventKind::CheckpointActivated,
     EventKind::CheckpointStable,
     EventKind::LabelEmitted,
@@ -252,6 +303,10 @@ pub const ALL_KINDS: [EventKind; 14] = [
     EventKind::PatrolStatusRelay,
     EventKind::BorderEntry,
     EventKind::BorderExit,
+    EventKind::CheckpointCrashed,
+    EventKind::CheckpointRecovered,
+    EventKind::FaultMessageDropped,
+    EventKind::ChannelBlackout,
 ];
 
 impl EventKind {
@@ -273,6 +328,10 @@ impl EventKind {
             EventKind::PatrolStatusRelay => "patrol_status_relay",
             EventKind::BorderEntry => "border_entry",
             EventKind::BorderExit => "border_exit",
+            EventKind::CheckpointCrashed => "checkpoint_crashed",
+            EventKind::CheckpointRecovered => "checkpoint_recovered",
+            EventKind::FaultMessageDropped => "fault_message_dropped",
+            EventKind::ChannelBlackout => "channel_blackout",
         }
     }
 }
@@ -376,6 +435,16 @@ impl EventRecord {
             | ProtocolEvent::BorderExit { vehicle, .. } => {
                 let _ = write!(s, ",\"vehicle\":{vehicle}");
             }
+            ProtocolEvent::CheckpointCrashed { state_lost, .. } => {
+                let _ = write!(s, ",\"state_lost\":{state_lost}");
+            }
+            ProtocolEvent::CheckpointRecovered { .. } => {}
+            ProtocolEvent::FaultMessageDropped { messages, .. } => {
+                let _ = write!(s, ",\"messages\":{messages}");
+            }
+            ProtocolEvent::ChannelBlackout { edge, vehicle, .. } => {
+                let _ = write!(s, ",\"edge\":{edge},\"vehicle\":{vehicle}");
+            }
         }
         s.push('}');
         s
@@ -396,12 +465,12 @@ fn json_f64(x: f64) -> String {
 
 /// A set of [`EventKind`]s, as a bitmask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EventFilter(u16);
+pub struct EventFilter(u32);
 
 impl EventFilter {
     /// Allows every kind.
     pub fn all() -> Self {
-        EventFilter(u16::MAX)
+        EventFilter(u32::MAX)
     }
 
     /// Allows nothing.
@@ -466,6 +535,49 @@ mod tests {
         assert!(EventFilter::parse("")
             .unwrap()
             .allows(EventKind::BorderExit));
+    }
+
+    #[test]
+    fn filter_covers_kinds_beyond_sixteen() {
+        // Fault kinds sit at bit positions 14–17; a u16 mask would silently
+        // drop the last two.
+        let f = EventFilter::of([EventKind::FaultMessageDropped, EventKind::ChannelBlackout]);
+        assert!(f.allows(EventKind::ChannelBlackout));
+        assert!(f.allows(EventKind::FaultMessageDropped));
+        assert!(!f.allows(EventKind::CheckpointCrashed));
+        for k in ALL_KINDS {
+            assert!(EventFilter::all().allows(k));
+        }
+    }
+
+    #[test]
+    fn fault_events_encode_their_fields() {
+        let rec = EventRecord {
+            time_s: 60.0,
+            seed_epoch: 3,
+            event: ProtocolEvent::CheckpointCrashed {
+                node: 4,
+                state_lost: true,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t\":60,\"epoch\":3,\"kind\":\"checkpoint_crashed\",\"node\":4,\"state_lost\":true}"
+        );
+        let rec = EventRecord {
+            time_s: 61.5,
+            seed_epoch: 3,
+            event: ProtocolEvent::ChannelBlackout {
+                node: 2,
+                edge: 7,
+                vehicle: 19,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t\":61.5,\"epoch\":3,\"kind\":\"channel_blackout\",\"node\":2,\"edge\":7,\"vehicle\":19}"
+        );
+        assert_eq!(rec.event.vehicle(), Some(19));
     }
 
     #[test]

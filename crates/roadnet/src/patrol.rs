@@ -74,11 +74,21 @@ impl PatrolCycle {
 
     /// Evenly spaced starting offsets (in edge index) for `k` patrol cars
     /// sharing the cycle ("every police car will evenly be distributed").
+    ///
+    /// With more cars than edges (`k > edges.len()`) the offsets wrap
+    /// around the cycle round-robin, so the per-offset load differs by at
+    /// most one car; the naive `i * len / k` would stack several cars at
+    /// offset 0 (and other duplicates) while leaving positions empty.
     pub fn even_offsets(&self, k: usize) -> Vec<usize> {
         if self.edges.is_empty() || k == 0 {
             return vec![0; k];
         }
-        (0..k).map(|i| i * self.edges.len() / k).collect()
+        let len = self.edges.len();
+        if k <= len {
+            (0..k).map(|i| i * len / k).collect()
+        } else {
+            (0..k).map(|i| i % len).collect()
+        }
     }
 }
 
@@ -238,6 +248,42 @@ mod tests {
             assert!(w[1] > w[0]);
         }
         assert!(*offs.last().unwrap() < cycle.edges.len());
+    }
+
+    #[test]
+    fn even_offsets_with_more_cars_than_edges_balance_load() {
+        // Regression: with k > len the old `i * len / k` computed duplicate
+        // offsets (several cars at 0) while leaving positions unused.
+        let net = directed_ring(5, 100.0, 1, 5.0);
+        let cycle = covering_cycle(&net, NodeId(0)).unwrap();
+        let len = cycle.edges.len();
+        assert_eq!(len, 5);
+        for k in [len + 1, 2 * len, 2 * len + 3] {
+            let offs = cycle.even_offsets(k);
+            assert_eq!(offs.len(), k);
+            let mut load = vec![0usize; len];
+            for o in &offs {
+                assert!(*o < len, "offset {o} out of range for {len} edges");
+                load[*o] += 1;
+            }
+            let (min, max) = (*load.iter().min().unwrap(), *load.iter().max().unwrap());
+            assert!(min >= 1, "k={k}: some cycle position left empty");
+            assert!(max - min <= 1, "k={k}: uneven load {load:?}");
+        }
+    }
+
+    #[test]
+    fn even_offsets_at_len_plus_one_stay_unique_modulo_wrap() {
+        let net = directed_ring(7, 100.0, 1, 5.0);
+        let cycle = covering_cycle(&net, NodeId(0)).unwrap();
+        let len = cycle.edges.len();
+        let offs = cycle.even_offsets(len + 1);
+        // Exactly one offset is doubled (the wraparound car); the rest are
+        // distinct.
+        let unique: std::collections::BTreeSet<_> = offs.iter().collect();
+        assert_eq!(unique.len(), len);
+        // k == len remains the identity spread.
+        assert_eq!(cycle.even_offsets(len), (0..len).collect::<Vec<_>>());
     }
 
     #[test]

@@ -82,3 +82,20 @@ pub fn audit(ctx: &mut StepCtx<'_>, node: NodeId) {
     drained.clear();
     ctx.audit.event_drain = drained;
 }
+
+/// Records one injected-fault event into the telemetry, ring, and user
+/// sinks. Fault events originate in the engine's fault layer, not in a
+/// checkpoint's event buffer, so they bypass the oracle mirroring —
+/// injected faults are environment, not protocol attributions.
+pub fn record_fault(log: &mut AuditLog, time_s: f64, event: ProtocolEvent) {
+    let rec = EventRecord {
+        time_s,
+        seed_epoch: log.seed_epoch,
+        event,
+    };
+    log.counters.record(&rec);
+    log.ring.record(&rec);
+    for sink in &mut log.sinks {
+        sink.record(&rec);
+    }
+}

@@ -55,7 +55,9 @@ pub fn dispatch(ctx: &mut StepCtx<'_>, from: NodeId, cmds: Vec<Command>) {
 }
 
 /// Queues `msg` on the directional relay with a distance-proportional
-/// delivery delay (see [`super::Exchange::queue_relay`]).
+/// delivery delay (see [`super::Exchange::queue_relay`]), applying any
+/// chaos the fault layer decides for this enqueue (extra delay, duplicate
+/// copy, swapped delivery order).
 fn queue_relay(
     ctx: &mut StepCtx<'_>,
     from: NodeId,
@@ -66,5 +68,13 @@ fn queue_relay(
     let net = ctx.sim.net();
     let dist = net.node(from).pos.distance(&net.node(to).pos);
     let due = ctx.now + dist / relay_speed_mps.max(1.0) + 1.0;
-    ctx.exchange.queue_relay(due, to, msg);
+    let chaos = ctx.faults.chaos_relay(ctx.now);
+    ctx.exchange.queue_relay(due + chaos.extra_delay_s, to, msg);
+    if chaos.duplicate {
+        ctx.exchange
+            .queue_relay(due + chaos.duplicate_extra_delay_s, to, msg);
+    }
+    if chaos.reorder {
+        ctx.exchange.swap_relay_due_tail();
+    }
 }

@@ -72,6 +72,10 @@ pub struct WireCounters {
     pub bytes: u64,
     /// Messages delivered through the directional relay.
     pub relay_messages: u64,
+    /// Carried labels silently overwritten by a second handoff to the same
+    /// vehicle — always a protocol anomaly (each overwrite loses a label).
+    #[serde(default)]
+    pub label_overwrites: u64,
 }
 
 /// The in-flight message store. See the module docs for the invariants.
@@ -95,8 +99,13 @@ pub struct Exchange {
     patrol_carried: BTreeMap<VehicleId, Vec<Envelope>>,
     /// Reused encode buffer — keeps steady-state encoding allocation-free.
     scratch: BytesMut,
-    /// Reused due-delivery buffer (taken and recycled by the observe stage).
-    due_scratch: Vec<Envelope>,
+    /// Reused due-report buffer (taken and recycled by the observe stage).
+    /// Distinct from `due_patrol_scratch`: a patrol arrival takes both
+    /// buffers in the same interaction, and a single shared slot would
+    /// hand the second take a fresh allocation every time.
+    due_reports_scratch: Vec<Envelope>,
+    /// Reused due-patrol buffer (see `due_reports_scratch`).
+    due_patrol_scratch: Vec<Envelope>,
     counters: WireCounters,
 }
 
@@ -138,7 +147,8 @@ impl Exchange {
             patrol_status: BTreeMap::new(),
             patrol_carried: BTreeMap::new(),
             scratch: BytesMut::with_capacity(64),
-            due_scratch: Vec::new(),
+            due_reports_scratch: Vec::new(),
+            due_patrol_scratch: Vec::new(),
             counters: WireCounters::default(),
         }
     }
@@ -177,10 +187,21 @@ impl Exchange {
         msg
     }
 
-    /// Stores a delivered label on its carrier vehicle.
+    /// Stores a delivered label on its carrier vehicle. A vehicle must
+    /// never already hold a label (a checkpoint hands off one label per
+    /// direction, and the carrier surrenders it at the next checkpoint);
+    /// an overwrite would silently lose the first label, so it is counted
+    /// as a telemetry anomaly rather than ignored.
     pub fn hand_label(&mut self, vehicle: VehicleId, label: Label) {
         let payload = self.encode(&Message::Label(label));
-        self.carried_label[vehicle.index()] = Some(payload);
+        let prev = self.carried_label[vehicle.index()].replace(payload);
+        debug_assert!(
+            prev.is_none(),
+            "vehicle {vehicle} already carries a label — double handoff overwrites it"
+        );
+        if prev.is_some() {
+            self.counters.label_overwrites += 1;
+        }
     }
 
     /// Takes and decodes the label `vehicle` carries, if any.
@@ -262,18 +283,20 @@ impl Exchange {
 
     /// Takes the reports `vehicle` carries that are addressed to `node`,
     /// preserving order on both sides. Return the buffer with
-    /// [`Exchange::recycle`] when done.
-    pub(crate) fn take_due_reports(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
-        let mut due = std::mem::take(&mut self.due_scratch);
+    /// [`Exchange::recycle_reports`] when done.
+    pub fn take_due_reports(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+        let mut due = std::mem::take(&mut self.due_reports_scratch);
         due.clear();
         Self::split_due(&mut self.carried_reports[vehicle.index()], node, &mut due);
         due
     }
 
     /// Takes the patrol-carried messages addressed to `node`. Return the
-    /// buffer with [`Exchange::recycle`] when done.
-    pub(crate) fn take_due_patrol(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
-        let mut due = std::mem::take(&mut self.due_scratch);
+    /// buffer with [`Exchange::recycle_patrol`] when done. Safe to call
+    /// while a [`Exchange::take_due_reports`] buffer is still outstanding:
+    /// the two takes use distinct scratch slots.
+    pub fn take_due_patrol(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+        let mut due = std::mem::take(&mut self.due_patrol_scratch);
         due.clear();
         if let Some(list) = self.patrol_carried.get_mut(&vehicle) {
             Self::split_due(list, node, &mut due);
@@ -296,10 +319,56 @@ impl Exchange {
         list.truncate(kept);
     }
 
-    /// Returns a due-delivery buffer for reuse.
-    pub(crate) fn recycle(&mut self, mut scratch: Vec<Envelope>) {
+    /// Returns a [`Exchange::take_due_reports`] buffer for reuse.
+    pub fn recycle_reports(&mut self, mut scratch: Vec<Envelope>) {
         scratch.clear();
-        self.due_scratch = scratch;
+        self.due_reports_scratch = scratch;
+    }
+
+    /// Returns a [`Exchange::take_due_patrol`] buffer for reuse.
+    pub fn recycle_patrol(&mut self, mut scratch: Vec<Envelope>) {
+        scratch.clear();
+        self.due_patrol_scratch = scratch;
+    }
+
+    /// Drops every message queued *at* `node` (reports awaiting a carrier
+    /// and circuitous messages awaiting a patrol car), returning how many
+    /// were lost — a crashed checkpoint loses its volatile queues.
+    pub fn drop_node_queues(&mut self, node: NodeId) -> usize {
+        let n = self.pending_reports[node.index()].len() + self.pending_patrol[node.index()].len();
+        self.pending_reports[node.index()].clear();
+        self.pending_patrol[node.index()].clear();
+        n
+    }
+
+    /// Chaos injection: swaps the due times of the two most recently
+    /// queued relay messages, flipping their delivery order. No-op with
+    /// fewer than two messages in flight.
+    pub fn swap_relay_due_tail(&mut self) {
+        let n = self.relay.len();
+        if n >= 2 {
+            let a = self.relay[n - 2].due_s;
+            self.relay[n - 2].due_s = self.relay[n - 1].due_s;
+            self.relay[n - 1].due_s = a;
+        }
+    }
+
+    /// Chaos injection on the patrol-carried path: duplicates the most
+    /// recently picked-up message and/or reverses the carried queue. The
+    /// protocol tolerates both (announces are idempotent, reports are
+    /// highest-sequence-wins).
+    pub fn chaos_patrol_carried(&mut self, vehicle: VehicleId, duplicate: bool, reverse: bool) {
+        let Some(list) = self.patrol_carried.get_mut(&vehicle) else {
+            return;
+        };
+        if duplicate {
+            if let Some(last) = list.last().cloned() {
+                list.push(last);
+            }
+        }
+        if reverse {
+            list.reverse();
+        }
     }
 
     /// A patrol car picks up every circuitous message waiting at `node`.
@@ -396,7 +465,8 @@ impl Exchange {
             patrol_status: snap.patrol_status.clone(),
             patrol_carried: snap.patrol_carried.clone(),
             scratch: BytesMut::with_capacity(64),
-            due_scratch: Vec::new(),
+            due_reports_scratch: Vec::new(),
+            due_patrol_scratch: Vec::new(),
             counters: snap.counters,
         }
     }
@@ -418,8 +488,22 @@ pub fn exchange(ctx: &mut StepCtx<'_>) {
 
 /// Decodes a routed payload at its destination checkpoint and feeds the
 /// resulting observation through the machine (shared by the relay and the
-/// patrol delivery paths).
+/// patrol delivery paths). A message addressed to a crashed (down)
+/// checkpoint is dropped and counted — the run becomes explicitly
+/// degraded rather than silently miscounting.
 pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
+    if ctx.faults.down(env.to) {
+        ctx.faults.note_dropped_messages(1);
+        audit::record_fault(
+            ctx.audit,
+            ctx.now,
+            vcount_obs::ProtocolEvent::FaultMessageDropped {
+                node: env.to.0,
+                messages: 1,
+            },
+        );
+        return;
+    }
     let obs = match ctx.exchange.decode_payload(&env.payload) {
         Message::Announce(a) => Observation::Announce {
             from: a.from,
@@ -436,4 +520,134 @@ pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
     let cmds = ctx.cps[node.index()].handle(obs, ctx.now);
     audit::audit(ctx, node);
     dispatch::dispatch(ctx, node, cmds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcount_v2x::Report;
+
+    fn report_msg(to: NodeId) -> Message {
+        Message::Report(Report {
+            from: NodeId(0),
+            to,
+            subtree_total: 1,
+            seq: 1,
+        })
+    }
+
+    fn label() -> Label {
+        Label {
+            origin: NodeId(0),
+            origin_pred: None,
+            seed: NodeId(0),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already carries a label")]
+    fn double_handoff_is_a_debug_assertion() {
+        let mut ex = Exchange::new(1, 2);
+        ex.hand_label(VehicleId(0), label());
+        ex.hand_label(VehicleId(0), label());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn double_handoff_is_counted_in_release() {
+        let mut ex = Exchange::new(1, 2);
+        ex.hand_label(VehicleId(0), label());
+        ex.hand_label(VehicleId(0), label());
+        assert_eq!(ex.counters().label_overwrites, 1);
+        // The second label wins; the loss is visible in telemetry.
+        assert!(ex.take_label(VehicleId(0)).is_some());
+        assert!(ex.take_label(VehicleId(0)).is_none());
+    }
+
+    #[test]
+    fn handoff_then_surrender_never_counts_an_overwrite() {
+        let mut ex = Exchange::new(1, 2);
+        ex.hand_label(VehicleId(0), label());
+        assert!(ex.take_label(VehicleId(0)).is_some());
+        ex.hand_label(VehicleId(0), label());
+        assert_eq!(ex.counters().label_overwrites, 0);
+    }
+
+    #[test]
+    fn due_scratch_slots_survive_simultaneous_takes() {
+        let mut ex = Exchange::new(1, 3);
+        let v = VehicleId(0);
+        let n = NodeId(1);
+        // One carried report and one patrol-carried message, both due at n.
+        let msg = report_msg(n);
+        ex.post_report(NodeId(0), EdgeId(0), n, &msg);
+        ex.load_reports(NodeId(0), v, EdgeId(0));
+        ex.post_patrol(NodeId(0), n, &msg);
+        ex.pickup_patrol(v, NodeId(0));
+
+        // A patrol arrival holds both buffers at once.
+        let r = ex.take_due_reports(v, n);
+        let p = ex.take_due_patrol(v, n);
+        assert_eq!((r.len(), p.len()), (1, 1));
+        ex.recycle_reports(r);
+        ex.recycle_patrol(p);
+
+        // Both slots kept their capacity: nothing is due any more, yet the
+        // returned buffers are the previously grown scratch vectors. With a
+        // single shared slot the second take would come back fresh
+        // (capacity 0), i.e. a new allocation on every patrol arrival.
+        let r = ex.take_due_reports(v, n);
+        let p = ex.take_due_patrol(v, n);
+        assert!(r.is_empty() && r.capacity() > 0, "reports scratch was lost");
+        assert!(p.is_empty() && p.capacity() > 0, "patrol scratch was lost");
+        ex.recycle_reports(r);
+        ex.recycle_patrol(p);
+    }
+
+    #[test]
+    fn drop_node_queues_counts_and_clears_only_that_node() {
+        let mut ex = Exchange::new(1, 3);
+        let msg = report_msg(NodeId(2));
+        ex.post_report(NodeId(1), EdgeId(0), NodeId(2), &msg);
+        ex.post_patrol(NodeId(1), NodeId(2), &msg);
+        ex.post_patrol(NodeId(0), NodeId(2), &msg);
+        assert_eq!(ex.drop_node_queues(NodeId(1)), 2);
+        assert_eq!(ex.drop_node_queues(NodeId(1)), 0);
+        // Node 0's queue is untouched.
+        ex.pickup_patrol(VehicleId(0), NodeId(0));
+        assert_eq!(ex.take_due_patrol(VehicleId(0), NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn swap_relay_due_tail_flips_delivery_order() {
+        let mut ex = Exchange::new(1, 3);
+        ex.queue_relay(10.0, NodeId(1), &report_msg(NodeId(1)));
+        ex.queue_relay(20.0, NodeId(2), &report_msg(NodeId(2)));
+        ex.swap_relay_due_tail();
+        // The later-queued message is now due first.
+        assert!(ex.take_relay_if_due(0, 15.0).is_none());
+        let early = ex.take_relay_if_due(1, 15.0).unwrap();
+        assert_eq!(early.to, NodeId(2));
+        ex.swap_relay_due_tail(); // single message: no-op
+        assert!(ex.take_relay_if_due(0, 15.0).is_none());
+    }
+
+    #[test]
+    fn chaos_patrol_carried_duplicates_and_reverses() {
+        let mut ex = Exchange::new(1, 4);
+        let v = VehicleId(0);
+        ex.post_patrol(NodeId(0), NodeId(2), &report_msg(NodeId(2)));
+        ex.post_patrol(NodeId(0), NodeId(3), &report_msg(NodeId(3)));
+        ex.pickup_patrol(v, NodeId(0));
+        ex.chaos_patrol_carried(v, true, true);
+        // Duplicate of the newest (to node 3), then reversed.
+        let due3 = ex.take_due_patrol(v, NodeId(3));
+        assert_eq!(due3.len(), 2);
+        ex.recycle_patrol(due3);
+        let due2 = ex.take_due_patrol(v, NodeId(2));
+        assert_eq!(due2.len(), 1);
+        // No carried queue for an unknown vehicle: no-op.
+        ex.chaos_patrol_carried(VehicleId(99), true, true);
+    }
 }

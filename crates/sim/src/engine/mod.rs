@@ -80,4 +80,6 @@ pub struct StepCtx<'a> {
     pub dedup: &'a mut ClassDedupCounter,
     /// Event audit trail: oracle mirroring and observability sinks.
     pub audit: &'a mut AuditLog,
+    /// Deterministic fault injection (inactive unless a plan is loaded).
+    pub faults: &'a mut crate::faults::FaultLayer,
 }

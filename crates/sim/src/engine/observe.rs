@@ -9,6 +9,7 @@
 use super::exchange::deliver_envelope;
 use super::{audit, dispatch, StepCtx, TrafficBatch, Watch};
 use vcount_core::Observation;
+use vcount_obs::ProtocolEvent;
 use vcount_roadnet::{EdgeId, NodeId};
 use vcount_traffic::TrafficEvent;
 use vcount_v2x::{AdjustMode, Message, SegmentWatch, VehicleId};
@@ -40,37 +41,61 @@ pub fn observe(ctx: &mut StepCtx<'_>, batch: &TrafficBatch) {
 fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Option<EdgeId>) {
     let class = ctx.sim.vehicle(vehicle).class;
     let is_patrol = class.is_patrol();
+    let node_down = ctx.faults.down(node);
 
     // Deliver carried reports addressed to this node, decoding each
-    // payload off the wire.
+    // payload off the wire. A down checkpoint cannot receive: the carrier
+    // surrenders them anyway (real radios broadcast blind) and the loss is
+    // counted, making the run explicitly degraded.
     let due = ctx.exchange.take_due_reports(vehicle, node);
-    for env in &due {
-        let r = match ctx.exchange.decode_payload(&env.payload) {
-            Message::Report(r) => r,
-            other => unreachable!("carried report queue held {other:?}"),
-        };
-        let cmds = ctx.cps[node.index()].handle(
-            Observation::Report {
-                from: r.from,
-                total: r.subtree_total,
-                seq: r.seq,
-            },
-            ctx.now,
-        );
-        audit::audit(ctx, node);
-        dispatch::dispatch(ctx, node, cmds);
+    if node_down {
+        if !due.is_empty() {
+            ctx.faults.note_dropped_messages(due.len());
+            audit::record_fault(
+                ctx.audit,
+                ctx.now,
+                ProtocolEvent::FaultMessageDropped {
+                    node: node.0,
+                    messages: due.len() as u32,
+                },
+            );
+        }
+    } else {
+        for env in &due {
+            let r = match ctx.exchange.decode_payload(&env.payload) {
+                Message::Report(r) => r,
+                other => unreachable!("carried report queue held {other:?}"),
+            };
+            let cmds = ctx.cps[node.index()].handle(
+                Observation::Report {
+                    from: r.from,
+                    total: r.subtree_total,
+                    seq: r.seq,
+                },
+                ctx.now,
+            );
+            audit::audit(ctx, node);
+            dispatch::dispatch(ctx, node, cmds);
+        }
     }
-    ctx.exchange.recycle(due);
+    ctx.exchange.recycle_reports(due);
 
-    if is_patrol {
+    if is_patrol && !node_down {
         // Deliver circuitous messages addressed here, then pick up the
-        // ones waiting, then exchange status snapshots.
+        // ones waiting, then exchange status snapshots. (At a down node
+        // the patrol keeps its cargo and moves on — circuitous delivery
+        // is deferred, not lost.)
         let due = ctx.exchange.take_due_patrol(vehicle, node);
         for env in &due {
             deliver_envelope(ctx, env);
         }
-        ctx.exchange.recycle(due);
+        ctx.exchange.recycle_patrol(due);
         ctx.exchange.pickup_patrol(vehicle, node);
+        let chaos = ctx.faults.chaos_patrol(ctx.now);
+        if chaos.duplicate || chaos.reverse {
+            ctx.exchange
+                .chaos_patrol_carried(vehicle, chaos.duplicate, chaos.reverse);
+        }
         let status = ctx.exchange.relay_status(vehicle);
         let cmds =
             ctx.cps[node.index()].handle(Observation::PatrolStatus { vehicle, status }, ctx.now);
@@ -98,24 +123,47 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
     }
 
     // Label delivery + phase 3/4/5 processing; the oracle attribution
-    // (counted / interaction-in) is derived from the emitted events.
+    // (counted / interaction-in) is derived from the emitted events. The
+    // vehicle surrenders its label regardless: a down checkpoint loses it
+    // (counted — that label's wave stalls until compensation or re-seed),
+    // and any observation the checkpoint would have counted is recorded
+    // as suppressed, so a possible miscount is never silent.
     let label = ctx.exchange.take_label(vehicle);
-    let cmds = ctx.cps[node.index()].handle(
-        Observation::Entered {
-            vehicle,
-            via: from,
-            class,
-            label,
-        },
-        ctx.now,
-    );
-    audit::audit(ctx, node);
-    dispatch::dispatch(ctx, node, cmds);
+    if node_down {
+        if label.is_some() {
+            ctx.faults.note_label_dropped();
+            audit::record_fault(
+                ctx.audit,
+                ctx.now,
+                ProtocolEvent::FaultMessageDropped {
+                    node: node.0,
+                    messages: 1,
+                },
+            );
+        }
+        if ctx.cps[node.index()].is_active() && !is_patrol && ctx.filter.matches(&class) {
+            ctx.faults.note_suppressed_observation();
+        }
+    } else {
+        let cmds = ctx.cps[node.index()].handle(
+            Observation::Entered {
+                vehicle,
+                via: from,
+                class,
+                label,
+            },
+            ctx.now,
+        );
+        audit::audit(ctx, node);
+        dispatch::dispatch(ctx, node, cmds);
+    }
 
     // Patrol observation recorded after processing: the status carried
-    // onward reflects this checkpoint's state as the patrol leaves it.
+    // onward reflects this checkpoint's state as the patrol leaves it
+    // (a down checkpoint reads as inactive — that is what Alg. 4's
+    // circuitous delivery is for).
     if is_patrol {
-        let active = ctx.cps[node.index()].is_active();
+        let active = !node_down && ctx.cps[node.index()].is_active();
         ctx.exchange.observe_status(vehicle, node, active);
     }
 
@@ -135,16 +183,40 @@ fn on_departed(
     let class = ctx.sim.vehicle(vehicle).class;
     let is_patrol = class.is_patrol();
 
+    // A down checkpoint neither loads reports nor offers labels; nothing
+    // is lost (its queues were dropped at crash time, and the label offer
+    // simply retries after recovery), so this is not a degradation.
+    if ctx.faults.down(node) {
+        return;
+    }
+
     // Pending reports that ride this edge board the departing vehicle.
     ctx.exchange.load_reports(node, vehicle, onto);
 
     // Phase 2: label handoff.
     if let Some(label) = ctx.cps[node.index()].offer_label(onto) {
-        let delivered = is_patrol || {
-            // Police equipment is reliable; civilian handoffs go through
-            // the lossy channel with ack confirmation.
-            ctx.channel.attempt(&mut *ctx.proto_rng).delivered()
-        };
+        // A regional blackout fails every handoff outright — patrol
+        // included — without consuming a protocol-RNG draw, so fault-free
+        // replay stays byte-identical. Compensation (when configured)
+        // absorbs the failure exactly like an ordinary channel loss.
+        let blackout = ctx.faults.blackout_handoff(ctx.now, node);
+        if blackout {
+            audit::record_fault(
+                ctx.audit,
+                ctx.now,
+                ProtocolEvent::ChannelBlackout {
+                    node: node.0,
+                    edge: onto.0,
+                    vehicle: vehicle.0,
+                },
+            );
+        }
+        let delivered = !blackout
+            && (is_patrol || {
+                // Police equipment is reliable; civilian handoffs go
+                // through the lossy channel with ack confirmation.
+                ctx.channel.attempt(&mut *ctx.proto_rng).delivered()
+            });
         // On failure the checkpoint emits the compensation event (when
         // configured), and the audit stage mirrors it into the oracle — so
         // the compensation-disabled ablation shows up as violations.
@@ -207,6 +279,33 @@ fn ahead_of(
 
 fn finalize_watch(ctx: &mut StepCtx<'_>, w: Watch) {
     let adj = w.sw.finalize();
+    // A down origin cannot apply the adjustment. Count what would have
+    // been applied (without touching the oracle ledger — nothing was
+    // actually adjusted) so the loss is explicit, and drop the watch.
+    if ctx.faults.down(w.origin) {
+        let lost = adj
+            .plus
+            .iter()
+            .filter(|v| vehicle_matches(ctx, **v))
+            .count()
+            + adj
+                .minus
+                .iter()
+                .filter(|v| vehicle_matches(ctx, **v))
+                .count();
+        if lost > 0 {
+            ctx.faults.note_dropped_messages(lost);
+            audit::record_fault(
+                ctx.audit,
+                ctx.now,
+                ProtocolEvent::FaultMessageDropped {
+                    node: w.origin.0,
+                    messages: lost as u32,
+                },
+            );
+        }
+        return;
+    }
     let mut plus = 0usize;
     let mut minus = 0usize;
     for v in &adj.plus {
@@ -241,6 +340,14 @@ fn on_exited(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId) {
         ctx.exchange.carried_is_empty(vehicle),
         "reports are always delivered at the node before an exit"
     );
+    // A down border checkpoint misses the exit; if it would have counted
+    // it, the suppression is recorded so the miss is never silent.
+    if ctx.faults.down(node) {
+        if ctx.cps[node.index()].is_active() && vehicle_matches(ctx, vehicle) {
+            ctx.faults.note_suppressed_observation();
+        }
+        return;
+    }
     // A counted exit emits a BorderExit event; the audit stage mirrors it
     // into the oracle as an interaction-out attribution.
     ctx.cps[node.index()].handle(Observation::BorderExit { vehicle, class }, ctx.now);

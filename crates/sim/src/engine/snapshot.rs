@@ -11,8 +11,14 @@ use vcount_roadnet::NodeId;
 use vcount_traffic::SimSnapshot;
 use vcount_v2x::VehicleId;
 
-/// Schema tag stamped on every serialized snapshot.
-pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v1";
+/// Schema tag stamped on every serialized snapshot. `/v2` adds the
+/// optional fault-layer fields; `/v1` snapshots (no fault layer) are still
+/// accepted on read.
+pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v2";
+
+/// Previous schema tag, still accepted by [`EngineSnapshot::from_json`]:
+/// a v1 snapshot is exactly a v2 snapshot with no fault layer.
+pub const SNAPSHOT_SCHEMA_V1: &str = "vcount-engine-snapshot/v1";
 
 /// Protocol-side RNG seed derivation: decoupled from the traffic stream
 /// but derived from the same scenario seed for whole-run reproducibility.
@@ -53,6 +59,13 @@ pub struct EngineSnapshot {
     pub naive: NaiveIntervalCounter,
     /// The image-recognition dedup baseline.
     pub dedup: ClassDedupCounter,
+    /// The fault plan driving the run, if any (absent in v1 snapshots and
+    /// fault-free runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault_plan: Option<crate::faults::FaultPlan>,
+    /// The fault layer's mid-run state, if a plan is active.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<crate::faults::FaultSnapshot>,
 }
 
 impl EngineSnapshot {
@@ -64,7 +77,7 @@ impl EngineSnapshot {
     /// Parses a snapshot, validating the schema tag.
     pub fn from_json(s: &str) -> Result<EngineSnapshot, String> {
         let snap: EngineSnapshot = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if snap.schema != SNAPSHOT_SCHEMA {
+        if snap.schema != SNAPSHOT_SCHEMA && snap.schema != SNAPSHOT_SCHEMA_V1 {
             return Err(format!(
                 "unsupported snapshot schema {:?} (expected {SNAPSHOT_SCHEMA:?})",
                 snap.schema

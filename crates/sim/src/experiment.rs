@@ -1,6 +1,7 @@
 //! Parameter sweeps: the paper's evaluation grid (traffic volume ×
 //! seed count), run in parallel across worker threads.
 
+use crate::faults::FaultPlan;
 use crate::metrics::{RunMetrics, RunTelemetry, Summary};
 use crate::runner::{Goal, Runner};
 use crate::scenario::Scenario;
@@ -29,10 +30,15 @@ pub struct CellResult {
     /// Per-checkpoint stabilization statistics pooled over replicates,
     /// minutes (the Fig. 2 max/min/avg reading).
     pub per_checkpoint_min: Option<Summary>,
-    /// Total oracle violations across replicates (must be 0).
+    /// Total oracle violations across replicates (must be 0 — except under
+    /// a fault plan, where violating replicates must be `degraded`).
     pub violations: usize,
     /// Replicates that failed to converge within the time limit.
     pub unconverged: usize,
+    /// Replicates flagged degraded by fault injection (always 0 without a
+    /// fault plan).
+    #[serde(default)]
+    pub degraded: usize,
     /// Protocol event counts and phase timings summed over replicates
     /// (absent in results serialized before the observability layer).
     #[serde(default)]
@@ -88,6 +94,22 @@ pub fn sweep<F>(cfg: &SweepConfig, goal: Goal, make_scenario: F) -> Vec<CellResu
 where
     F: Fn(Cell, u64) -> Scenario + Sync,
 {
+    sweep_with_faults(cfg, goal, None, make_scenario)
+}
+
+/// [`sweep`] with an optional fault axis: the same [`FaultPlan`] is
+/// injected into every replicate (each replicate's fault RNG stream is
+/// still decoupled from its traffic/protocol streams), and each cell
+/// reports how many replicates ended degraded.
+pub fn sweep_with_faults<F>(
+    cfg: &SweepConfig,
+    goal: Goal,
+    faults: Option<FaultPlan>,
+    make_scenario: F,
+) -> Vec<CellResult>
+where
+    F: Fn(Cell, u64) -> Scenario + Sync,
+{
     let cells: Vec<Cell> = cfg
         .volumes
         .iter()
@@ -121,7 +143,7 @@ where
                 // abort the rest of the grid: record the failure in its
                 // result slot and keep draining cells.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_cell(cell, cfg.replicates, goal, &make_scenario)
+                    run_cell(cell, cfg.replicates, goal, faults.as_ref(), &make_scenario)
                 }))
                 .unwrap_or_else(|payload| failed_cell(cell, cfg.replicates, payload));
                 results.lock().push(result);
@@ -154,13 +176,20 @@ fn failed_cell(cell: Cell, replicates: u64, payload: Box<dyn std::any::Any + Sen
         per_checkpoint_min: None,
         violations: 0,
         unconverged: replicates as usize,
+        degraded: 0,
         telemetry: RunTelemetry::default(),
         failed: Some(msg),
         runs: Vec::new(),
     }
 }
 
-fn run_cell<F>(cell: Cell, replicates: u64, goal: Goal, make_scenario: &F) -> CellResult
+fn run_cell<F>(
+    cell: Cell,
+    replicates: u64,
+    goal: Goal,
+    faults: Option<&FaultPlan>,
+    make_scenario: &F,
+) -> CellResult
 where
     F: Fn(Cell, u64) -> Scenario,
 {
@@ -168,7 +197,11 @@ where
     for r in 0..replicates {
         let scenario = make_scenario(cell, r);
         let max = scenario.max_time_s;
-        let mut runner = Runner::builder(&scenario).build();
+        let mut builder = Runner::builder(&scenario);
+        if let Some(plan) = faults {
+            builder = builder.faults(plan.clone());
+        }
+        let mut runner = builder.build();
         runs.push(runner.run(goal, max));
     }
     let constitution_min = Summary::of(
@@ -193,6 +226,7 @@ where
             Goal::Collection => r.collection_done_s.is_none(),
         })
         .count();
+    let degraded = runs.iter().filter(|r| r.degraded).count();
     let mut telemetry = RunTelemetry::default();
     for r in &runs {
         telemetry.merge(&r.telemetry);
@@ -204,6 +238,7 @@ where
         per_checkpoint_min,
         violations,
         unconverged,
+        degraded,
         telemetry,
         failed: None,
         runs,

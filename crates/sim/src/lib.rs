@@ -25,13 +25,15 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
 pub use engine::{EngineSnapshot, Exchange};
-pub use experiment::{sweep, Cell, CellResult, SweepConfig};
+pub use experiment::{sweep, sweep_with_faults, Cell, CellResult, SweepConfig};
+pub use faults::{Blackout, ChaosFault, CrashFault, FaultCounters, FaultLayer, FaultPlan};
 pub use metrics::{ProgressSnapshot, RunMetrics, RunTelemetry, Summary};
 pub use oracle::{Attribution, Oracle, Violation};
 pub use runner::{Goal, Runner, RunnerBuilder};

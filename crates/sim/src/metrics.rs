@@ -100,6 +100,30 @@ pub struct RunTelemetry {
     pub messages_decoded: u64,
     /// Total wire bytes produced by the exchange's encoder.
     pub wire_bytes: u64,
+    /// Carried labels overwritten by a double handoff (always an anomaly).
+    #[serde(default)]
+    pub label_overwrites: u64,
+    /// Injected checkpoint crashes.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Crashed checkpoints that rejoined from their state image.
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Messages dropped because their destination or holder was down.
+    #[serde(default)]
+    pub fault_messages_dropped: u64,
+    /// Handoffs forced to fail by a regional radio blackout.
+    #[serde(default)]
+    pub blackout_failures: u64,
+    /// Relay/patrol messages duplicated by chaos injection.
+    #[serde(default)]
+    pub chaos_duplicates: u64,
+    /// Relay messages delayed by chaos injection.
+    #[serde(default)]
+    pub chaos_delays: u64,
+    /// Relay/patrol deliveries reordered by chaos injection.
+    #[serde(default)]
+    pub chaos_reorders: u64,
     /// Wall-clock seconds advancing the traffic microsimulation.
     pub traffic_step_secs: f64,
     /// Wall-clock seconds driving checkpoint state machines and sinks.
@@ -130,6 +154,14 @@ impl RunTelemetry {
             messages_encoded: 0,
             messages_decoded: 0,
             wire_bytes: 0,
+            label_overwrites: 0,
+            crashes: c.crashes,
+            recoveries: c.recoveries,
+            fault_messages_dropped: c.fault_messages_dropped,
+            blackout_failures: c.blackout_failures,
+            chaos_duplicates: 0,
+            chaos_delays: 0,
+            chaos_reorders: 0,
             traffic_step_secs: 0.0,
             protocol_secs: 0.0,
             relay_secs: 0.0,
@@ -152,6 +184,10 @@ impl RunTelemetry {
             + self.patrol_relays
             + self.border_entries
             + self.border_exits
+            + self.crashes
+            + self.recoveries
+            + self.fault_messages_dropped
+            + self.blackout_failures
     }
 
     /// Field-wise sum, for aggregating replicates of a sweep cell.
@@ -174,6 +210,14 @@ impl RunTelemetry {
         self.messages_encoded += other.messages_encoded;
         self.messages_decoded += other.messages_decoded;
         self.wire_bytes += other.wire_bytes;
+        self.label_overwrites += other.label_overwrites;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.fault_messages_dropped += other.fault_messages_dropped;
+        self.blackout_failures += other.blackout_failures;
+        self.chaos_duplicates += other.chaos_duplicates;
+        self.chaos_delays += other.chaos_delays;
+        self.chaos_reorders += other.chaos_reorders;
         self.traffic_step_secs += other.traffic_step_secs;
         self.protocol_secs += other.protocol_secs;
         self.relay_secs += other.relay_secs;
@@ -215,6 +259,12 @@ pub struct RunMetrics {
     pub elapsed_s: f64,
     /// Simulation steps executed.
     pub steps: u64,
+    /// Whether injected faults may have cost protocol information (see
+    /// [`crate::faults`]). Always `false` for fault-free runs; when `true`
+    /// the count is not guaranteed exact — but the flag is what makes the
+    /// inexactness explicit rather than silent.
+    #[serde(default)]
+    pub degraded: bool,
     /// Protocol event counts and phase timings (absent in metrics
     /// serialized before the observability layer existed).
     #[serde(default)]
@@ -267,6 +317,7 @@ mod tests {
             baseline_dedup: 17,
             elapsed_s: 300.0,
             steps: 600,
+            degraded: false,
             telemetry: RunTelemetry::default(),
         };
         assert!(m.exact());

@@ -23,6 +23,7 @@
 //! they joined behind the label.
 
 use crate::engine::{self, AuditLog, EngineSnapshot, Exchange, StepCtx, TrafficBatch};
+use crate::faults::{FaultLayer, FaultPlan};
 use crate::metrics::{ProgressSnapshot, RunMetrics, RunTelemetry};
 use crate::oracle::Oracle;
 use crate::scenario::{Scenario, SeedSpec, TransportMode};
@@ -71,6 +72,8 @@ pub struct Runner {
     batch: TrafficBatch,
     /// Event stamping, telemetry and sink fan-out.
     audit: AuditLog,
+    /// Deterministic fault injection (inactive unless a plan is loaded).
+    faults: FaultLayer,
 }
 
 /// Chained-setter construction of a [`Runner`]: scenario first, then
@@ -93,6 +96,7 @@ pub struct RunnerBuilder {
     sinks: Vec<Box<dyn EventSink + Send>>,
     ring_capacity: usize,
     goal: Goal,
+    faults: Option<FaultPlan>,
 }
 
 impl RunnerBuilder {
@@ -103,7 +107,16 @@ impl RunnerBuilder {
             sinks: Vec::new(),
             ring_capacity: DEFAULT_RING_CAPACITY,
             goal: Goal::Collection,
+            faults: None,
         }
+    }
+
+    /// Loads a fault-injection plan (validated against the scenario map at
+    /// build time). Fault-free runs of the same scenario are unaffected:
+    /// the layer draws from its own RNG stream.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Adds an event sink; every stamped protocol event is fanned into each
@@ -145,9 +158,17 @@ impl RunnerBuilder {
     }
 
     /// Wires the deployment: map, traffic, checkpoints, patrol cars, sinks,
-    /// seed activation at t = 0.
+    /// seed activation at t = 0. Panics on a fault plan that does not fit
+    /// the scenario map; use [`RunnerBuilder::try_build`] to handle that
+    /// gracefully.
     pub fn build(self) -> Runner {
-        Runner::assemble(&self.scenario, self.sinks, self.ring_capacity)
+        self.try_build().expect("fault plan must fit the scenario")
+    }
+
+    /// Like [`RunnerBuilder::build`], but reports an invalid fault plan as
+    /// an error instead of panicking.
+    pub fn try_build(self) -> Result<Runner, String> {
+        Runner::assemble(&self.scenario, self.sinks, self.ring_capacity, self.faults)
     }
 
     /// Builds and runs to the configured goal within the scenario's time
@@ -169,7 +190,8 @@ impl Runner {
         scenario: &Scenario,
         sinks: Vec<Box<dyn EventSink + Send>>,
         ring_capacity: usize,
-    ) -> Self {
+        fault_plan: Option<FaultPlan>,
+    ) -> Result<Self, String> {
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("scenario map must be valid");
         let mut sim = Simulator::new(net, scenario.sim.clone(), scenario.demand.clone());
@@ -216,6 +238,10 @@ impl Runner {
         };
 
         let vehicles = sim.vehicles().len();
+        let faults = match fault_plan {
+            Some(plan) => FaultLayer::from_plan(plan, n)?,
+            None => FaultLayer::none(),
+        };
         let mut runner = Runner {
             scenario: scenario.clone(),
             sim,
@@ -232,6 +258,7 @@ impl Runner {
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
             batch: TrafficBatch::default(),
             audit: AuditLog::new(scenario.sim.seed, ring_capacity, sinks),
+            faults,
         };
         for s in seeds {
             let cmds = runner.cps[s.index()].activate_as_seed(0.0);
@@ -240,7 +267,7 @@ impl Runner {
                 engine::dispatch(ctx, s, cmds);
             });
         }
-        runner
+        Ok(runner)
     }
 
     /// Resumes a deployment from a snapshot, with no extra sinks and the
@@ -302,6 +329,10 @@ impl Runner {
             dedup: snap.dedup.clone(),
             batch: TrafficBatch::default(),
             audit: AuditLog::new(snap.scenario.sim.seed, ring_capacity, sinks),
+            faults: match (&snap.fault_plan, &snap.faults) {
+                (Some(plan), Some(fs)) => FaultLayer::restore(plan.clone(), fs),
+                _ => FaultLayer::none(),
+            },
         }
     }
 
@@ -320,6 +351,8 @@ impl Runner {
             ledger: self.oracle.ledger().clone(),
             naive: self.naive.clone(),
             dedup: self.dedup.clone(),
+            fault_plan: self.faults.plan().cloned(),
+            faults: self.faults.snapshot(),
         }
     }
 
@@ -338,6 +371,7 @@ impl Runner {
             naive,
             dedup,
             audit,
+            faults,
             ..
         } = self;
         let mut ctx = StepCtx {
@@ -354,6 +388,7 @@ impl Runner {
             naive,
             dedup,
             audit,
+            faults,
         };
         f(&mut ctx)
     }
@@ -473,6 +508,7 @@ impl Runner {
             dedup,
             batch,
             audit,
+            faults,
             ..
         } = self;
         let mut ctx = StepCtx {
@@ -489,8 +525,13 @@ impl Runner {
             naive,
             dedup,
             audit,
+            faults,
         };
         let t_protocol = Instant::now();
+        // Fault transitions fire at the step boundary — after the traffic
+        // advance, before any observation — where checkpoint event buffers
+        // are provably drained.
+        crate::faults::fault_step(&mut ctx);
         engine::observe(&mut ctx, batch);
         ctx.audit
             .counters
@@ -560,10 +601,26 @@ impl Runner {
         t.messages_encoded = wire.encoded;
         t.messages_decoded = wire.decoded;
         t.wire_bytes = wire.bytes;
+        t.label_overwrites = wire.label_overwrites;
+        let fc = self.faults.counters();
+        t.chaos_duplicates = fc.chaos_duplicates;
+        t.chaos_delays = fc.chaos_delays;
+        t.chaos_reorders = fc.chaos_reorders;
         t.traffic_step_secs = self.audit.counters.phase_secs(Phase::TrafficStep);
         t.protocol_secs = self.audit.counters.phase_secs(Phase::Protocol);
         t.relay_secs = self.audit.counters.phase_secs(Phase::Relay);
         t
+    }
+
+    /// The fault layer's injection counters (all zero without a plan).
+    pub fn fault_counters(&self) -> crate::faults::FaultCounters {
+        self.faults.counters()
+    }
+
+    /// Whether injected faults may have cost protocol information (the
+    /// explicit degraded status — see [`crate::faults`]).
+    pub fn degraded(&self) -> bool {
+        self.faults.degraded()
     }
 
     /// The retained post-mortem events mentioning `vehicle`, oldest first —
@@ -618,6 +675,7 @@ impl Runner {
             baseline_dedup: self.dedup.total(),
             elapsed_s: self.sim.time_s(),
             steps: self.sim.steps(),
+            degraded: self.faults.degraded(),
             telemetry: self.telemetry(),
         }
     }

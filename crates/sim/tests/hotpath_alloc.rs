@@ -1,0 +1,93 @@
+//! Guards the allocation-free steady state of the exchange's due-message
+//! takes.
+//!
+//! [`Exchange::take_due_reports`] and [`Exchange::take_due_patrol`] hand
+//! out reusable scratch buffers. They must come from *distinct* scratch
+//! slots: the engine takes both in the same arrival (reports first, patrol
+//! second), so a shared slot would hand the second take a freshly
+//! allocated vector every time — a per-arrival allocation the original
+//! shared-`due_scratch` implementation actually had. A counting global
+//! allocator pins the fix: after one warm-up take per slot, a window of
+//! paired take/recycle cycles must not allocate at all.
+//!
+//! This is the only test in this file on purpose: the allocator counts
+//! process-wide, so a concurrently running test would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vcount_roadnet::{EdgeId, NodeId};
+use vcount_sim::Exchange;
+use vcount_v2x::{Label, Message, VehicleId};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn paired_due_takes_do_not_allocate() {
+    const WINDOW: usize = 200;
+    let nodes = WINDOW + 2;
+    let mut ex = Exchange::new(1, nodes);
+    let v = VehicleId(0);
+    let msg = Message::Label(Label {
+        origin: NodeId(0),
+        origin_pred: None,
+        seed: NodeId(0),
+    });
+
+    // Preload one envelope per destination onto the carried queues (this
+    // part allocates freely: payload encoding, queue growth).
+    for i in 1..nodes {
+        ex.post_report(NodeId(0), EdgeId(0), NodeId(i as u32), &msg);
+        ex.post_patrol(NodeId(0), NodeId(i as u32), &msg);
+    }
+    ex.load_reports(NodeId(0), v, EdgeId(0));
+    ex.pickup_patrol(v, NodeId(0));
+
+    // Warm-up: one take per slot grows each scratch buffer to capacity.
+    let r = ex.take_due_reports(v, NodeId(1));
+    let p = ex.take_due_patrol(v, NodeId(1));
+    assert_eq!((r.len(), p.len()), (1, 1), "warm-up takes missed");
+    ex.recycle_reports(r);
+    ex.recycle_patrol(p);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut taken = 0usize;
+    for i in 2..nodes {
+        let r = ex.take_due_reports(v, NodeId(i as u32));
+        let p = ex.take_due_patrol(v, NodeId(i as u32));
+        taken += r.len() + p.len();
+        ex.recycle_reports(r);
+        ex.recycle_patrol(p);
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(taken, 2 * WINDOW, "measurement window missed envelopes");
+    assert_eq!(
+        delta, 0,
+        "paired take/recycle cycles allocated {delta} times over {WINDOW} \
+         arrivals — the due-scratch slots are being clobbered"
+    );
+}

@@ -7,6 +7,13 @@
 //! confirmed on both sides or fails visibly to the sender, which is what
 //! lets Alg. 3 line 3 compensate (`c(u) -= 1`) and retry with the next
 //! vehicle.
+//!
+//! Time-windowed regional blackouts are *not* a loss model: the simulator's
+//! fault-injection layer (`vcount_sim::faults`) forces a handoff to fail
+//! during a blackout window *before* consulting the loss model, without
+//! consuming one of its RNG draws — so any [`LossModel`] composes with
+//! blackouts, and a fault-free run's channel stream stays byte-identical
+//! whether or not a (never-matching) blackout plan is loaded.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};

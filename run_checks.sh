@@ -8,6 +8,13 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# One temp root for every scratch file below, cleaned up on ANY exit path.
+# The trap is installed before the first mktemp so an early failure (e.g.
+# in the doc check) can never leak temp files; the fallback guards the
+# window before tmp_root is assigned.
+trap 'rm -rf "${tmp_root:-/nonexistent-vcount-tmp}"' EXIT
+tmp_root="$(mktemp -d /tmp/vcount_checks.XXXXXX)"
+
 run() {
     echo "+ $*"
     "$@"
@@ -22,27 +29,23 @@ run cargo fmt --all --check
 # link resolves, and cargo itself emits no warnings (e.g. doc-path
 # collisions, which -D warnings alone would not catch).
 echo "+ cargo doc --workspace --no-deps (zero warnings required)"
-doc_log="$(mktemp /tmp/doc_log.XXXXXX)"
+doc_log="$tmp_root/doc_log"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps 2>"$doc_log" || {
     cat "$doc_log"
-    rm -f "$doc_log"
     echo "cargo doc failed (warnings are errors)" >&2
     exit 1
 }
 if grep -q "^warning" "$doc_log"; then
     cat "$doc_log"
-    rm -f "$doc_log"
     echo "cargo doc emitted warnings" >&2
     exit 1
 fi
-rm -f "$doc_log"
 
 # Snapshot → resume smoke: on a tiny grid, a run interrupted by a snapshot
 # and resumed must emit the byte-identical tail of the uninterrupted run's
 # event trace (the per-variant digest test lives in crates/sim/tests/).
-snap_dir="$(mktemp -d /tmp/vcount_snap.XXXXXX)"
-smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -rf "$snap_dir" "$smoke_out"' EXIT
+snap_dir="$tmp_root/snap"
+mkdir "$snap_dir"
 run cargo run --release -q -p vcount-cli --bin vcount -- \
     scenario --preset closed --volume 40 --seeds 2 --rng 9 --out "$snap_dir/scen.json"
 run cargo run --release -q -p vcount-cli --bin vcount -- \
@@ -62,10 +65,60 @@ assert tail and full.endswith(tail), \
 print(f"snapshot/resume smoke ok: {len(tail)} byte tail of {len(full)} byte trace")
 EOF
 
+# Fault-injection smoke: a run under a crash+blackout+chaos plan must end
+# exact or explicitly degraded (never a silent miscount), and the crash
+# must actually fire (DESIGN.md §7).
+fault_dir="$tmp_root/faults"
+mkdir "$fault_dir"
+cat > "$fault_dir/plan.json" <<'EOF'
+{
+  "seed": 7,
+  "crashes":   [{ "node": 1, "at_s": 120.0, "recover_s": 300.0 }],
+  "blackouts": [{ "nodes": [2], "from_s": 60.0, "until_s": 180.0 }],
+  "chaos": { "from_s": 0.0, "until_s": 240.0, "duplicate_p": 0.2,
+             "delay_p": 0.2, "max_delay_s": 10.0, "reorder_p": 0.1 },
+  "image_every_s": 60.0
+}
+EOF
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    scenario --preset fig1 --rng 5 --out "$fault_dir/scen.json"
+# Redirect inside the command, not around the `run` wrapper — its echo
+# line must not end up in the JSON.
+echo "+ vcount run scen.json --faults plan.json > metrics.json"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$fault_dir/scen.json" --faults "$fault_dir/plan.json" \
+    > "$fault_dir/metrics.json"
+run python3 - "$fault_dir/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["degraded"] or (
+    m["oracle_violations"] == 0 and m["global_count"] == m["true_population"]
+), f"SILENT miscount: {m['global_count']} vs {m['true_population']}, not degraded"
+assert m["telemetry"]["crashes"] >= 1, "scheduled crash never fired"
+print(f"fault smoke ok: degraded={m['degraded']} "
+      f"crashes={m['telemetry']['crashes']} "
+      f"dropped={m['telemetry']['fault_messages_dropped']} "
+      f"blackouts={m['telemetry']['blackout_failures']}")
+EOF
+
+# Sweep fault axis: one cell with the same plan; every cell must report
+# the degraded-replicate count.
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    sweep --volumes 60 --seed-counts 2 --replicates 1 \
+    --faults "$fault_dir/plan.json" --out "$fault_dir/sweep.json"
+run python3 - "$fault_dir/sweep.json" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))
+assert cells and all("degraded" in c for c in cells), "sweep cells lack degraded counts"
+print(f"sweep fault axis ok: {len(cells)} cell(s), "
+      f"degraded replicates {[c['degraded'] for c in cells]}")
+EOF
+
 # Bench smoke: the hotpath bin must run end to end, emit well-formed JSON,
 # and stay within 5% of the committed throughput baseline (tiny grid, a
 # few hundred steps — seconds, not minutes; regressions re-measure at the
 # committed length before failing).
+smoke_out="$tmp_root/bench_smoke.json"
 run cargo run --release -q -p vcount-bench --bin hotpath -- --smoke --out "$smoke_out" \
     --guard BENCH_hotpath.json --tolerance 0.05
 if command -v jq >/dev/null 2>&1; then

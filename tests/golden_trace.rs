@@ -167,6 +167,12 @@ fn fmt(t: f64, ev: ProtocolEvent) -> String {
         E::PatrolStatusRelay { node, vehicle, .. } => format!("patrol n{node} veh{vehicle}"),
         E::BorderEntry { node, vehicle } => format!("border_in n{node} veh{vehicle}"),
         E::BorderExit { node, vehicle } => format!("border_out n{node} veh{vehicle}"),
+        // Fault-injection events come from the simulator's fault layer,
+        // never from the checkpoint state machines driven here.
+        E::CheckpointCrashed { .. }
+        | E::CheckpointRecovered { .. }
+        | E::FaultMessageDropped { .. }
+        | E::ChannelBlackout { .. } => unreachable!("checkpoints do not emit fault events"),
     };
     format!("t={t} {body}")
 }
