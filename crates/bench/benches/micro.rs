@@ -73,14 +73,17 @@ fn bench_protocol_events(c: &mut Criterion) {
     let car = VehicleClass::WHITE_VAN;
     c.bench_function("checkpoint_count_event", |b| {
         let mut cp = Checkpoint::new(&net, center, CheckpointConfig::default());
-        cp.activate_as_seed(0.0);
-        cp.take_events();
+        let mut cmds = Vec::new();
+        let mut events = Vec::new();
+        cp.activate_as_seed(0.0, &mut cmds);
+        cp.drain_events_into(&mut events);
         let mut t = 1.0;
         let mut veh = 0u64;
         b.iter(|| {
             t += 1.0;
             veh += 1;
-            let cmds = cp.handle(
+            cmds.clear();
+            cp.handle(
                 Observation::Entered {
                     vehicle: VehicleId(veh),
                     via: Some(via),
@@ -88,9 +91,11 @@ fn bench_protocol_events(c: &mut Criterion) {
                     label: None,
                 },
                 t,
+                &mut cmds,
             );
-            cp.take_events();
-            cmds
+            events.clear();
+            cp.drain_events_into(&mut events);
+            (cmds.len(), events.len())
         });
     });
     // Acceptance guard for the observability layer: routing the same event
@@ -100,14 +105,17 @@ fn bench_protocol_events(c: &mut Criterion) {
     for (name, with_sink) in [("drain_only", false), ("null_sink", true)] {
         g.bench_function(BenchmarkId::new("count_event", name), |b| {
             let mut cp = Checkpoint::new(&net, center, CheckpointConfig::default());
-            cp.activate_as_seed(0.0);
-            cp.take_events();
+            let mut cmds = Vec::new();
+            let mut events = Vec::new();
+            cp.activate_as_seed(0.0, &mut cmds);
+            cp.drain_events_into(&mut events);
             let mut sink = NullSink;
             let mut t = 1.0;
             let mut veh = 0u64;
             b.iter(|| {
                 t += 1.0;
                 veh += 1;
+                cmds.clear();
                 cp.handle(
                     Observation::Entered {
                         vehicle: VehicleId(veh),
@@ -116,9 +124,12 @@ fn bench_protocol_events(c: &mut Criterion) {
                         label: None,
                     },
                     t,
+                    &mut cmds,
                 );
                 let mut n = 0usize;
-                for (time_s, event) in cp.take_events() {
+                events.clear();
+                cp.drain_events_into(&mut events);
+                for &(time_s, event) in &events {
                     n += 1;
                     if with_sink {
                         sink.record(&EventRecord {

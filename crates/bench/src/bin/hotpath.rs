@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::grid;
-use vcount_sim::{Blackout, ChaosFault, CrashFault, FaultPlan};
+use vcount_sim::{replay_trace, Blackout, ChaosFault, CrashFault, FaultPlan};
 use vcount_sim::{MapSpec, Runner, Scenario, SeedSpec};
 use vcount_traffic::{Demand, SimConfig, Simulator};
 use vcount_v2x::ChannelKind;
@@ -173,29 +173,7 @@ fn run_exchange_case(
     steps: u64,
     faults: Option<FaultPlan>,
 ) -> Case {
-    let scenario = Scenario {
-        map: MapSpec::Grid {
-            cols,
-            rows,
-            spacing_m: 150.0,
-            lanes: 2,
-            speed_mps: 10.0,
-        },
-        closed: true,
-        sim: SimConfig {
-            detect_overtakes: true,
-            speed_factor_range: (0.5, 1.0),
-            seed,
-            ..Default::default()
-        },
-        demand: Demand::at_volume(demand_pct),
-        protocol: CheckpointConfig::default(),
-        channel: ChannelKind::PAPER,
-        seeds: SeedSpec::Explicit(vec![0]),
-        transport: Default::default(),
-        patrol: Default::default(),
-        max_time_s: f64::INFINITY,
-    };
+    let scenario = engine_scenario(cols, rows, demand_pct, seed);
     let mut builder = Runner::builder(&scenario);
     if let Some(plan) = faults {
         builder = builder.faults(plan);
@@ -228,8 +206,88 @@ fn run_exchange_case(
     }
 }
 
-/// One case description: plain simulator hot path, full engine, or full
-/// engine with the fixed fault plan.
+/// The engine scenario shared by the `exchange…` and `actions_replay…`
+/// cases.
+fn engine_scenario(cols: usize, rows: usize, demand_pct: f64, seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Grid {
+            cols,
+            rows,
+            spacing_m: 150.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            detect_overtakes: true,
+            speed_factor_range: (0.5, 1.0),
+            seed,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(demand_pct),
+        protocol: CheckpointConfig::default(),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Explicit(vec![0]),
+        transport: Default::default(),
+        patrol: Default::default(),
+        max_time_s: f64::INFINITY,
+    }
+}
+
+/// The machine-only replay hot path: records an action trace from
+/// `warmup + steps` engine steps, then measures how fast the pure
+/// machines re-apply it via [`replay_trace`]. `steps`/`events` count
+/// replayed actions; throughput is actions per second.
+#[allow(clippy::too_many_arguments)]
+fn run_replay_case(
+    name: &str,
+    cols: usize,
+    rows: usize,
+    demand_pct: f64,
+    seed: u64,
+    warmup: u64,
+    steps: u64,
+) -> Case {
+    let scenario = engine_scenario(cols, rows, demand_pct, seed);
+    let mut runner = Runner::builder(&scenario).record_actions(true).build();
+    for _ in 0..(warmup + steps) {
+        runner.step();
+    }
+    let trace = runner
+        .take_action_trace()
+        .expect("recording was enabled at build time");
+    let actions = trace.records.len().max(1) as u64;
+    // Warm-up replay doubles as the correctness gate: a bench run that
+    // silently diverged would be measuring the wrong thing.
+    let first = replay_trace(&trace).expect("bench trace replays");
+    assert!(
+        first.digests_match && first.counts_match,
+        "bench trace must replay byte-identically"
+    );
+    let reps = (50_000 / actions).clamp(3, 200);
+    let mut applied = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        applied += replay_trace(&trace).expect("bench trace replays").actions;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Case {
+        name: name.to_string(),
+        cols,
+        rows,
+        demand_pct,
+        seed,
+        steps: applied,
+        wall_s,
+        steps_per_sec: applied as f64 / wall_s.max(1e-12),
+        events: applied,
+        events_per_sec: applied as f64 / wall_s.max(1e-12),
+        peak_vehicles: 0,
+    }
+}
+
+/// One case description: plain simulator hot path, full engine, full
+/// engine with the fixed fault plan, or machine-only action replay.
 #[derive(Clone, Copy)]
 struct CaseSpec {
     cols: usize,
@@ -237,10 +295,17 @@ struct CaseSpec {
     demand_pct: f64,
     engine: bool,
     faults: bool,
+    replay: bool,
 }
 
 impl CaseSpec {
     fn name(&self) -> String {
+        if self.replay {
+            return format!(
+                "actions_replay{}x{}_v{:.0}",
+                self.cols, self.rows, self.demand_pct
+            );
+        }
         let prefix = if self.engine { "exchange" } else { "grid" };
         let suffix = if self.faults { "_faults" } else { "" };
         format!(
@@ -255,7 +320,17 @@ impl CaseSpec {
 
     fn run(&self, warmup: u64, steps: u64) -> Case {
         let (name, seed) = (self.name(), self.seed());
-        if self.engine {
+        if self.replay {
+            run_replay_case(
+                &name,
+                self.cols,
+                self.rows,
+                self.demand_pct,
+                seed,
+                warmup,
+                steps,
+            )
+        } else if self.engine {
             run_exchange_case(
                 &name,
                 self.cols,
@@ -414,6 +489,7 @@ fn main() {
                     demand_pct,
                     engine: false,
                     faults: false,
+                    replay: false,
                 });
             }
         }
@@ -435,6 +511,7 @@ fn main() {
                 demand_pct: 60.0,
                 engine,
                 faults: false,
+                replay: false,
             });
         }
     }
@@ -446,6 +523,17 @@ fn main() {
         demand_pct: 60.0,
         engine: true,
         faults: true,
+        replay: false,
+    });
+    // The machine-only action-replay case (both modes, same name):
+    // records a trace and measures pure-machine re-application throughput.
+    specs.push(CaseSpec {
+        cols: 3,
+        rows: 3,
+        demand_pct: 60.0,
+        engine: true,
+        faults: false,
+        replay: true,
     });
 
     let mut cases = Vec::new();

@@ -7,7 +7,8 @@ use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
 use vcount_sim::runner::DEFAULT_RING_CAPACITY;
 use vcount_sim::{
-    sweep_with_faults, EngineSnapshot, FaultPlan, Goal, Runner, Scenario, SweepConfig,
+    replay_trace, sweep_with_faults, ActionTrace, EngineSnapshot, FaultPlan, Goal, Runner,
+    Scenario, SweepConfig,
 };
 
 /// Top-level usage text.
@@ -36,10 +37,22 @@ USAGE:
       provably lost protocol information reports `degraded: true` and
       still exits 0; oracle violations without the degraded flag are an
       error, exactly as without faults.
+      --record-actions PATH records the run's full protocol-input stream
+      (every action each checkpoint processed, with channel outcomes and
+      timestamps frozen in) as a schema-tagged JSON trace for
+      `vcount replay`.
 
   vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
       Resume a run frozen by --snapshot-every. The snapshot embeds its
       scenario and any fault plan, so neither argument is given.
+      (--record-actions cannot resume: a trace must cover a whole run.)
+
+  vcount replay TRACE.json
+      Re-drive the pure protocol machines from an action trace recorded
+      with `vcount run --record-actions` — no traffic simulator, channel,
+      or RNG — and verify the dispatch stream and final per-checkpoint
+      counts are byte-identical to the recording. Prints the replay
+      report as JSON; exits nonzero on any divergence.
 
   vcount sweep [--volumes PCT,PCT,...] [--seed-counts K,K,...]
                [--replicates N] [--threads N] [--goal constitution|collection]
@@ -91,6 +104,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         "snapshot-out",
         "resume",
         "faults",
+        "record-actions",
     ])?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
@@ -127,11 +141,18 @@ pub fn run(args: &Args) -> Result<(), String> {
         sinks.push(Box::new(sink));
     }
     let faults = load_fault_plan(args)?;
-    let (runner, max_time_s) = match args.flag("resume") {
+    let record_path = args.flag("record-actions");
+    let (mut runner, max_time_s) = match args.flag("resume") {
         Some(snap_path) => {
             if args.positional(0).is_some() {
                 return Err(
                     "--resume takes no scenario argument (the snapshot embeds its scenario)".into(),
+                );
+            }
+            if record_path.is_some() {
+                return Err(
+                    "--record-actions cannot be combined with --resume (an action trace must                      cover a whole run)"
+                        .into(),
                 );
             }
             if faults.is_some() {
@@ -154,7 +175,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let scenario: Scenario =
                 serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
-            let mut builder = Runner::builder(&scenario);
+            let mut builder = Runner::builder(&scenario).record_actions(record_path.is_some());
             for sink in sinks {
                 builder = builder.sink(sink);
             }
@@ -167,9 +188,26 @@ pub fn run(args: &Args) -> Result<(), String> {
             (runner, scenario.max_time_s)
         }
     };
-    let metrics = drive(runner, max_time_s, goal, args.switch("progress"), snapshot)?;
+    let metrics = drive(
+        &mut runner,
+        max_time_s,
+        goal,
+        args.switch("progress"),
+        snapshot,
+    )?;
     if let Some(trace) = trace_path {
         eprintln!("wrote event trace to {trace}");
+    }
+    if let Some(path) = record_path {
+        let trace = runner
+            .take_action_trace()
+            .expect("recording was enabled at build time");
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote action trace to {path} ({} actions, dispatch digest {:#018x})",
+            trace.records.len(),
+            trace.dispatch_digest
+        );
     }
     println!(
         "{}",
@@ -187,6 +225,22 @@ pub fn run(args: &Args) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `vcount replay`.
+pub fn replay(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let path = args.positional(0).ok_or("missing TRACE.json argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = ActionTrace::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = replay_trace(&trace).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+    report
+        .check()
+        .map_err(|e| format!("machine-only replay diverged from the recording: {e}"))
 }
 
 /// Reads and parses `--faults PLAN.json`, if given. Structural validation

@@ -7,6 +7,7 @@
 //!             [--trace FILE.jsonl] [--trace-filter KINDS]
 //!             [--snapshot-every N] [--snapshot-out FILE] [--faults PLAN.json]
 //! vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
+//! vcount replay TRACE.json
 //! vcount sweep [--volumes PCTS] [--seed-counts KS] [--replicates N]
 //!             [--threads N] [--goal G] [--map paper|small] [--open]
 //!             [--faults PLAN.json]
@@ -44,6 +45,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "scenario" => commands::scenario(&args),
         "run" => commands::run(&args),
+        "replay" => commands::replay(&args),
         "sweep" => commands::sweep(&args),
         "map" => commands::map(&args),
         "help" | "--help" | "-h" => {
@@ -79,7 +81,7 @@ pub(crate) struct SnapshotCfg {
 }
 
 pub(crate) fn drive(
-    mut runner: Runner,
+    runner: &mut Runner,
     max_time_s: f64,
     goal: Goal,
     progress: bool,

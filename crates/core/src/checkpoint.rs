@@ -1,130 +1,33 @@
-//! The checkpoint state machine — Algorithms 1, 3 and 5 under the
-//! "everyone" model: every intersection runs this same generic process.
+//! The effectful checkpoint shell around the pure protocol machine.
 //!
-//! The machine is pure and event-driven. It consumes exactly what real
-//! checkpoint equipment observes — one [`Observation`] at a time, fed to
-//! [`Checkpoint::handle`] — and produces counter updates, transport
-//! [`Command`]s, and structured [`ProtocolEvent`]s (buffered until the
-//! harness drains them with [`Checkpoint::take_events`]). All timing comes
-//! from the caller-provided `now` values, so the machine is equally at
-//! home under the simulator or on a wall clock.
+//! All protocol logic lives in [`crate::machine`]: an immutable
+//! [`CheckpointMachine`] topology view plus a serializable
+//! [`CheckpointState`], driven by `process(state, action) → dispatches`.
+//! This module keeps the deployment-facing [`Checkpoint`] type: it owns
+//! one machine + state pair and the event buffer, mints [`Action`]s from
+//! caller [`Observation`]s (the caller supplies `now` and every channel
+//! outcome), and buffers emitted [`ProtocolEvent`]s until the harness
+//! drains them with [`Checkpoint::drain_events_into`]. Commands are
+//! appended to a caller-provided scratch vector, keeping the hot path
+//! allocation-free.
 
 use crate::command::Command;
 use crate::config::{CheckpointConfig, ProtocolVariant};
 use crate::counter::Counters;
+use crate::machine::{Action, CheckpointMachine, Dispatches};
 use crate::observation::Observation;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use vcount_obs::ProtocolEvent;
-use vcount_roadnet::{EdgeId, Interaction, NodeId, RoadNetwork};
-use vcount_v2x::{Label, PatrolStatus, VehicleClass, VehicleId};
+use vcount_roadnet::{EdgeId, NodeId, RoadNetwork};
+use vcount_v2x::Label;
 
-/// Counting state of one inbound direction `u ← v` (phase 1/3/4/5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum InboundState {
-    /// Not yet activated (checkpoint inactive).
-    Idle,
-    /// Counting every unlabeled matching vehicle (phase 5).
-    Counting,
-    /// Counting ended: the direction's label arrived (phase 4), or the
-    /// direction comes from the predecessor and never started (phase 3).
-    Stopped,
-}
+pub use crate::machine::{CheckpointState, InboundState, LabelState};
 
-/// Labelling state of one outbound direction (phase 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LabelState {
-    /// Checkpoint inactive — nothing to propagate yet.
-    Idle,
-    /// Waiting for the next vehicle to join this direction (retrying after
-    /// failed handoffs, Alg. 3 line 3).
-    Pending,
-    /// Exactly one label was delivered on this direction.
-    Done,
-}
-
-/// Serializable dynamic state of a [`Checkpoint`] at a step boundary,
-/// produced by [`Checkpoint::export_state`] and re-applied with
-/// [`Checkpoint::restore_state`]. The topology view (inbound/outbound
-/// directions, one-way neighbours, interaction flags) is *not* included —
-/// it is a pure function of the network and is rebuilt by
-/// [`Checkpoint::new`] on restore. The event buffer is excluded too: the
-/// engine drains it after every observation, so it is provably empty at
-/// snapshot points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CheckpointState {
-    /// Whether the checkpoint has been activated (phase 1/3).
-    pub active: bool,
-    /// Whether it was activated as a seed.
-    pub is_seed: bool,
-    /// `p(u)` — the spanning-tree predecessor.
-    pub pred: Option<NodeId>,
-    /// The seed whose wave activated this checkpoint.
-    pub wave_seed: Option<NodeId>,
-    /// Per-inbound-direction counting state.
-    pub inbound_state: BTreeMap<EdgeId, InboundState>,
-    /// Per-outbound-direction labelling state.
-    pub label_state: BTreeMap<EdgeId, LabelState>,
-    /// The local counter components `c(u)`.
-    pub counters: Counters,
-    /// Learned predecessor per neighbour.
-    pub known_preds: BTreeMap<NodeId, Option<NodeId>>,
-    /// Highest-sequence report per child: `(seq, total)`.
-    pub child_reports: BTreeMap<NodeId, (u32, i64)>,
-    /// Last subtree total reported upward.
-    pub last_report: Option<i64>,
-    /// Next outgoing report sequence number.
-    pub report_seq: u32,
-    /// Collected tree total (seeds only).
-    pub tree_total: Option<i64>,
-    /// Activation time, if activated.
-    pub activated_at: Option<f64>,
-    /// Local stabilization time, if stable.
-    pub stable_at: Option<f64>,
-    /// Collection time (seeds only).
-    pub collected_at: Option<f64>,
-}
-
-/// One checkpoint of the deployment. See module docs.
+/// One checkpoint of the deployment: the pure machine, its dynamic state,
+/// and the buffered event stream. See module docs.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
-    id: NodeId,
-    cfg: CheckpointConfig,
-    /// Inbound directions `(edge v->u, v)`.
-    inbound: Vec<(EdgeId, NodeId)>,
-    /// Outbound directions `(edge u->v, v)`.
-    outbound: Vec<(EdgeId, NodeId)>,
-    /// Inbound neighbours unreachable by our label (no edge `u -> w`):
-    /// they learn our predecessor via `SendPredAnnounce`.
-    oneway_in: Vec<NodeId>,
-    /// Outbound neighbours with no reverse edge: their labels cannot reach
-    /// us, so we learn their predecessor from announcements instead.
-    oneway_out: Vec<NodeId>,
-    interaction: Interaction,
-
-    active: bool,
-    is_seed: bool,
-    pred: Option<NodeId>,
-    wave_seed: Option<NodeId>,
-    inbound_state: BTreeMap<EdgeId, InboundState>,
-    label_state: BTreeMap<EdgeId, LabelState>,
-    counters: Counters,
-
-    /// Learned predecessor of each neighbour (from labels, announcements,
-    /// patrol snapshots, or reports).
-    known_preds: BTreeMap<NodeId, Option<NodeId>>,
-    /// Highest-sequence report received per child: `(seq, total)`.
-    child_reports: BTreeMap<NodeId, (u32, i64)>,
-    /// Last subtree total reported to the predecessor, if any.
-    last_report: Option<i64>,
-    /// Sequence number of the next outgoing report.
-    report_seq: u32,
-    tree_total: Option<i64>,
-
-    activated_at: Option<f64>,
-    stable_at: Option<f64>,
-    collected_at: Option<f64>,
-
+    machine: CheckpointMachine,
+    state: CheckpointState,
     /// Buffered protocol events `(time, event)`, drained by the harness.
     events: Vec<(f64, ProtocolEvent)>,
 }
@@ -133,57 +36,11 @@ impl Checkpoint {
     /// Builds the checkpoint for intersection `node`, extracting its local
     /// topology view from the network.
     pub fn new(net: &RoadNetwork, node: NodeId, cfg: CheckpointConfig) -> Self {
-        let inbound: Vec<(EdgeId, NodeId)> = net
-            .in_edges(node)
-            .iter()
-            .map(|&e| (e, net.edge(e).from))
-            .collect();
-        let outbound: Vec<(EdgeId, NodeId)> = net
-            .out_edges(node)
-            .iter()
-            .map(|&e| (e, net.edge(e).to))
-            .collect();
-        let oneway_in = inbound
-            .iter()
-            .filter(|(_, w)| net.edge_between(node, *w).is_none())
-            .map(|(_, w)| *w)
-            .collect();
-        let oneway_out = outbound
-            .iter()
-            .filter(|(_, v)| net.edge_between(*v, node).is_none())
-            .map(|(_, v)| *v)
-            .collect();
-        let inbound_state = inbound
-            .iter()
-            .map(|(e, _)| (*e, InboundState::Idle))
-            .collect();
-        let label_state = outbound
-            .iter()
-            .map(|(e, _)| (*e, LabelState::Idle))
-            .collect();
+        let machine = CheckpointMachine::new(net, node, cfg);
+        let state = machine.initial_state();
         Checkpoint {
-            id: node,
-            cfg,
-            inbound,
-            outbound,
-            oneway_in,
-            oneway_out,
-            interaction: net.interaction(node),
-            active: false,
-            is_seed: false,
-            pred: None,
-            wave_seed: None,
-            inbound_state,
-            label_state,
-            counters: Counters::default(),
-            known_preds: BTreeMap::new(),
-            child_reports: BTreeMap::new(),
-            last_report: None,
-            report_seq: 0,
-            tree_total: None,
-            activated_at: None,
-            stable_at: None,
-            collected_at: None,
+            machine,
+            state,
             events: Vec::new(),
         }
     }
@@ -195,106 +52,52 @@ impl Checkpoint {
             self.events.is_empty(),
             "export_state with undrained protocol events"
         );
-        CheckpointState {
-            active: self.active,
-            is_seed: self.is_seed,
-            pred: self.pred,
-            wave_seed: self.wave_seed,
-            inbound_state: self.inbound_state.clone(),
-            label_state: self.label_state.clone(),
-            counters: self.counters.clone(),
-            known_preds: self.known_preds.clone(),
-            child_reports: self.child_reports.clone(),
-            last_report: self.last_report,
-            report_seq: self.report_seq,
-            tree_total: self.tree_total,
-            activated_at: self.activated_at,
-            stable_at: self.stable_at,
-            collected_at: self.collected_at,
-        }
+        self.state.clone()
     }
 
     /// Re-applies state captured by [`Checkpoint::export_state`] onto a
     /// freshly built checkpoint (same network, same node).
     pub fn restore_state(&mut self, state: CheckpointState) {
-        self.active = state.active;
-        self.is_seed = state.is_seed;
-        self.pred = state.pred;
-        self.wave_seed = state.wave_seed;
-        self.inbound_state = state.inbound_state;
-        self.label_state = state.label_state;
-        self.counters = state.counters;
-        self.known_preds = state.known_preds;
-        self.child_reports = state.child_reports;
-        self.last_report = state.last_report;
-        self.report_seq = state.report_seq;
-        self.tree_total = state.tree_total;
-        self.activated_at = state.activated_at;
-        self.stable_at = state.stable_at;
-        self.collected_at = state.collected_at;
+        self.state = state;
     }
 
     // ------------------------------------------------------------------
     // Unified dispatch
     // ------------------------------------------------------------------
 
-    /// Processes one [`Observation`] at time `now` and returns the
-    /// transport commands it produced. This is the protocol's single entry
-    /// point; side effects beyond the returned commands are counter
+    /// Processes one [`Observation`] at time `now`, appending the
+    /// transport commands it produced to `cmds` (nothing is cleared — the
+    /// caller owns and drains the scratch). This is the protocol's single
+    /// entry point; side effects beyond the appended commands are counter
     /// updates and buffered [`ProtocolEvent`]s (see
-    /// [`Checkpoint::take_events`]).
-    pub fn handle(&mut self, obs: Observation, now: f64) -> Vec<Command> {
-        let mut cmds = Vec::new();
-        match obs {
-            Observation::Entered {
-                vehicle,
-                via,
-                class,
-                label,
-            } => self.enter(now, vehicle, via, &class, label, &mut cmds),
-            Observation::Departed {
-                vehicle,
-                onto,
-                delivered,
-                matches_filter,
-            } => self.depart(now, vehicle, onto, delivered, matches_filter, &mut cmds),
-            Observation::BorderExit { vehicle, class } => {
-                self.border_exit(now, vehicle, &class, &mut cmds)
-            }
-            Observation::PatrolStatus { vehicle, status } => {
-                self.patrol(now, vehicle, &status, &mut cmds)
-            }
-            Observation::Announce { from, pred } => {
-                self.learn_pred(from, pred);
-                self.after_change(now, &mut cmds);
-            }
-            Observation::Report { from, total, seq } => {
-                self.report(now, from, total, seq, &mut cmds)
-            }
-            Observation::Adjust { plus, minus } => self.adjust(now, plus, minus, &mut cmds),
-        }
-        cmds
+    /// [`Checkpoint::drain_events_into`]).
+    pub fn handle(&mut self, obs: Observation, now: f64, cmds: &mut Vec<Command>) {
+        self.apply(
+            &Action {
+                at_s: now,
+                kind: obs.into(),
+            },
+            cmds,
+        );
     }
 
-    /// Drains the buffered protocol events, oldest first.
-    pub fn take_events(&mut self) -> Vec<(f64, ProtocolEvent)> {
-        std::mem::take(&mut self.events)
+    /// Feeds one pre-built [`Action`] to the pure machine, appending the
+    /// commands it dispatched to `cmds` and buffering its events. This is
+    /// what the engine's record/replay path drives; [`Checkpoint::handle`]
+    /// is a thin [`Observation`]-minting wrapper over it.
+    pub fn apply(&mut self, action: &Action, cmds: &mut Vec<Command>) {
+        let mut out = Dispatches {
+            commands: cmds,
+            events: &mut self.events,
+        };
+        self.machine.process(&mut self.state, action, &mut out);
     }
 
     /// Appends the buffered protocol events to `out` and clears the
-    /// buffer (allocation-free when the buffer is empty).
+    /// buffer (allocation-free when the buffer is empty). This is the only
+    /// event-drain API; events are buffered in emission order.
     pub fn drain_events_into(&mut self, out: &mut Vec<(f64, ProtocolEvent)>) {
         out.append(&mut self.events);
-    }
-
-    /// The buffered, not-yet-drained protocol events.
-    pub fn pending_events(&self) -> &[(f64, ProtocolEvent)] {
-        &self.events
-    }
-
-    #[inline]
-    fn emit(&mut self, now: f64, event: ProtocolEvent) {
-        self.events.push((now, event));
     }
 
     // ------------------------------------------------------------------
@@ -303,128 +106,16 @@ impl Checkpoint {
 
     /// Phase 1: initialize this checkpoint as a seed (and data sink). All
     /// inbound counting starts; labels become pending on every outbound
-    /// direction.
-    pub fn activate_as_seed(&mut self, now: f64) -> Vec<Command> {
-        assert!(
-            !self.active,
-            "seed activation on an already active checkpoint"
-        );
-        self.is_seed = true;
-        self.wave_seed = Some(self.id);
-        let mut cmds = Vec::new();
-        self.activate(now, None, &mut cmds);
-        cmds
-    }
-
-    fn activate(&mut self, now: f64, pred: Option<NodeId>, cmds: &mut Vec<Command>) {
-        self.active = true;
-        self.pred = pred;
-        self.activated_at = Some(now);
-        self.emit(
-            now,
-            ProtocolEvent::CheckpointActivated {
-                node: self.id.0,
-                pred: pred.map(|p| p.0),
-                wave_seed: self.wave_seed.expect("wave seed set before activation").0,
-                is_seed: self.is_seed,
+    /// direction. Commands (pred announces on one-way topologies) are
+    /// appended to `cmds`.
+    pub fn activate_as_seed(&mut self, now: f64, cmds: &mut Vec<Command>) {
+        self.apply(
+            &Action {
+                at_s: now,
+                kind: crate::machine::ActionKind::Seed,
             },
+            cmds,
         );
-        for (e, origin) in &self.inbound {
-            let state = if Some(*origin) == pred {
-                // Traffic from the predecessor is already counted upstream
-                // (phase 3 activates only `s(u)` directions).
-                InboundState::Stopped
-            } else {
-                InboundState::Counting
-            };
-            self.inbound_state.insert(*e, state);
-        }
-        for (e, _) in &self.outbound {
-            self.label_state.insert(*e, LabelState::Pending);
-        }
-        // Upstream one-way neighbours cannot receive our label; announce
-        // our predecessor so their spanning-tree child discovery completes.
-        for w in self.oneway_in.clone() {
-            cmds.push(Command::SendPredAnnounce { to: w, pred });
-        }
-        self.after_change(now, cmds);
-    }
-
-    // ------------------------------------------------------------------
-    // Phases 3, 4, 5: vehicle entry
-    // ------------------------------------------------------------------
-
-    fn enter(
-        &mut self,
-        now: f64,
-        vehicle: VehicleId,
-        via: Option<EdgeId>,
-        class: &VehicleClass,
-        label: Option<Label>,
-        cmds: &mut Vec<Command>,
-    ) {
-        match via {
-            None => {
-                // Inbound interaction (Alg. 5): active border checkpoints
-                // count every matching vehicle coming in from outside.
-                if self.active
-                    && self.cfg.variant.counts_interaction()
-                    && self.interaction.inbound
-                    && self.cfg.filter.matches(class)
-                {
-                    self.counters.count_interaction_in();
-                    self.emit(
-                        now,
-                        ProtocolEvent::BorderEntry {
-                            node: self.id.0,
-                            vehicle: vehicle.0,
-                        },
-                    );
-                }
-            }
-            Some(e) => {
-                debug_assert!(
-                    self.inbound_state.contains_key(&e),
-                    "entry via unknown inbound edge {e}"
-                );
-                if let Some(label) = label {
-                    self.learn_pred(label.origin, label.origin_pred);
-                    if !self.active {
-                        // Phase 3: propagation to an inactive checkpoint.
-                        self.wave_seed = Some(label.seed);
-                        self.activate(now, Some(label.origin), cmds);
-                        return; // activate() ran after_change already
-                    } else if self.inbound_state.get(&e) == Some(&InboundState::Counting) {
-                        // Phase 4: the backwash stops this direction.
-                        self.inbound_state.insert(e, InboundState::Stopped);
-                        self.emit(
-                            now,
-                            ProtocolEvent::InboundStopped {
-                                node: self.id.0,
-                                edge: e.0,
-                            },
-                        );
-                    }
-                    // The labeled vehicle itself is never counted (phase 5
-                    // counts unlabeled vehicles only).
-                } else if self.active
-                    && self.inbound_state.get(&e) == Some(&InboundState::Counting)
-                    && self.cfg.filter.matches(class)
-                {
-                    // Phase 5: count the unlabeled matching vehicle.
-                    self.counters.count_inbound(e);
-                    self.emit(
-                        now,
-                        ProtocolEvent::VehicleCounted {
-                            node: self.id.0,
-                            edge: e.0,
-                            vehicle: vehicle.0,
-                        },
-                    );
-                }
-            }
-        }
-        self.after_change(now, cmds);
     }
 
     // ------------------------------------------------------------------
@@ -436,268 +127,13 @@ impl Checkpoint {
     /// handoff exchange and reports the outcome with an
     /// [`Observation::Departed`].
     pub fn offer_label(&self, onto: EdgeId) -> Option<Label> {
-        if self.active && self.label_state.get(&onto) == Some(&LabelState::Pending) {
-            Some(Label {
-                origin: self.id,
-                origin_pred: self.pred,
-                seed: self.wave_seed.expect("active checkpoint has a wave seed"),
-            })
-        } else {
-            None
-        }
-    }
-
-    fn depart(
-        &mut self,
-        now: f64,
-        vehicle: VehicleId,
-        onto: EdgeId,
-        delivered: bool,
-        matches_filter: bool,
-        cmds: &mut Vec<Command>,
-    ) {
-        debug_assert_eq!(
-            self.label_state.get(&onto),
-            Some(&LabelState::Pending),
-            "departure handoff without a pending label"
-        );
-        self.emit(
-            now,
-            ProtocolEvent::LabelEmitted {
-                node: self.id.0,
-                edge: onto.0,
-                vehicle: vehicle.0,
-            },
-        );
-        if delivered {
-            // Exactly one label is now in flight on that direction.
-            self.label_state.insert(onto, LabelState::Done);
-            self.emit(
-                now,
-                ProtocolEvent::LabelHandoffAcked {
-                    node: self.id.0,
-                    edge: onto.0,
-                    vehicle: vehicle.0,
-                },
-            );
-        } else {
-            // Alg. 3 line 3: the labelling retries with the next vehicle;
-            // when the escaping vehicle is one we count, compensate the
-            // future double count with −1.
-            self.emit(
-                now,
-                ProtocolEvent::LabelHandoffFailed {
-                    node: self.id.0,
-                    edge: onto.0,
-                    vehicle: vehicle.0,
-                },
-            );
-            if matches_filter && self.cfg.compensate_loss {
-                self.counters.compensate_loss();
-                self.emit(
-                    now,
-                    ProtocolEvent::LossCompensation {
-                        node: self.id.0,
-                        edge: onto.0,
-                        vehicle: vehicle.0,
-                    },
-                );
-                self.after_change(now, cmds);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Alg. 5: border exits
-    // ------------------------------------------------------------------
-
-    fn border_exit(
-        &mut self,
-        now: f64,
-        vehicle: VehicleId,
-        class: &VehicleClass,
-        cmds: &mut Vec<Command>,
-    ) {
-        let counted = self.active
-            && self.cfg.variant.counts_interaction()
-            && self.interaction.outbound
-            && self.cfg.filter.matches(class);
-        if counted {
-            self.counters.count_interaction_out();
-            self.emit(
-                now,
-                ProtocolEvent::BorderExit {
-                    node: self.id.0,
-                    vehicle: vehicle.0,
-                },
-            );
-        }
-        self.after_change(now, cmds);
-        debug_assert!(cmds.is_empty(), "exit cannot complete collection");
-    }
-
-    // ------------------------------------------------------------------
-    // Alg. 3 lines 5-8: overtake adjustment
-    // ------------------------------------------------------------------
-
-    fn adjust(&mut self, now: f64, plus: usize, minus: usize, cmds: &mut Vec<Command>) {
-        self.counters.adjust_overtake(plus as i64 - minus as i64);
-        self.emit(
-            now,
-            ProtocolEvent::OvertakeAdjustment {
-                node: self.id.0,
-                plus: plus as u32,
-                minus: minus as u32,
-            },
-        );
-        self.after_change(now, cmds);
-    }
-
-    // ------------------------------------------------------------------
-    // Theorem 3 (ablation) and collection transport inputs
-    // ------------------------------------------------------------------
-
-    fn patrol(
-        &mut self,
-        now: f64,
-        vehicle: VehicleId,
-        status: &PatrolStatus,
-        cmds: &mut Vec<Command>,
-    ) {
-        // In the default integration patrol cars act as label carriers and
-        // this only harvests predecessor knowledge; with
-        // `patrol_stale_stop` it additionally stops any counting direction
-        // whose origin the patrol saw active (the paper's literal
-        // Theorem 3 reading — unsafe under slow traffic, see DESIGN.md §4).
-        self.emit(
-            now,
-            ProtocolEvent::PatrolStatusRelay {
-                node: self.id.0,
-                vehicle: vehicle.0,
-                observed: status.observations.len() as u32,
-            },
-        );
-        if self.cfg.patrol_stale_stop {
-            for (e, origin) in self.inbound.clone() {
-                if self.inbound_state.get(&e) == Some(&InboundState::Counting)
-                    && status.status_of(origin) == Some(true)
-                {
-                    self.inbound_state.insert(e, InboundState::Stopped);
-                    self.emit(
-                        now,
-                        ProtocolEvent::InboundStopped {
-                            node: self.id.0,
-                            edge: e.0,
-                        },
-                    );
-                }
-            }
-        }
-        self.after_change(now, cmds);
-    }
-
-    fn report(&mut self, now: f64, from: NodeId, total: i64, seq: u32, cmds: &mut Vec<Command>) {
-        // A report is itself proof that `from` chose us as predecessor.
-        // Reports may be re-issued when late adjustments land after
-        // phase 6; the highest sequence number wins, so out-of-order
-        // transport is safe.
-        self.learn_pred(from, Some(self.id));
-        match self.child_reports.get(&from).copied() {
-            Some((old_seq, _)) if seq >= old_seq => {
-                if seq > old_seq {
-                    self.emit(
-                        now,
-                        ProtocolEvent::ReportSuperseded {
-                            node: self.id.0,
-                            child: from.0,
-                            old_seq,
-                            new_seq: seq,
-                        },
-                    );
-                }
-                self.child_reports.insert(from, (seq, total));
-            }
-            Some(_) => {} // Stale (lower-sequence) report: ignore.
-            None => {
-                self.child_reports.insert(from, (seq, total));
-            }
-        }
-        self.after_change(now, cmds);
-    }
-
-    fn learn_pred(&mut self, node: NodeId, pred: Option<NodeId>) {
-        self.known_preds.entry(node).or_insert(pred);
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 6 + Alg. 2: stabilization and collection
-    // ------------------------------------------------------------------
-
-    fn after_change(&mut self, now: f64, cmds: &mut Vec<Command>) {
-        if self.active && self.stable_at.is_none() && self.all_stopped() {
-            self.stable_at = Some(now);
-            self.emit(now, ProtocolEvent::CheckpointStable { node: self.id.0 });
-        }
-        if self.stable_at.is_some() && self.children_known() {
-            let children = self.children();
-            if children.iter().all(|c| self.child_reports.contains_key(c)) {
-                let total: i64 = self.counters.local_count()
-                    + children
-                        .iter()
-                        .map(|c| self.child_reports[c].1)
-                        .sum::<i64>();
-                if self.tree_total != Some(total) {
-                    self.tree_total = Some(total);
-                    if self.collected_at.is_none() {
-                        self.collected_at = Some(now);
-                    }
-                    if let Some(p) = self.pred {
-                        if self.last_report != Some(total) {
-                            self.report_seq += 1;
-                            self.last_report = Some(total);
-                            cmds.push(Command::SendReport {
-                                to: p,
-                                total,
-                                seq: self.report_seq,
-                            });
-                            self.emit(
-                                now,
-                                ProtocolEvent::ReportSent {
-                                    node: self.id.0,
-                                    to: p.0,
-                                    total,
-                                    seq: self.report_seq,
-                                },
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn all_stopped(&self) -> bool {
-        self.inbound_state
-            .values()
-            .all(|s| *s == InboundState::Stopped)
-    }
-
-    /// Whether all outbound neighbours' predecessors are known, i.e. the
-    /// spanning-tree children set is final.
-    fn children_known(&self) -> bool {
-        self.outbound
-            .iter()
-            .all(|(_, v)| self.known_preds.contains_key(v))
+        self.machine.offer_label(&self.state, onto)
     }
 
     /// The spanning-tree children discovered so far (outbound neighbours
     /// that chose us as predecessor).
     pub fn children(&self) -> Vec<NodeId> {
-        self.outbound
-            .iter()
-            .filter(|(_, v)| self.known_preds.get(v) == Some(&Some(self.id)))
-            .map(|(_, v)| *v)
-            .collect()
+        self.machine.children(&self.state)
     }
 
     // ------------------------------------------------------------------
@@ -706,69 +142,70 @@ impl Checkpoint {
 
     /// This checkpoint's intersection.
     pub fn id(&self) -> NodeId {
-        self.id
+        self.machine.id()
     }
 
     /// Whether the local counting has been activated.
     pub fn is_active(&self) -> bool {
-        self.active
+        self.state.active
     }
 
     /// Whether this checkpoint is a seed.
     pub fn is_seed(&self) -> bool {
-        self.is_seed
+        self.state.is_seed
     }
 
     /// `p(u)` — the predecessor whose label activated us.
     pub fn pred(&self) -> Option<NodeId> {
-        self.pred
+        self.state.pred
     }
 
     /// Phase 6: the local non-interaction count has stabilized (every
     /// activated inbound direction has ended).
     pub fn is_stable(&self) -> bool {
-        self.stable_at.is_some()
+        self.state.stable_at.is_some()
     }
 
     /// When the checkpoint activated (simulated seconds).
     pub fn activated_at(&self) -> Option<f64> {
-        self.activated_at
+        self.state.activated_at
     }
 
     /// When the local view stabilized (simulated seconds).
     pub fn stable_at(&self) -> Option<f64> {
-        self.stable_at
+        self.state.stable_at
     }
 
     /// When the subtree total was finalized / reported (simulated seconds).
     pub fn collected_at(&self) -> Option<f64> {
-        self.collected_at
+        self.state.collected_at
     }
 
     /// The stabilizable local count `c(u)` (non-interaction).
     pub fn local_count(&self) -> i64 {
-        self.counters.local_count()
+        self.state.counters.local_count()
     }
 
     /// Net border interaction (`in − out`, Alg. 5).
     pub fn interaction_net(&self) -> i64 {
-        self.counters.interaction_net()
+        self.state.counters.interaction_net()
     }
 
     /// Raw counter state (diagnostics).
     pub fn counters(&self) -> &Counters {
-        &self.counters
+        &self.state.counters
     }
 
     /// The aggregated subtree total, available once all children reported.
     /// At a seed this is the tree's share of the global view.
     pub fn tree_total(&self) -> Option<i64> {
-        self.tree_total
+        self.state.tree_total
     }
 
     /// Counting state of an inbound direction.
     pub fn inbound_state(&self, e: EdgeId) -> InboundState {
-        self.inbound_state
+        self.state
+            .inbound_state
             .get(&e)
             .copied()
             .unwrap_or(InboundState::Idle)
@@ -776,7 +213,8 @@ impl Checkpoint {
 
     /// Label state of an outbound direction.
     pub fn label_state(&self, e: EdgeId) -> LabelState {
-        self.label_state
+        self.state
+            .label_state
             .get(&e)
             .copied()
             .unwrap_or(LabelState::Idle)
@@ -785,28 +223,38 @@ impl Checkpoint {
     /// Downstream neighbours whose labels cannot reach us (one-way
     /// segments); their predecessors arrive via announcements instead.
     pub fn oneway_out_neighbors(&self) -> &[NodeId] {
-        &self.oneway_out
+        self.machine.oneway_out_neighbors()
     }
 
     /// Upstream neighbours our label cannot reach; they receive
     /// [`Command::SendPredAnnounce`] at activation instead.
     pub fn oneway_in_neighbors(&self) -> &[NodeId] {
-        &self.oneway_in
+        self.machine.oneway_in_neighbors()
     }
 
     /// Whether this checkpoint sits on the open-system border.
     pub fn is_border(&self) -> bool {
-        self.interaction.any()
+        self.machine.is_border()
     }
 
     /// Protocol configuration in force.
     pub fn config(&self) -> &CheckpointConfig {
-        &self.cfg
+        self.machine.config()
     }
 
     /// The variant this deployment runs.
     pub fn variant(&self) -> ProtocolVariant {
-        self.cfg.variant
+        self.machine.variant()
+    }
+
+    /// The immutable pure-machine topology view this shell drives.
+    pub fn machine(&self) -> &CheckpointMachine {
+        &self.machine
+    }
+
+    /// The current dynamic protocol state (read-only).
+    pub fn state(&self) -> &CheckpointState {
+        &self.state
     }
 }
 
@@ -815,7 +263,8 @@ mod tests {
     use super::*;
     use vcount_obs::EventKind;
     use vcount_roadnet::builders::fig1_triangle;
-    use vcount_v2x::{ClassFilter, VehicleClass};
+    use vcount_roadnet::Interaction;
+    use vcount_v2x::{ClassFilter, PatrolStatus, VehicleClass, VehicleId};
 
     const CAR: VehicleClass = VehicleClass {
         color: vcount_v2x::Color::Red,
@@ -832,6 +281,21 @@ mod tests {
         (net, cps)
     }
 
+    /// Drives one observation through a fresh command scratch (tests value
+    /// readability over scratch reuse).
+    fn handle(cp: &mut Checkpoint, obs: Observation, now: f64) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        cp.handle(obs, now, &mut cmds);
+        cmds
+    }
+
+    /// Seed activation through a fresh command scratch.
+    fn seed(cp: &mut Checkpoint, now: f64) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        cp.activate_as_seed(now, &mut cmds);
+        cmds
+    }
+
     /// Feeds an entry observation with a throwaway vehicle id.
     fn enter(
         cp: &mut Checkpoint,
@@ -840,7 +304,8 @@ mod tests {
         class: VehicleClass,
         label: Option<Label>,
     ) -> Vec<Command> {
-        cp.handle(
+        handle(
+            cp,
             Observation::Entered {
                 vehicle: VehicleId(77),
                 via,
@@ -851,15 +316,22 @@ mod tests {
         )
     }
 
-    /// Kinds of the events a call buffered, in order.
+    /// Drains the buffered events into a fresh vector.
+    fn drain(cp: &mut Checkpoint) -> Vec<(f64, ProtocolEvent)> {
+        let mut evs = Vec::new();
+        cp.drain_events_into(&mut evs);
+        evs
+    }
+
+    /// Kinds of the events buffered since the last drain, in order.
     fn kinds_since(cp: &mut Checkpoint) -> Vec<EventKind> {
-        cp.take_events().iter().map(|(_, e)| e.kind()).collect()
+        drain(cp).iter().map(|(_, e)| e.kind()).collect()
     }
 
     #[test]
     fn seed_activation_starts_all_inbound_counting() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        let cmds = cps[0].activate_as_seed(0.0);
+        let cmds = seed(&mut cps[0], 0.0);
         assert!(cmds.is_empty(), "bidirectional triangle needs no announces");
         assert!(cps[0].is_active() && cps[0].is_seed());
         assert_eq!(kinds_since(&mut cps[0]), [EventKind::CheckpointActivated]);
@@ -879,8 +351,8 @@ mod tests {
         // Inactive: not counted, no event.
         enter(&mut cps[0], 0.0, Some(e), CAR, None);
         assert!(kinds_since(&mut cps[0]).is_empty());
-        cps[0].activate_as_seed(1.0);
-        cps[0].take_events();
+        seed(&mut cps[0], 1.0);
+        drain(&mut cps[0]);
         enter(&mut cps[0], 2.0, Some(e), CAR, None);
         assert_eq!(kinds_since(&mut cps[0]), [EventKind::VehicleCounted]);
         assert_eq!(cps[0].local_count(), 1);
@@ -890,13 +362,13 @@ mod tests {
     #[test]
     fn label_activates_inactive_checkpoint_and_skips_pred_direction() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let label = cps[0]
             .offer_label(net.edge_between(NodeId(0), NodeId(1)).unwrap())
             .unwrap();
         let via = net.edge_between(NodeId(0), NodeId(1)).unwrap();
         enter(&mut cps[1], 5.0, Some(via), CAR, Some(label));
-        let events = cps[1].take_events();
+        let events = drain(&mut cps[1]);
         assert!(matches!(
             events[0].1,
             ProtocolEvent::CheckpointActivated {
@@ -923,12 +395,12 @@ mod tests {
     #[test]
     fn label_stops_counting_at_active_checkpoint() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         // Count two cars first.
         enter(&mut cps[0], 1.0, Some(from1), CAR, None);
         enter(&mut cps[0], 2.0, Some(from1), CAR, None);
-        cps[0].take_events();
+        drain(&mut cps[0]);
         // Node 1's backwash label arrives.
         let label = Label {
             origin: NodeId(1),
@@ -936,7 +408,7 @@ mod tests {
             seed: NodeId(0),
         };
         enter(&mut cps[0], 3.0, Some(from1), CAR, Some(label));
-        let events = cps[0].take_events();
+        let events = drain(&mut cps[0]);
         assert!(matches!(
             events[0].1,
             ProtocolEvent::InboundStopped { node: 0, edge } if edge == from1.0
@@ -950,7 +422,7 @@ mod tests {
     #[test]
     fn stability_requires_all_directions_stopped() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         assert!(!cps[0].is_stable());
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         let from2 = net.edge_between(NodeId(2), NodeId(0)).unwrap();
@@ -966,7 +438,7 @@ mod tests {
             origin_pred: Some(NodeId(1)),
             seed: NodeId(0),
         };
-        cps[0].take_events();
+        drain(&mut cps[0]);
         enter(&mut cps[0], 7.0, Some(from2), CAR, Some(l2));
         assert!(cps[0].is_stable());
         assert_eq!(cps[0].stable_at(), Some(7.0));
@@ -984,6 +456,7 @@ mod tests {
         let e = |a: u32, b: u32| net.edge_between(NodeId(a), NodeId(b)).unwrap();
         let deliver = |cp: &mut Checkpoint, onto: EdgeId, t: f64| {
             let label = cp.offer_label(onto).unwrap();
+            let mut cmds = Vec::new();
             cp.handle(
                 Observation::Departed {
                     vehicle: VehicleId(7),
@@ -992,10 +465,11 @@ mod tests {
                     matches_filter: true,
                 },
                 t,
+                &mut cmds,
             );
             label
         };
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
 
         // Seed counts one car from each side.
         enter(&mut cps[0], 1.0, Some(e(1, 0)), CAR, None);
@@ -1023,8 +497,7 @@ mod tests {
                 seq: 1
             }]
         );
-        assert!(cps[2]
-            .take_events()
+        assert!(drain(&mut cps[2])
             .iter()
             .any(|(_, ev)| matches!(ev, ProtocolEvent::ReportSent { node: 2, to: 1, .. })));
 
@@ -1040,7 +513,8 @@ mod tests {
         assert_eq!(cps[2].tree_total(), Some(0));
 
         // Transport 2's report to 1, then 1's to the seed.
-        let cmds = cps[1].handle(
+        let cmds = handle(
+            &mut cps[1],
             Observation::Report {
                 from: NodeId(2),
                 total: 0,
@@ -1056,7 +530,8 @@ mod tests {
                 seq: 1
             }]
         );
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::Report {
                 from: NodeId(1),
                 total: 1,
@@ -1072,11 +547,12 @@ mod tests {
     #[test]
     fn failed_handoff_compensates_and_retries() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
         assert!(cps[0].offer_label(e01).is_some());
-        cps[0].take_events();
-        cps[0].handle(
+        drain(&mut cps[0]);
+        handle(
+            &mut cps[0],
             Observation::Departed {
                 vehicle: VehicleId(3),
                 onto: e01,
@@ -1096,7 +572,8 @@ mod tests {
         );
         // Still pending: retry with the next vehicle.
         assert!(cps[0].offer_label(e01).is_some());
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::Departed {
                 vehicle: VehicleId(4),
                 onto: e01,
@@ -1121,9 +598,10 @@ mod tests {
             filter: ClassFilter::white_vans(),
             ..Default::default()
         });
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let e01 = net.edge_between(NodeId(0), NodeId(1)).unwrap();
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::Departed {
                 vehicle: VehicleId(3),
                 onto: e01,
@@ -1141,7 +619,7 @@ mod tests {
             filter: ClassFilter::white_vans(),
             ..Default::default()
         });
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         enter(&mut cps[0], 1.0, Some(from1), CAR, None);
         enter(&mut cps[0], 2.0, Some(from1), VehicleClass::WHITE_VAN, None);
@@ -1151,8 +629,8 @@ mod tests {
     #[test]
     fn patrol_cars_are_never_counted() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
-        cps[0].take_events();
+        seed(&mut cps[0], 0.0);
+        drain(&mut cps[0]);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         enter(&mut cps[0], 1.0, Some(from1), VehicleClass::PATROL, None);
         assert!(kinds_since(&mut cps[0]).is_empty());
@@ -1162,13 +640,13 @@ mod tests {
     #[test]
     fn overtake_adjustments_shift_local_count() {
         let (_, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
-        cps[0].take_events();
-        cps[0].handle(Observation::Adjust { plus: 2, minus: 1 }, 1.0);
+        seed(&mut cps[0], 0.0);
+        drain(&mut cps[0]);
+        handle(&mut cps[0], Observation::Adjust { plus: 2, minus: 1 }, 1.0);
         assert_eq!(cps[0].local_count(), 1);
-        cps[0].handle(Observation::Adjust { plus: 0, minus: 3 }, 2.0);
+        handle(&mut cps[0], Observation::Adjust { plus: 0, minus: 3 }, 2.0);
         assert_eq!(cps[0].local_count(), -2);
-        let events = cps[0].take_events();
+        let events = drain(&mut cps[0]);
         assert!(matches!(
             events[0].1,
             ProtocolEvent::OvertakeAdjustment {
@@ -1195,7 +673,8 @@ mod tests {
         let cfg = CheckpointConfig::for_variant(ProtocolVariant::Open);
         let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
         let exit = |cp: &mut Checkpoint, t: f64| {
-            cp.handle(
+            handle(
+                cp,
                 Observation::BorderExit {
                     vehicle: VehicleId(9),
                     class: CAR,
@@ -1208,8 +687,8 @@ mod tests {
         enter(&mut cp, 0.5, None, CAR, None);
         assert_eq!(cp.interaction_net(), 0);
         assert!(kinds_since(&mut cp).is_empty(), "inactive: no events");
-        cp.activate_as_seed(1.0);
-        cp.take_events();
+        seed(&mut cp, 1.0);
+        drain(&mut cp);
         enter(&mut cp, 2.0, None, CAR, None);
         exit(&mut cp, 3.0);
         enter(&mut cp, 4.0, None, CAR, None);
@@ -1236,9 +715,10 @@ mod tests {
             },
         );
         let mut cp = Checkpoint::new(&net, NodeId(0), CheckpointConfig::default());
-        cp.activate_as_seed(0.0);
+        seed(&mut cp, 0.0);
         enter(&mut cp, 1.0, None, CAR, None);
-        cp.handle(
+        handle(
+            &mut cp,
             Observation::BorderExit {
                 vehicle: VehicleId(9),
                 class: CAR,
@@ -1251,7 +731,7 @@ mod tests {
     #[test]
     fn duplicate_labels_on_stopped_direction_are_idempotent() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let from1 = net.edge_between(NodeId(1), NodeId(0)).unwrap();
         let l = Label {
             origin: NodeId(1),
@@ -1260,7 +740,7 @@ mod tests {
         };
         enter(&mut cps[0], 1.0, Some(from1), CAR, Some(l));
         let before = cps[0].local_count();
-        cps[0].take_events();
+        drain(&mut cps[0]);
         enter(&mut cps[0], 2.0, Some(from1), CAR, Some(l));
         assert!(
             kinds_since(&mut cps[0]).is_empty(),
@@ -1277,12 +757,13 @@ mod tests {
             ..Default::default()
         };
         let mut cp = Checkpoint::new(&net, NodeId(0), cfg);
-        cp.activate_as_seed(0.0);
-        cp.take_events();
+        seed(&mut cp, 0.0);
+        drain(&mut cp);
         let mut status = PatrolStatus::default();
         status.observe(NodeId(1), true);
         status.observe(NodeId(2), true);
-        cp.handle(
+        handle(
+            &mut cp,
             Observation::PatrolStatus {
                 vehicle: VehicleId(2),
                 status,
@@ -1304,11 +785,12 @@ mod tests {
     #[test]
     fn stale_stop_disabled_by_default() {
         let (_net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
-        cps[0].activate_as_seed(0.0);
+        seed(&mut cps[0], 0.0);
         let mut status = PatrolStatus::default();
         status.observe(NodeId(1), true);
         status.observe(NodeId(2), true);
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::PatrolStatus {
                 vehicle: VehicleId(2),
                 status,
@@ -1328,12 +810,13 @@ mod tests {
         let cfg = CheckpointConfig::default();
         let mut cp0 = Checkpoint::new(&net, a, cfg);
         let mut cp1 = Checkpoint::new(&net, b, cfg);
-        cp0.activate_as_seed(0.0);
+        seed(&mut cp0, 0.0);
         // Wave to 1 and backwash.
         let e01 = net.edge_between(a, b).unwrap();
         let e10 = net.edge_between(b, a).unwrap();
         let l = cp0.offer_label(e01).unwrap();
-        cp0.handle(
+        handle(
+            &mut cp0,
             Observation::Departed {
                 vehicle: VehicleId(1),
                 onto: e01,
@@ -1344,7 +827,8 @@ mod tests {
         );
         enter(&mut cp1, 1.0, Some(e01), CAR, Some(l));
         let l_back = cp1.offer_label(e10).unwrap();
-        cp1.handle(
+        handle(
+            &mut cp1,
             Observation::Departed {
                 vehicle: VehicleId(2),
                 onto: e10,
@@ -1358,7 +842,8 @@ mod tests {
         // 1 is also stable (its only non-pred inbound set is empty).
         assert!(cp1.is_stable());
         // 1 reports 0 vehicles; 0 aggregates.
-        cp0.handle(
+        handle(
+            &mut cp0,
             Observation::Report {
                 from: b,
                 total: 0,
@@ -1373,9 +858,10 @@ mod tests {
     fn higher_sequence_report_supersedes_and_is_observable() {
         let (net, mut cps) = triangle_checkpoints(CheckpointConfig::default());
         let _ = net;
-        cps[0].activate_as_seed(0.0);
-        cps[0].take_events();
-        cps[0].handle(
+        seed(&mut cps[0], 0.0);
+        drain(&mut cps[0]);
+        handle(
+            &mut cps[0],
             Observation::Report {
                 from: NodeId(1),
                 total: 5,
@@ -1385,7 +871,8 @@ mod tests {
         );
         assert!(kinds_since(&mut cps[0]).is_empty(), "first report: no dup");
         // Stale report is ignored, no event.
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::Report {
                 from: NodeId(1),
                 total: 99,
@@ -1395,7 +882,8 @@ mod tests {
         );
         assert!(kinds_since(&mut cps[0]).is_empty());
         // Higher sequence supersedes.
-        cps[0].handle(
+        handle(
+            &mut cps[0],
             Observation::Report {
                 from: NodeId(1),
                 total: 4,
@@ -1403,7 +891,7 @@ mod tests {
             },
             3.0,
         );
-        let events = cps[0].take_events();
+        let events = drain(&mut cps[0]);
         assert!(matches!(
             events[0].1,
             ProtocolEvent::ReportSuperseded {

@@ -6,19 +6,26 @@
 //! every vehicle in a region exactly once using only checkpoint
 //! surveillance and the traffic flow as the message carrier.
 //!
-//! * [`checkpoint::Checkpoint`] — the per-intersection state machine
-//!   covering Alg. 1 (simple closed systems), Alg. 3 (overtakes, lossy
-//!   channels, one-way streets, patrol) and Alg. 5 (open systems), plus
-//!   the collection logic of Alg. 2/4 (spanning-tree aggregation to the
-//!   seed).
+//! * [`machine::CheckpointMachine`] — the pure per-intersection state
+//!   machine covering Alg. 1 (simple closed systems), Alg. 3 (overtakes,
+//!   lossy channels, one-way streets, patrol) and Alg. 5 (open systems),
+//!   plus the collection logic of Alg. 2/4 (spanning-tree aggregation to
+//!   the seed). `process(state, action) → dispatches` performs no IO,
+//!   draws no RNG and reads no clock; every effectful input arrives
+//!   inside the [`machine::Action`].
+//! * [`checkpoint::Checkpoint`] — the effectful shell deployments drive:
+//!   it mints actions from [`observation::Observation`]s and buffers the
+//!   emitted events.
+//! * [`machine::Replayer`] — re-drives recorded action streams without
+//!   any simulator, pinning determinism via [`machine::DispatchDigest`].
 //! * [`config`] — protocol variants and the specified-type filter.
 //! * [`counter::Counters`] — `c(u, v)` with overtake/loss/interaction
 //!   components.
 //! * [`baseline`] — the unsynchronized baselines the paper argues against.
 //!
-//! The state machine is pure (no I/O, no clock, no RNG): a harness feeds
-//! [`observation::Observation`]s to [`checkpoint::Checkpoint::handle`] and
-//! performs the returned transport [`command::Command`]s; alongside, the
+//! A harness feeds [`observation::Observation`]s to
+//! [`checkpoint::Checkpoint::handle`] and performs the transport
+//! [`command::Command`]s appended to its scratch buffer; alongside, the
 //! machine buffers structured [`vcount_obs::ProtocolEvent`]s for
 //! observability sinks. `vcount-sim` wires it to the traffic and V2X
 //! substrates; the unit tests here drive it directly.
@@ -31,6 +38,7 @@ pub mod checkpoint;
 pub mod command;
 pub mod config;
 pub mod counter;
+pub mod machine;
 pub mod observation;
 
 pub use baseline::{ClassDedupCounter, NaiveIntervalCounter};
@@ -38,5 +46,6 @@ pub use checkpoint::{Checkpoint, CheckpointState, InboundState, LabelState};
 pub use command::Command;
 pub use config::{CheckpointConfig, ProtocolVariant};
 pub use counter::Counters;
+pub use machine::{Action, ActionKind, CheckpointMachine, DispatchDigest, Dispatches, Replayer};
 pub use observation::Observation;
 pub use vcount_obs::{EventKind, ProtocolEvent};

@@ -1,0 +1,134 @@
+//! Property-based ordering invariance of the pure protocol machine.
+//!
+//! The paper's exactness claim ("never a silent miscount") must not hinge
+//! on the order in which *commutative* protocol inputs happen to arrive:
+//! counted entries and overtake adjustments at an active checkpoint are
+//! additive, so every permutation of the same action bag must land on the
+//! same checkpoint state and the exact expected count — or fail loudly
+//! (the machine asserts its invariants), never drift silently.
+
+use proptest::prelude::*;
+use vcount_core::{Action, ActionKind, CheckpointConfig, ProtocolVariant, Replayer};
+use vcount_roadnet::builders::fig1_triangle;
+use vcount_roadnet::NodeId;
+use vcount_v2x::{BodyType, Brand, Color, VehicleClass, VehicleId};
+
+const CAR: VehicleClass = VehicleClass {
+    color: Color::Red,
+    brand: Brand::Apex,
+    body: BodyType::Sedan,
+};
+
+/// One commutative protocol input at the seed checkpoint.
+#[derive(Debug, Clone)]
+enum Input {
+    /// An uncounted matching vehicle entering via one of the seed's
+    /// inbound directions (`which` picks it).
+    Entry { vehicle: u64, which: usize },
+    /// An overtake adjustment.
+    Adjust { plus: usize, minus: usize },
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<Input>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..1000, 0usize..2).prop_map(|(vehicle, which)| Input::Entry { vehicle, which }),
+            (0usize..3, 0usize..3).prop_map(|(plus, minus)| Input::Adjust { plus, minus }),
+        ],
+        1..24,
+    )
+}
+
+/// Applies `inputs` in the given order to a fresh seed-activated machine
+/// and returns the replayer.
+fn drive(inputs: &[Input]) -> Replayer {
+    let net = fig1_triangle(250.0, 1, 6.7);
+    let cfg = CheckpointConfig::for_variant(ProtocolVariant::Simple);
+    let mut rp = Replayer::new(&net, cfg);
+    let seed = NodeId(0);
+    let inbound = [
+        net.edge_between(NodeId(1), seed).unwrap(),
+        net.edge_between(NodeId(2), seed).unwrap(),
+    ];
+    rp.apply(
+        seed,
+        &Action {
+            at_s: 0.0,
+            kind: ActionKind::Seed,
+        },
+    );
+    for input in inputs {
+        let kind = match *input {
+            Input::Entry { vehicle, which } => ActionKind::Entered {
+                vehicle: VehicleId(vehicle),
+                via: Some(inbound[which % inbound.len()]),
+                class: CAR,
+                label: None,
+            },
+            Input::Adjust { plus, minus } => ActionKind::Adjust { plus, minus },
+        };
+        rp.apply(seed, &Action { at_s: 1.0, kind });
+    }
+    rp
+}
+
+/// The exact count the bag must produce: every distinct matching entry
+/// counts once, adjustments are additive.
+fn expected_count(inputs: &[Input]) -> i64 {
+    let mut count = 0i64;
+    for input in inputs {
+        match *input {
+            Input::Entry { .. } => count += 1,
+            Input::Adjust { plus, minus } => count += plus as i64 - minus as i64,
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Reversing a commutative action bag lands on the same final
+    /// checkpoint state and the exact expected count.
+    #[test]
+    fn count_is_invariant_under_reversal(inputs in arb_inputs()) {
+        let baseline = drive(&inputs);
+        let expect = expected_count(&inputs);
+        prop_assert_eq!(baseline.local_counts()[0], expect);
+
+        let mut reversed = inputs.clone();
+        reversed.reverse();
+        let other = drive(&reversed);
+        prop_assert_eq!(other.local_counts()[0], expect);
+        prop_assert_eq!(other.state(NodeId(0)), baseline.state(NodeId(0)));
+    }
+}
+
+proptest! {
+    /// An arbitrary generated permutation (not just reversal) agrees with
+    /// the identity ordering: exact, or a loud failure — never a silent
+    /// miscount.
+    #[test]
+    fn shuffled_bag_matches_identity_ordering(
+        inputs in arb_inputs(),
+        perm_seed in any::<u64>(),
+    ) {
+        // Fisher–Yates driven by a splitmix-style stream over `perm_seed`.
+        let mut shuffled = inputs.clone();
+        let mut state = perm_seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..shuffled.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let a = drive(&inputs);
+        let b = drive(&shuffled);
+        prop_assert_eq!(a.local_counts(), b.local_counts());
+        prop_assert_eq!(a.state(NodeId(0)), b.state(NodeId(0)));
+        prop_assert_eq!(a.local_counts()[0], expected_count(&inputs));
+    }
+}

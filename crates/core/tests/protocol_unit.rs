@@ -16,6 +16,27 @@ const CAR: VehicleClass = VehicleClass {
     body: BodyType::Suv,
 };
 
+/// Drives one observation through a fresh command scratch.
+fn handle(cp: &mut Checkpoint, obs: Observation, now: f64) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    cp.handle(obs, now, &mut cmds);
+    cmds
+}
+
+/// Seed activation through a fresh command scratch.
+fn seed(cp: &mut Checkpoint, now: f64) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    cp.activate_as_seed(now, &mut cmds);
+    cmds
+}
+
+/// Drains the buffered events into a fresh vector.
+fn drain(cp: &mut Checkpoint) -> Vec<(f64, ProtocolEvent)> {
+    let mut evs = Vec::new();
+    cp.drain_events_into(&mut evs);
+    evs
+}
+
 /// What one `Entered` observation did, reconstructed from the event
 /// stream rather than returned by the protocol API.
 struct Entry {
@@ -26,8 +47,9 @@ struct Entry {
 }
 
 fn enter(cp: &mut Checkpoint, now: f64, via: Option<EdgeId>, label: Option<Label>) -> Entry {
-    cp.take_events();
-    let commands = cp.handle(
+    drain(cp);
+    let commands = handle(
+        cp,
         Observation::Entered {
             vehicle: VehicleId(1),
             via,
@@ -42,7 +64,7 @@ fn enter(cp: &mut Checkpoint, now: f64, via: Option<EdgeId>, label: Option<Label
         stopped: None,
         commands,
     };
-    for (_, ev) in cp.take_events() {
+    for (_, ev) in drain(cp) {
         match ev {
             ProtocolEvent::VehicleCounted { .. } | ProtocolEvent::BorderEntry { .. } => {
                 out.counted = true
@@ -58,7 +80,8 @@ fn enter(cp: &mut Checkpoint, now: f64, via: Option<EdgeId>, label: Option<Label
 /// Offers the pending label on `onto` and acknowledges its delivery.
 fn deliver(cp: &mut Checkpoint, now: f64, onto: EdgeId) -> Label {
     let label = cp.offer_label(onto).unwrap();
-    cp.handle(
+    handle(
+        cp,
         Observation::Departed {
             vehicle: VehicleId(1),
             onto,
@@ -94,7 +117,7 @@ fn one_way_wave_propagates_and_stabilizes() {
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
     // Seed at u. Its only inbound is w->u; outbound u->v.
-    let cmds = cu.activate_as_seed(0.0);
+    let cmds = seed(&mut cu, 0.0);
     // u cannot label back to w (no edge u->w): it announces its pred to w.
     assert_eq!(cmds, vec![Command::SendPredAnnounce { to: w, pred: None }]);
 
@@ -134,21 +157,24 @@ fn one_way_wave_propagates_and_stabilizes() {
     assert!(cu.is_stable());
 
     // Child discovery across one-way links: deliver the announces.
-    cu.handle(
+    handle(
+        &mut cu,
         Observation::Announce {
             from: v,
             pred: Some(u),
         },
         35.0,
     );
-    cv.handle(
+    handle(
+        &mut cv,
         Observation::Announce {
             from: w,
             pred: Some(v),
         },
         35.0,
     );
-    let cmds = cw.handle(
+    let cmds = handle(
+        &mut cw,
         Observation::Announce {
             from: u,
             pred: None,
@@ -173,8 +199,8 @@ fn two_seeds_stop_each_other() {
     let cfg = CheckpointConfig::default();
     let mut cu = Checkpoint::new(&net, u, cfg);
     let mut cv = Checkpoint::new(&net, v, cfg);
-    cu.activate_as_seed(0.0);
-    cv.activate_as_seed(0.0);
+    seed(&mut cu, 0.0);
+    seed(&mut cv, 0.0);
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
     // Count one vehicle at each side first.
@@ -212,7 +238,7 @@ fn late_loss_compensation_triggers_re_report() {
     let mut cu = Checkpoint::new(&net, u, cfg);
     let e = |a: NodeId, b: NodeId| net.edge_between(a, b).unwrap();
 
-    cs.activate_as_seed(0.0);
+    seed(&mut cs, 0.0);
     let l = deliver(&mut cs, 0.5, e(s, u));
     enter(&mut cu, 1.0, Some(e(s, u)), Some(l));
     // u's backwash label stops the seed's counting of s<-u.
@@ -230,7 +256,8 @@ fn late_loss_compensation_triggers_re_report() {
     assert!(cu.is_stable());
     // u knows x is its child; x reports 0: u reports 1 to s.
     assert!(out.commands.is_empty());
-    let cmds = cu.handle(
+    let cmds = handle(
+        &mut cu,
         Observation::Report {
             from: x,
             total: 0,
@@ -246,7 +273,8 @@ fn late_loss_compensation_triggers_re_report() {
             seq: 1
         }]
     );
-    cs.handle(
+    handle(
+        &mut cs,
         Observation::Report {
             from: u,
             total: 1,
@@ -258,7 +286,8 @@ fn late_loss_compensation_triggers_re_report() {
 
     // NOW a label handoff on u -> x fails (it was still pending): the
     // compensation lands after u's report, so u must re-report.
-    let cmds = cu.handle(
+    let cmds = handle(
+        &mut cu,
         Observation::Departed {
             vehicle: VehicleId(2),
             onto: e(u, x),
@@ -276,7 +305,8 @@ fn late_loss_compensation_triggers_re_report() {
         }]
     );
     // An out-of-order stale report (seq 1) must not clobber seq 2.
-    cs.handle(
+    handle(
+        &mut cs,
         Observation::Report {
             from: u,
             total: 1,
@@ -284,7 +314,8 @@ fn late_loss_compensation_triggers_re_report() {
         },
         7.0,
     );
-    cs.handle(
+    handle(
+        &mut cs,
         Observation::Report {
             from: u,
             total: 0,
@@ -294,7 +325,8 @@ fn late_loss_compensation_triggers_re_report() {
     );
     assert_eq!(cs.tree_total(), Some(0));
     // Replaying the stale one after the fresh one is ignored.
-    cs.handle(
+    handle(
+        &mut cs,
         Observation::Report {
             from: u,
             total: 1,
@@ -322,11 +354,12 @@ fn open_border_checkpoint_full_lifecycle() {
     let mut cb = Checkpoint::new(&net, b, cfg);
     let e = |a: NodeId, bb: NodeId| net.edge_between(a, bb).unwrap();
 
-    cb.activate_as_seed(0.0);
+    seed(&mut cb, 0.0);
     // Interior counting runs alongside interaction counting.
     assert!(enter(&mut cb, 1.0, Some(e(i, b)), None).counted);
     assert!(enter(&mut cb, 2.0, None, None).counted); // from outside
-    cb.handle(
+    handle(
+        &mut cb,
         Observation::BorderExit {
             vehicle: VehicleId(1),
             class: CAR,
@@ -356,7 +389,7 @@ fn inbound_state_accessor_tracks_lifecycle() {
     let mut cu = Checkpoint::new(&net, u, CheckpointConfig::default());
     let inbound = net.in_edges(u)[0];
     assert_eq!(cu.inbound_state(inbound), InboundState::Idle);
-    cu.activate_as_seed(0.0);
+    seed(&mut cu, 0.0);
     assert_eq!(cu.inbound_state(inbound), InboundState::Counting);
     // Unknown edge (an outbound one) reads Idle.
     let out = net.edge_between(u, v).unwrap();

@@ -47,6 +47,9 @@ impl AuditLog {
 pub fn audit(ctx: &mut StepCtx<'_>, node: NodeId) {
     let mut drained = std::mem::take(&mut ctx.audit.event_drain);
     ctx.cps[node.index()].drain_events_into(&mut drained);
+    // The recorder's digest absorbs the events line before the commands
+    // line (see [`super::apply_action`]); a no-op when recording is off.
+    ctx.recorder.absorb_events(node, &drained);
     for &(t, event) in &drained {
         // The oracle ledger mirrors exactly what the protocol applied;
         // attribution-bearing events carry the vehicle they concern.

@@ -12,9 +12,9 @@ use vcount_roadnet::NodeId;
 use vcount_v2x::{Announce, Message, Report};
 
 /// Routes the commands `from` emitted into the exchange, per the
-/// scenario's transport mode.
-pub fn dispatch(ctx: &mut StepCtx<'_>, from: NodeId, cmds: Vec<Command>) {
-    for cmd in cmds {
+/// scenario's transport mode, draining the caller's scratch buffer.
+pub fn dispatch(ctx: &mut StepCtx<'_>, from: NodeId, cmds: &mut Vec<Command>) {
+    for cmd in cmds.drain(..) {
         match cmd {
             Command::SendPredAnnounce { to, pred } => {
                 let msg = Message::Announce(Announce { to, from, pred });

@@ -13,11 +13,11 @@
 //! [`crate::metrics::RunTelemetry`]. Everything here serializes into an
 //! [`ExchangeSnapshot`] for snapshot/resume.
 
-use super::{audit, dispatch, StepCtx};
+use super::{audit, StepCtx};
 use bytes::{Buf, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use vcount_core::Observation;
+use vcount_core::ActionKind;
 use vcount_roadnet::{EdgeId, NodeId};
 use vcount_v2x::message::TAG_REPORT;
 use vcount_v2x::{Label, Message, PatrolStatus, SegmentWatch, VehicleId};
@@ -504,22 +504,19 @@ pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
         );
         return;
     }
-    let obs = match ctx.exchange.decode_payload(&env.payload) {
-        Message::Announce(a) => Observation::Announce {
+    let kind = match ctx.exchange.decode_payload(&env.payload) {
+        Message::Announce(a) => ActionKind::Announce {
             from: a.from,
             pred: a.pred,
         },
-        Message::Report(r) => Observation::Report {
+        Message::Report(r) => ActionKind::Report {
             from: r.from,
             total: r.subtree_total,
             seq: r.seq,
         },
         other => unreachable!("exchange routes only announces and reports, got {other:?}"),
     };
-    let node = env.to;
-    let cmds = ctx.cps[node.index()].handle(obs, ctx.now);
-    audit::audit(ctx, node);
-    dispatch::dispatch(ctx, node, cmds);
+    super::apply_action(ctx, env.to, kind);
 }
 
 #[cfg(test)]

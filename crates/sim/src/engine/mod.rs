@@ -43,8 +43,12 @@ pub use snapshot::{EngineSnapshot, SNAPSHOT_SCHEMA};
 pub use traffic_step::{traffic_step, TrafficBatch};
 
 use crate::oracle::Oracle;
+use crate::replay::ActionRecorder;
 use crate::scenario::TransportMode;
-use vcount_core::{Checkpoint, ClassDedupCounter, NaiveIntervalCounter};
+use vcount_core::{
+    Action, ActionKind, Checkpoint, ClassDedupCounter, Command, NaiveIntervalCounter,
+};
+use vcount_roadnet::NodeId;
 use vcount_traffic::{ReplayRng, Simulator};
 use vcount_v2x::{AdjustMode, ClassFilter, LossModel};
 
@@ -82,4 +86,31 @@ pub struct StepCtx<'a> {
     pub audit: &'a mut AuditLog,
     /// Deterministic fault injection (inactive unless a plan is loaded).
     pub faults: &'a mut crate::faults::FaultLayer,
+    /// Action-trace recorder (inert unless `--record-actions` is on).
+    pub recorder: &'a mut ActionRecorder,
+    /// Reused command scratch for [`apply_action`] (allocation-free once
+    /// warmed up).
+    pub cmd_scratch: &'a mut Vec<Command>,
+}
+
+/// The single funnel every protocol input passes through: mints the
+/// [`Action`] at `ctx.now`, records it, feeds it to `node`'s pure machine,
+/// audits the emitted events, and dispatches the emitted commands into
+/// the exchange. Keeping one funnel guarantees the recorded action stream
+/// is complete — a machine-only replay of it reproduces every dispatch.
+pub fn apply_action(ctx: &mut StepCtx<'_>, node: NodeId, kind: ActionKind) {
+    let action = Action {
+        at_s: ctx.now,
+        kind,
+    };
+    ctx.recorder.push(node, &action);
+    let mut cmds = std::mem::take(ctx.cmd_scratch);
+    debug_assert!(cmds.is_empty(), "command scratch must drain every action");
+    ctx.cps[node.index()].apply(&action, &mut cmds);
+    // Events first, then commands — the recorder's digest lines follow the
+    // same order (see `AuditLog`/`ActionRecorder`).
+    audit::audit(ctx, node);
+    ctx.recorder.absorb_commands(node, &cmds);
+    dispatch::dispatch(ctx, node, &mut cmds);
+    *ctx.cmd_scratch = cmds;
 }

@@ -7,8 +7,8 @@
 //! departure of the same step — is preserved exactly.
 
 use super::exchange::deliver_envelope;
-use super::{audit, dispatch, StepCtx, TrafficBatch, Watch};
-use vcount_core::Observation;
+use super::{apply_action, audit, StepCtx, TrafficBatch, Watch};
+use vcount_core::ActionKind;
 use vcount_obs::ProtocolEvent;
 use vcount_roadnet::{EdgeId, NodeId};
 use vcount_traffic::TrafficEvent;
@@ -66,16 +66,15 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
                 Message::Report(r) => r,
                 other => unreachable!("carried report queue held {other:?}"),
             };
-            let cmds = ctx.cps[node.index()].handle(
-                Observation::Report {
+            apply_action(
+                ctx,
+                node,
+                ActionKind::Report {
                     from: r.from,
                     total: r.subtree_total,
                     seq: r.seq,
                 },
-                ctx.now,
             );
-            audit::audit(ctx, node);
-            dispatch::dispatch(ctx, node, cmds);
         }
     }
     ctx.exchange.recycle_reports(due);
@@ -97,10 +96,7 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
                 .chaos_patrol_carried(vehicle, chaos.duplicate, chaos.reverse);
         }
         let status = ctx.exchange.relay_status(vehicle);
-        let cmds =
-            ctx.cps[node.index()].handle(Observation::PatrolStatus { vehicle, status }, ctx.now);
-        audit::audit(ctx, node);
-        dispatch::dispatch(ctx, node, cmds);
+        apply_action(ctx, node, ActionKind::PatrolStatus { vehicle, status });
     }
 
     // Segment-watch bookkeeping on the arrival edge.
@@ -145,17 +141,16 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
             ctx.faults.note_suppressed_observation();
         }
     } else {
-        let cmds = ctx.cps[node.index()].handle(
-            Observation::Entered {
+        apply_action(
+            ctx,
+            node,
+            ActionKind::Entered {
                 vehicle,
                 via: from,
                 class,
                 label,
             },
-            ctx.now,
         );
-        audit::audit(ctx, node);
-        dispatch::dispatch(ctx, node, cmds);
     }
 
     // Patrol observation recorded after processing: the status carried
@@ -220,17 +215,16 @@ fn on_departed(
         // On failure the checkpoint emits the compensation event (when
         // configured), and the audit stage mirrors it into the oracle — so
         // the compensation-disabled ablation shows up as violations.
-        let cmds = ctx.cps[node.index()].handle(
-            Observation::Departed {
+        apply_action(
+            ctx,
+            node,
+            ActionKind::Departed {
                 vehicle,
                 onto,
                 delivered,
                 matches_filter: ctx.filter.matches(&class),
             },
-            ctx.now,
         );
-        audit::audit(ctx, node);
-        dispatch::dispatch(ctx, node, cmds);
         if delivered {
             ctx.exchange.hand_label(vehicle, label);
             if !is_patrol {
@@ -323,9 +317,7 @@ fn finalize_watch(ctx: &mut StepCtx<'_>, w: Watch) {
         }
     }
     if plus > 0 || minus > 0 {
-        let cmds = ctx.cps[w.origin.index()].handle(Observation::Adjust { plus, minus }, ctx.now);
-        audit::audit(ctx, w.origin);
-        dispatch::dispatch(ctx, w.origin, cmds);
+        apply_action(ctx, w.origin, ActionKind::Adjust { plus, minus });
     }
 }
 
@@ -349,9 +341,9 @@ fn on_exited(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId) {
         return;
     }
     // A counted exit emits a BorderExit event; the audit stage mirrors it
-    // into the oracle as an interaction-out attribution.
-    ctx.cps[node.index()].handle(Observation::BorderExit { vehicle, class }, ctx.now);
-    audit::audit(ctx, node);
+    // into the oracle as an interaction-out attribution. Exits provably
+    // dispatch no commands, so the funnel's dispatch pass is a no-op here.
+    apply_action(ctx, node, ActionKind::BorderExit { vehicle, class });
 }
 
 fn on_overtake(ctx: &mut StepCtx<'_>, edge: EdgeId, overtaker: VehicleId, overtaken: VehicleId) {

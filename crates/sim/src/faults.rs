@@ -41,7 +41,7 @@
 use crate::engine::{audit, StepCtx};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use vcount_core::CheckpointState;
+use vcount_core::{ActionKind, CheckpointState};
 use vcount_obs::ProtocolEvent;
 use vcount_roadnet::NodeId;
 use vcount_traffic::ReplayRng;
@@ -517,79 +517,106 @@ impl FaultLayer {
 /// node's queued messages), and fires due recoveries (rolling the
 /// checkpoint back to its last image).
 pub fn fault_step(ctx: &mut StepCtx<'_>) {
-    let StepCtx {
-        now,
-        cps,
-        exchange,
-        audit: log,
-        faults,
-        ..
-    } = ctx;
-    let Some(state) = faults.state.as_deref_mut() else {
-        return;
+    let now = ctx.now;
+    // Image refresh runs under a scoped borrow: the crash/recover
+    // applications below feed [`crate::engine::apply_action`], which needs
+    // the whole context (recording, audit, dispatch).
+    let crash_count = {
+        let StepCtx { cps, faults, .. } = ctx;
+        let Some(state) = faults.state.as_deref_mut() else {
+            return;
+        };
+        // Refresh recovery images at cadence; down checkpoints keep their
+        // pre-crash image (that is what they recover from).
+        if now >= state.next_image_s {
+            for (i, cp) in cps.iter().enumerate() {
+                if !state.down[i] {
+                    state.images[i] = Some(cp.export_state());
+                }
+            }
+            while state.next_image_s <= now {
+                state.next_image_s += state.plan.image_every_s;
+            }
+        }
+        state.plan.crashes.len()
     };
-    let now = *now;
 
-    // Refresh recovery images at cadence; down checkpoints keep their
-    // pre-crash image (that is what they recover from).
-    if now >= state.next_image_s {
-        for (i, cp) in cps.iter().enumerate() {
-            if !state.down[i] {
-                state.images[i] = Some(cp.export_state());
-            }
-        }
-        while state.next_image_s <= now {
-            state.next_image_s += state.plan.image_every_s;
-        }
-    }
-
-    for (ci, crash) in state.plan.crashes.iter().enumerate() {
-        let idx = crash.node as usize;
-        if !state.crash_fired[ci] && now >= crash.at_s {
-            state.crash_fired[ci] = true;
-            state.down[idx] = true;
-            state.counters.crashes += 1;
-            // The crash loses whatever accrued since the last image.
-            let state_lost = match &state.images[idx] {
-                Some(img) => *img != cps[idx].export_state(),
-                None => true,
-            };
-            if state_lost {
-                state.counters.state_lost_crashes += 1;
-            }
-            let dropped = exchange.drop_node_queues(NodeId(crash.node));
-            if dropped > 0 {
-                state.counters.dropped_messages += dropped as u64;
+    for ci in 0..crash_count {
+        // Crash: engine-side effects (queue drops, downtime bookkeeping,
+        // fault events) happen here; the recorded [`ActionKind::Crash`] is
+        // a pure no-op that documents the fault schedule in the trace.
+        let crashed = {
+            let StepCtx {
+                cps,
+                exchange,
+                audit: log,
+                faults,
+                ..
+            } = ctx;
+            let state = faults.state.as_deref_mut().expect("checked above");
+            let crash = state.plan.crashes[ci];
+            let idx = crash.node as usize;
+            if !state.crash_fired[ci] && now >= crash.at_s {
+                state.crash_fired[ci] = true;
+                state.down[idx] = true;
+                state.counters.crashes += 1;
+                // The crash loses whatever accrued since the last image.
+                let state_lost = match &state.images[idx] {
+                    Some(img) => *img != cps[idx].export_state(),
+                    None => true,
+                };
+                if state_lost {
+                    state.counters.state_lost_crashes += 1;
+                }
+                let dropped = exchange.drop_node_queues(NodeId(crash.node));
+                if dropped > 0 {
+                    state.counters.dropped_messages += dropped as u64;
+                    audit::record_fault(
+                        log,
+                        now,
+                        ProtocolEvent::FaultMessageDropped {
+                            node: crash.node,
+                            messages: dropped as u32,
+                        },
+                    );
+                }
                 audit::record_fault(
                     log,
                     now,
-                    ProtocolEvent::FaultMessageDropped {
+                    ProtocolEvent::CheckpointCrashed {
                         node: crash.node,
-                        messages: dropped as u32,
+                        state_lost,
                     },
                 );
+                Some(crash.node)
+            } else {
+                None
             }
-            audit::record_fault(
-                log,
-                now,
-                ProtocolEvent::CheckpointCrashed {
-                    node: crash.node,
-                    state_lost,
-                },
-            );
+        };
+        if let Some(node) = crashed {
+            crate::engine::apply_action(ctx, NodeId(node), ActionKind::Crash);
         }
-        if state.crash_fired[ci] && !state.recover_fired[ci] && now >= crash.recover_s {
-            state.recover_fired[ci] = true;
-            state.down[idx] = false;
-            state.counters.recoveries += 1;
-            if let Some(img) = &state.images[idx] {
-                cps[idx].restore_state(img.clone());
+
+        // Recovery: the rollback image travels *inside* the action, so a
+        // machine-only replay restores the identical state.
+        let recovered = {
+            let StepCtx { faults, .. } = ctx;
+            let state = faults.state.as_deref_mut().expect("checked above");
+            let crash = state.plan.crashes[ci];
+            let idx = crash.node as usize;
+            if state.crash_fired[ci] && !state.recover_fired[ci] && now >= crash.recover_s {
+                state.recover_fired[ci] = true;
+                state.down[idx] = false;
+                state.counters.recoveries += 1;
+                let image = state.images[idx].clone().map(Box::new);
+                Some((crash.node, image))
+            } else {
+                None
             }
-            audit::record_fault(
-                log,
-                now,
-                ProtocolEvent::CheckpointRecovered { node: crash.node },
-            );
+        };
+        if let Some((node, image)) = recovered {
+            crate::engine::apply_action(ctx, NodeId(node), ActionKind::Recover { image });
+            audit::record_fault(ctx.audit, now, ProtocolEvent::CheckpointRecovered { node });
         }
     }
 }

@@ -18,7 +18,10 @@
 //! * [`engine`] — the five named per-step stages (`traffic_step`,
 //!   `observe`, `dispatch`, `exchange`, `audit`), the [`engine::Exchange`]
 //!   message layer that owns every in-flight payload, and
-//!   [`engine::EngineSnapshot`] for freezing and resuming runs.
+//!   [`engine::EngineSnapshot`] for freezing and resuming runs;
+//! * [`replay`] — action record/replay: a recorded run's protocol-input
+//!   stream re-drives the pure machines without the simulator, pinning
+//!   byte-identical dispatches and final counts.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod experiment;
 pub mod faults;
 pub mod metrics;
 pub mod oracle;
+pub mod replay;
 pub mod runner;
 pub mod scenario;
 
@@ -36,5 +40,8 @@ pub use experiment::{sweep, sweep_with_faults, Cell, CellResult, SweepConfig};
 pub use faults::{Blackout, ChaosFault, CrashFault, FaultCounters, FaultLayer, FaultPlan};
 pub use metrics::{ProgressSnapshot, RunMetrics, RunTelemetry, Summary};
 pub use oracle::{Attribution, Oracle, Violation};
+pub use replay::{
+    replay_trace, ActionRecord, ActionRecorder, ActionTrace, ReplayReport, TRACE_SCHEMA,
+};
 pub use runner::{Goal, Runner, RunnerBuilder};
 pub use scenario::{MapSpec, PatrolSpec, Scenario, SeedSpec, TransportMode};

@@ -26,11 +26,12 @@ use crate::engine::{self, AuditLog, EngineSnapshot, Exchange, StepCtx, TrafficBa
 use crate::faults::{FaultLayer, FaultPlan};
 use crate::metrics::{ProgressSnapshot, RunMetrics, RunTelemetry};
 use crate::oracle::Oracle;
+use crate::replay::{ActionRecorder, ActionTrace, TRACE_SCHEMA};
 use crate::scenario::{Scenario, SeedSpec, TransportMode};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use vcount_core::Checkpoint;
-use vcount_core::{ClassDedupCounter, NaiveIntervalCounter};
+use vcount_core::{ActionKind, ClassDedupCounter, Command, NaiveIntervalCounter};
 use vcount_obs::{EventRecord, EventSink, Phase};
 use vcount_roadnet::{edge_covering_cycle, NodeId, RoadNetwork};
 use vcount_traffic::{ReplayRng, Simulator};
@@ -74,6 +75,10 @@ pub struct Runner {
     audit: AuditLog,
     /// Deterministic fault injection (inactive unless a plan is loaded).
     faults: FaultLayer,
+    /// Action-trace recorder (inert unless requested at build time).
+    recorder: ActionRecorder,
+    /// Reused command scratch for [`engine::apply_action`].
+    cmd_scratch: Vec<Command>,
 }
 
 /// Chained-setter construction of a [`Runner`]: scenario first, then
@@ -97,6 +102,7 @@ pub struct RunnerBuilder {
     ring_capacity: usize,
     goal: Goal,
     faults: Option<FaultPlan>,
+    record: bool,
 }
 
 impl RunnerBuilder {
@@ -108,6 +114,7 @@ impl RunnerBuilder {
             ring_capacity: DEFAULT_RING_CAPACITY,
             goal: Goal::Collection,
             faults: None,
+            record: false,
         }
     }
 
@@ -116,6 +123,14 @@ impl RunnerBuilder {
     /// the layer draws from its own RNG stream.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Records the run's full action stream for machine-only replay
+    /// (see [`crate::replay`]); retrieve it with
+    /// [`Runner::take_action_trace`] once the run is done.
+    pub fn record_actions(mut self, on: bool) -> Self {
+        self.record = on;
         self
     }
 
@@ -168,7 +183,13 @@ impl RunnerBuilder {
     /// Like [`RunnerBuilder::build`], but reports an invalid fault plan as
     /// an error instead of panicking.
     pub fn try_build(self) -> Result<Runner, String> {
-        Runner::assemble(&self.scenario, self.sinks, self.ring_capacity, self.faults)
+        Runner::assemble(
+            &self.scenario,
+            self.sinks,
+            self.ring_capacity,
+            self.faults,
+            self.record,
+        )
     }
 
     /// Builds and runs to the configured goal within the scenario's time
@@ -191,6 +212,7 @@ impl Runner {
         sinks: Vec<Box<dyn EventSink + Send>>,
         ring_capacity: usize,
         fault_plan: Option<FaultPlan>,
+        record: bool,
     ) -> Result<Self, String> {
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("scenario map must be valid");
@@ -259,13 +281,11 @@ impl Runner {
             batch: TrafficBatch::default(),
             audit: AuditLog::new(scenario.sim.seed, ring_capacity, sinks),
             faults,
+            recorder: ActionRecorder::new(record),
+            cmd_scratch: Vec::new(),
         };
         for s in seeds {
-            let cmds = runner.cps[s.index()].activate_as_seed(0.0);
-            runner.with_ctx(0.0, |ctx| {
-                engine::audit(ctx, s);
-                engine::dispatch(ctx, s, cmds);
-            });
+            runner.with_ctx(0.0, |ctx| engine::apply_action(ctx, s, ActionKind::Seed));
         }
         Ok(runner)
     }
@@ -333,6 +353,8 @@ impl Runner {
                 (Some(plan), Some(fs)) => FaultLayer::restore(plan.clone(), fs),
                 _ => FaultLayer::none(),
             },
+            recorder: ActionRecorder::new(false),
+            cmd_scratch: Vec::new(),
         }
     }
 
@@ -372,6 +394,8 @@ impl Runner {
             dedup,
             audit,
             faults,
+            recorder,
+            cmd_scratch,
             ..
         } = self;
         let mut ctx = StepCtx {
@@ -389,6 +413,8 @@ impl Runner {
             dedup,
             audit,
             faults,
+            recorder,
+            cmd_scratch,
         };
         f(&mut ctx)
     }
@@ -509,6 +535,8 @@ impl Runner {
             batch,
             audit,
             faults,
+            recorder,
+            cmd_scratch,
             ..
         } = self;
         let mut ctx = StepCtx {
@@ -526,6 +554,8 @@ impl Runner {
             dedup,
             audit,
             faults,
+            recorder,
+            cmd_scratch,
         };
         let t_protocol = Instant::now();
         // Fault transitions fire at the step boundary — after the traffic
@@ -621,6 +651,23 @@ impl Runner {
     /// explicit degraded status — see [`crate::faults`]).
     pub fn degraded(&self) -> bool {
         self.faults.degraded()
+    }
+
+    /// Finishes recording and packages the run's action stream as a
+    /// self-contained [`ActionTrace`] (scenario, actions, dispatch digest,
+    /// final counts). `None` unless the runner was built with
+    /// [`RunnerBuilder::record_actions`]; recording stops once taken.
+    pub fn take_action_trace(&mut self) -> Option<ActionTrace> {
+        let (records, dispatch_digest) = self.recorder.take()?;
+        Some(ActionTrace {
+            schema: TRACE_SCHEMA.to_string(),
+            scenario: self.scenario.clone(),
+            records,
+            dispatch_digest,
+            final_local_counts: self.cps.iter().map(Checkpoint::local_count).collect(),
+            final_interaction_nets: self.cps.iter().map(Checkpoint::interaction_net).collect(),
+            final_tree_totals: self.cps.iter().map(Checkpoint::tree_total).collect(),
+        })
     }
 
     /// The retained post-mortem events mentioning `vehicle`, oldest first —

@@ -23,8 +23,15 @@ const CAR: VehicleClass = VehicleClass {
     body: BodyType::Sedan,
 };
 
+fn handle(cp: &mut Checkpoint, obs: Observation, t: f64) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    cp.handle(obs, t, &mut cmds);
+    cmds
+}
+
 fn enter(cp: &mut Checkpoint, t: f64, vehicle: u64, via: EdgeId, label: Option<Label>) {
-    cp.handle(
+    handle(
+        cp,
         Observation::Entered {
             vehicle: VehicleId(vehicle),
             via: Some(via),
@@ -37,7 +44,8 @@ fn enter(cp: &mut Checkpoint, t: f64, vehicle: u64, via: EdgeId, label: Option<L
 
 fn deliver(cp: &mut Checkpoint, t: f64, vehicle: u64, onto: EdgeId) -> Label {
     let label = cp.offer_label(onto).expect("label pending");
-    cp.handle(
+    handle(
+        cp,
         Observation::Departed {
             vehicle: VehicleId(vehicle),
             onto,
@@ -62,7 +70,8 @@ fn main() {
 
     // (a) Initialization from the seed.
     println!("(a) seed checkpoint n0 initializes: p(0)=∅, s(0)={{n1, n2}}");
-    cps[0].activate_as_seed(0.0);
+    let mut seed_cmds = Vec::new();
+    cps[0].activate_as_seed(0.0, &mut seed_cmds);
     println!("    n0 counts inbound 0←1 and 0←2; labels pending on 0→1, 0→2\n");
 
     // Uncounted traffic flows into the seed and is counted (phase 5).
@@ -97,7 +106,8 @@ fn main() {
     let l21 = deliver(&mut cps[2], 79.0, 2, e(2, 1));
     enter(&mut cps[1], 80.0, 2, e(2, 1), Some(l21));
     let l02 = deliver(&mut cps[0], 84.0, 3, e(0, 2));
-    let cmds2 = cps[2].handle(
+    let cmds2 = handle(
+        &mut cps[2],
         Observation::Entered {
             vehicle: VehicleId(3),
             via: Some(e(0, 2)),
@@ -122,7 +132,8 @@ fn main() {
         panic!("n2 must report to its predecessor");
     };
     println!("    n2 reports c(2)={total} to p(2)={to}");
-    let cmds1 = cps[1].handle(
+    let cmds1 = handle(
+        &mut cps[1],
         Observation::Report {
             from: NodeId(2),
             total,
@@ -134,7 +145,8 @@ fn main() {
         panic!("n1 must report to its predecessor");
     };
     println!("    n1 reports c(1)+c(2)={total} to p(1)={to}");
-    cps[0].handle(
+    handle(
+        &mut cps[0],
         Observation::Report {
             from: NodeId(1),
             total,
@@ -148,8 +160,10 @@ fn main() {
     println!("(3 counted at the seed + 1 counted at n1 — no vehicle missed or duplicated)");
 
     // The observability layer saw every transition; summarize it.
-    let events: Vec<(f64, ProtocolEvent)> =
-        cps.iter_mut().flat_map(Checkpoint::take_events).collect();
+    let mut events: Vec<(f64, ProtocolEvent)> = Vec::new();
+    for cp in &mut cps {
+        cp.drain_events_into(&mut events);
+    }
     println!(
         "\nprotocol events emitted across the walkthrough: {} \
          (pinned by the golden_trace test)",

@@ -101,6 +101,24 @@ print(f"fault smoke ok: degraded={m['degraded']} "
       f"blackouts={m['telemetry']['blackout_failures']}")
 EOF
 
+# Record → replay smoke: record the same faulty run's action trace, then
+# re-drive the pure protocol machines only (no simulator) and require
+# byte-identical dispatches and final counts (DESIGN.md §8).
+echo "+ vcount run scen.json --faults plan.json --record-actions trace.json > /dev/null"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$fault_dir/scen.json" --faults "$fault_dir/plan.json" \
+    --record-actions "$fault_dir/trace.json" >/dev/null
+echo "+ vcount replay trace.json > replay.json"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    replay "$fault_dir/trace.json" > "$fault_dir/replay.json"
+run python3 - "$fault_dir/replay.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["digests_match"] and r["counts_match"], r
+print(f"record/replay smoke ok: {r['actions']} actions, "
+      f"digest {r['recorded_digest']:#018x} reproduced machine-only")
+EOF
+
 # Sweep fault axis: one cell with the same plan; every cell must report
 # the degraded-replicate count.
 run cargo run --release -q -p vcount-cli --bin vcount -- \

@@ -8,7 +8,10 @@
 //! to when or what the protocol emits shows up here as a diff against the
 //! expected sequence.
 
-use vcount::core::{Checkpoint, CheckpointConfig, Observation, ProtocolVariant};
+use vcount::core::{
+    Action, ActionKind, Checkpoint, CheckpointConfig, Command, Observation, ProtocolVariant,
+    Replayer,
+};
 use vcount::roadnet::builders::fig1_triangle;
 use vcount::roadnet::{EdgeId, NodeId};
 use vcount::v2x::{BodyType, Brand, Color, Label, VehicleClass, VehicleId};
@@ -20,8 +23,15 @@ const CAR: VehicleClass = VehicleClass {
     body: BodyType::Sedan,
 };
 
+fn handle(cp: &mut Checkpoint, obs: Observation, t: f64) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    cp.handle(obs, t, &mut cmds);
+    cmds
+}
+
 fn enter(cp: &mut Checkpoint, t: f64, vehicle: u64, via: EdgeId, label: Option<Label>) {
-    cp.handle(
+    handle(
+        cp,
         Observation::Entered {
             vehicle: VehicleId(vehicle),
             via: Some(via),
@@ -34,7 +44,8 @@ fn enter(cp: &mut Checkpoint, t: f64, vehicle: u64, via: EdgeId, label: Option<L
 
 fn deliver(cp: &mut Checkpoint, t: f64, vehicle: u64, onto: EdgeId) -> Label {
     let label = cp.offer_label(onto).expect("label pending");
-    cp.handle(
+    handle(
+        cp,
         Observation::Departed {
             vehicle: VehicleId(vehicle),
             onto,
@@ -58,7 +69,8 @@ fn walkthrough() -> Vec<Vec<(f64, ProtocolEvent)>> {
     let e = |a: u32, b: u32| net.edge_between(NodeId(a), NodeId(b)).unwrap();
 
     // (a) seed initialization + three vehicles counted at n0.
-    cps[0].activate_as_seed(0.0);
+    let mut seed_cmds = Vec::new();
+    cps[0].activate_as_seed(0.0, &mut seed_cmds);
     for (vehicle, via, t) in [(1, e(1, 0), 1.0), (2, e(2, 0), 1.5), (3, e(1, 0), 2.0)] {
         enter(&mut cps[0], t, vehicle, via, None);
     }
@@ -78,7 +90,8 @@ fn walkthrough() -> Vec<Vec<(f64, ProtocolEvent)>> {
     let l21 = deliver(&mut cps[2], 79.0, 2, e(2, 1));
     enter(&mut cps[1], 80.0, 2, e(2, 1), Some(l21));
     let l02 = deliver(&mut cps[0], 84.0, 3, e(0, 2));
-    let cmds2 = cps[2].handle(
+    let cmds2 = handle(
+        &mut cps[2],
         Observation::Entered {
             vehicle: VehicleId(3),
             via: Some(e(0, 2)),
@@ -92,7 +105,8 @@ fn walkthrough() -> Vec<Vec<(f64, ProtocolEvent)>> {
     let vcount::core::Command::SendReport { total, seq, .. } = cmds2[0] else {
         panic!("n2 must report on stabilization");
     };
-    let cmds1 = cps[1].handle(
+    let cmds1 = handle(
+        &mut cps[1],
         Observation::Report {
             from: NodeId(2),
             total,
@@ -103,7 +117,8 @@ fn walkthrough() -> Vec<Vec<(f64, ProtocolEvent)>> {
     let vcount::core::Command::SendReport { total, seq, .. } = cmds1[0] else {
         panic!("n1 must report after n2's report");
     };
-    cps[0].handle(
+    handle(
+        &mut cps[0],
         Observation::Report {
             from: NodeId(1),
             total,
@@ -113,7 +128,97 @@ fn walkthrough() -> Vec<Vec<(f64, ProtocolEvent)>> {
     );
     assert_eq!(cps[0].tree_total(), Some(4));
 
-    cps.iter_mut().map(Checkpoint::take_events).collect()
+    cps.iter_mut()
+        .map(|cp| {
+            let mut evs = Vec::new();
+            cp.drain_events_into(&mut evs);
+            evs
+        })
+        .collect()
+}
+
+/// Replays the identical Fig. 1 script through the *pure machines only*
+/// ([`Replayer`]) — no `Checkpoint` shell — and pins the FNV-1a dispatch
+/// digest over everything the machines emitted. The digest constant is the
+/// machine-level golden value: any semantic drift in the protocol core
+/// (event or command content, ordering, timing) changes it.
+#[test]
+fn fig1_walkthrough_replays_machine_only_with_pinned_digest() {
+    let net = fig1_triangle(250.0, 1, 6.7);
+    let cfg = CheckpointConfig::for_variant(ProtocolVariant::Simple);
+    let mut rp = Replayer::new(&net, cfg);
+    let e = |a: u32, b: u32| net.edge_between(NodeId(a), NodeId(b)).unwrap();
+    let n = |i: u32| NodeId(i);
+    let apply = |rp: &mut Replayer, node: NodeId, at_s: f64, kind: ActionKind| {
+        rp.apply(node, &Action { at_s, kind });
+    };
+    let entered =
+        |vehicle: u64, via: vcount::roadnet::EdgeId, label: Option<Label>| ActionKind::Entered {
+            vehicle: VehicleId(vehicle),
+            via: Some(via),
+            class: CAR,
+            label,
+        };
+    let departed = |vehicle: u64, onto: vcount::roadnet::EdgeId| ActionKind::Departed {
+        vehicle: VehicleId(vehicle),
+        onto,
+        delivered: true,
+        matches_filter: true,
+    };
+    // The carried label is frozen into each `Entered` action exactly as the
+    // recording engine would freeze it: offered at the departure checkpoint.
+    let deliver = |rp: &mut Replayer, from: u32, t: f64, vehicle: u64, onto_node: u32| {
+        let onto = e(from, onto_node);
+        let label = rp.offer_label(n(from), onto).expect("label pending");
+        apply(rp, n(from), t, departed(vehicle, onto));
+        label
+    };
+
+    apply(&mut rp, n(0), 0.0, ActionKind::Seed);
+    for (vehicle, via, t) in [(1, e(1, 0), 1.0), (2, e(2, 0), 1.5), (3, e(1, 0), 2.0)] {
+        apply(&mut rp, n(0), t, entered(vehicle, via, None));
+    }
+    let l01 = deliver(&mut rp, 0, 29.0, 1, 1);
+    apply(&mut rp, n(1), 30.0, entered(1, e(0, 1), Some(l01)));
+    apply(&mut rp, n(1), 35.0, entered(4, e(2, 1), None));
+    let l12 = deliver(&mut rp, 1, 59.0, 4, 2);
+    apply(&mut rp, n(2), 60.0, entered(4, e(1, 2), Some(l12)));
+    let l10 = deliver(&mut rp, 1, 69.0, 1, 0);
+    apply(&mut rp, n(0), 70.0, entered(1, e(1, 0), Some(l10)));
+    let l20 = deliver(&mut rp, 2, 74.0, 4, 0);
+    apply(&mut rp, n(0), 75.0, entered(4, e(2, 0), Some(l20)));
+    let l21 = deliver(&mut rp, 2, 79.0, 2, 1);
+    apply(&mut rp, n(1), 80.0, entered(2, e(2, 1), Some(l21)));
+    let l02 = deliver(&mut rp, 0, 84.0, 3, 2);
+    apply(&mut rp, n(2), 85.0, entered(3, e(0, 2), Some(l02)));
+    // Collection 2 → 1 → 0, with the report contents frozen in the actions
+    // (n2 reports 0, n1 reports 1 — pinned by the shell-level golden test).
+    apply(
+        &mut rp,
+        n(1),
+        100.0,
+        ActionKind::Report {
+            from: n(2),
+            total: 0,
+            seq: 1,
+        },
+    );
+    apply(
+        &mut rp,
+        n(0),
+        120.0,
+        ActionKind::Report {
+            from: n(1),
+            total: 1,
+            seq: 1,
+        },
+    );
+
+    assert_eq!(rp.actions_applied(), 19);
+    assert_eq!(rp.local_counts(), vec![3, 1, 0]);
+    assert_eq!(rp.tree_totals(), vec![Some(4), Some(1), Some(0)]);
+    // The machine-level golden digest of the Fig. 1 walkthrough.
+    assert_eq!(rp.digest(), 0x2127_3CAD_028B_D1D4);
 }
 
 /// Compact, readable rendering used for the golden comparison.
