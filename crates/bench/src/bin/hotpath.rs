@@ -64,6 +64,10 @@ struct Case {
     events_per_sec: f64,
     /// Peak vehicles simultaneously inside during the measured steps.
     peak_vehicles: usize,
+    /// Worker shards driving the case (`0` for legacy unsharded cases —
+    /// equivalent to 1; the sharded `…_sN` family records it explicitly).
+    #[serde(default)]
+    shards: usize,
 }
 
 /// The committed artifact: current cases plus an optional embedded
@@ -85,6 +89,7 @@ struct Report {
 
 const SCHEMA: &str = "vcount-hotpath-bench/v1";
 
+#[allow(clippy::too_many_arguments)]
 fn run_case(
     name: &str,
     cols: usize,
@@ -93,6 +98,7 @@ fn run_case(
     seed: u64,
     warmup: u64,
     steps: u64,
+    shards: usize,
 ) -> Case {
     let net = grid(cols, rows, 150.0, 2, 10.0);
     let cfg = SimConfig {
@@ -102,6 +108,7 @@ fn run_case(
         ..Default::default()
     };
     let mut sim = Simulator::new(net, cfg, Demand::at_volume(demand_pct));
+    sim.set_detect_shards(shards);
     for _ in 0..warmup {
         sim.step();
     }
@@ -125,6 +132,7 @@ fn run_case(
         events,
         events_per_sec: events as f64 / wall_s.max(1e-12),
         peak_vehicles: peak,
+        shards,
     }
 }
 
@@ -172,9 +180,10 @@ fn run_exchange_case(
     warmup: u64,
     steps: u64,
     faults: Option<FaultPlan>,
+    shards: usize,
 ) -> Case {
     let scenario = engine_scenario(cols, rows, demand_pct, seed);
-    let mut builder = Runner::builder(&scenario);
+    let mut builder = Runner::builder(&scenario).shards(shards);
     if let Some(plan) = faults {
         builder = builder.faults(plan);
     }
@@ -203,6 +212,7 @@ fn run_exchange_case(
         events,
         events_per_sec: events as f64 / wall_s.max(1e-12),
         peak_vehicles: peak,
+        shards,
     }
 }
 
@@ -283,6 +293,7 @@ fn run_replay_case(
         events: applied,
         events_per_sec: applied as f64 / wall_s.max(1e-12),
         peak_vehicles: 0,
+        shards: 1,
     }
 }
 
@@ -296,20 +307,28 @@ struct CaseSpec {
     engine: bool,
     faults: bool,
     replay: bool,
+    /// `0` = legacy unsharded case (no name suffix, runs as 1 shard); a
+    /// nonzero value names the case `…_sN` and drives N worker shards.
+    shards: usize,
 }
 
 impl CaseSpec {
     fn name(&self) -> String {
+        let shard_suffix = if self.shards > 0 {
+            format!("_s{}", self.shards)
+        } else {
+            String::new()
+        };
         if self.replay {
             return format!(
-                "actions_replay{}x{}_v{:.0}",
+                "actions_replay{}x{}_v{:.0}{shard_suffix}",
                 self.cols, self.rows, self.demand_pct
             );
         }
         let prefix = if self.engine { "exchange" } else { "grid" };
         let suffix = if self.faults { "_faults" } else { "" };
         format!(
-            "{prefix}{}x{}_v{:.0}{suffix}",
+            "{prefix}{}x{}_v{:.0}{suffix}{shard_suffix}",
             self.cols, self.rows, self.demand_pct
         )
     }
@@ -340,6 +359,7 @@ impl CaseSpec {
                 warmup,
                 steps,
                 self.faults.then(bench_fault_plan),
+                self.shards.max(1),
             )
         } else {
             run_case(
@@ -350,6 +370,7 @@ impl CaseSpec {
                 seed,
                 warmup,
                 steps,
+                self.shards.max(1),
             )
         }
     }
@@ -490,6 +511,7 @@ fn main() {
                     engine: false,
                     faults: false,
                     replay: false,
+                    shards: 0,
                 });
             }
         }
@@ -512,6 +534,7 @@ fn main() {
                 engine,
                 faults: false,
                 replay: false,
+                shards: 0,
             });
         }
     }
@@ -524,6 +547,7 @@ fn main() {
         engine: true,
         faults: true,
         replay: false,
+        shards: 0,
     });
     // The machine-only action-replay case (both modes, same name):
     // records a trace and measures pure-machine re-application throughput.
@@ -534,7 +558,44 @@ fn main() {
         engine: true,
         faults: false,
         replay: true,
+        shards: 0,
     });
+    // The sharded family: same grid and seed at 1/2/4 worker shards, so
+    // the committed baseline records how region sharding scales (on a
+    // single-core host the _s2/_s4 cases document the bookkeeping
+    // overhead instead of a speedup). The small _s2 case runs in smoke
+    // mode too, so CI guards the sharded code path on every push.
+    specs.push(CaseSpec {
+        cols: 3,
+        rows: 3,
+        demand_pct: 60.0,
+        engine: false,
+        faults: false,
+        replay: false,
+        shards: 2,
+    });
+    if !smoke {
+        for &shards in &[1usize, 2, 4] {
+            specs.push(CaseSpec {
+                cols: 25,
+                rows: 25,
+                demand_pct: 60.0,
+                engine: false,
+                faults: false,
+                replay: false,
+                shards,
+            });
+        }
+        specs.push(CaseSpec {
+            cols: 10,
+            rows: 10,
+            demand_pct: 60.0,
+            engine: true,
+            faults: false,
+            replay: false,
+            shards: 4,
+        });
+    }
 
     let mut cases = Vec::new();
     for spec in &specs {

@@ -24,7 +24,11 @@ USAGE:
   vcount run SCENARIO.json [--goal constitution|collection] [--progress]
               [--trace FILE.jsonl] [--trace-filter KIND,KIND,...]
               [--snapshot-every N] [--snapshot-out FILE] [--faults PLAN.json]
+              [--shards N]
       Run a scenario to convergence and print the metrics as JSON.
+      --shards N partitions the road graph into N regions driven by N
+      worker shards — a throughput knob only: the event stream, counts,
+      and metrics are byte-identical for every N (DESIGN.md §8bis).
       --progress streams wave progress to stderr. --trace streams every
       protocol event as JSON lines; --trace-filter restricts it to the
       named event kinds (e.g. label_emitted,report_sent).
@@ -44,8 +48,10 @@ USAGE:
 
   vcount run --resume SNAPSHOT.json [--goal G] [--progress] [--trace ...]
       Resume a run frozen by --snapshot-every. The snapshot embeds its
-      scenario and any fault plan, so neither argument is given.
-      (--record-actions cannot resume: a trace must cover a whole run.)
+      scenario and any fault plan, so neither argument is given; --shards
+      overrides the snapshot's shard count (sound, because the count never
+      affects semantics). (--record-actions cannot resume: a trace must
+      cover a whole run.)
 
   vcount replay TRACE.json
       Re-drive the pure protocol machines from an action trace recorded
@@ -105,7 +111,11 @@ pub fn run(args: &Args) -> Result<(), String> {
         "resume",
         "faults",
         "record-actions",
+        "shards",
     ])?;
+    // 0 = unspecified: new runs default to one shard, resumes keep the
+    // snapshot's count.
+    let shards = args.flag_or("shards", 0usize)?;
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
         "collection" => Goal::Collection,
@@ -163,7 +173,13 @@ pub fn run(args: &Args) -> Result<(), String> {
             }
             let text =
                 std::fs::read_to_string(snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
-            let snap = EngineSnapshot::from_json(&text).map_err(|e| format!("{snap_path}: {e}"))?;
+            let mut snap =
+                EngineSnapshot::from_json(&text).map_err(|e| format!("{snap_path}: {e}"))?;
+            if shards > 0 {
+                // Safe to override: the shard count is a throughput knob,
+                // never a semantics knob (DESIGN.md §8bis).
+                snap.shards = shards;
+            }
             let max = snap.scenario.max_time_s;
             (
                 Runner::resume_with(&snap, sinks, DEFAULT_RING_CAPACITY),
@@ -175,7 +191,9 @@ pub fn run(args: &Args) -> Result<(), String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let scenario: Scenario =
                 serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
-            let mut builder = Runner::builder(&scenario).record_actions(record_path.is_some());
+            let mut builder = Runner::builder(&scenario)
+                .shards(shards.max(1))
+                .record_actions(record_path.is_some());
             for sink in sinks {
                 builder = builder.sink(sink);
             }

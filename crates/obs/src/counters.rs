@@ -44,6 +44,8 @@ pub struct Counters {
     pub fault_messages_dropped: u64,
     /// Handoffs forced to fail by a regional radio blackout.
     pub blackout_failures: u64,
+    /// Open segment watches closed by their origin's crash.
+    pub fault_watches_dropped: u64,
 }
 
 impl Counters {
@@ -67,6 +69,7 @@ impl Counters {
             + self.recoveries
             + self.fault_messages_dropped
             + self.blackout_failures
+            + self.fault_watches_dropped
     }
 
     /// Field-wise sum, for aggregating replicates of a sweep cell.
@@ -89,6 +92,7 @@ impl Counters {
         self.recoveries += other.recoveries;
         self.fault_messages_dropped += other.fault_messages_dropped;
         self.blackout_failures += other.blackout_failures;
+        self.fault_watches_dropped += other.fault_watches_dropped;
     }
 }
 
@@ -160,6 +164,7 @@ impl EventSink for CountersSink {
             ProtocolEvent::CheckpointRecovered { .. } => c.recoveries += 1,
             ProtocolEvent::FaultMessageDropped { .. } => c.fault_messages_dropped += 1,
             ProtocolEvent::ChannelBlackout { .. } => c.blackout_failures += 1,
+            ProtocolEvent::FaultWatchDropped { .. } => c.fault_watches_dropped += 1,
         }
     }
 }

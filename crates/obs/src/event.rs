@@ -176,6 +176,15 @@ pub enum ProtocolEvent {
         /// The vehicle that escaped unlabelled.
         vehicle: u64,
     },
+    /// Fault injection: open segment watches originated by a crashed
+    /// checkpoint were closed (their pending overtake adjustments are
+    /// lost — an explicit degradation).
+    FaultWatchDropped {
+        /// The crashed origin checkpoint.
+        node: u32,
+        /// How many watches closed.
+        watches: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -200,6 +209,7 @@ impl ProtocolEvent {
             ProtocolEvent::CheckpointRecovered { .. } => EventKind::CheckpointRecovered,
             ProtocolEvent::FaultMessageDropped { .. } => EventKind::FaultMessageDropped,
             ProtocolEvent::ChannelBlackout { .. } => EventKind::ChannelBlackout,
+            ProtocolEvent::FaultWatchDropped { .. } => EventKind::FaultWatchDropped,
         }
     }
 
@@ -223,7 +233,8 @@ impl ProtocolEvent {
             | ProtocolEvent::CheckpointCrashed { node, .. }
             | ProtocolEvent::CheckpointRecovered { node }
             | ProtocolEvent::FaultMessageDropped { node, .. }
-            | ProtocolEvent::ChannelBlackout { node, .. } => node,
+            | ProtocolEvent::ChannelBlackout { node, .. }
+            | ProtocolEvent::FaultWatchDropped { node, .. } => node,
         }
     }
 
@@ -285,10 +296,12 @@ pub enum EventKind {
     FaultMessageDropped = 16,
     /// [`ProtocolEvent::ChannelBlackout`].
     ChannelBlackout = 17,
+    /// [`ProtocolEvent::FaultWatchDropped`].
+    FaultWatchDropped = 18,
 }
 
 /// All kinds, in declaration order.
-pub const ALL_KINDS: [EventKind; 18] = [
+pub const ALL_KINDS: [EventKind; 19] = [
     EventKind::CheckpointActivated,
     EventKind::CheckpointStable,
     EventKind::LabelEmitted,
@@ -307,6 +320,7 @@ pub const ALL_KINDS: [EventKind; 18] = [
     EventKind::CheckpointRecovered,
     EventKind::FaultMessageDropped,
     EventKind::ChannelBlackout,
+    EventKind::FaultWatchDropped,
 ];
 
 impl EventKind {
@@ -332,6 +346,7 @@ impl EventKind {
             EventKind::CheckpointRecovered => "checkpoint_recovered",
             EventKind::FaultMessageDropped => "fault_message_dropped",
             EventKind::ChannelBlackout => "channel_blackout",
+            EventKind::FaultWatchDropped => "fault_watch_dropped",
         }
     }
 }
@@ -444,6 +459,9 @@ impl EventRecord {
             }
             ProtocolEvent::ChannelBlackout { edge, vehicle, .. } => {
                 let _ = write!(s, ",\"edge\":{edge},\"vehicle\":{vehicle}");
+            }
+            ProtocolEvent::FaultWatchDropped { watches, .. } => {
+                let _ = write!(s, ",\"watches\":{watches}");
             }
         }
         s.push('}');

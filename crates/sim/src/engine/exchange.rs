@@ -13,8 +13,9 @@
 //! [`crate::metrics::RunTelemetry`]. Everything here serializes into an
 //! [`ExchangeSnapshot`] for snapshot/resume.
 
+use super::shard::RegionPartition;
 use super::{audit, StepCtx};
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vcount_core::ActionKind;
@@ -76,6 +77,11 @@ pub struct WireCounters {
     /// vehicle — always a protocol anomaly (each overwrite loses a label).
     #[serde(default)]
     pub label_overwrites: u64,
+    /// Messages routed across a region (shard) boundary — barrier trades
+    /// under `--shards N`. Depends on the partition, so identity checks
+    /// across shard counts must normalize it (like wall-clock fields).
+    #[serde(default)]
+    pub cross_shard: u64,
 }
 
 /// The in-flight message store. See the module docs for the invariants.
@@ -106,6 +112,10 @@ pub struct Exchange {
     due_reports_scratch: Vec<Envelope>,
     /// Reused due-patrol buffer (see `due_reports_scratch`).
     due_patrol_scratch: Vec<Envelope>,
+    /// The region partition routing is attributed against (single-region
+    /// unless the runner shards the engine). Not serialized: it is a pure
+    /// function of `(nodes, shards)` and is re-derived on restore.
+    partition: RegionPartition,
     counters: WireCounters,
 }
 
@@ -149,7 +159,29 @@ impl Exchange {
             scratch: BytesMut::with_capacity(64),
             due_reports_scratch: Vec::new(),
             due_patrol_scratch: Vec::new(),
+            partition: RegionPartition::single(nodes),
             counters: WireCounters::default(),
+        }
+    }
+
+    /// Installs the region partition routing is attributed against (the
+    /// runner calls this when assembling a sharded engine).
+    pub fn set_partition(&mut self, partition: RegionPartition) {
+        self.partition = partition;
+    }
+
+    /// The active region partition.
+    pub fn partition(&self) -> &RegionPartition {
+        &self.partition
+    }
+
+    /// Attributes one routed message `from → to`: a route crossing a
+    /// region boundary is a cross-shard barrier trade. Pure bookkeeping —
+    /// routing itself never depends on the partition, which is what keeps
+    /// the event stream byte-identical across shard counts.
+    pub fn note_route(&mut self, from: NodeId, to: NodeId) {
+        if self.partition.crosses(from, to) {
+            self.counters.cross_shard += 1;
         }
     }
 
@@ -179,11 +211,13 @@ impl Exchange {
 
     /// Decodes a payload this exchange previously encoded. Payloads are
     /// self-produced, so a decode failure is a codec bug, not bad input.
+    /// Decodes straight from the borrowed slice — the per-delivery hot
+    /// path stays allocation-free (pinned by `tests/decode_alloc.rs`).
     pub fn decode_payload(&mut self, payload: &[u8]) -> Message {
         self.counters.decoded += 1;
-        let mut buf = Bytes::from(payload.to_vec());
+        let mut buf: &[u8] = payload;
         let msg = Message::decode(&mut buf).expect("exchange-owned payloads always decode");
-        debug_assert_eq!(buf.remaining(), 0, "trailing bytes in exchange payload");
+        debug_assert!(buf.is_empty(), "trailing bytes in exchange payload");
         msg
     }
 
@@ -341,6 +375,18 @@ impl Exchange {
         n
     }
 
+    /// Drops every open segment watch whose origin is `node`, returning
+    /// how many closed. A crashed checkpoint loses the volatile handoff
+    /// context its watches adjust against — a watch finalizing after
+    /// recovery would apply adjustments to a restored state image that
+    /// never saw the handoff, so the crash closes the watch and the loss
+    /// is counted as explicit degradation instead.
+    pub fn drop_origin_watches(&mut self, node: NodeId) -> usize {
+        let before = self.watches.len();
+        self.watches.retain(|_, w| w.origin != node);
+        before - self.watches.len()
+    }
+
     /// Chaos injection: swaps the due times of the two most recently
     /// queued relay messages, flipping their delivery order. No-op with
     /// fewer than two messages in flight.
@@ -467,6 +513,7 @@ impl Exchange {
             scratch: BytesMut::with_capacity(64),
             due_reports_scratch: Vec::new(),
             due_patrol_scratch: Vec::new(),
+            partition: RegionPartition::single(snap.pending_reports.len()),
             counters: snap.counters,
         }
     }
@@ -614,6 +661,34 @@ mod tests {
         // Node 0's queue is untouched.
         ex.pickup_patrol(VehicleId(0), NodeId(0));
         assert_eq!(ex.take_due_patrol(VehicleId(0), NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn drop_origin_watches_closes_only_the_crashed_origin() {
+        use vcount_v2x::{AdjustMode, SegmentWatch};
+        let sw = || SegmentWatch::new(AdjustMode::NetInversion, VehicleId(0), []);
+        let mut ex = Exchange::new(1, 3);
+        ex.insert_watch(EdgeId(0), NodeId(1), sw());
+        ex.insert_watch(EdgeId(1), NodeId(2), sw());
+        ex.insert_watch(EdgeId(2), NodeId(1), sw());
+        assert_eq!(ex.drop_origin_watches(NodeId(1)), 2);
+        assert_eq!(ex.drop_origin_watches(NodeId(1)), 0);
+        assert!(ex.watch_mut(EdgeId(0)).is_none());
+        assert!(ex.watch_mut(EdgeId(1)).is_some(), "other origin survives");
+    }
+
+    #[test]
+    fn note_route_counts_only_cross_region_traffic() {
+        use crate::engine::shard::RegionPartition;
+        let mut ex = Exchange::new(1, 4);
+        // Default single-region partition: nothing crosses.
+        ex.note_route(NodeId(0), NodeId(3));
+        assert_eq!(ex.counters().cross_shard, 0);
+        ex.set_partition(RegionPartition::new(4, 2));
+        ex.note_route(NodeId(0), NodeId(1)); // local to region 0
+        ex.note_route(NodeId(1), NodeId(2)); // crosses 0 → 1
+        ex.note_route(NodeId(3), NodeId(0)); // crosses 1 → 0
+        assert_eq!(ex.counters().cross_shard, 2);
     }
 
     #[test]

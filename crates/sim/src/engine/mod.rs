@@ -32,6 +32,7 @@ pub mod audit;
 pub mod dispatch;
 pub mod exchange;
 pub mod observe;
+pub mod shard;
 pub mod snapshot;
 pub mod traffic_step;
 
@@ -39,6 +40,7 @@ pub use audit::{audit, AuditLog};
 pub use dispatch::dispatch;
 pub use exchange::{exchange, Envelope, Exchange, ExchangeSnapshot, Watch, WireCounters};
 pub use observe::observe;
+pub use shard::{RegionPartition, ShardSnapshot};
 pub use snapshot::{EngineSnapshot, SNAPSHOT_SCHEMA};
 pub use traffic_step::{traffic_step, TrafficBatch};
 

@@ -260,15 +260,47 @@ fn ahead_of(
         .map(|&(_, _, v)| v);
 
     let mut ahead: Vec<VehicleId> = later_entries.collect();
+    let from_entries = ahead.len();
     ahead.extend(ctx.sim.in_transit(onto));
+    // The two sources are disjoint: a vehicle whose same-step `Entered`
+    // via `onto` comes later has *left* the segment this step (it sits at
+    // the far node, or beyond), so it cannot also be in the end-of-step
+    // `in_transit(onto)` order — a directed edge is traversed at most once
+    // per step. Assert that here; the first-occurrence dedup below stays
+    // correct even if a future simulator change breaks the invariant
+    // (`Vec::dedup` would not: it only drops *adjacent* repeats, and this
+    // concatenation is unsorted).
+    debug_assert!(
+        ahead[from_entries..]
+            .iter()
+            .all(|v| !ahead[..from_entries].contains(v)),
+        "a same-step later entry cannot still be in transit on the segment"
+    );
     ahead.retain(|v| {
         *v != label_vehicle && !later_departure(*v) && !ctx.sim.vehicle(*v).is_patrol()
     });
-    ahead.dedup();
+    dedup_first_occurrence(&mut ahead);
     ahead
         .into_iter()
         .map(|v| (v, ctx.oracle.ever_counted(v)))
         .collect()
+}
+
+/// Order-preserving dedup that keeps each vehicle's *first* occurrence,
+/// wherever the repeats sit (unlike `Vec::dedup`, which assumes adjacency).
+/// The ahead set feeds a [`SegmentWatch`], where a double entry would
+/// double-adjust a single vehicle. Lists here are a handful of vehicles,
+/// so the quadratic scan beats allocating a seen-set.
+fn dedup_first_occurrence(ahead: &mut Vec<VehicleId>) {
+    let mut kept = 0usize;
+    for i in 0..ahead.len() {
+        let v = ahead[i];
+        if !ahead[..kept].contains(&v) {
+            ahead[kept] = v;
+            kept += 1;
+        }
+    }
+    ahead.truncate(kept);
 }
 
 fn finalize_watch(ctx: &mut StepCtx<'_>, w: Watch) {
@@ -362,5 +394,43 @@ fn on_overtake(ctx: &mut StepCtx<'_>, edge: EdgeId, overtaker: VehicleId, overta
         } else if overtaken == label && matches_overtaker {
             w.sw.label_overtaken_by(overtaker, counted_overtaker);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dedup_first_occurrence;
+    use vcount_v2x::VehicleId;
+
+    fn ids(raw: &[u64]) -> Vec<VehicleId> {
+        raw.iter().map(|&v| VehicleId(v)).collect()
+    }
+
+    /// Regression for the `ahead_of` dedup: the list is an *unsorted*
+    /// concatenation of same-step entries and in-transit order, so repeats
+    /// need not be adjacent. `Vec::dedup` left `[3, 5, 3]` untouched, which
+    /// would seed a watch that double-adjusts vehicle 3.
+    #[test]
+    fn removes_non_adjacent_repeats() {
+        let mut ahead = ids(&[3, 5, 3, 7, 5, 3]);
+        dedup_first_occurrence(&mut ahead);
+        assert_eq!(ahead, ids(&[3, 5, 7]));
+    }
+
+    #[test]
+    fn keeps_first_occurrence_order() {
+        let mut ahead = ids(&[9, 2, 9, 2, 4]);
+        dedup_first_occurrence(&mut ahead);
+        assert_eq!(ahead, ids(&[9, 2, 4]));
+    }
+
+    #[test]
+    fn leaves_unique_lists_alone() {
+        let mut ahead = ids(&[1, 2, 3]);
+        dedup_first_occurrence(&mut ahead);
+        assert_eq!(ahead, ids(&[1, 2, 3]));
+        let mut empty: Vec<VehicleId> = Vec::new();
+        dedup_first_occurrence(&mut empty);
+        assert!(empty.is_empty());
     }
 }

@@ -1,0 +1,262 @@
+//! Region partitioning for the sharded engine (DESIGN.md §8bis).
+//!
+//! The road graph's checkpoints are split into `shards` contiguous regions
+//! of near-equal size. Each region conceptually owns its nodes'
+//! [`vcount_core::Checkpoint`] machines and the node-indexed slices of the
+//! [`super::Exchange`] queues (`pending_reports` / `pending_patrol`); every
+//! message whose source and destination fall in different regions is a
+//! cross-shard trade that must cross the per-step barrier. The partition
+//! itself is *pure bookkeeping*: it never changes routing, only attributes
+//! it, which is what keeps the merged event stream byte-identical for
+//! every shard count (see the module docs on determinism in
+//! `vcount_traffic::Simulator::set_detect_shards` for the parallel leg).
+//!
+//! [`decompose`]/[`compose`] split a monolithic engine snapshot into
+//! per-region [`ShardSnapshot`]s and reassemble them. The on-disk format
+//! stays the monolithic [`super::EngineSnapshot`]; the round-trip runs on
+//! every sharded snapshot as a self-check that regional ownership covers
+//! the whole state.
+
+use super::exchange::{Envelope, ExchangeSnapshot};
+use serde::{Deserialize, Serialize};
+use vcount_core::CheckpointState;
+use vcount_roadnet::{EdgeId, NodeId};
+
+/// A contiguous split of the node id space into regions, one per shard.
+/// Region `r` owns nodes `bounds[r]..bounds[r+1]`; the bounds are
+/// monotonically non-decreasing, start at 0 and end at the node count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPartition {
+    bounds: Vec<u32>,
+}
+
+impl RegionPartition {
+    /// Balanced partition of `nodes` checkpoints into `shards` regions.
+    /// `shards` is clamped to `[1, nodes]` (a region must own at least one
+    /// node; `nodes == 0` degenerates to one empty region).
+    pub fn new(nodes: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, nodes.max(1));
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u32);
+        let mut first = 0usize;
+        for s in 0..shards {
+            first += nodes / shards + usize::from(s < nodes % shards);
+            bounds.push(first as u32);
+        }
+        RegionPartition { bounds }
+    }
+
+    /// The trivial single-region partition (everything local).
+    pub fn single(nodes: usize) -> Self {
+        RegionPartition::new(nodes, 1)
+    }
+
+    /// Number of regions.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The node-index range region `region` owns.
+    pub fn node_range(&self, region: usize) -> std::ops::Range<usize> {
+        self.bounds[region] as usize..self.bounds[region + 1] as usize
+    }
+
+    /// The region owning `node`.
+    pub fn region_of(&self, node: NodeId) -> usize {
+        debug_assert!(
+            node.0 < *self.bounds.last().unwrap() || self.bounds.len() == 2,
+            "node {node:?} outside the partitioned id space"
+        );
+        self.bounds[1..]
+            .partition_point(|&b| b <= node.0)
+            .min(self.shards() - 1)
+    }
+
+    /// Whether a message `a → b` crosses a region boundary (and therefore
+    /// trades through the per-step barrier instead of staying local).
+    pub fn crosses(&self, a: NodeId, b: NodeId) -> bool {
+        self.region_of(a) != self.region_of(b)
+    }
+}
+
+/// The state one region owns at a step boundary: its nodes' checkpoint
+/// machines plus the node-indexed exchange queue slices local to it.
+/// Vehicle-carried and in-flight state (labels, carried reports, relay,
+/// watches, patrol cars) is *global* — vehicles roam across regions — and
+/// stays with the composed snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Which region this shard is.
+    pub region: usize,
+    /// First node id the region owns (`node i` of the shard is global node
+    /// `first_node + i`).
+    pub first_node: u32,
+    /// The owned checkpoints' dynamic state, in node order.
+    pub checkpoints: Vec<CheckpointState>,
+    /// Reports waiting at the owned nodes for a carrier.
+    pub pending_reports: Vec<Vec<(EdgeId, Envelope)>>,
+    /// Circuitous messages waiting at the owned nodes for a patrol car.
+    pub pending_patrol: Vec<Vec<Envelope>>,
+}
+
+/// Splits a monolithic engine state into per-region shards. Panics if the
+/// checkpoint count disagrees with the partition (snapshot corruption).
+pub fn decompose(
+    partition: &RegionPartition,
+    checkpoints: &[CheckpointState],
+    exchange: &ExchangeSnapshot,
+) -> Vec<ShardSnapshot> {
+    assert_eq!(
+        checkpoints.len(),
+        partition.node_range(partition.shards() - 1).end,
+        "partition does not cover the checkpoint set"
+    );
+    assert_eq!(checkpoints.len(), exchange.pending_reports.len());
+    assert_eq!(checkpoints.len(), exchange.pending_patrol.len());
+    (0..partition.shards())
+        .map(|region| {
+            let range = partition.node_range(region);
+            ShardSnapshot {
+                region,
+                first_node: range.start as u32,
+                checkpoints: checkpoints[range.clone()].to_vec(),
+                pending_reports: exchange.pending_reports[range.clone()].to_vec(),
+                pending_patrol: exchange.pending_patrol[range].to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Reassembles [`decompose`]'s output into the monolithic node-ordered
+/// vectors. Accepts the shards in any order; panics on a gap or overlap in
+/// regional ownership.
+pub type ComposedShards = (
+    Vec<CheckpointState>,
+    Vec<Vec<(EdgeId, Envelope)>>,
+    Vec<Vec<Envelope>>,
+);
+
+/// See [`ComposedShards`].
+pub fn compose(mut shards: Vec<ShardSnapshot>) -> ComposedShards {
+    shards.sort_by_key(|s| s.region);
+    let mut checkpoints = Vec::new();
+    let mut pending_reports = Vec::new();
+    let mut pending_patrol = Vec::new();
+    for (i, shard) in shards.into_iter().enumerate() {
+        assert_eq!(shard.region, i, "missing or duplicate shard region");
+        assert_eq!(
+            shard.first_node as usize,
+            checkpoints.len(),
+            "shard {i} does not start where shard {} ended",
+            i.wrapping_sub(1)
+        );
+        assert_eq!(shard.checkpoints.len(), shard.pending_reports.len());
+        assert_eq!(shard.checkpoints.len(), shard.pending_patrol.len());
+        checkpoints.extend(shard.checkpoints);
+        pending_reports.extend(shard.pending_reports);
+        pending_patrol.extend(shard.pending_patrol);
+    }
+    (checkpoints, pending_reports, pending_patrol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Exchange;
+    use vcount_v2x::{Message, Report};
+
+    #[test]
+    fn balanced_bounds_cover_every_node_once() {
+        for nodes in 0..40usize {
+            for shards in 1..8usize {
+                let p = RegionPartition::new(nodes, shards);
+                assert_eq!(p.node_range(0).start, 0);
+                assert_eq!(p.node_range(p.shards() - 1).end, nodes);
+                let mut covered = 0usize;
+                for r in 0..p.shards() {
+                    let range = p.node_range(r);
+                    assert_eq!(range.start, covered, "gap before region {r}");
+                    // Balanced: sizes differ by at most one.
+                    assert!(range.len() + 1 >= nodes / p.shards().max(1));
+                    covered = range.end;
+                    for n in range {
+                        assert_eq!(p.region_of(NodeId(n as u32)), r);
+                    }
+                }
+                assert_eq!(covered, nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_node_count() {
+        let p = RegionPartition::new(3, 64);
+        assert_eq!(p.shards(), 3);
+        let p = RegionPartition::new(0, 4);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.node_range(0), 0..0);
+    }
+
+    #[test]
+    fn crosses_detects_region_boundaries() {
+        let p = RegionPartition::new(8, 4); // regions of 2
+        assert!(!p.crosses(NodeId(0), NodeId(1)));
+        assert!(p.crosses(NodeId(1), NodeId(2)));
+        assert!(p.crosses(NodeId(0), NodeId(7)));
+        let single = RegionPartition::single(8);
+        assert!(!single.crosses(NodeId(0), NodeId(7)));
+    }
+
+    /// A distinguishable checkpoint state (only `report_seq` varies — the
+    /// round-trip must keep the states in node order).
+    fn state(seq: u32) -> CheckpointState {
+        use std::collections::BTreeMap;
+        CheckpointState {
+            active: false,
+            is_seed: false,
+            pred: None,
+            wave_seed: None,
+            inbound_state: BTreeMap::new(),
+            label_state: BTreeMap::new(),
+            counters: vcount_core::Counters::default(),
+            known_preds: BTreeMap::new(),
+            child_reports: BTreeMap::new(),
+            last_report: None,
+            report_seq: seq,
+            tree_total: None,
+            activated_at: None,
+            stable_at: None,
+            collected_at: None,
+        }
+    }
+
+    #[test]
+    fn decompose_compose_round_trips() {
+        let nodes = 7usize;
+        let mut ex = Exchange::new(2, nodes);
+        let msg = Message::Report(Report {
+            from: NodeId(0),
+            to: NodeId(6),
+            subtree_total: 5,
+            seq: 1,
+        });
+        ex.post_report(NodeId(1), EdgeId(0), NodeId(6), &msg);
+        ex.post_patrol(NodeId(4), NodeId(2), &msg);
+        ex.post_patrol(NodeId(6), NodeId(0), &msg);
+        let exch = ex.snapshot();
+        let checkpoints: Vec<CheckpointState> = (0..nodes).map(|i| state(i as u32)).collect();
+
+        for shards in [1usize, 2, 3, 7] {
+            let p = RegionPartition::new(nodes, shards);
+            let parts = decompose(&p, &checkpoints, &exch);
+            assert_eq!(parts.len(), shards);
+            // Shuffle the shard order; compose must reassemble by region.
+            let mut reversed: Vec<_> = parts.into_iter().rev().collect();
+            reversed.rotate_left(shards / 2);
+            let (cps, reports, patrol) = compose(reversed);
+            assert_eq!(cps, checkpoints);
+            assert_eq!(reports, exch.pending_reports);
+            assert_eq!(patrol, exch.pending_patrol);
+        }
+    }
+}

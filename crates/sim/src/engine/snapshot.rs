@@ -11,13 +11,17 @@ use vcount_roadnet::NodeId;
 use vcount_traffic::SimSnapshot;
 use vcount_v2x::VehicleId;
 
-/// Schema tag stamped on every serialized snapshot. `/v2` adds the
-/// optional fault-layer fields; `/v1` snapshots (no fault layer) are still
-/// accepted on read.
-pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v2";
+/// Schema tag stamped on every serialized snapshot. `/v3` adds the shard
+/// count; `/v2` (no shard count, implying 1) and `/v1` (additionally no
+/// fault layer) snapshots are still accepted on read.
+pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v3";
 
 /// Previous schema tag, still accepted by [`EngineSnapshot::from_json`]:
-/// a v1 snapshot is exactly a v2 snapshot with no fault layer.
+/// a v2 snapshot is exactly a v3 snapshot of a single-shard engine.
+pub const SNAPSHOT_SCHEMA_V2: &str = "vcount-engine-snapshot/v2";
+
+/// Oldest schema tag, still accepted by [`EngineSnapshot::from_json`]:
+/// a v1 snapshot is a v2 snapshot with no fault layer.
 pub const SNAPSHOT_SCHEMA_V1: &str = "vcount-engine-snapshot/v1";
 
 /// Protocol-side RNG seed derivation: decoupled from the traffic stream
@@ -66,6 +70,13 @@ pub struct EngineSnapshot {
     /// The fault layer's mid-run state, if a plan is active.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<crate::faults::FaultSnapshot>,
+    /// Shard (worker) count the run was using. Resume restores it; the
+    /// event stream is byte-identical for every value, so resuming with a
+    /// different count via `--shards` is also sound. v1/v2 snapshots carry
+    /// no shard count: the field defaults to `0` and resume clamps it up
+    /// to the single-shard engine those schemas imply.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl EngineSnapshot {
@@ -77,7 +88,10 @@ impl EngineSnapshot {
     /// Parses a snapshot, validating the schema tag.
     pub fn from_json(s: &str) -> Result<EngineSnapshot, String> {
         let snap: EngineSnapshot = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if snap.schema != SNAPSHOT_SCHEMA && snap.schema != SNAPSHOT_SCHEMA_V1 {
+        if snap.schema != SNAPSHOT_SCHEMA
+            && snap.schema != SNAPSHOT_SCHEMA_V2
+            && snap.schema != SNAPSHOT_SCHEMA_V1
+        {
             return Err(format!(
                 "unsupported snapshot schema {:?} (expected {SNAPSHOT_SCHEMA:?})",
                 snap.schema

@@ -243,6 +243,10 @@ pub struct FaultCounters {
     pub suppressed_observations: u64,
     /// Handoffs forced to fail by a blackout window.
     pub blackout_handoffs: u64,
+    /// Open segment watches closed because their origin crashed (the
+    /// adjustments they were accumulating are lost).
+    #[serde(default)]
+    pub watches_dropped: u64,
     /// Relay/patrol messages duplicated by chaos.
     pub chaos_duplicates: u64,
     /// Relay messages delayed by chaos.
@@ -396,6 +400,7 @@ impl FaultLayer {
             || c.dropped_messages > 0
             || c.labels_dropped > 0
             || c.suppressed_observations > 0
+            || c.watches_dropped > 0
     }
 
     /// Whether `node`'s checkpoint is currently down.
@@ -577,6 +582,24 @@ pub fn fault_step(ctx: &mut StepCtx<'_>) {
                         ProtocolEvent::FaultMessageDropped {
                             node: crash.node,
                             messages: dropped as u32,
+                        },
+                    );
+                }
+                // The crash also voids the handoff context behind any open
+                // segment watch this node originated: finalizing such a
+                // watch after recovery would adjust a restored state image
+                // that never saw the handoff. Closing it here loses the
+                // pending adjustments — an explicit degradation, never a
+                // silent miscount.
+                let watches = exchange.drop_origin_watches(NodeId(crash.node));
+                if watches > 0 {
+                    state.counters.watches_dropped += watches as u64;
+                    audit::record_fault(
+                        log,
+                        now,
+                        ProtocolEvent::FaultWatchDropped {
+                            node: crash.node,
+                            watches: watches as u32,
                         },
                     );
                 }

@@ -79,6 +79,10 @@ pub struct Runner {
     recorder: ActionRecorder,
     /// Reused command scratch for [`engine::apply_action`].
     cmd_scratch: Vec<Command>,
+    /// Engine shard (worker) count. Drives the traffic detection fan-out
+    /// and the exchange's region partition; the event stream is
+    /// byte-identical for every value (see DESIGN.md §8bis).
+    shards: usize,
 }
 
 /// Chained-setter construction of a [`Runner`]: scenario first, then
@@ -103,6 +107,7 @@ pub struct RunnerBuilder {
     goal: Goal,
     faults: Option<FaultPlan>,
     record: bool,
+    shards: usize,
 }
 
 impl RunnerBuilder {
@@ -115,7 +120,18 @@ impl RunnerBuilder {
             goal: Goal::Collection,
             faults: None,
             record: false,
+            shards: 1,
         }
+    }
+
+    /// Number of engine shards (worker threads). The road graph is split
+    /// into that many contiguous regions and overtake detection fans out
+    /// across them; `1` (the default) runs fully inline. Any value
+    /// produces a byte-identical event stream — shards are a throughput
+    /// knob, never a semantics knob.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Loads a fault-injection plan (validated against the scenario map at
@@ -189,6 +205,7 @@ impl RunnerBuilder {
             self.ring_capacity,
             self.faults,
             self.record,
+            self.shards,
         )
     }
 
@@ -213,10 +230,13 @@ impl Runner {
         ring_capacity: usize,
         fault_plan: Option<FaultPlan>,
         record: bool,
+        shards: usize,
     ) -> Result<Self, String> {
+        let shards = shards.max(1);
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("scenario map must be valid");
         let mut sim = Simulator::new(net, scenario.sim.clone(), scenario.demand.clone());
+        sim.set_detect_shards(shards);
         let n = sim.net().node_count();
         let cps: Vec<Checkpoint> = sim
             .net()
@@ -264,6 +284,8 @@ impl Runner {
             Some(plan) => FaultLayer::from_plan(plan, n)?,
             None => FaultLayer::none(),
         };
+        let mut exchange = Exchange::new(vehicles, n);
+        exchange.set_partition(engine::RegionPartition::new(n, shards));
         let mut runner = Runner {
             scenario: scenario.clone(),
             sim,
@@ -275,7 +297,7 @@ impl Runner {
             filter: scenario.protocol.filter,
             adjust_mode: scenario.protocol.adjust_mode,
             seeds: seeds.clone(),
-            exchange: Exchange::new(vehicles, n),
+            exchange,
             naive: NaiveIntervalCounter::new(scenario.protocol.filter),
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
             batch: TrafficBatch::default(),
@@ -283,6 +305,7 @@ impl Runner {
             faults,
             recorder: ActionRecorder::new(record),
             cmd_scratch: Vec::new(),
+            shards,
         };
         for s in seeds {
             runner.with_ctx(0.0, |ctx| engine::apply_action(ctx, s, ActionKind::Seed));
@@ -313,12 +336,14 @@ impl Runner {
             net.node_count(),
             "snapshot checkpoint count must match the scenario map"
         );
-        let sim = Simulator::restore(
+        let shards = snap.shards.max(1);
+        let mut sim = Simulator::restore(
             net,
             scenario.sim.clone(),
             scenario.demand.clone(),
             &snap.sim,
         );
+        sim.set_detect_shards(shards);
         let mut cps: Vec<Checkpoint> = sim
             .net()
             .node_ids()
@@ -333,6 +358,8 @@ impl Runner {
         );
         let channel = scenario.channel.build();
         channel.restore_state(snap.channel_state);
+        let mut exchange = Exchange::restore(&snap.exchange);
+        exchange.set_partition(engine::RegionPartition::new(snap.checkpoints.len(), shards));
         Runner {
             transport: scenario.transport,
             filter: scenario.protocol.filter,
@@ -344,7 +371,7 @@ impl Runner {
             proto_rng,
             oracle: Oracle::from_ledger(snap.ledger.clone()),
             seeds: snap.seeds.clone(),
-            exchange: Exchange::restore(&snap.exchange),
+            exchange,
             naive: snap.naive.clone(),
             dedup: snap.dedup.clone(),
             batch: TrafficBatch::default(),
@@ -355,13 +382,20 @@ impl Runner {
             },
             recorder: ActionRecorder::new(false),
             cmd_scratch: Vec::new(),
+            shards,
         }
     }
 
     /// Freezes the deployment at the current step boundary. The snapshot
     /// embeds the scenario, so [`Runner::resume`] needs nothing else.
+    ///
+    /// On a sharded engine the region-owned state (checkpoints and per-node
+    /// exchange queues) is decomposed into per-shard snapshots and
+    /// recomposed into the monolithic on-disk form, asserting the
+    /// round-trip is exact — a self-check that regional ownership covers
+    /// the whole engine state.
     pub fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot {
+        let snap = EngineSnapshot {
             schema: engine::SNAPSHOT_SCHEMA.to_string(),
             scenario: self.scenario.clone(),
             seeds: self.seeds.clone(),
@@ -375,7 +409,25 @@ impl Runner {
             dedup: self.dedup.clone(),
             fault_plan: self.faults.plan().cloned(),
             faults: self.faults.snapshot(),
+            shards: self.shards,
+        };
+        if self.shards > 1 {
+            let parts = engine::shard::decompose(
+                self.exchange.partition(),
+                &snap.checkpoints,
+                &snap.exchange,
+            );
+            let (cps, reports, patrol) = engine::shard::compose(parts);
+            assert_eq!(cps, snap.checkpoints, "shard composition lost state");
+            assert_eq!(reports, snap.exchange.pending_reports);
+            assert_eq!(patrol, snap.exchange.pending_patrol);
         }
+        snap
+    }
+
+    /// The engine's shard (worker) count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Builds a stage context over this runner's state and runs `f` in it.
@@ -632,10 +684,12 @@ impl Runner {
         t.messages_decoded = wire.decoded;
         t.wire_bytes = wire.bytes;
         t.label_overwrites = wire.label_overwrites;
+        t.cross_shard_messages = wire.cross_shard;
         let fc = self.faults.counters();
         t.chaos_duplicates = fc.chaos_duplicates;
         t.chaos_delays = fc.chaos_delays;
         t.chaos_reorders = fc.chaos_reorders;
+        t.watches_dropped = fc.watches_dropped;
         t.traffic_step_secs = self.audit.counters.phase_secs(Phase::TrafficStep);
         t.protocol_secs = self.audit.counters.phase_secs(Phase::Protocol);
         t.relay_secs = self.audit.counters.phase_secs(Phase::Relay);

@@ -1,0 +1,112 @@
+//! Guards the zero-copy payload decode path of the exchange.
+//!
+//! [`Exchange::decode_payload`] used to copy every payload into a fresh
+//! `Bytes` heap buffer before decoding — one allocation per delivered
+//! message, on the hottest path of the relay stage. The decoder is generic
+//! over [`bytes::Buf`] and `&[u8]` implements it, so the exchange now
+//! decodes straight from the borrowed payload slice. A counting global
+//! allocator pins the fix: decoding a window of already-encoded payloads
+//! must not allocate at all.
+//!
+//! Only the fixed-size message variants (`Label`, `Report`, `Announce`,
+//! `Ack`) are in the measurement window — decoding `Patrol` legitimately
+//! allocates its observation vector.
+//!
+//! This is the only test in this file on purpose, and the counter only
+//! ticks while the measuring thread raises a thread-local flag: libtest's
+//! harness threads share the process allocator and allocate at
+//! unpredictable moments, which would otherwise fail the window
+//! spuriously.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vcount_roadnet::NodeId;
+use vcount_sim::Exchange;
+use vcount_v2x::{Announce, Label, Message, Report, VehicleId};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Const-initialised `Cell<bool>` has no destructor and no lazy
+    // registration, so reading it inside the allocator never allocates.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+struct Counting;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects. `try_with` (not `with`)
+// keeps late allocations during thread teardown from panicking.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if MEASURING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if MEASURING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn decoding_owned_payloads_does_not_allocate() {
+    const ROUNDS: usize = 200;
+    let mut ex = Exchange::new(1, 4);
+
+    // Encode the window's payloads up front (this part allocates freely).
+    let messages = [
+        Message::Label(Label {
+            origin: NodeId(0),
+            origin_pred: Some(NodeId(1)),
+            seed: NodeId(0),
+        }),
+        Message::Report(Report {
+            from: NodeId(2),
+            to: NodeId(1),
+            subtree_total: -3,
+            seq: 7,
+        }),
+        Message::Announce(Announce {
+            to: NodeId(3),
+            from: NodeId(2),
+            pred: None,
+        }),
+        Message::Ack {
+            vehicle: VehicleId(9),
+        },
+    ];
+    let payloads: Vec<Vec<u8>> = messages.iter().map(|m| m.encode().to_vec()).collect();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    let mut decoded = 0usize;
+    for _ in 0..ROUNDS {
+        for (msg, payload) in messages.iter().zip(&payloads) {
+            assert_eq!(&ex.decode_payload(payload), msg, "payload round-trip broke");
+            decoded += 1;
+        }
+    }
+    MEASURING.with(|m| m.set(false));
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(decoded, ROUNDS * messages.len());
+    assert_eq!(
+        delta, 0,
+        "decode_payload allocated {delta} times over {decoded} decodes — \
+         the zero-copy slice path is being bypassed"
+    );
+}

@@ -231,6 +231,56 @@ fn blackout_only_plans_stay_exact() {
 }
 
 #[test]
+fn crash_mid_watch_drops_open_watches_explicitly() {
+    // A segment watch stays open from a labelled departure until its label
+    // vehicle reaches the far checkpoint, so crashing the busiest node
+    // mid-run catches some of its watches in flight. The crash must close
+    // them at the exchange (a recovered image never saw the handoff, so
+    // finalizing later would adjust counters the origin no longer owns),
+    // count each closure, emit the audit event, and mark the run degraded
+    // — never resolve them silently.
+    let scen = scenario(ProtocolVariant::Simple, 31);
+    let plan = FaultPlan {
+        seed: 3,
+        crashes: vec![CrashFault {
+            node: 4, // center of the 3×3 grid: highest degree, most watches
+            at_s: 60.0,
+            recover_s: 400.0,
+        }],
+        blackouts: Vec::new(),
+        chaos: None,
+        image_every_s: 60.0,
+    };
+    plan.validate(NODES as usize).unwrap();
+
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let mut runner = Runner::builder(&scen)
+        .faults(plan)
+        .sink(Box::new(VecSink(lines.clone())))
+        .build();
+    let m = runner.run(Goal::Collection, scen.max_time_s);
+    runner.flush_sinks();
+
+    let dropped = runner.fault_counters().watches_dropped;
+    assert!(
+        dropped > 0,
+        "crash caught no open watch; pick a busier crash time"
+    );
+    assert_eq!(
+        m.telemetry.watches_dropped, dropped,
+        "telemetry disagrees with the fault counters"
+    );
+    let events = lines.lock().unwrap();
+    assert!(
+        events.iter().any(|l| l.contains("fault_watch_dropped")),
+        "no fault_watch_dropped event was audited"
+    );
+    // Dropping a watch provably costs adjustment information: the run must
+    // say so rather than present its count as exact.
+    assert!(m.degraded, "dropped watches did not degrade the run");
+}
+
+#[test]
 fn resume_replays_a_crash_scheduled_after_the_snapshot() {
     let scen = scenario(ProtocolVariant::Extended, 21);
     let plan = FaultPlan {

@@ -10,10 +10,14 @@
 //! allocator pins the fix: after one warm-up take per slot, a window of
 //! paired take/recycle cycles must not allocate at all.
 //!
-//! This is the only test in this file on purpose: the allocator counts
-//! process-wide, so a concurrently running test would pollute the window.
+//! This is the only test in this file on purpose, and the counter only
+//! ticks while the measuring thread raises a thread-local flag: libtest's
+//! harness threads share the process allocator and allocate at
+//! unpredictable moments, which would otherwise fail the window
+//! spuriously.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use vcount_roadnet::{EdgeId, NodeId};
@@ -22,13 +26,22 @@ use vcount_v2x::{Label, Message, VehicleId};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Const-initialised `Cell<bool>` has no destructor and no lazy
+    // registration, so reading it inside the allocator never allocates.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
 struct Counting;
 
 // SAFETY: delegates directly to the system allocator; the counter is a
-// relaxed atomic with no other side effects.
+// relaxed atomic with no other side effects. `try_with` (not `with`)
+// keeps late allocations during thread teardown from panicking.
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if MEASURING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -37,7 +50,9 @@ unsafe impl GlobalAlloc for Counting {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if MEASURING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -74,6 +89,7 @@ fn paired_due_takes_do_not_allocate() {
     ex.recycle_patrol(p);
 
     let before = ALLOCS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
     let mut taken = 0usize;
     for i in 2..nodes {
         let r = ex.take_due_reports(v, NodeId(i as u32));
@@ -82,6 +98,7 @@ fn paired_due_takes_do_not_allocate() {
         ex.recycle_reports(r);
         ex.recycle_patrol(p);
     }
+    MEASURING.with(|m| m.set(false));
     let delta = ALLOCS.load(Ordering::Relaxed) - before;
 
     assert_eq!(taken, 2 * WINDOW, "measurement window missed envelopes");

@@ -1,0 +1,267 @@
+//! The sharding contract (DESIGN.md §8bis): the shard count is a
+//! throughput knob, never a semantics knob. For every scenario family the
+//! merged protocol event stream, the final counts, and the run metrics
+//! must be *byte-identical* for 1, 2, and 4 shards — including under a
+//! fault plan whose crashes straddle a region boundary, and across a
+//! snapshot/resume taken mid-run by a sharded engine.
+//!
+//! The only fields allowed to vary with the shard count are the wall-clock
+//! phase timings and the `cross_shard_messages` bookkeeping counter (a
+//! partition-relative measurement by definition); both are normalized out
+//! before comparison.
+
+use std::sync::{Arc, Mutex};
+
+use vcount_core::{CheckpointConfig, ProtocolVariant};
+use vcount_obs::{EventRecord, EventSink};
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{CrashFault, EngineSnapshot, FaultPlan, RunMetrics, Runner, Scenario};
+use vcount_sim::{MapSpec, PatrolSpec, SeedSpec, TransportMode};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::ChannelKind;
+
+struct VecSink(Arc<Mutex<Vec<String>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.0.lock().unwrap().push(rec.to_json());
+    }
+}
+
+/// 64-bit FNV-1a over the JSONL stream — one order-sensitive digest per
+/// run, so a mismatch report stays readable even for long streams.
+fn fnv_digest(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A 4×4 closed grid: 16 nodes, so 2 shards split regions at node 8 and
+/// 4 shards at nodes 4/8/12.
+fn grid_scenario(variant: ProtocolVariant, seed: u64) -> Scenario {
+    let mut s = Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 130.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            seed,
+            detect_overtakes: true,
+            speed_factor_range: (0.6, 1.0),
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::for_variant(variant),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 2 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 1500.0,
+    };
+    if variant == ProtocolVariant::Extended {
+        s.transport = TransportMode::VehicleWithPatrolFallback;
+        s.patrol = PatrolSpec { cars: 1 };
+    }
+    s
+}
+
+/// The open-system family: border checkpoints, live entry/exit tracking.
+fn open_scenario(seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Manhattan(ManhattanConfig::small()),
+        closed: false,
+        sim: SimConfig {
+            seed,
+            spawn_rate_hz: 0.2,
+            detect_overtakes: true,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(50.0),
+        protocol: CheckpointConfig::for_variant(ProtocolVariant::Open),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::AllBorder,
+        transport: Default::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 900.0,
+    }
+}
+
+/// Crashes on both sides of the 2-shard boundary of a 16-node graph
+/// (nodes 7 and 8 land in different regions for every tested shard
+/// count > 1), so fault handling itself is exercised across regions.
+fn boundary_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 11,
+        crashes: vec![
+            CrashFault {
+                node: 7,
+                at_s: 60.0,
+                recover_s: 240.0,
+            },
+            CrashFault {
+                node: 8,
+                at_s: 90.0,
+                recover_s: 300.0,
+            },
+        ],
+        blackouts: Vec::new(),
+        chaos: None,
+        image_every_s: 60.0,
+    }
+}
+
+fn capture(
+    scen: &Scenario,
+    shards: usize,
+    plan: Option<FaultPlan>,
+    steps: usize,
+) -> (Vec<String>, RunMetrics) {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let mut builder = Runner::builder(scen)
+        .shards(shards)
+        .sink(Box::new(VecSink(lines.clone())));
+    if let Some(p) = plan {
+        builder = builder.faults(p);
+    }
+    let mut runner = builder.build();
+    assert_eq!(runner.shards(), shards);
+    for _ in 0..steps {
+        runner.step();
+    }
+    runner.flush_sinks();
+    let metrics = runner.metrics_now();
+    let out = lines.lock().unwrap().clone();
+    (out, metrics)
+}
+
+/// Compares two runs' metrics, skipping the fields legitimately allowed to
+/// differ across shard counts: wall-clock timings (nondeterministic) and
+/// the cross-shard message counter (defined relative to the partition
+/// being measured).
+fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
+    let normalized = |m: &RunMetrics| {
+        let mut t = m.telemetry;
+        t.traffic_step_secs = 0.0;
+        t.protocol_secs = 0.0;
+        t.relay_secs = 0.0;
+        t.cross_shard_messages = 0;
+        t
+    };
+    assert_eq!(a.constitution_done_s, b.constitution_done_s, "{what}");
+    assert_eq!(a.collection_done_s, b.collection_done_s, "{what}");
+    assert_eq!(a.global_count, b.global_count, "{what}");
+    assert_eq!(a.true_population, b.true_population, "{what}");
+    assert_eq!(a.oracle_violations, b.oracle_violations, "{what}");
+    assert_eq!(a.handoff_failures, b.handoff_failures, "{what}");
+    assert_eq!(a.overtake_adjustments, b.overtake_adjustments, "{what}");
+    assert_eq!(a.baseline_naive, b.baseline_naive, "{what}");
+    assert_eq!(a.baseline_dedup, b.baseline_dedup, "{what}");
+    assert_eq!(a.degraded, b.degraded, "{what}");
+    assert_eq!(a.elapsed_s, b.elapsed_s, "{what}");
+    assert_eq!(a.steps, b.steps, "{what}");
+    assert_eq!(normalized(a), normalized(b), "{what}");
+}
+
+fn assert_shard_invariant(scen: &Scenario, plan: Option<FaultPlan>, steps: usize, what: &str) {
+    let (ref_stream, ref_metrics) = capture(scen, 1, plan.clone(), steps);
+    assert!(
+        !ref_stream.is_empty(),
+        "{what}: reference emitted no events"
+    );
+    let ref_digest = fnv_digest(&ref_stream);
+    for shards in [2usize, 4] {
+        let (stream, metrics) = capture(scen, shards, plan.clone(), steps);
+        assert_eq!(
+            fnv_digest(&stream),
+            ref_digest,
+            "{what}: event digest diverged at {shards} shards"
+        );
+        assert_eq!(
+            stream, ref_stream,
+            "{what}: event stream diverged at {shards} shards"
+        );
+        assert_metrics_identical(&metrics, &ref_metrics, what);
+    }
+}
+
+#[test]
+fn simple_variant_is_shard_count_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 42);
+    assert_shard_invariant(&scen, None, 900, "simple");
+}
+
+#[test]
+fn extended_variant_is_shard_count_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Extended, 43);
+    assert_shard_invariant(&scen, None, 900, "extended");
+}
+
+#[test]
+fn open_variant_is_shard_count_invariant() {
+    let scen = open_scenario(44);
+    assert_shard_invariant(&scen, None, 700, "open");
+}
+
+#[test]
+fn boundary_straddling_faults_are_shard_count_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 45);
+    assert_shard_invariant(&scen, Some(boundary_plan()), 900, "boundary faults");
+}
+
+#[test]
+fn sharded_snapshot_resumes_byte_identically() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 46);
+    let total_steps = 800usize;
+    let prefix_steps = 300usize;
+
+    // Reference: one uninterrupted 4-shard run.
+    let (reference, _) = capture(&scen, 4, Some(boundary_plan()), total_steps);
+    assert!(!reference.is_empty(), "reference emitted no events");
+
+    // Snapshot a 4-shard run mid-flight; the snapshot must self-check its
+    // per-shard decomposition and still carry the monolithic state.
+    let prefix_lines = Arc::new(Mutex::new(Vec::new()));
+    let mut first = Runner::builder(&scen)
+        .shards(4)
+        .faults(boundary_plan())
+        .sink(Box::new(VecSink(prefix_lines.clone())))
+        .build();
+    for _ in 0..prefix_steps {
+        first.step();
+    }
+    first.flush_sinks();
+    let snap_json = first.snapshot().to_json();
+    drop(first);
+
+    let snap = EngineSnapshot::from_json(&snap_json).expect("snapshot JSON parses");
+    assert_eq!(snap.shards, 4, "snapshot lost the shard count");
+
+    // Resume restores the shard count and replays the tail byte-for-byte.
+    let tail = Arc::new(Mutex::new(Vec::new()));
+    let mut resumed = Runner::resume_with(&snap, vec![Box::new(VecSink(tail.clone()))], 4096);
+    assert_eq!(resumed.shards(), 4, "resume dropped the shard count");
+    for _ in 0..(total_steps - prefix_steps) {
+        resumed.step();
+    }
+    resumed.flush_sinks();
+
+    let mut stitched = prefix_lines.lock().unwrap().clone();
+    stitched.extend(tail.lock().unwrap().iter().cloned());
+    assert_eq!(
+        fnv_digest(&stitched),
+        fnv_digest(&reference),
+        "sharded snapshot/resume diverged from the uninterrupted run"
+    );
+    assert_eq!(stitched, reference);
+}

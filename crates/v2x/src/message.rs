@@ -184,8 +184,10 @@ impl Message {
         }
     }
 
-    /// Decodes one message from the front of `buf`, advancing it.
-    pub fn decode(buf: &mut Bytes) -> Result<Message, DecodeError> {
+    /// Decodes one message from the front of `buf`, advancing it. Generic
+    /// over [`Buf`] so hot paths can decode straight from a borrowed
+    /// `&[u8]` without first copying the payload into a [`Bytes`].
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Message, DecodeError> {
         if buf.remaining() < 1 {
             return Err(DecodeError::Truncated);
         }
@@ -345,6 +347,37 @@ mod tests {
     fn bad_tag_errors() {
         let mut buf = Bytes::from_static(&[0xEE, 0, 0, 0, 0]);
         assert_eq!(Message::decode(&mut buf), Err(DecodeError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn decode_from_borrowed_slice_matches_bytes_decode() {
+        let msgs = [
+            Message::Label(Label {
+                origin: NodeId(7),
+                origin_pred: Some(NodeId(3)),
+                seed: NodeId(0),
+            }),
+            Message::Report(Report {
+                from: NodeId(12),
+                to: NodeId(4),
+                subtree_total: -3,
+                seq: 17,
+            }),
+            Message::Announce(Announce {
+                to: NodeId(5),
+                from: NodeId(9),
+                pred: None,
+            }),
+            Message::Ack {
+                vehicle: VehicleId(42),
+            },
+        ];
+        for m in &msgs {
+            let wire = m.encode();
+            let mut slice: &[u8] = wire.as_ref();
+            assert_eq!(Message::decode(&mut slice).unwrap(), *m);
+            assert!(slice.is_empty(), "trailing bytes after slice decode");
+        }
     }
 
     #[test]

@@ -158,6 +158,21 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
 /// Growable byte buffer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -246,5 +261,17 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from_static(&[1]);
         b.get_u32();
+    }
+
+    #[test]
+    fn slice_reads_without_copying() {
+        let backing = [7u8, 0xDE, 0xAD, 0xBE, 0xEF, 9];
+        let mut r: &[u8] = &backing;
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(Buf::chunk(&r), &[9]);
+        Buf::advance(&mut r, 1);
+        assert!(!r.has_remaining());
     }
 }

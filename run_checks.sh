@@ -65,6 +65,30 @@ assert tail and full.endswith(tail), \
 print(f"snapshot/resume smoke ok: {len(tail)} byte tail of {len(full)} byte trace")
 EOF
 
+# Sharding smoke: the shard count is a throughput knob, never a semantics
+# knob (DESIGN.md §8bis) — a 2-shard run of the same scenario must emit a
+# byte-identical event trace and the same final count as the 1-shard run.
+shard_dir="$tmp_root/shards"
+mkdir "$shard_dir"
+echo "+ vcount run scen.json --shards 1|2 --trace ... (byte-diff)"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$snap_dir/scen.json" --goal constitution --shards 1 \
+    --trace "$shard_dir/s1.jsonl" > "$shard_dir/m1.json"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$snap_dir/scen.json" --goal constitution --shards 2 \
+    --trace "$shard_dir/s2.jsonl" > "$shard_dir/m2.json"
+run cmp "$shard_dir/s1.jsonl" "$shard_dir/s2.jsonl"
+run python3 - "$shard_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+m1 = json.load(open(f"{d}/m1.json"))
+m2 = json.load(open(f"{d}/m2.json"))
+assert m1["global_count"] == m2["global_count"], (m1["global_count"], m2["global_count"])
+assert m1["oracle_violations"] == m2["oracle_violations"] == 0
+print(f"sharding smoke ok: 1-shard and 2-shard traces byte-identical, "
+      f"count {m1['global_count']}")
+EOF
+
 # Fault-injection smoke: a run under a crash+blackout+chaos plan must end
 # exact or explicitly degraded (never a silent miscount), and the crash
 # must actually fire (DESIGN.md §7).

@@ -277,7 +277,8 @@ fn fmt(t: f64, ev: ProtocolEvent) -> String {
         E::CheckpointCrashed { .. }
         | E::CheckpointRecovered { .. }
         | E::FaultMessageDropped { .. }
-        | E::ChannelBlackout { .. } => unreachable!("checkpoints do not emit fault events"),
+        | E::ChannelBlackout { .. }
+        | E::FaultWatchDropped { .. } => unreachable!("checkpoints do not emit fault events"),
     };
     format!("t={t} {body}")
 }
