@@ -35,7 +35,7 @@ use std::time::Instant;
 use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::grid;
 use vcount_sim::{replay_trace, Blackout, ChaosFault, CrashFault, FaultPlan};
-use vcount_sim::{MapSpec, Runner, Scenario, SeedSpec};
+use vcount_sim::{MapSpec, PatrolSpec, Runner, Scenario, SeedSpec, TransportMode};
 use vcount_traffic::{Demand, SimConfig, Simulator};
 use vcount_v2x::ChannelKind;
 
@@ -181,8 +181,13 @@ fn run_exchange_case(
     steps: u64,
     faults: Option<FaultPlan>,
     shards: usize,
+    fanout: bool,
 ) -> Case {
-    let scenario = engine_scenario(cols, rows, demand_pct, seed);
+    let scenario = if fanout {
+        fanout_scenario(cols, demand_pct, seed)
+    } else {
+        engine_scenario(cols, rows, demand_pct, seed)
+    };
     let mut builder = Runner::builder(&scenario).shards(shards);
     if let Some(plan) = faults {
         builder = builder.faults(plan);
@@ -240,6 +245,43 @@ fn engine_scenario(cols: usize, rows: usize, demand_pct: f64, seed: u64) -> Scen
         seeds: SeedSpec::Explicit(vec![0]),
         transport: Default::default(),
         patrol: Default::default(),
+        max_time_s: f64::INFINITY,
+    }
+}
+
+/// The message-plane stress scenario behind the `fanout…` case: a
+/// directed ring (`cols` nodes, the canonical patrol-cycle map) with
+/// overtake detection off (the traffic step shrinks to pure movement),
+/// *every* announce and report forced through the directional relay
+/// (`RelayOnly`), and a dense patrol fleet whose status snapshots — the
+/// largest wire message, growing toward one entry per checkpoint — are
+/// re-encoded and re-radioed at every stop. The per-step cost is
+/// dominated by the Exchange (encode/enqueue/deliver/decode), which is
+/// exactly the path the zero-copy plane optimises: roughly two thirds of
+/// the wall clock is message-plane work, versus a few percent in the
+/// `exchange…` grid cases.
+fn fanout_scenario(nodes: usize, demand_pct: f64, seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::DirectedRing {
+            nodes,
+            spacing_m: 100.0,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            detect_overtakes: false,
+            speed_factor_range: (0.5, 1.0),
+            seed,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(demand_pct),
+        protocol: CheckpointConfig::default(),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Explicit(vec![0]),
+        transport: TransportMode::RelayOnly {
+            relay_speed_mps: 50.0,
+        },
+        patrol: PatrolSpec { cars: 120 },
         max_time_s: f64::INFINITY,
     }
 }
@@ -307,6 +349,9 @@ struct CaseSpec {
     engine: bool,
     faults: bool,
     replay: bool,
+    /// Message-plane stress case (see [`fanout_scenario`]); implies
+    /// `engine`.
+    fanout: bool,
     /// `0` = legacy unsharded case (no name suffix, runs as 1 shard); a
     /// nonzero value names the case `…_sN` and drives N worker shards.
     shards: usize,
@@ -323,6 +368,13 @@ impl CaseSpec {
             return format!(
                 "actions_replay{}x{}_v{:.0}{shard_suffix}",
                 self.cols, self.rows, self.demand_pct
+            );
+        }
+        if self.fanout {
+            // A ring map: `cols` is the node count, `rows` is unused.
+            return format!(
+                "fanout_ring{}_v{:.0}{shard_suffix}",
+                self.cols, self.demand_pct
             );
         }
         let prefix = if self.engine { "exchange" } else { "grid" };
@@ -349,7 +401,7 @@ impl CaseSpec {
                 warmup,
                 steps,
             )
-        } else if self.engine {
+        } else if self.engine || self.fanout {
             run_exchange_case(
                 &name,
                 self.cols,
@@ -360,6 +412,7 @@ impl CaseSpec {
                 steps,
                 self.faults.then(bench_fault_plan),
                 self.shards.max(1),
+                self.fanout,
             )
         } else {
             run_case(
@@ -377,9 +430,12 @@ impl CaseSpec {
 }
 
 /// Compares measured cases to the same-named cases of a committed report;
-/// a case below `1 - tolerance` of its reference throughput is re-measured
-/// (best-of-3) before being reported as a regression. Returns the failing
-/// case names.
+/// a case below `1 - tolerance` of its reference throughput — in steps/sec
+/// *or* events/sec — is re-measured (best-of-3) before being reported as a
+/// regression. The events/sec gate matters for the engine cases: the
+/// protocol event count is deterministic per scenario, so a drop in
+/// events/sec is a pure wall-clock regression of the message plane, even
+/// when steps/sec noise hides it. Returns the failing case names.
 fn guard_against(
     reference: &Report,
     cases: &mut [Case],
@@ -388,21 +444,37 @@ fn guard_against(
     steps: u64,
     tolerance: f64,
 ) -> Vec<String> {
+    // Both throughput floors must hold; `None` = this attempt passed.
+    fn breach(case: &Case, base: &Case, tolerance: f64) -> Option<String> {
+        if case.steps_per_sec < base.steps_per_sec * (1.0 - tolerance) {
+            return Some(format!(
+                "{:.0} steps/s < floor {:.0}",
+                case.steps_per_sec,
+                base.steps_per_sec * (1.0 - tolerance)
+            ));
+        }
+        if case.events_per_sec < base.events_per_sec * (1.0 - tolerance) {
+            return Some(format!(
+                "{:.0} events/s < floor {:.0}",
+                case.events_per_sec,
+                base.events_per_sec * (1.0 - tolerance)
+            ));
+        }
+        None
+    }
     let mut failures = Vec::new();
     for (case, spec) in cases.iter_mut().zip(specs) {
         let Some(base) = reference.cases.iter().find(|b| b.name == case.name) else {
             eprintln!("guard: no reference case named {} — skipping", case.name);
             continue;
         };
-        let floor = base.steps_per_sec * (1.0 - tolerance);
         for attempt in 0..2 {
-            if case.steps_per_sec >= floor {
+            let Some(why) = breach(case, base, tolerance) else {
                 break;
-            }
+            };
             eprintln!(
-                "guard: {} at {:.0} steps/s vs floor {floor:.0} — re-measuring ({})...",
+                "guard: {} at {why} — re-measuring ({})...",
                 case.name,
-                case.steps_per_sec,
                 attempt + 2
             );
             // Re-measure at no less than the committed report's length so a
@@ -412,22 +484,22 @@ fn guard_against(
                 *case = retry;
             }
         }
-        if case.steps_per_sec < floor {
-            eprintln!(
-                "guard: REGRESSION {}: {:.0} steps/s < {:.0} ({}% of committed {:.0})",
+        match breach(case, base, tolerance) {
+            Some(why) => {
+                eprintln!(
+                    "guard: REGRESSION {}: {why} ({}% of committed steps/s, {}% of events/s)",
+                    case.name,
+                    (100.0 * case.steps_per_sec / base.steps_per_sec).round(),
+                    (100.0 * case.events_per_sec / base.events_per_sec.max(1e-12)).round(),
+                );
+                failures.push(case.name.clone());
+            }
+            None => eprintln!(
+                "guard: {} ok ({:.0}% of committed steps/s, {:.0}% of events/s)",
                 case.name,
-                case.steps_per_sec,
-                floor,
-                (100.0 * case.steps_per_sec / base.steps_per_sec).round(),
-                base.steps_per_sec
-            );
-            failures.push(case.name.clone());
-        } else {
-            eprintln!(
-                "guard: {} ok ({:.0}% of committed throughput)",
-                case.name,
-                100.0 * case.steps_per_sec / base.steps_per_sec
-            );
+                100.0 * case.steps_per_sec / base.steps_per_sec,
+                100.0 * case.events_per_sec / base.events_per_sec.max(1e-12),
+            ),
         }
     }
     failures
@@ -511,6 +583,7 @@ fn main() {
                     engine: false,
                     faults: false,
                     replay: false,
+                    fanout: false,
                     shards: 0,
                 });
             }
@@ -534,6 +607,7 @@ fn main() {
                 engine,
                 faults: false,
                 replay: false,
+                fanout: false,
                 shards: 0,
             });
         }
@@ -547,6 +621,7 @@ fn main() {
         engine: true,
         faults: true,
         replay: false,
+        fanout: false,
         shards: 0,
     });
     // The machine-only action-replay case (both modes, same name):
@@ -558,6 +633,23 @@ fn main() {
         engine: true,
         faults: false,
         replay: true,
+        fanout: false,
+        shards: 0,
+    });
+    // The message-plane stress case (both modes, same name, so the smoke
+    // guard has a committed reference): a 100-node patrol ring with
+    // overtake detection off, every message through the relay, and 120
+    // patrol cars radioing growing status snapshots — the Exchange
+    // dominates the per-step cost, so this is the case the events/sec
+    // guard gate protects.
+    specs.push(CaseSpec {
+        cols: 100,
+        rows: 1,
+        demand_pct: 20.0,
+        engine: true,
+        faults: false,
+        replay: false,
+        fanout: true,
         shards: 0,
     });
     // The sharded family: same grid and seed at 1/2/4 worker shards, so
@@ -572,6 +664,7 @@ fn main() {
         engine: false,
         faults: false,
         replay: false,
+        fanout: false,
         shards: 2,
     });
     if !smoke {
@@ -583,6 +676,7 @@ fn main() {
                 engine: false,
                 faults: false,
                 replay: false,
+                fanout: false,
                 shards,
             });
         }
@@ -593,6 +687,7 @@ fn main() {
             engine: true,
             faults: false,
             replay: false,
+            fanout: false,
             shards: 4,
         });
     }

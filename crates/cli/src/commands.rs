@@ -24,8 +24,12 @@ USAGE:
   vcount run SCENARIO.json [--goal constitution|collection] [--progress]
               [--trace FILE.jsonl] [--trace-filter KIND,KIND,...]
               [--snapshot-every N] [--snapshot-out FILE] [--faults PLAN.json]
-              [--shards N]
+              [--shards N] [--eager-decode]
       Run a scenario to convergence and print the metrics as JSON.
+      --eager-decode disables the exchange's lazy decode, parsing even
+      messages whose recipient is down — a decode-strategy knob only:
+      the event stream, counts, and metrics are byte-identical; only the
+      wire.decoded / wire.skipped_decode telemetry split changes.
       --shards N partitions the road graph into N regions driven by N
       worker shards — a throughput knob only: the event stream, counts,
       and metrics are byte-identical for every N (DESIGN.md §8bis).
@@ -112,10 +116,12 @@ pub fn run(args: &Args) -> Result<(), String> {
         "faults",
         "record-actions",
         "shards",
+        "eager-decode",
     ])?;
     // 0 = unspecified: new runs default to one shard, resumes keep the
     // snapshot's count.
     let shards = args.flag_or("shards", 0usize)?;
+    let eager_decode = args.switch("eager-decode");
     let goal = match args.flag("goal").unwrap_or("collection") {
         "constitution" => Goal::Constitution,
         "collection" => Goal::Collection,
@@ -201,11 +207,17 @@ pub fn run(args: &Args) -> Result<(), String> {
                 builder = builder.faults(plan);
             }
             let runner = builder
+                .eager_decode(eager_decode)
                 .try_build()
                 .map_err(|e| format!("fault plan: {e}"))?;
             (runner, scenario.max_time_s)
         }
     };
+    if eager_decode {
+        // On the resume path the knob is applied post-restore: the decode
+        // strategy is not part of the snapshot.
+        runner.set_eager_decode(true);
+    }
     let metrics = drive(
         &mut runner,
         max_time_s,

@@ -1,4 +1,10 @@
 //! Run-level telemetry: event counters plus wall-clock phase timings.
+//!
+//! These count *protocol events* as seen by a sink. The wire-level
+//! traffic counters (messages encoded, decoded, skipped without a
+//! decode under the lazy payload plane, payload bytes) live with the
+//! exchange that owns the messages and surface through the runner's
+//! `RunTelemetry` instead.
 
 use crate::event::{EventRecord, ProtocolEvent};
 use crate::sink::EventSink;

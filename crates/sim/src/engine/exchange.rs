@@ -2,29 +2,38 @@
 //!
 //! Every message between checkpoints — the vehicle-carried activation
 //! label, vehicle-carried subtree reports, directional V2V relay traffic,
-//! and patrol-carried circuitous messages — lives here as an [`Envelope`]:
-//! the destination plus the payload in [`vcount_v2x::Message`] wire form.
-//! Payloads are encoded once on send (through a reused scratch buffer, so
-//! the steady-state hot path stays allocation-free) and decoded exactly
-//! once on delivery, so the binary codec is exercised on every run.
+//! and patrol-carried circuitous messages — is encoded once on send into
+//! a slab-backed [`PayloadStore`] and queued as a copyable [`Routed`]
+//! key. Slots are recycled, so the steady-state send path allocates
+//! nothing (pinned by `tests/hotpath_alloc.rs`). Decode is lazy: a
+//! payload is parsed only when its recipient actually consumes it —
+//! deliveries to crashed checkpoints and chaos-dropped duplicates are
+//! discarded unparsed and counted under `skipped_decode` instead of
+//! `decoded` (`--eager-decode` forces the old parse-everything behavior;
+//! `tests/lazy_decode_identity.rs` proves the event stream cannot tell
+//! the difference).
 //!
 //! The exchange also owns the segment watches (in-flight overtake
 //! collaboration state) and the wire counters surfaced through
 //! [`crate::metrics::RunTelemetry`]. Everything here serializes into an
-//! [`ExchangeSnapshot`] for snapshot/resume.
+//! [`ExchangeSnapshot`] for snapshot/resume: payload refs are resolved
+//! to owned bytes on snapshot and re-interned into a fresh store on
+//! restore, so the snapshot wire format is unchanged from the owned-
+//! payload era.
 
 use super::shard::RegionPartition;
 use super::{audit, StepCtx};
-use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vcount_core::ActionKind;
 use vcount_roadnet::{EdgeId, NodeId};
 use vcount_v2x::message::TAG_REPORT;
-use vcount_v2x::{Label, Message, PatrolStatus, SegmentWatch, VehicleId};
+use vcount_v2x::{Label, Message, PatrolStatus, PayloadRef, PayloadStore, SegmentWatch, VehicleId};
 
-/// A wire-encoded message plus its routing header — what actually travels
-/// between checkpoints (on a vehicle, the relay, or a patrol car).
+/// A wire-encoded message plus its routing header, in owned form — the
+/// snapshot/serde image of a queued message. In-memory queues hold
+/// [`Routed`] slab keys instead; envelopes are materialized only when an
+/// [`ExchangeSnapshot`] is taken.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Envelope {
     /// Destination checkpoint.
@@ -33,23 +42,32 @@ pub struct Envelope {
     pub payload: Vec<u8>,
 }
 
-impl Envelope {
-    /// Placeholder left behind while compacting in place (never observed).
-    fn hole() -> Envelope {
-        Envelope {
-            to: NodeId(u32::MAX),
-            payload: Vec::new(),
-        }
-    }
-}
-
-/// A relay message in flight, due for delivery at `due_s`.
+/// A relay message in flight, due for delivery at `due_s` (serde image;
+/// see [`Envelope`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RelayInFlight {
     /// Simulated delivery time, seconds.
     pub due_s: f64,
     /// The routed payload.
     pub env: Envelope,
+}
+
+/// A queued message in memory: destination plus a slab key into the
+/// exchange's [`PayloadStore`]. Copyable — queue shuffles (compaction,
+/// chaos reorder, patrol pickup) move 12 bytes instead of a heap buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Routed {
+    /// Destination checkpoint.
+    pub to: NodeId,
+    /// Slab key of the wire payload.
+    pub payload: PayloadRef,
+}
+
+/// A relay entry in memory (the serde image is [`RelayInFlight`]).
+#[derive(Debug, Clone, Copy)]
+struct RelayEntry {
+    due_s: f64,
+    routed: Routed,
 }
 
 /// An open segment watch: the label's origin checkpoint plus the V2V
@@ -67,7 +85,7 @@ pub struct Watch {
 pub struct WireCounters {
     /// Messages encoded onto the wire.
     pub encoded: u64,
-    /// Messages decoded off the wire.
+    /// Messages decoded off the wire (actually parsed by a consumer).
     pub decoded: u64,
     /// Total payload bytes encoded.
     pub bytes: u64,
@@ -82,45 +100,84 @@ pub struct WireCounters {
     /// across shard counts must normalize it (like wall-clock fields).
     #[serde(default)]
     pub cross_shard: u64,
+    /// Messages discarded without parsing — lazy decode's dividend. A
+    /// message lands here instead of `decoded` when its recipient was
+    /// down (crashed/blacked out) or the payload was a dropped duplicate.
+    #[serde(default)]
+    pub skipped_decode: u64,
+}
+
+/// Per-checkpoint batch queues stage 4 drains due relay traffic into.
+/// Draining and delivering are separate passes over the same step, but
+/// `order` records the exact drain sequence so delivery replays it
+/// byte-for-byte. All buffers keep their capacity across steps.
+#[derive(Debug, Default)]
+struct DeliveryBatch {
+    /// Payloads batched per destination checkpoint.
+    queues: Vec<Vec<PayloadRef>>,
+    /// Global drain order (one entry per drained message).
+    order: Vec<NodeId>,
+    /// Per-checkpoint consumption cursor into `queues`.
+    cursors: Vec<usize>,
+    /// Next `order` index to deliver.
+    next: usize,
+}
+
+impl DeliveryBatch {
+    fn sized(nodes: usize) -> Self {
+        DeliveryBatch {
+            queues: vec![Vec::new(); nodes],
+            order: Vec::new(),
+            cursors: vec![0; nodes],
+            next: 0,
+        }
+    }
 }
 
 /// The in-flight message store. See the module docs for the invariants.
 #[derive(Debug)]
 pub struct Exchange {
-    /// Wire-encoded activation label carried per vehicle (phase 2).
-    carried_label: Vec<Option<Vec<u8>>>,
-    /// Wire-encoded reports carried per vehicle.
-    carried_reports: Vec<Vec<Envelope>>,
+    /// Slab-backed payload bytes behind every queued [`Routed`] key.
+    store: PayloadStore,
+    /// Carried activation label per vehicle (phase 2).
+    carried_label: Vec<Option<PayloadRef>>,
+    /// Reports carried per vehicle.
+    carried_reports: Vec<Vec<Routed>>,
     /// Reports waiting at a node for a carrier onto a specific edge.
-    pending_reports: Vec<Vec<(EdgeId, Envelope)>>,
+    pending_reports: Vec<Vec<(EdgeId, Routed)>>,
     /// Circuitous messages waiting at a node for a patrol car (Alg. 4).
-    pending_patrol: Vec<Vec<Envelope>>,
+    pending_patrol: Vec<Vec<Routed>>,
     /// Directional V2V relay traffic in flight.
-    relay: Vec<RelayInFlight>,
+    relay: Vec<RelayEntry>,
     /// Open segment watches, keyed by the watched edge.
     watches: BTreeMap<EdgeId, Watch>,
     /// Patrol cars' accumulated status snapshots.
     patrol_status: BTreeMap<VehicleId, PatrolStatus>,
     /// Messages riding each patrol car.
-    patrol_carried: BTreeMap<VehicleId, Vec<Envelope>>,
-    /// Reused encode buffer — keeps steady-state encoding allocation-free.
-    scratch: BytesMut,
+    patrol_carried: BTreeMap<VehicleId, Vec<Routed>>,
+    /// Stage-4 per-checkpoint delivery batch (always empty between steps).
+    batch: DeliveryBatch,
     /// Reused due-report buffer (taken and recycled by the observe stage).
     /// Distinct from `due_patrol_scratch`: a patrol arrival takes both
     /// buffers in the same interaction, and a single shared slot would
     /// hand the second take a fresh allocation every time.
-    due_reports_scratch: Vec<Envelope>,
+    due_reports_scratch: Vec<Routed>,
     /// Reused due-patrol buffer (see `due_reports_scratch`).
-    due_patrol_scratch: Vec<Envelope>,
+    due_patrol_scratch: Vec<Routed>,
     /// The region partition routing is attributed against (single-region
     /// unless the runner shards the engine). Not serialized: it is a pure
     /// function of `(nodes, shards)` and is re-derived on restore.
     partition: RegionPartition,
+    /// Parse discarded deliveries anyway (`--eager-decode`): a decode-
+    /// strategy knob, not simulation state — never serialized, and the
+    /// event stream is byte-identical either way.
+    eager_decode: bool,
     counters: WireCounters,
 }
 
-/// Serializable image of an [`Exchange`] (every queue and counter; the
-/// scratch buffers are rebuilt empty on restore).
+/// Serializable image of an [`Exchange`] (every queue and counter; slab
+/// refs are resolved to owned payload bytes, and the scratch buffers are
+/// rebuilt empty on restore).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExchangeSnapshot {
     /// Per-vehicle carried label payloads.
@@ -148,6 +205,7 @@ impl Exchange {
     /// checkpoints.
     pub fn new(vehicles: usize, nodes: usize) -> Self {
         Exchange {
+            store: PayloadStore::new(),
             carried_label: vec![None; vehicles],
             carried_reports: vec![Vec::new(); vehicles],
             pending_reports: vec![Vec::new(); nodes],
@@ -156,10 +214,11 @@ impl Exchange {
             watches: BTreeMap::new(),
             patrol_status: BTreeMap::new(),
             patrol_carried: BTreeMap::new(),
-            scratch: BytesMut::with_capacity(64),
+            batch: DeliveryBatch::sized(nodes),
             due_reports_scratch: Vec::new(),
             due_patrol_scratch: Vec::new(),
             partition: RegionPartition::single(nodes),
+            eager_decode: false,
             counters: WireCounters::default(),
         }
     }
@@ -173,6 +232,14 @@ impl Exchange {
     /// The active region partition.
     pub fn partition(&self) -> &RegionPartition {
         &self.partition
+    }
+
+    /// Forces discarded deliveries to be parsed anyway, restoring the
+    /// pre-lazy decode behavior. Affects only the `decoded` /
+    /// `skipped_decode` counter split and the work done — never the
+    /// event stream (`tests/lazy_decode_identity.rs`).
+    pub fn set_eager_decode(&mut self, eager: bool) {
+        self.eager_decode = eager;
     }
 
     /// Attributes one routed message `from → to`: a route crossing a
@@ -199,14 +266,14 @@ impl Exchange {
         self.counters
     }
 
-    /// Encodes `msg` through the reused scratch buffer into an owned
-    /// payload, counting the wire traffic.
-    fn encode(&mut self, msg: &Message) -> Vec<u8> {
-        self.scratch.clear();
-        msg.encode_into(&mut self.scratch);
+    /// Encodes `msg` into a recycled slab slot, counting the wire
+    /// traffic. Steady state allocates nothing: the slot's buffer keeps
+    /// its capacity across messages.
+    fn encode(&mut self, msg: &Message) -> PayloadRef {
+        let r = self.store.insert_with(|buf| msg.encode_into(buf));
         self.counters.encoded += 1;
-        self.counters.bytes += self.scratch.len() as u64;
-        self.scratch.to_vec()
+        self.counters.bytes += self.store.get(r).len() as u64;
+        r
     }
 
     /// Decodes a payload this exchange previously encoded. Payloads are
@@ -221,40 +288,91 @@ impl Exchange {
         msg
     }
 
+    /// Parses a queued payload at its consumption point and releases the
+    /// slot. The only path that pays a decode in the lazy (default) mode.
+    pub fn consume_payload(&mut self, r: PayloadRef) -> Message {
+        self.counters.decoded += 1;
+        let msg = self
+            .store
+            .lazy(r)
+            .decode()
+            .expect("exchange-owned payloads always decode");
+        self.store.free(r);
+        msg
+    }
+
+    /// Drops a queued payload whose recipient will never consume it
+    /// (down checkpoint, discarded duplicate). Lazy mode releases the
+    /// slot unparsed and counts `skipped_decode`; eager mode pays the
+    /// decode it would have cost, keeping `decoded` comparable to the
+    /// pre-lazy plane.
+    pub fn discard_payload(&mut self, r: PayloadRef) {
+        if self.eager_decode {
+            self.counters.decoded += 1;
+            self.store
+                .lazy(r)
+                .decode()
+                .expect("exchange-owned payloads always decode");
+        } else {
+            self.counters.skipped_decode += 1;
+        }
+        self.store.free(r);
+    }
+
     /// Stores a delivered label on its carrier vehicle. A vehicle must
     /// never already hold a label (a checkpoint hands off one label per
     /// direction, and the carrier surrenders it at the next checkpoint);
     /// an overwrite would silently lose the first label, so it is counted
     /// as a telemetry anomaly rather than ignored.
     pub fn hand_label(&mut self, vehicle: VehicleId, label: Label) {
-        let payload = self.encode(&Message::Label(label));
-        let prev = self.carried_label[vehicle.index()].replace(payload);
+        let r = self.encode(&Message::Label(label));
+        let prev = self.carried_label[vehicle.index()].replace(r);
         debug_assert!(
             prev.is_none(),
             "vehicle {vehicle} already carries a label — double handoff overwrites it"
         );
-        if prev.is_some() {
+        if let Some(p) = prev {
             self.counters.label_overwrites += 1;
+            self.store.free(p);
         }
     }
 
     /// Takes and decodes the label `vehicle` carries, if any.
     pub fn take_label(&mut self, vehicle: VehicleId) -> Option<Label> {
-        let payload = self.carried_label[vehicle.index()].take()?;
-        match self.decode_payload(&payload) {
+        let r = self.carried_label[vehicle.index()].take()?;
+        match self.consume_payload(r) {
             Message::Label(l) => Some(l),
             other => unreachable!("label slot held {other:?}"),
         }
     }
 
-    /// Round-trips the handoff acknowledgement a civilian vehicle radios
-    /// back on successful label receipt (the codec's ack leg).
-    pub fn ack_handoff(&mut self, vehicle: VehicleId) {
-        let payload = self.encode(&Message::Ack { vehicle });
-        match self.decode_payload(&payload) {
-            Message::Ack { vehicle: v } => debug_assert_eq!(v, vehicle),
-            other => unreachable!("ack decoded as {other:?}"),
+    /// Drops the label `vehicle` carries without parsing it (the carrier
+    /// reached a down checkpoint — nobody will consume the label).
+    /// Returns whether a label was dropped.
+    pub fn discard_label(&mut self, vehicle: VehicleId) -> bool {
+        match self.carried_label[vehicle.index()].take() {
+            Some(r) => {
+                self.discard_payload(r);
+                true
+            }
+            None => false,
         }
+    }
+
+    /// The handoff acknowledgement a civilian vehicle radios back on
+    /// successful label receipt (the codec's ack leg). The ack is
+    /// produced and consumed by the same exchange, so the parse is
+    /// short-circuited: the wire counters record one encode and one
+    /// decode exactly as a real transmission would, but no bytes are
+    /// re-parsed (debug builds verify the round-trip).
+    pub fn ack_handoff(&mut self, vehicle: VehicleId) {
+        let r = self.encode(&Message::Ack { vehicle });
+        self.counters.decoded += 1;
+        debug_assert!(
+            matches!(self.store.lazy(r).decode(), Ok(Message::Ack { vehicle: v }) if v == vehicle),
+            "ack round-trip mismatch"
+        );
+        self.store.free(r);
     }
 
     /// Opens a segment watch for a label handed off onto `edge`.
@@ -276,21 +394,21 @@ impl Exchange {
     /// `edge` toward `to`.
     pub fn post_report(&mut self, from: NodeId, edge: EdgeId, to: NodeId, msg: &Message) {
         let payload = self.encode(msg);
-        self.pending_reports[from.index()].push((edge, Envelope { to, payload }));
+        self.pending_reports[from.index()].push((edge, Routed { to, payload }));
     }
 
     /// Posts a circuitous message at `from`, waiting for a patrol car.
     pub fn post_patrol(&mut self, from: NodeId, to: NodeId, msg: &Message) {
         let payload = self.encode(msg);
-        self.pending_patrol[from.index()].push(Envelope { to, payload });
+        self.pending_patrol[from.index()].push(Routed { to, payload });
     }
 
     /// Queues a message on the directional relay, due at `due_s`.
     pub fn queue_relay(&mut self, due_s: f64, to: NodeId, msg: &Message) {
         let payload = self.encode(msg);
-        self.relay.push(RelayInFlight {
+        self.relay.push(RelayEntry {
             due_s,
-            env: Envelope { to, payload },
+            routed: Routed { to, payload },
         });
     }
 
@@ -305,8 +423,7 @@ impl Exchange {
         let mut kept = 0usize;
         for i in 0..pending.len() {
             if pending[i].0 == onto {
-                let (_, env) = std::mem::replace(&mut pending[i], (onto, Envelope::hole()));
-                carried.push(env);
+                carried.push(pending[i].1);
             } else {
                 pending.swap(kept, i);
                 kept += 1;
@@ -318,7 +435,7 @@ impl Exchange {
     /// Takes the reports `vehicle` carries that are addressed to `node`,
     /// preserving order on both sides. Return the buffer with
     /// [`Exchange::recycle_reports`] when done.
-    pub fn take_due_reports(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+    pub fn take_due_reports(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Routed> {
         let mut due = std::mem::take(&mut self.due_reports_scratch);
         due.clear();
         Self::split_due(&mut self.carried_reports[vehicle.index()], node, &mut due);
@@ -329,7 +446,7 @@ impl Exchange {
     /// buffer with [`Exchange::recycle_patrol`] when done. Safe to call
     /// while a [`Exchange::take_due_reports`] buffer is still outstanding:
     /// the two takes use distinct scratch slots.
-    pub fn take_due_patrol(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Envelope> {
+    pub fn take_due_patrol(&mut self, vehicle: VehicleId, node: NodeId) -> Vec<Routed> {
         let mut due = std::mem::take(&mut self.due_patrol_scratch);
         due.clear();
         if let Some(list) = self.patrol_carried.get_mut(&vehicle) {
@@ -338,13 +455,13 @@ impl Exchange {
         due
     }
 
-    /// Stable in-place split: envelopes addressed to `node` move into
+    /// Stable in-place split: messages addressed to `node` move into
     /// `due`, the rest compact in place — no per-arrival allocation.
-    fn split_due(list: &mut Vec<Envelope>, node: NodeId, due: &mut Vec<Envelope>) {
+    fn split_due(list: &mut Vec<Routed>, node: NodeId, due: &mut Vec<Routed>) {
         let mut kept = 0usize;
         for i in 0..list.len() {
             if list[i].to == node {
-                due.push(std::mem::replace(&mut list[i], Envelope::hole()));
+                due.push(list[i]);
             } else {
                 list.swap(kept, i);
                 kept += 1;
@@ -354,24 +471,31 @@ impl Exchange {
     }
 
     /// Returns a [`Exchange::take_due_reports`] buffer for reuse.
-    pub fn recycle_reports(&mut self, mut scratch: Vec<Envelope>) {
+    pub fn recycle_reports(&mut self, mut scratch: Vec<Routed>) {
         scratch.clear();
         self.due_reports_scratch = scratch;
     }
 
     /// Returns a [`Exchange::take_due_patrol`] buffer for reuse.
-    pub fn recycle_patrol(&mut self, mut scratch: Vec<Envelope>) {
+    pub fn recycle_patrol(&mut self, mut scratch: Vec<Routed>) {
         scratch.clear();
         self.due_patrol_scratch = scratch;
     }
 
     /// Drops every message queued *at* `node` (reports awaiting a carrier
     /// and circuitous messages awaiting a patrol car), returning how many
-    /// were lost — a crashed checkpoint loses its volatile queues.
+    /// were lost — a crashed checkpoint loses its volatile queues. The
+    /// payloads were never delivered, so they never enter the
+    /// `decoded`/`skipped_decode` split; their slots return to the slab.
     pub fn drop_node_queues(&mut self, node: NodeId) -> usize {
-        let n = self.pending_reports[node.index()].len() + self.pending_patrol[node.index()].len();
-        self.pending_reports[node.index()].clear();
-        self.pending_patrol[node.index()].clear();
+        let i = node.index();
+        let n = self.pending_reports[i].len() + self.pending_patrol[i].len();
+        for (_, r) in self.pending_reports[i].drain(..) {
+            self.store.free(r.payload);
+        }
+        for r in self.pending_patrol[i].drain(..) {
+            self.store.free(r.payload);
+        }
         n
     }
 
@@ -402,28 +526,43 @@ impl Exchange {
     /// Chaos injection on the patrol-carried path: duplicates the most
     /// recently picked-up message and/or reverses the carried queue. The
     /// protocol tolerates both (announces are idempotent, reports are
-    /// highest-sequence-wins).
+    /// highest-sequence-wins). Duplication byte-copies the payload into
+    /// its own slot — two queue entries must never share one slab key,
+    /// or the first consume would invalidate the second.
     pub fn chaos_patrol_carried(&mut self, vehicle: VehicleId, duplicate: bool, reverse: bool) {
-        let Some(list) = self.patrol_carried.get_mut(&vehicle) else {
-            return;
-        };
         if duplicate {
-            if let Some(last) = list.last().cloned() {
-                list.push(last);
+            let last = self
+                .patrol_carried
+                .get(&vehicle)
+                .and_then(|list| list.last().copied());
+            if let Some(last) = last {
+                let dup = Routed {
+                    to: last.to,
+                    payload: self.store.duplicate(last.payload),
+                };
+                self.patrol_carried
+                    .get_mut(&vehicle)
+                    .expect("checked above")
+                    .push(dup);
             }
         }
         if reverse {
-            list.reverse();
+            if let Some(list) = self.patrol_carried.get_mut(&vehicle) {
+                list.reverse();
+            }
         }
     }
 
     /// A patrol car picks up every circuitous message waiting at `node`.
     pub fn pickup_patrol(&mut self, vehicle: VehicleId, node: NodeId) {
-        let picked = std::mem::take(&mut self.pending_patrol[node.index()]);
+        let pending = &mut self.pending_patrol[node.index()];
+        if pending.is_empty() {
+            return;
+        }
         self.patrol_carried
             .entry(vehicle)
             .or_default()
-            .extend(picked);
+            .append(pending);
     }
 
     /// Records a patrol car's status observation of `node`.
@@ -435,31 +574,82 @@ impl Exchange {
     }
 
     /// The status snapshot a patrol car radios to the checkpoint it is
-    /// visiting, round-tripped through the wire codec like a real
-    /// transmission.
+    /// visiting. The transmission is self-produced and consumed in the
+    /// same call, so — like [`Exchange::ack_handoff`] — the wire
+    /// counters record the encode and the decode while the parse itself
+    /// is short-circuited: the status the encoder serialized *is* the
+    /// status the decoder would have produced (verified in debug builds).
     pub fn relay_status(&mut self, vehicle: VehicleId) -> PatrolStatus {
-        let status = self.patrol_status.entry(vehicle).or_default().clone();
-        let payload = self.encode(&Message::Patrol(status));
-        match self.decode_payload(&payload) {
+        let msg = Message::Patrol(self.patrol_status.entry(vehicle).or_default().clone());
+        let r = self.encode(&msg);
+        self.counters.decoded += 1;
+        debug_assert_eq!(
+            self.store.lazy(r).decode().ok().as_ref(),
+            Some(&msg),
+            "patrol status round-trip mismatch"
+        );
+        self.store.free(r);
+        match msg {
             Message::Patrol(p) => p,
-            other => unreachable!("patrol status decoded as {other:?}"),
+            other => unreachable!("patrol slot held {other:?}"),
         }
-    }
-
-    /// Number of relay messages currently in flight.
-    pub(crate) fn relay_len(&self) -> usize {
-        self.relay.len()
     }
 
     /// Removes and returns the relay message at `i` if it is due
     /// (`swap_remove`: the caller re-examines index `i` on `Some`).
-    pub(crate) fn take_relay_if_due(&mut self, i: usize, now: f64) -> Option<Envelope> {
+    pub(crate) fn take_relay_if_due(&mut self, i: usize, now: f64) -> Option<Routed> {
         if self.relay[i].due_s <= now {
             self.counters.relay_messages += 1;
-            Some(self.relay.swap_remove(i).env)
+            Some(self.relay.swap_remove(i).routed)
         } else {
             None
         }
+    }
+
+    /// Stage-4 drain pass: moves every due relay message into the
+    /// per-checkpoint batch queues in one sweep, recording the global
+    /// drain order. Deliveries never make more traffic due within the
+    /// same step (relay due times are always at least a second out), so
+    /// draining fully before delivering reproduces the old interleaved
+    /// scan byte-for-byte.
+    pub(crate) fn drain_due_relay(&mut self, now: f64) {
+        let mut i = 0;
+        while i < self.relay.len() {
+            match self.take_relay_if_due(i, now) {
+                Some(routed) => {
+                    self.batch.queues[routed.to.index()].push(routed.payload);
+                    self.batch.order.push(routed.to);
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    /// Pops the next batched delivery in drain order, or `None` when the
+    /// batch is exhausted.
+    pub(crate) fn pop_batched(&mut self) -> Option<(NodeId, PayloadRef)> {
+        let to = *self.batch.order.get(self.batch.next)?;
+        self.batch.next += 1;
+        let cursor = &mut self.batch.cursors[to.index()];
+        let payload = self.batch.queues[to.index()][*cursor];
+        *cursor += 1;
+        Some((to, payload))
+    }
+
+    /// Resets the batch for the next step, keeping every buffer's
+    /// capacity. O(messages drained), not O(nodes).
+    pub(crate) fn finish_batch(&mut self) {
+        debug_assert_eq!(
+            self.batch.next,
+            self.batch.order.len(),
+            "batch finished with undelivered messages"
+        );
+        for &to in &self.batch.order {
+            self.batch.queues[to.index()].clear();
+            self.batch.cursors[to.index()] = 0;
+        }
+        self.batch.order.clear();
+        self.batch.next = 0;
     }
 
     /// Whether `vehicle` carries no reports (border-exit invariant: every
@@ -471,87 +661,164 @@ impl Exchange {
     /// Whether any report payload is still in transit anywhere (on a
     /// vehicle, waiting at a node, in the relay, or on a patrol car).
     /// Collection is final only when the last re-report has landed.
+    /// Inspects only the lazy tag byte — no payload is parsed.
     pub fn reports_in_flight(&self) -> bool {
-        let is_report = |env: &Envelope| env.payload.first() == Some(&TAG_REPORT);
+        let store = &self.store;
+        let is_report = |r: &Routed| store.lazy(r.payload).tag() == Some(TAG_REPORT);
         self.carried_reports.iter().flatten().any(is_report)
             || self
                 .pending_reports
                 .iter()
                 .flatten()
-                .any(|(_, env)| is_report(env))
-            || self.relay.iter().any(|r| is_report(&r.env))
+                .any(|(_, r)| is_report(r))
+            || self.relay.iter().any(|e| is_report(&e.routed))
             || self.pending_patrol.iter().flatten().any(is_report)
             || self.patrol_carried.values().flatten().any(is_report)
     }
 
-    /// Serializable image of every queue and counter.
+    /// Serializable image of every queue and counter (slab refs resolve
+    /// to owned payload bytes — the snapshot format is identical to the
+    /// owned-payload era's).
     pub fn snapshot(&self) -> ExchangeSnapshot {
+        let env = |r: &Routed| Envelope {
+            to: r.to,
+            payload: self.store.get(r.payload).to_vec(),
+        };
         ExchangeSnapshot {
-            carried_label: self.carried_label.clone(),
-            carried_reports: self.carried_reports.clone(),
-            pending_reports: self.pending_reports.clone(),
-            pending_patrol: self.pending_patrol.clone(),
-            relay: self.relay.clone(),
+            carried_label: self
+                .carried_label
+                .iter()
+                .map(|slot| slot.map(|r| self.store.get(r).to_vec()))
+                .collect(),
+            carried_reports: self
+                .carried_reports
+                .iter()
+                .map(|list| list.iter().map(env).collect())
+                .collect(),
+            pending_reports: self
+                .pending_reports
+                .iter()
+                .map(|list| list.iter().map(|(e, r)| (*e, env(r))).collect())
+                .collect(),
+            pending_patrol: self
+                .pending_patrol
+                .iter()
+                .map(|list| list.iter().map(env).collect())
+                .collect(),
+            relay: self
+                .relay
+                .iter()
+                .map(|e| RelayInFlight {
+                    due_s: e.due_s,
+                    env: env(&e.routed),
+                })
+                .collect(),
             watches: self.watches.clone(),
             patrol_status: self.patrol_status.clone(),
-            patrol_carried: self.patrol_carried.clone(),
+            patrol_carried: self
+                .patrol_carried
+                .iter()
+                .map(|(v, list)| (*v, list.iter().map(env).collect()))
+                .collect(),
             counters: self.counters,
         }
     }
 
-    /// Rebuilds an exchange from a snapshot (scratch buffers start empty).
+    /// Rebuilds an exchange from a snapshot, interning every payload
+    /// into a fresh slab (scratch buffers start empty).
     pub fn restore(snap: &ExchangeSnapshot) -> Self {
+        let mut store = PayloadStore::new();
+        let carried_label: Vec<Option<PayloadRef>> = snap
+            .carried_label
+            .iter()
+            .map(|slot| slot.as_ref().map(|p| store.insert(p)))
+            .collect();
+        let mut routed = |env: &Envelope| Routed {
+            to: env.to,
+            payload: store.insert(&env.payload),
+        };
+        let carried_reports = snap
+            .carried_reports
+            .iter()
+            .map(|list| list.iter().map(&mut routed).collect())
+            .collect();
+        let pending_reports = snap
+            .pending_reports
+            .iter()
+            .map(|list| list.iter().map(|(e, env)| (*e, routed(env))).collect())
+            .collect();
+        let pending_patrol = snap
+            .pending_patrol
+            .iter()
+            .map(|list| list.iter().map(&mut routed).collect())
+            .collect();
+        let relay = snap
+            .relay
+            .iter()
+            .map(|r| RelayEntry {
+                due_s: r.due_s,
+                routed: routed(&r.env),
+            })
+            .collect();
+        let patrol_carried = snap
+            .patrol_carried
+            .iter()
+            .map(|(v, list)| (*v, list.iter().map(&mut routed).collect()))
+            .collect();
+        let nodes = snap.pending_reports.len();
         Exchange {
-            carried_label: snap.carried_label.clone(),
-            carried_reports: snap.carried_reports.clone(),
-            pending_reports: snap.pending_reports.clone(),
-            pending_patrol: snap.pending_patrol.clone(),
-            relay: snap.relay.clone(),
+            store,
+            carried_label,
+            carried_reports,
+            pending_reports,
+            pending_patrol,
+            relay,
             watches: snap.watches.clone(),
             patrol_status: snap.patrol_status.clone(),
-            patrol_carried: snap.patrol_carried.clone(),
-            scratch: BytesMut::with_capacity(64),
+            patrol_carried,
+            batch: DeliveryBatch::sized(nodes),
             due_reports_scratch: Vec::new(),
             due_patrol_scratch: Vec::new(),
-            partition: RegionPartition::single(snap.pending_reports.len()),
+            partition: RegionPartition::single(nodes),
+            eager_decode: false,
             counters: snap.counters,
         }
     }
 }
 
-/// Stage 4: delivers every relay message that came due this step. A
-/// delivery can queue further relay traffic (a report triggered by an
-/// announce); the scan picks those up in the same pass, though their due
-/// times always land in a later step.
+/// Stage 4: delivers every relay message that came due this step, in two
+/// passes — drain due traffic into per-checkpoint batch queues, then
+/// deliver in recorded drain order. A delivery can queue further relay
+/// traffic (a report triggered by an announce), but its due time always
+/// lands in a later step, so the split changes no delivery order.
 pub fn exchange(ctx: &mut StepCtx<'_>) {
-    let mut i = 0;
-    while i < ctx.exchange.relay_len() {
-        match ctx.exchange.take_relay_if_due(i, ctx.now) {
-            Some(env) => deliver_envelope(ctx, &env),
-            None => i += 1,
-        }
+    ctx.exchange.drain_due_relay(ctx.now);
+    while let Some((to, payload)) = ctx.exchange.pop_batched() {
+        deliver_routed(ctx, to, payload);
     }
+    ctx.exchange.finish_batch();
 }
 
-/// Decodes a routed payload at its destination checkpoint and feeds the
-/// resulting observation through the machine (shared by the relay and the
-/// patrol delivery paths). A message addressed to a crashed (down)
-/// checkpoint is dropped and counted — the run becomes explicitly
-/// degraded rather than silently miscounting.
-pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
-    if ctx.faults.down(env.to) {
+/// Consumes a routed payload at its destination checkpoint and feeds the
+/// resulting observation through the machine (shared by the relay and
+/// the patrol delivery paths). A message addressed to a crashed (down)
+/// checkpoint is discarded unparsed and counted — the run becomes
+/// explicitly degraded rather than silently miscounting.
+pub(crate) fn deliver_routed(ctx: &mut StepCtx<'_>, to: NodeId, payload: PayloadRef) {
+    if ctx.faults.down(to) {
         ctx.faults.note_dropped_messages(1);
         audit::record_fault(
             ctx.audit,
             ctx.now,
             vcount_obs::ProtocolEvent::FaultMessageDropped {
-                node: env.to.0,
+                node: to.0,
                 messages: 1,
             },
         );
+        ctx.exchange.discard_payload(payload);
         return;
     }
-    let kind = match ctx.exchange.decode_payload(&env.payload) {
+    let kind = match ctx.exchange.consume_payload(payload) {
         Message::Announce(a) => ActionKind::Announce {
             from: a.from,
             pred: a.pred,
@@ -563,7 +830,7 @@ pub(crate) fn deliver_envelope(ctx: &mut StepCtx<'_>, env: &Envelope) {
         },
         other => unreachable!("exchange routes only announces and reports, got {other:?}"),
     };
-    super::apply_action(ctx, env.to, kind);
+    super::apply_action(ctx, to, kind);
 }
 
 #[cfg(test)]
@@ -619,6 +886,26 @@ mod tests {
     }
 
     #[test]
+    fn discard_label_skips_the_decode() {
+        let mut ex = Exchange::new(1, 2);
+        ex.hand_label(VehicleId(0), label());
+        assert!(ex.discard_label(VehicleId(0)));
+        assert!(!ex.discard_label(VehicleId(0)), "slot already empty");
+        let c = ex.counters();
+        assert_eq!((c.decoded, c.skipped_decode), (0, 1));
+    }
+
+    #[test]
+    fn eager_mode_decodes_discards() {
+        let mut ex = Exchange::new(1, 2);
+        ex.set_eager_decode(true);
+        ex.hand_label(VehicleId(0), label());
+        assert!(ex.discard_label(VehicleId(0)));
+        let c = ex.counters();
+        assert_eq!((c.decoded, c.skipped_decode), (1, 0));
+    }
+
+    #[test]
     fn due_scratch_slots_survive_simultaneous_takes() {
         let mut ex = Exchange::new(1, 3);
         let v = VehicleId(0);
@@ -634,6 +921,9 @@ mod tests {
         let r = ex.take_due_reports(v, n);
         let p = ex.take_due_patrol(v, n);
         assert_eq!((r.len(), p.len()), (1, 1));
+        for routed in r.iter().chain(p.iter()) {
+            ex.discard_payload(routed.payload);
+        }
         ex.recycle_reports(r);
         ex.recycle_patrol(p);
 
@@ -716,10 +1006,57 @@ mod tests {
         // Duplicate of the newest (to node 3), then reversed.
         let due3 = ex.take_due_patrol(v, NodeId(3));
         assert_eq!(due3.len(), 2);
+        // The duplicate got its own slab slot: consuming the original must
+        // not invalidate the copy.
+        let first = ex.consume_payload(due3[0].payload);
+        let second = ex.consume_payload(due3[1].payload);
+        assert_eq!(first, second);
         ex.recycle_patrol(due3);
         let due2 = ex.take_due_patrol(v, NodeId(2));
         assert_eq!(due2.len(), 1);
         // No carried queue for an unknown vehicle: no-op.
         ex.chaos_patrol_carried(VehicleId(99), true, true);
+    }
+
+    #[test]
+    fn batch_preserves_drain_order_across_checkpoints() {
+        let mut ex = Exchange::new(1, 4);
+        // Interleaved destinations, all due.
+        for &(due, to) in &[(1.0, 2u32), (2.0, 1), (3.0, 2), (4.0, 3)] {
+            ex.queue_relay(due, NodeId(to), &report_msg(NodeId(to)));
+        }
+        ex.drain_due_relay(10.0);
+        let mut seen = Vec::new();
+        while let Some((to, payload)) = ex.pop_batched() {
+            seen.push(to.0);
+            ex.discard_payload(payload);
+        }
+        ex.finish_batch();
+        // swap_remove drain order: take index 0 (to 2); the swap brings the
+        // newest entry (to 3) to the front — take it; the next swap brings
+        // the second to-2 forward — take it; finally to 1.
+        assert_eq!(seen, vec![2, 3, 2, 1]);
+        assert_eq!(ex.counters().relay_messages, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_slab() {
+        let mut ex = Exchange::new(2, 3);
+        ex.hand_label(VehicleId(1), label());
+        ex.post_report(NodeId(0), EdgeId(0), NodeId(1), &report_msg(NodeId(1)));
+        ex.post_patrol(NodeId(2), NodeId(0), &report_msg(NodeId(0)));
+        ex.queue_relay(5.0, NodeId(2), &report_msg(NodeId(2)));
+        ex.pickup_patrol(VehicleId(0), NodeId(2));
+        let snap = ex.snapshot();
+        let mut back = Exchange::restore(&snap);
+        assert_eq!(back.counters(), ex.counters());
+        assert!(back.reports_in_flight());
+        assert_eq!(back.take_label(VehicleId(1)), Some(label()));
+        // Re-snapshotting the restored exchange reproduces the image.
+        let again = Exchange::restore(&snap).snapshot();
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
     }
 }

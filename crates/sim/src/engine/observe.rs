@@ -6,7 +6,7 @@
 //! interleaving — a report posted mid-step being picked up by a later
 //! departure of the same step — is preserved exactly.
 
-use super::exchange::deliver_envelope;
+use super::exchange::deliver_routed;
 use super::{apply_action, audit, StepCtx, TrafficBatch, Watch};
 use vcount_core::ActionKind;
 use vcount_obs::ProtocolEvent;
@@ -43,10 +43,10 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
     let is_patrol = class.is_patrol();
     let node_down = ctx.faults.down(node);
 
-    // Deliver carried reports addressed to this node, decoding each
-    // payload off the wire. A down checkpoint cannot receive: the carrier
-    // surrenders them anyway (real radios broadcast blind) and the loss is
-    // counted, making the run explicitly degraded.
+    // Deliver carried reports addressed to this node. A down checkpoint
+    // cannot receive: the carrier surrenders them anyway (real radios
+    // broadcast blind), the loss is counted, and the payloads are
+    // discarded unparsed — a dead recipient never pays a decode.
     let due = ctx.exchange.take_due_reports(vehicle, node);
     if node_down {
         if !due.is_empty() {
@@ -59,10 +59,13 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
                     messages: due.len() as u32,
                 },
             );
+            for env in &due {
+                ctx.exchange.discard_payload(env.payload);
+            }
         }
     } else {
         for env in &due {
-            let r = match ctx.exchange.decode_payload(&env.payload) {
+            let r = match ctx.exchange.consume_payload(env.payload) {
                 Message::Report(r) => r,
                 other => unreachable!("carried report queue held {other:?}"),
             };
@@ -86,7 +89,7 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
         // is deferred, not lost.)
         let due = ctx.exchange.take_due_patrol(vehicle, node);
         for env in &due {
-            deliver_envelope(ctx, env);
+            deliver_routed(ctx, env.to, env.payload);
         }
         ctx.exchange.recycle_patrol(due);
         ctx.exchange.pickup_patrol(vehicle, node);
@@ -121,12 +124,12 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
     // Label delivery + phase 3/4/5 processing; the oracle attribution
     // (counted / interaction-in) is derived from the emitted events. The
     // vehicle surrenders its label regardless: a down checkpoint loses it
-    // (counted — that label's wave stalls until compensation or re-seed),
-    // and any observation the checkpoint would have counted is recorded
-    // as suppressed, so a possible miscount is never silent.
-    let label = ctx.exchange.take_label(vehicle);
+    // (counted — that label's wave stalls until compensation or re-seed,
+    // and the payload is discarded unparsed), and any observation the
+    // checkpoint would have counted is recorded as suppressed, so a
+    // possible miscount is never silent.
     if node_down {
-        if label.is_some() {
+        if ctx.exchange.discard_label(vehicle) {
             ctx.faults.note_label_dropped();
             audit::record_fault(
                 ctx.audit,
@@ -141,6 +144,7 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
             ctx.faults.note_suppressed_observation();
         }
     } else {
+        let label = ctx.exchange.take_label(vehicle);
         apply_action(
             ctx,
             node,

@@ -11,12 +11,19 @@ use vcount_roadnet::NodeId;
 use vcount_traffic::SimSnapshot;
 use vcount_v2x::VehicleId;
 
-/// Schema tag stamped on every serialized snapshot. `/v3` adds the shard
-/// count; `/v2` (no shard count, implying 1) and `/v1` (additionally no
-/// fault layer) snapshots are still accepted on read.
-pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v3";
+/// Schema tag stamped on every serialized snapshot. `/v4` adds the
+/// `skipped_decode` wire counter (zero-copy lazy-decode plane); `/v3`
+/// (no `skipped_decode`, defaulting to 0), `/v2` (additionally no shard
+/// count, implying 1) and `/v1` (additionally no fault layer) snapshots
+/// are still accepted on read.
+pub const SNAPSHOT_SCHEMA: &str = "vcount-engine-snapshot/v4";
 
 /// Previous schema tag, still accepted by [`EngineSnapshot::from_json`]:
+/// a v3 snapshot is a v4 snapshot whose wire counters predate the
+/// `decoded`/`skipped_decode` split (the missing counter defaults to 0).
+pub const SNAPSHOT_SCHEMA_V3: &str = "vcount-engine-snapshot/v3";
+
+/// Still accepted by [`EngineSnapshot::from_json`]:
 /// a v2 snapshot is exactly a v3 snapshot of a single-shard engine.
 pub const SNAPSHOT_SCHEMA_V2: &str = "vcount-engine-snapshot/v2";
 
@@ -89,6 +96,7 @@ impl EngineSnapshot {
     pub fn from_json(s: &str) -> Result<EngineSnapshot, String> {
         let snap: EngineSnapshot = serde_json::from_str(s).map_err(|e| e.to_string())?;
         if snap.schema != SNAPSHOT_SCHEMA
+            && snap.schema != SNAPSHOT_SCHEMA_V3
             && snap.schema != SNAPSHOT_SCHEMA_V2
             && snap.schema != SNAPSHOT_SCHEMA_V1
         {

@@ -98,6 +98,10 @@ pub struct RunTelemetry {
     pub messages_encoded: u64,
     /// Payloads decoded from the wire format on delivery.
     pub messages_decoded: u64,
+    /// Payloads discarded without decoding (lazy decode: the recipient
+    /// was down or the message was a dropped duplicate).
+    #[serde(default)]
+    pub messages_skipped_decode: u64,
     /// Total wire bytes produced by the exchange's encoder.
     pub wire_bytes: u64,
     /// Carried labels overwritten by a double handoff (always an anomaly).
@@ -162,6 +166,7 @@ impl RunTelemetry {
             relay_messages: 0,
             messages_encoded: 0,
             messages_decoded: 0,
+            messages_skipped_decode: 0,
             wire_bytes: 0,
             label_overwrites: 0,
             crashes: c.crashes,
@@ -220,6 +225,7 @@ impl RunTelemetry {
         self.relay_messages += other.relay_messages;
         self.messages_encoded += other.messages_encoded;
         self.messages_decoded += other.messages_decoded;
+        self.messages_skipped_decode += other.messages_skipped_decode;
         self.wire_bytes += other.wire_bytes;
         self.label_overwrites += other.label_overwrites;
         self.crashes += other.crashes;

@@ -108,6 +108,7 @@ pub struct RunnerBuilder {
     faults: Option<FaultPlan>,
     record: bool,
     shards: usize,
+    eager_decode: bool,
 }
 
 impl RunnerBuilder {
@@ -121,7 +122,18 @@ impl RunnerBuilder {
             faults: None,
             record: false,
             shards: 1,
+            eager_decode: false,
         }
+    }
+
+    /// Forces every discarded delivery to be parsed anyway, disabling the
+    /// exchange's lazy decode. A decode-strategy knob, never a semantics
+    /// knob: the event stream is byte-identical either way (pinned by
+    /// `tests/lazy_decode_identity.rs`); only the `messages_decoded` /
+    /// `messages_skipped_decode` telemetry split and the work done change.
+    pub fn eager_decode(mut self, on: bool) -> Self {
+        self.eager_decode = on;
+        self
     }
 
     /// Number of engine shards (worker threads). The road graph is split
@@ -199,14 +211,16 @@ impl RunnerBuilder {
     /// Like [`RunnerBuilder::build`], but reports an invalid fault plan as
     /// an error instead of panicking.
     pub fn try_build(self) -> Result<Runner, String> {
-        Runner::assemble(
+        let mut runner = Runner::assemble(
             &self.scenario,
             self.sinks,
             self.ring_capacity,
             self.faults,
             self.record,
             self.shards,
-        )
+        )?;
+        runner.set_eager_decode(self.eager_decode);
+        Ok(runner)
     }
 
     /// Builds and runs to the configured goal within the scenario's time
@@ -428,6 +442,13 @@ impl Runner {
     /// The engine's shard (worker) count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Toggles eager decode on the live exchange (see
+    /// [`RunnerBuilder::eager_decode`]); also usable on a resumed runner —
+    /// the strategy is not part of the snapshot.
+    pub fn set_eager_decode(&mut self, on: bool) {
+        self.exchange.set_eager_decode(on);
     }
 
     /// Builds a stage context over this runner's state and runs `f` in it.
@@ -682,6 +703,7 @@ impl Runner {
         t.relay_messages = wire.relay_messages;
         t.messages_encoded = wire.encoded;
         t.messages_decoded = wire.decoded;
+        t.messages_skipped_decode = wire.skipped_decode;
         t.wire_bytes = wire.bytes;
         t.label_overwrites = wire.label_overwrites;
         t.cross_shard_messages = wire.cross_shard;

@@ -1,0 +1,260 @@
+//! The lazy-decode contract (DESIGN.md §9): decode strategy is a
+//! throughput knob, never a semantics knob. For every scenario family the
+//! protocol event stream, the final counts, and the per-checkpoint
+//! machine states must be *byte-identical* between lazy decode (the
+//! default: discarded deliveries are never parsed) and forced eager
+//! decode (`--eager-decode`: the pre-zero-copy parse-everything
+//! behavior) — including under a fault plan that exercises every discard
+//! path: crashes (dropped queued/carried messages and labels), a radio
+//! blackout window, and duplicate/delay/reorder message chaos.
+//!
+//! The only observable difference is the wire telemetry split: lazy runs
+//! move the never-consumed messages from `messages_decoded` into
+//! `messages_skipped_decode`, and the two modes' counters reconcile
+//! exactly (`decoded_eager = decoded_lazy + skipped_lazy`).
+
+use std::sync::{Arc, Mutex};
+
+use vcount_core::{CheckpointConfig, CheckpointState, ProtocolVariant};
+use vcount_obs::{EventRecord, EventSink};
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{Blackout, ChaosFault, CrashFault, FaultPlan, RunMetrics, Runner, Scenario};
+use vcount_sim::{MapSpec, PatrolSpec, SeedSpec, TransportMode};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::ChannelKind;
+
+struct VecSink(Arc<Mutex<Vec<String>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.0.lock().unwrap().push(rec.to_json());
+    }
+}
+
+/// 64-bit FNV-1a over the JSONL stream — one order-sensitive digest per
+/// run, so a mismatch report stays readable even for long streams.
+fn fnv_digest(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn grid_scenario(variant: ProtocolVariant, seed: u64) -> Scenario {
+    let mut s = Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 130.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            seed,
+            detect_overtakes: true,
+            speed_factor_range: (0.6, 1.0),
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::for_variant(variant),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 2 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 1500.0,
+    };
+    if variant == ProtocolVariant::Extended {
+        s.transport = TransportMode::VehicleWithPatrolFallback;
+        s.patrol = PatrolSpec { cars: 1 };
+    }
+    s
+}
+
+/// The open-system family: border checkpoints, live entry/exit tracking.
+fn open_scenario(seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Manhattan(ManhattanConfig::small()),
+        closed: false,
+        sim: SimConfig {
+            seed,
+            spawn_rate_hz: 0.2,
+            detect_overtakes: true,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(50.0),
+        protocol: CheckpointConfig::for_variant(ProtocolVariant::Open),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::AllBorder,
+        transport: Default::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 900.0,
+    }
+}
+
+/// Exercises every lazy-discard path at once: two crash windows (queued
+/// messages, carried reports, and carried labels dropped at down nodes),
+/// a regional blackout, and a chaos window injecting duplicates, delays,
+/// and reorders on the relay and patrol-carried paths.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 23,
+        crashes: vec![
+            CrashFault {
+                node: 5,
+                at_s: 60.0,
+                recover_s: 300.0,
+            },
+            CrashFault {
+                node: 10,
+                at_s: 120.0,
+                recover_s: 420.0,
+            },
+        ],
+        blackouts: vec![Blackout {
+            nodes: vec![1, 2],
+            from_s: 150.0,
+            until_s: 280.0,
+        }],
+        chaos: Some(ChaosFault {
+            from_s: 30.0,
+            until_s: 600.0,
+            duplicate_p: 0.3,
+            delay_p: 0.3,
+            max_delay_s: 12.0,
+            reorder_p: 0.3,
+        }),
+        image_every_s: 60.0,
+    }
+}
+
+struct Capture {
+    stream: Vec<String>,
+    metrics: RunMetrics,
+    checkpoints: Vec<CheckpointState>,
+}
+
+fn capture(scen: &Scenario, eager: bool, plan: Option<FaultPlan>, steps: usize) -> Capture {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let mut builder = Runner::builder(scen)
+        .eager_decode(eager)
+        .sink(Box::new(VecSink(lines.clone())));
+    if let Some(p) = plan {
+        builder = builder.faults(p);
+    }
+    let mut runner = builder.build();
+    for _ in 0..steps {
+        runner.step();
+    }
+    runner.flush_sinks();
+    let metrics = runner.metrics_now();
+    let checkpoints = runner.snapshot().checkpoints;
+    let stream = lines.lock().unwrap().clone();
+    Capture {
+        stream,
+        metrics,
+        checkpoints,
+    }
+}
+
+/// Compares two runs' metrics, skipping only the fields the decode
+/// strategy legitimately moves: wall-clock timings (nondeterministic)
+/// and the `messages_decoded`/`messages_skipped_decode` split itself.
+fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
+    let normalized = |m: &RunMetrics| {
+        let mut t = m.telemetry;
+        t.traffic_step_secs = 0.0;
+        t.protocol_secs = 0.0;
+        t.relay_secs = 0.0;
+        t.messages_decoded = 0;
+        t.messages_skipped_decode = 0;
+        t
+    };
+    assert_eq!(a.constitution_done_s, b.constitution_done_s, "{what}");
+    assert_eq!(a.collection_done_s, b.collection_done_s, "{what}");
+    assert_eq!(a.global_count, b.global_count, "{what}");
+    assert_eq!(a.true_population, b.true_population, "{what}");
+    assert_eq!(a.oracle_violations, b.oracle_violations, "{what}");
+    assert_eq!(a.handoff_failures, b.handoff_failures, "{what}");
+    assert_eq!(a.overtake_adjustments, b.overtake_adjustments, "{what}");
+    assert_eq!(a.baseline_naive, b.baseline_naive, "{what}");
+    assert_eq!(a.baseline_dedup, b.baseline_dedup, "{what}");
+    assert_eq!(a.degraded, b.degraded, "{what}");
+    assert_eq!(a.elapsed_s, b.elapsed_s, "{what}");
+    assert_eq!(a.steps, b.steps, "{what}");
+    assert_eq!(normalized(a), normalized(b), "{what}");
+}
+
+fn assert_decode_invariant(scen: &Scenario, plan: Option<FaultPlan>, steps: usize, what: &str) {
+    let lazy = capture(scen, false, plan.clone(), steps);
+    assert!(
+        !lazy.stream.is_empty(),
+        "{what}: lazy run emitted no events"
+    );
+    let eager = capture(scen, true, plan, steps);
+
+    assert_eq!(
+        fnv_digest(&lazy.stream),
+        fnv_digest(&eager.stream),
+        "{what}: event digest diverged between lazy and eager decode"
+    );
+    assert_eq!(
+        lazy.stream, eager.stream,
+        "{what}: event stream diverged between lazy and eager decode"
+    );
+    assert_metrics_identical(&lazy.metrics, &eager.metrics, what);
+    assert_eq!(
+        lazy.checkpoints, eager.checkpoints,
+        "{what}: per-checkpoint machine states diverged"
+    );
+
+    // The counter split reconciles exactly: eager parses precisely the
+    // messages lazy skipped, nothing more.
+    let (lt, et) = (&lazy.metrics.telemetry, &eager.metrics.telemetry);
+    assert_eq!(et.messages_skipped_decode, 0, "{what}: eager mode skipped");
+    assert_eq!(
+        et.messages_decoded,
+        lt.messages_decoded + lt.messages_skipped_decode,
+        "{what}: decode counters do not reconcile"
+    );
+    assert_eq!(lt.messages_encoded, et.messages_encoded, "{what}");
+    assert_eq!(lt.wire_bytes, et.wire_bytes, "{what}");
+}
+
+#[test]
+fn simple_variant_is_decode_strategy_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 42);
+    assert_decode_invariant(&scen, None, 900, "simple");
+}
+
+#[test]
+fn extended_variant_is_decode_strategy_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Extended, 43);
+    assert_decode_invariant(&scen, None, 900, "extended");
+}
+
+#[test]
+fn open_variant_is_decode_strategy_invariant() {
+    let scen = open_scenario(44);
+    assert_decode_invariant(&scen, None, 700, "open");
+}
+
+#[test]
+fn chaos_and_blackout_faults_are_decode_strategy_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 45);
+    assert_decode_invariant(&scen, Some(chaos_plan()), 900, "chaos faults");
+
+    // The fault plan actually exercised the lazy path: down recipients
+    // and dropped duplicates left unparsed payloads behind.
+    let lazy = capture(&scen, false, Some(chaos_plan()), 900);
+    assert!(
+        lazy.metrics.telemetry.messages_skipped_decode > 0,
+        "fault plan produced no skipped decodes — the lazy path was never taken"
+    );
+}

@@ -7,6 +7,8 @@
 //!   checkpoints may observe (no VIN, no ownership data);
 //! * [`message`] — the label / report / patrol payloads with a binary wire
 //!   codec;
+//! * [`payload`] — slab-backed payload storage and lazy decode for the
+//!   zero-copy message plane;
 //! * [`channel`] — loss models including the paper's 30% Bernoulli channel
 //!   and ack-confirmed handoff semantics;
 //! * [`collaboration`] — relative-position collaboration turning overtakes
@@ -20,8 +22,10 @@ pub mod channel;
 pub mod collaboration;
 pub mod ids;
 pub mod message;
+pub mod payload;
 
 pub use channel::{Bernoulli, ChannelKind, GilbertElliott, Handoff, LossModel, Perfect};
 pub use collaboration::{AdjustMode, Adjustment, SegmentWatch};
 pub use ids::{BodyType, Brand, ClassFilter, Color, VehicleClass, VehicleId};
 pub use message::{Announce, DecodeError, Label, Message, PatrolStatus, Report};
+pub use payload::{LazyPayload, PayloadRef, PayloadStore};

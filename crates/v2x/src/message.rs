@@ -147,8 +147,10 @@ impl Message {
         buf.freeze()
     }
 
-    /// Appends the wire form of the message to `buf`.
-    pub fn encode_into(&self, buf: &mut BytesMut) {
+    /// Appends the wire form of the message to `buf`. Generic over
+    /// [`BufMut`] so arena-style writers (e.g. a payload slab's `Vec<u8>`
+    /// slots) can encode in place without an intermediate copy.
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         match self {
             Message::Label(l) => {
                 buf.put_u8(TAG_LABEL);

@@ -222,6 +222,14 @@ impl BufMut for BytesMut {
     }
 }
 
+// Real `bytes` 1.x implements `BufMut` for `Vec<u8>` too; arena-style
+// writers append straight into a reusable vector.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data

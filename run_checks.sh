@@ -89,6 +89,29 @@ print(f"sharding smoke ok: 1-shard and 2-shard traces byte-identical, "
       f"count {m1['global_count']}")
 EOF
 
+# Lazy-decode smoke: the decode strategy is a throughput knob, never a
+# semantics knob (DESIGN.md §9) — an --eager-decode run of the same
+# scenario must emit a byte-identical event trace to the default (lazy)
+# 1-shard run above, and the decode counters must reconcile exactly.
+echo "+ vcount run scen.json --eager-decode --trace ... (byte-diff vs lazy)"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$snap_dir/scen.json" --goal constitution --shards 1 --eager-decode \
+    --trace "$shard_dir/eager.jsonl" > "$shard_dir/meager.json"
+run cmp "$shard_dir/s1.jsonl" "$shard_dir/eager.jsonl"
+run python3 - "$shard_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+lazy = json.load(open(f"{d}/m1.json"))
+eager = json.load(open(f"{d}/meager.json"))
+lt, et = lazy["telemetry"], eager["telemetry"]
+assert lazy["global_count"] == eager["global_count"]
+assert et["messages_skipped_decode"] == 0, et
+assert et["messages_decoded"] == lt["messages_decoded"] + lt["messages_skipped_decode"], (lt, et)
+print(f"lazy-decode smoke ok: traces byte-identical, eager decoded "
+      f"{et['messages_decoded']} = lazy {lt['messages_decoded']} "
+      f"+ skipped {lt['messages_skipped_decode']}")
+EOF
+
 # Fault-injection smoke: a run under a crash+blackout+chaos plan must end
 # exact or explicitly degraded (never a silent miscount), and the crash
 # must actually fire (DESIGN.md §7).
@@ -157,20 +180,23 @@ print(f"sweep fault axis ok: {len(cells)} cell(s), "
 EOF
 
 # Bench smoke: the hotpath bin must run end to end, emit well-formed JSON,
-# and stay within 5% of the committed throughput baseline (tiny grid, a
-# few hundred steps — seconds, not minutes; regressions re-measure at the
-# committed length before failing).
+# and stay within 5% of the committed throughput baseline — both
+# steps/sec and events/sec per case (tiny grid, a few hundred steps —
+# seconds, not minutes; regressions re-measure at the committed length
+# before failing). The high-fanout relay case must be present: it is the
+# message-plane guard, where events/sec is dominated by wire traffic.
 smoke_out="$tmp_root/bench_smoke.json"
 run cargo run --release -q -p vcount-bench --bin hotpath -- --smoke --out "$smoke_out" \
     --guard BENCH_hotpath.json --tolerance 0.05
 if command -v jq >/dev/null 2>&1; then
-    run jq -e '.schema == "vcount-hotpath-bench/v1" and (.cases | length) > 0 and all(.cases[]; .steps_per_sec > 0)' "$smoke_out" >/dev/null
+    run jq -e '.schema == "vcount-hotpath-bench/v1" and (.cases | length) > 0 and all(.cases[]; .steps_per_sec > 0 and .events_per_sec > 0) and any(.cases[]; .name | startswith("fanout_"))' "$smoke_out" >/dev/null
 else
     run python3 - "$smoke_out" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 assert r["schema"] == "vcount-hotpath-bench/v1", r["schema"]
-assert r["cases"] and all(c["steps_per_sec"] > 0 for c in r["cases"])
+assert r["cases"] and all(c["steps_per_sec"] > 0 and c["events_per_sec"] > 0 for c in r["cases"])
+assert any(c["name"].startswith("fanout_") for c in r["cases"]), "high-fanout case missing"
 EOF
 fi
 echo "All checks passed."
