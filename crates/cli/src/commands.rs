@@ -2,13 +2,16 @@
 
 use crate::args::Args;
 use crate::{build_scenario, drive, SnapshotCfg};
+use std::io::{BufRead, Write};
 use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
 use vcount_sim::runner::DEFAULT_RING_CAPACITY;
+use vcount_sim::service::DEFAULT_QUEUE_CAPACITY;
 use vcount_sim::{
-    replay_trace, sweep_with_faults, ActionTrace, EngineSnapshot, FaultPlan, Goal, Runner,
-    Scenario, SweepConfig,
+    replay_trace, sweep_with_faults, ActionTrace, EngineSnapshot, FaultPlan, Goal,
+    ObservationBatch, ObservationSource, RunManager, Runner, Scenario, ServiceConfig,
+    ServiceRequest, ServiceResponse, SimulatorSource, SweepConfig,
 };
 
 /// Top-level usage text.
@@ -75,6 +78,35 @@ USAGE:
       field without aborting the rest of the grid. --faults injects the
       same fault plan into every replicate; each cell reports how many
       replicates ended degraded.
+
+  vcount serve [--socket PATH] [--once] [--queue-capacity N] [--pump-budget N]
+      Run the vcountd multi-tenant service: newline-delimited JSON
+      requests in, responses (protocol events included) out. Without
+      --socket the service answers on stdin/stdout — `vcount serve <
+      commands.jsonl` replays a recorded command stream. With --socket
+      it listens on a Unix socket, serving feeder connections one at a
+      time; --once exits after the first connection closes. A feeder
+      disconnecting mid-run leaves every tenant's sinks flushed and the
+      runs alive for a reconnect. --queue-capacity bounds each tenant's
+      ingest queue (default 64); a batch arriving at a full queue gets an
+      explicit Throttled response, never a silent drop. --pump-budget
+      caps batches ingested per request (default: drain fully; 0 makes
+      ingest manual via Pump requests).
+      Transport is a deployment knob, never a semantics knob: a scenario
+      driven through the service produces the byte-identical event
+      stream and counts `vcount run` produces.
+
+  vcount feed SCENARIO.json (--socket PATH | --emit FILE) [--run ID]
+              [--goal constitution|collection] [--shards N]
+              [--eager-decode] [--faults PLAN.json] [--trace FILE.jsonl]
+      Drive a scenario through the service as a simulator-fed client:
+      Start the run, push one observation batch per tick (resending
+      after any Throttled backpressure), then Finish with ground truth
+      and print the metrics JSON. --socket connects to a `vcount serve
+      --socket` daemon; --emit instead serves an in-process manager and
+      records the exact wire command stream to FILE for later `vcount
+      serve < FILE` replay. --trace writes the returned protocol-event
+      lines as JSONL, byte-identical to `vcount run --trace`.
 
   vcount map [--preset paper|small] [--speed-mph MPH]
       Build the synthetic midtown map and print its statistics.
@@ -271,6 +303,310 @@ pub fn replay(args: &Args) -> Result<(), String> {
     report
         .check()
         .map_err(|e| format!("machine-only replay diverged from the recording: {e}"))
+}
+
+/// `vcount serve`.
+pub fn serve(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["socket", "once", "queue-capacity", "pump-budget"])?;
+    let cfg = ServiceConfig {
+        queue_capacity: args.flag_or("queue-capacity", DEFAULT_QUEUE_CAPACITY)?,
+        pump_budget: args.flag_or("pump-budget", usize::MAX)?,
+    };
+    if cfg.queue_capacity == 0 {
+        return Err("--queue-capacity must be at least 1".into());
+    }
+    let mut mgr = RunManager::new(cfg);
+    match args.flag("socket") {
+        None => {
+            if args.switch("once") {
+                return Err("--once requires --socket".into());
+            }
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&mut mgr, stdin.lock(), stdout.lock())
+        }
+        Some(path) => {
+            // A stale socket file from a previous daemon would make bind
+            // fail; it cannot be a live listener we would disturb, because
+            // binding a bound path errors either way.
+            let _ = std::fs::remove_file(path);
+            let listener =
+                std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("vcountd listening on {path}");
+            loop {
+                let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                let reader = std::io::BufReader::new(
+                    stream.try_clone().map_err(|e| format!("socket: {e}"))?,
+                );
+                // One broken feeder must not kill the daemon (or the
+                // other tenants): report and go back to accepting.
+                if let Err(e) = serve_stream(&mut mgr, reader, &stream) {
+                    eprintln!("connection error: {e}");
+                }
+                if args.switch("once") {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+            Ok(())
+        }
+    }
+}
+
+/// Answers newline-delimited requests from `reader` on `writer` until EOF,
+/// then flushes every tenant's sinks — the disconnect guard: a feeder
+/// going away mid-run leaves complete trace files behind.
+fn serve_stream(
+    mgr: &mut RunManager,
+    reader: impl BufRead,
+    writer: impl Write,
+) -> Result<(), String> {
+    let result = pump_requests(mgr, reader, writer);
+    mgr.flush_all();
+    result
+}
+
+fn pump_requests(
+    mgr: &mut RunManager,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> Result<(), String> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.clear();
+        mgr.handle_line(&line, &mut out);
+        for resp in &out {
+            let json = serde_json::to_string(resp).map_err(|e| e.to_string())?;
+            writeln!(writer, "{json}").map_err(|e| format!("write: {e}"))?;
+        }
+        // Flush per request: the client decides what to send next from
+        // these responses (backpressure, done), so they cannot sit in a
+        // buffer.
+        writer.flush().map_err(|e| format!("write: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The feeder's connection to a service: a real Unix socket, or an
+/// in-process manager that additionally records the exact wire command
+/// stream for later `vcount serve < FILE` replay.
+enum FeedTransport {
+    InProcess {
+        mgr: RunManager,
+        emit: std::io::BufWriter<std::fs::File>,
+    },
+    Socket {
+        reader: std::io::BufReader<std::os::unix::net::UnixStream>,
+        writer: std::os::unix::net::UnixStream,
+    },
+}
+
+impl FeedTransport {
+    fn in_process(emit_path: &str) -> Result<Self, String> {
+        Ok(FeedTransport::InProcess {
+            mgr: RunManager::new(ServiceConfig::default()),
+            emit: std::io::BufWriter::new(
+                std::fs::File::create(emit_path).map_err(|e| format!("{emit_path}: {e}"))?,
+            ),
+        })
+    }
+
+    fn socket(path: &str) -> Result<Self, String> {
+        let stream =
+            std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
+        let reader =
+            std::io::BufReader::new(stream.try_clone().map_err(|e| format!("socket: {e}"))?);
+        Ok(FeedTransport::Socket {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and collects its full answer: zero or more Event
+    /// lines closed by exactly one terminal response (the wire framing
+    /// contract).
+    fn call(&mut self, req: &ServiceRequest) -> Result<Vec<ServiceResponse>, String> {
+        let json = serde_json::to_string(req).map_err(|e| e.to_string())?;
+        match self {
+            FeedTransport::InProcess { mgr, emit } => {
+                // Record the exact wire line, then hand that same line to
+                // the manager through the parse path `vcount serve` uses —
+                // the emitted file replays byte-identically.
+                writeln!(emit, "{json}").map_err(|e| format!("emit: {e}"))?;
+                let mut out = Vec::new();
+                mgr.handle_line(&json, &mut out);
+                Ok(out)
+            }
+            FeedTransport::Socket { reader, writer } => {
+                writeln!(writer, "{json}").map_err(|e| format!("send: {e}"))?;
+                writer.flush().map_err(|e| format!("send: {e}"))?;
+                let mut out = Vec::new();
+                loop {
+                    let mut line = String::new();
+                    let n = reader
+                        .read_line(&mut line)
+                        .map_err(|e| format!("receive: {e}"))?;
+                    if n == 0 {
+                        return Err("service closed the connection".into());
+                    }
+                    let resp: ServiceResponse = serde_json::from_str(line.trim_end())
+                        .map_err(|e| format!("bad response: {e}"))?;
+                    let is_event = matches!(resp, ServiceResponse::Event { .. });
+                    out.push(resp);
+                    if !is_event {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes the recorded command stream (in-process mode), disconnects
+    /// otherwise.
+    fn close(self) -> Result<(), String> {
+        match self {
+            FeedTransport::InProcess { mut emit, .. } => {
+                emit.flush().map_err(|e| format!("emit: {e}"))
+            }
+            FeedTransport::Socket { .. } => Ok(()),
+        }
+    }
+}
+
+/// Sifts one request's responses: Event lines go to the trace file,
+/// Errors abort, and the single terminal response is returned.
+fn sift_responses(
+    responses: Vec<ServiceResponse>,
+    trace: &mut Option<std::io::BufWriter<std::fs::File>>,
+) -> Result<ServiceResponse, String> {
+    let mut terminal = None;
+    for resp in responses {
+        match resp {
+            ServiceResponse::Event { line, .. } => {
+                if let Some(t) = trace {
+                    writeln!(t, "{line}").map_err(|e| format!("trace: {e}"))?;
+                }
+            }
+            ServiceResponse::Error { run, message } => {
+                return Err(format!("service error for run {run:?}: {message}"));
+            }
+            other => terminal = Some(other),
+        }
+    }
+    terminal.ok_or_else(|| "service sent no terminal response".into())
+}
+
+/// `vcount feed`.
+pub fn feed(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "run",
+        "goal",
+        "shards",
+        "eager-decode",
+        "faults",
+        "emit",
+        "socket",
+        "trace",
+    ])?;
+    let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let run = args.flag("run").unwrap_or("run-1").to_string();
+    let goal = match args.flag("goal").unwrap_or("collection") {
+        "constitution" => Goal::Constitution,
+        "collection" => Goal::Collection,
+        other => return Err(format!("unknown goal `{other}`")),
+    };
+    let shards = args.flag_or("shards", 0usize)?;
+    let eager_decode = args.switch("eager-decode");
+    let faults = load_fault_plan(args)?;
+    let mut client = match (args.flag("emit"), args.flag("socket")) {
+        (Some(_), Some(_)) => return Err("--emit and --socket are mutually exclusive".into()),
+        (None, None) => return Err("feed needs a destination: --socket PATH or --emit FILE".into()),
+        (Some(emit), None) => FeedTransport::in_process(emit)?,
+        (None, Some(sock)) => FeedTransport::socket(sock)?,
+    };
+    let mut trace = match args.flag("trace") {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
+        )),
+        None => None,
+    };
+
+    // The feeder owns the traffic substrate; the service owns the engine.
+    let mut source = SimulatorSource::from_scenario(&scenario, shards.max(1));
+    let start = ServiceRequest::Start {
+        run: run.clone(),
+        scenario: Box::new(scenario),
+        goal: Some(goal),
+        shards,
+        eager_decode,
+        faults,
+    };
+    match sift_responses(client.call(&start)?, &mut trace)? {
+        ServiceResponse::Started { .. } => {}
+        other => return Err(format!("service answered Start with {other:?}")),
+    }
+
+    let mut batch = ObservationBatch::default();
+    let mut done = false;
+    while !done && source.next_batch(&mut batch) {
+        loop {
+            let responses = client.call(&ServiceRequest::Observe {
+                run: run.clone(),
+                batch: batch.clone(),
+            })?;
+            match sift_responses(responses, &mut trace)? {
+                ServiceResponse::Accepted { done: d, .. } => {
+                    done = d;
+                    break;
+                }
+                // Explicit backpressure: ask the service to drain, then
+                // resend the same batch — it was not enqueued.
+                ServiceResponse::Throttled { .. } => {
+                    sift_responses(
+                        client.call(&ServiceRequest::Pump { budget: None })?,
+                        &mut trace,
+                    )?;
+                }
+                other => return Err(format!("service answered Observe with {other:?}")),
+            }
+        }
+    }
+
+    let truth = source.truth();
+    let responses = client.call(&ServiceRequest::Finish { run, truth })?;
+    let metrics = match sift_responses(responses, &mut trace)? {
+        ServiceResponse::Finished { metrics, .. } => metrics,
+        other => return Err(format!("service answered Finish with {other:?}")),
+    };
+    client.close()?;
+    if let Some(mut t) = trace {
+        t.flush().map_err(|e| format!("trace: {e}"))?;
+    }
+    if let Some(p) = args.flag("trace") {
+        eprintln!("wrote event trace to {p}");
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?
+    );
+    if metrics.degraded {
+        eprintln!(
+            "note: injected faults cost protocol information (degraded: true) — \
+             the count is not guaranteed exact"
+        );
+    } else if metrics.oracle_violations > 0 {
+        return Err(format!(
+            "{} per-vehicle oracle violations — counting was not exact",
+            metrics.oracle_violations
+        ));
+    }
+    Ok(())
 }
 
 /// Reads and parses `--faults PLAN.json`, if given. Structural validation

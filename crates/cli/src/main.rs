@@ -12,6 +12,9 @@
 //! vcount sweep [--volumes PCTS] [--seed-counts KS] [--replicates N]
 //!             [--threads N] [--goal G] [--map paper|small] [--open]
 //!             [--faults PLAN.json]
+//! vcount serve [--socket PATH] [--once] [--queue-capacity N] [--pump-budget N]
+//! vcount feed SCENARIO.json (--socket PATH | --emit FILE) [--run ID]
+//!             [--goal G] [--trace FILE.jsonl]
 //! vcount map --preset manhattan|small [--stats]
 //! vcount help
 //! ```
@@ -47,6 +50,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "scenario" => commands::scenario(&args),
         "run" => commands::run(&args),
         "replay" => commands::replay(&args),
+        "serve" => commands::serve(&args),
+        "feed" => commands::feed(&args),
         "sweep" => commands::sweep(&args),
         "map" => commands::map(&args),
         "help" | "--help" | "-h" => {

@@ -18,10 +18,27 @@ fn help_prints_usage() {
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = bin().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "CLI errors exit with code 1");
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("unknown subcommand"));
+    assert!(
+        err.contains("unknown subcommand `frobnicate`"),
+        "got: {err}"
+    );
     assert!(err.contains("USAGE"));
+    assert!(err.contains("vcount serve"), "usage lists service mode");
+}
+
+#[test]
+fn missing_subcommand_fails_with_usage() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "CLI errors exit with code 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"), "got: {err}");
+    assert!(err.contains("USAGE"));
+    assert!(
+        out.stdout.is_empty(),
+        "usage goes to stderr on error, not stdout"
+    );
 }
 
 #[test]
@@ -108,6 +125,89 @@ fn trace_filter_without_trace_is_rejected() {
         err.contains("--trace-filter requires --trace"),
         "got: {err}"
     );
+}
+
+/// The service contract, end to end through the binary: a simulator-fed
+/// client driven through the service (in-process manager recording the
+/// wire commands, then a real `vcount serve` stdin replay of those same
+/// bytes) produces the byte-identical event trace `vcount run` produces.
+#[test]
+fn feed_then_serve_replay_match_batch_run() {
+    let dir = std::env::temp_dir().join(format!("vcount-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("fig1.json");
+    let run_trace = dir.join("run.jsonl");
+    let feed_trace = dir.join("feed.jsonl");
+    let cmds = dir.join("cmds.jsonl");
+
+    let out = bin()
+        .args(["scenario", "--preset=fig1", "--rng=11", "--out"])
+        .arg(&scenario)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["run", scenario.to_str().unwrap(), "--trace"])
+        .arg(&run_trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let batch_metrics: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+
+    let out = bin()
+        .args(["feed", scenario.to_str().unwrap(), "--emit"])
+        .arg(&cmds)
+        .arg("--trace")
+        .arg(&feed_trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let feed_metrics: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+
+    let run_lines = std::fs::read_to_string(&run_trace).unwrap();
+    let feed_lines = std::fs::read_to_string(&feed_trace).unwrap();
+    assert!(!run_lines.is_empty());
+    assert_eq!(
+        run_lines, feed_lines,
+        "service-fed event trace must be byte-identical to the batch run"
+    );
+    assert_eq!(batch_metrics["global_count"], feed_metrics["global_count"]);
+    assert_eq!(feed_metrics["oracle_violations"], 0);
+
+    // Replay the recorded command stream through the real stdin transport.
+    let out = bin()
+        .arg("serve")
+        .stdin(std::fs::File::open(&cmds).unwrap())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut replay_lines = String::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let resp: serde_json::Value = serde_json::from_str(line).expect("response is JSON");
+        let ev = &resp["Event"]["line"];
+        if let Some(ev_line) = ev.as_str() {
+            replay_lines.push_str(ev_line);
+            replay_lines.push('\n');
+        }
+    }
+    assert_eq!(
+        run_lines, replay_lines,
+        "stdin-transport replay must be byte-identical to the batch run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -43,7 +43,7 @@ pub fn dispatch(ctx: &mut StepCtx<'_>, from: NodeId, cmds: &mut Vec<Command>) {
                     subtree_total: total,
                     seq,
                 });
-                let edge = ctx.sim.net().edge_between(from, to);
+                let edge = ctx.net.edge_between(from, to);
                 match (edge, ctx.transport) {
                     (Some(e), TransportMode::VehicleWithRelayFallback { .. })
                     | (Some(e), TransportMode::VehicleWithPatrolFallback) => {
@@ -73,7 +73,7 @@ fn queue_relay(
     to: NodeId,
     msg: &Message,
 ) {
-    let net = ctx.sim.net();
+    let net = ctx.net;
     let dist = net.node(from).pos.distance(&net.node(to).pos);
     let due = ctx.now + dist / relay_speed_mps.max(1.0) + 1.0;
     let chaos = ctx.faults.chaos_relay(ctx.now);

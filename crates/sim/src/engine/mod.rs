@@ -4,8 +4,11 @@
 //! each a named free function over explicit `(state, inputs) -> outputs`
 //! pieces:
 //!
-//! 1. [`traffic_step()`] — advance the microsimulator one tick and index
-//!    its event batch;
+//! 1. *source* — produce the step's [`crate::source::ObservationBatch`].
+//!    This stage lives behind the [`crate::source::ObservationSource`]
+//!    trait: the in-process traffic simulator is one implementation, a
+//!    network feeder another — the engine consumes batches and never asks
+//!    who made them;
 //! 2. [`observe()`] — feed each surveillance event to the checkpoint state
 //!    machines (label delivery, lossy handoffs, segment watches,
 //!    baselines);
@@ -34,7 +37,6 @@ pub mod exchange;
 pub mod observe;
 pub mod shard;
 pub mod snapshot;
-pub mod traffic_step;
 
 pub use audit::{audit, AuditLog};
 pub use dispatch::dispatch;
@@ -42,16 +44,16 @@ pub use exchange::{exchange, Envelope, Exchange, ExchangeSnapshot, Watch, WireCo
 pub use observe::observe;
 pub use shard::{RegionPartition, ShardSnapshot};
 pub use snapshot::{EngineSnapshot, SNAPSHOT_SCHEMA};
-pub use traffic_step::{traffic_step, TrafficBatch};
 
 use crate::oracle::Oracle;
 use crate::replay::ActionRecorder;
 use crate::scenario::TransportMode;
+use crate::source::ClassTable;
 use vcount_core::{
     Action, ActionKind, Checkpoint, ClassDedupCounter, Command, NaiveIntervalCounter,
 };
-use vcount_roadnet::NodeId;
-use vcount_traffic::{ReplayRng, Simulator};
+use vcount_roadnet::{NodeId, RoadNetwork};
+use vcount_traffic::ReplayRng;
 use vcount_v2x::{AdjustMode, ClassFilter, LossModel};
 
 /// Borrowed view of one engine step: every stage receives the same context
@@ -61,8 +63,12 @@ use vcount_v2x::{AdjustMode, ClassFilter, LossModel};
 pub struct StepCtx<'a> {
     /// Event timestamp: simulated time at the end of the current step.
     pub now: f64,
-    /// The traffic substrate (read-only during protocol processing).
-    pub sim: &'a Simulator,
+    /// The road graph the deployment runs on (read-only; the traffic
+    /// substrate itself lives behind the observation source and is never
+    /// visible to the protocol stages).
+    pub net: &'a RoadNetwork,
+    /// Camera-visible class of every announced vehicle.
+    pub classes: &'a ClassTable,
     /// One checkpoint state machine per intersection.
     pub cps: &'a mut [Checkpoint],
     /// The message layer owning every in-flight payload.

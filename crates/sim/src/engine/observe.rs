@@ -7,15 +7,18 @@
 //! departure of the same step — is preserved exactly.
 
 use super::exchange::deliver_routed;
-use super::{apply_action, audit, StepCtx, TrafficBatch, Watch};
+use super::{apply_action, audit, StepCtx, Watch};
+use crate::source::{BatchIndex, ObservationBatch};
 use vcount_core::ActionKind;
 use vcount_obs::ProtocolEvent;
 use vcount_roadnet::{EdgeId, NodeId};
 use vcount_traffic::TrafficEvent;
 use vcount_v2x::{AdjustMode, Message, SegmentWatch, VehicleId};
 
-/// Replays the step's event batch through the protocol, in order.
-pub fn observe(ctx: &mut StepCtx<'_>, batch: &TrafficBatch) {
+/// Replays the step's event batch through the protocol, in order. `index`
+/// is the engine-derived event index over the same batch (see
+/// [`BatchIndex::rebuild`]).
+pub fn observe(ctx: &mut StepCtx<'_>, batch: &ObservationBatch, index: &BatchIndex) {
     for (i, ev) in batch.events.iter().enumerate() {
         match *ev {
             TrafficEvent::Entered {
@@ -27,7 +30,7 @@ pub fn observe(ctx: &mut StepCtx<'_>, batch: &TrafficBatch) {
                 vehicle,
                 node,
                 onto,
-            } => on_departed(ctx, batch, i, vehicle, node, onto),
+            } => on_departed(ctx, batch, index, i, vehicle, node, onto),
             TrafficEvent::Exited { vehicle, node } => on_exited(ctx, vehicle, node),
             TrafficEvent::Overtake {
                 edge,
@@ -39,7 +42,7 @@ pub fn observe(ctx: &mut StepCtx<'_>, batch: &TrafficBatch) {
 }
 
 fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Option<EdgeId>) {
-    let class = ctx.sim.vehicle(vehicle).class;
+    let class = ctx.classes.class(vehicle);
     let is_patrol = class.is_patrol();
     let node_down = ctx.faults.down(node);
 
@@ -171,15 +174,17 @@ fn on_entered(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId, from: Opt
     ctx.dedup.observe(&class);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn on_departed(
     ctx: &mut StepCtx<'_>,
-    batch: &TrafficBatch,
+    batch: &ObservationBatch,
+    index: &BatchIndex,
     event_idx: usize,
     vehicle: VehicleId,
     node: NodeId,
     onto: EdgeId,
 ) {
-    let class = ctx.sim.vehicle(vehicle).class;
+    let class = ctx.classes.class(vehicle);
     let is_patrol = class.is_patrol();
 
     // A down checkpoint neither loads reports nor offers labels; nothing
@@ -234,7 +239,7 @@ fn on_departed(
             if !is_patrol {
                 ctx.exchange.ack_handoff(vehicle);
             }
-            let ahead = ahead_of(ctx, batch, event_idx, vehicle, onto);
+            let ahead = ahead_of(ctx, batch, index, event_idx, vehicle, onto);
             let sw = SegmentWatch::new(ctx.adjust_mode, vehicle, ahead);
             ctx.exchange.insert_watch(onto, node, sw);
         }
@@ -246,18 +251,19 @@ fn on_departed(
 /// reconstruction from the end-of-step snapshot).
 fn ahead_of(
     ctx: &StepCtx<'_>,
-    batch: &TrafficBatch,
+    batch: &ObservationBatch,
+    index: &BatchIndex,
     idx: usize,
     label_vehicle: VehicleId,
     onto: EdgeId,
 ) -> Vec<(VehicleId, bool)> {
     let later_departure = |v: VehicleId| {
-        batch
+        index
             .departures_onto
             .iter()
             .any(|&(e, i, d)| e == onto && i > idx && d == v)
     };
-    let later_entries = batch
+    let later_entries = index
         .entries_via
         .iter()
         .filter(|&&(e, i, _)| e == onto && i > idx)
@@ -265,7 +271,7 @@ fn ahead_of(
 
     let mut ahead: Vec<VehicleId> = later_entries.collect();
     let from_entries = ahead.len();
-    ahead.extend(ctx.sim.in_transit(onto));
+    ahead.extend_from_slice(batch.in_transit(onto));
     // The two sources are disjoint: a vehicle whose same-step `Entered`
     // via `onto` comes later has *left* the segment this step (it sits at
     // the far node, or beyond), so it cannot also be in the end-of-step
@@ -281,7 +287,7 @@ fn ahead_of(
         "a same-step later entry cannot still be in transit on the segment"
     );
     ahead.retain(|v| {
-        *v != label_vehicle && !later_departure(*v) && !ctx.sim.vehicle(*v).is_patrol()
+        *v != label_vehicle && !later_departure(*v) && !ctx.classes.class(*v).is_patrol()
     });
     dedup_first_occurrence(&mut ahead);
     ahead
@@ -358,12 +364,12 @@ fn finalize_watch(ctx: &mut StepCtx<'_>, w: Watch) {
 }
 
 fn vehicle_matches(ctx: &StepCtx<'_>, v: VehicleId) -> bool {
-    let veh = ctx.sim.vehicle(v);
-    !veh.is_patrol() && ctx.filter.matches(&veh.class)
+    let class = ctx.classes.class(v);
+    !class.is_patrol() && ctx.filter.matches(&class)
 }
 
 fn on_exited(ctx: &mut StepCtx<'_>, vehicle: VehicleId, node: NodeId) {
-    let class = ctx.sim.vehicle(vehicle).class;
+    let class = ctx.classes.class(vehicle);
     debug_assert!(
         ctx.exchange.carried_is_empty(vehicle),
         "reports are always delivered at the node before an exit"

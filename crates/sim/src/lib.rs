@@ -15,10 +15,19 @@
 //! * [`experiment`] — the volume × seed-count sweep grid behind
 //!   Figs. 2–5, parallelized across worker threads;
 //! * [`metrics`] — the reported quantities;
-//! * [`engine`] — the five named per-step stages (`traffic_step`,
-//!   `observe`, `dispatch`, `exchange`, `audit`), the [`engine::Exchange`]
+//! * [`engine`] — the five named per-step stages (source, `observe`,
+//!   `dispatch`, `exchange`, `audit`), the [`engine::Exchange`]
 //!   message layer that owns every in-flight payload, and
 //!   [`engine::EngineSnapshot`] for freezing and resuming runs;
+//! * [`source`] — pluggable observation sources: the engine consumes
+//!   [`source::ObservationBatch`]es and never asks who produced them —
+//!   the in-process simulator ([`source::SimulatorSource`]) and pushed
+//!   external streams ([`source::ExternalSource`]) are interchangeable,
+//!   byte for byte;
+//! * [`service`] — the `vcountd` multi-tenant run manager: many
+//!   independent runs keyed by run id, newline-delimited JSON commands,
+//!   bounded ingest queues with explicit backpressure, live per-run
+//!   snapshot/restart;
 //! * [`replay`] — action record/replay: a recorded run's protocol-input
 //!   stream re-drives the pure machines without the simulator, pinning
 //!   byte-identical dispatches and final counts.
@@ -34,6 +43,8 @@ pub mod oracle;
 pub mod replay;
 pub mod runner;
 pub mod scenario;
+pub mod service;
+pub mod source;
 
 pub use engine::{EngineSnapshot, Exchange};
 pub use experiment::{sweep, sweep_with_faults, Cell, CellResult, SweepConfig};
@@ -45,3 +56,8 @@ pub use replay::{
 };
 pub use runner::{Goal, Runner, RunnerBuilder};
 pub use scenario::{MapSpec, PatrolSpec, Scenario, SeedSpec, TransportMode};
+pub use service::{RunManager, ServiceConfig, ServiceRequest, ServiceResponse};
+pub use source::{
+    BatchIndex, ClassTable, ExternalSource, ObservationBatch, ObservationSource, SimulatorSource,
+    TruthSnapshot,
+};

@@ -1,15 +1,20 @@
-//! The run orchestrator: wires the traffic microsimulator, the lossy V2X
-//! channel, and one checkpoint state machine per intersection into a full
-//! deployment, tracks ground truth in the [`Oracle`], and measures the
-//! times the paper's figures report.
+//! The run orchestrator: wires an observation source (by default the
+//! traffic microsimulator), the lossy V2X channel, and one checkpoint
+//! state machine per intersection into a full deployment, tracks ground
+//! truth in the [`Oracle`], and measures the times the paper's figures
+//! report.
 //!
 //! The per-step work is decomposed into the five named stages of
-//! [`crate::engine`] — `traffic_step`, `observe`, `dispatch`, `exchange`,
-//! `audit` — with every in-flight message owned by the
-//! [`crate::engine::Exchange`]. The runner itself only assembles the
-//! deployment, sequences the stages, and exposes metrics; it holds no
-//! message state. A run can be frozen at any step boundary into an
-//! [`EngineSnapshot`] and resumed to a byte-identical event stream.
+//! [`crate::engine`] — source, `observe`, `dispatch`, `exchange`, `audit`
+//! — with every in-flight message owned by the
+//! [`crate::engine::Exchange`]. The first stage lives behind the
+//! [`ObservationSource`] trait: [`Runner::step`] pulls the next
+//! [`ObservationBatch`] from the configured source, while an externally
+//! fed deployment (see [`crate::service`]) pushes batches straight into
+//! [`Runner::ingest`]. The runner itself only assembles the deployment,
+//! sequences the stages, and exposes metrics; it holds no message state.
+//! A run can be frozen at any step boundary into an [`EngineSnapshot`]
+//! and resumed to a byte-identical event stream.
 //!
 //! ## Intra-step ordering
 //!
@@ -22,26 +27,30 @@
 //! vehicles whose same-step `Departed` (onto that edge) events come later —
 //! they joined behind the label.
 
-use crate::engine::{self, AuditLog, EngineSnapshot, Exchange, StepCtx, TrafficBatch};
+use crate::engine::{self, AuditLog, EngineSnapshot, Exchange, StepCtx};
 use crate::faults::{FaultLayer, FaultPlan};
 use crate::metrics::{ProgressSnapshot, RunMetrics, RunTelemetry};
 use crate::oracle::Oracle;
 use crate::replay::{ActionRecorder, ActionTrace, TRACE_SCHEMA};
 use crate::scenario::{Scenario, SeedSpec, TransportMode};
+use crate::source::{
+    BatchIndex, ClassTable, ExternalSource, ObservationBatch, ObservationSource, SimulatorSource,
+    TruthSnapshot,
+};
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use vcount_core::Checkpoint;
 use vcount_core::{ActionKind, ClassDedupCounter, Command, NaiveIntervalCounter};
 use vcount_obs::{EventRecord, EventSink, Phase};
-use vcount_roadnet::{edge_covering_cycle, NodeId, RoadNetwork};
-use vcount_traffic::{ReplayRng, Simulator};
+use vcount_roadnet::{NodeId, RoadNetwork};
+use vcount_traffic::{ReplayRng, SimSnapshot, Simulator};
 use vcount_v2x::{AdjustMode, ClassFilter, LossModel, VehicleId};
 
 /// Ring-buffer capacity of the always-on post-mortem sink.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
 /// What a run is trying to reach.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Goal {
     /// Every checkpoint's non-interaction counting stabilized
     /// (Fig. 2 constitution; Fig. 4 "complete status" when open).
@@ -56,7 +65,19 @@ pub struct Runner {
     /// The scenario this deployment was assembled from (kept so snapshots
     /// are self-contained).
     scenario: Scenario,
-    sim: Simulator,
+    /// The road graph the deployment runs on (the source builds its own
+    /// copy from the same scenario — both are deterministic products of
+    /// the map spec).
+    net: RoadNetwork,
+    /// Where observation batches come from: the in-process simulator by
+    /// default, or an [`ExternalSource`] when batches are pushed in.
+    source: Box<dyn ObservationSource>,
+    /// Camera-visible class of every vehicle announced by a batch so far.
+    classes: ClassTable,
+    /// Simulated time at the end of the last ingested batch, seconds.
+    now: f64,
+    /// Step counter of the last ingested batch.
+    steps: u64,
     cps: Vec<Checkpoint>,
     channel: Box<dyn LossModel + Send>,
     proto_rng: ReplayRng,
@@ -69,8 +90,10 @@ pub struct Runner {
     exchange: Exchange,
     naive: NaiveIntervalCounter,
     dedup: ClassDedupCounter,
-    /// Reused per-step event batch and indices.
-    batch: TrafficBatch,
+    /// Reused per-step observation batch (pull path only).
+    batch: ObservationBatch,
+    /// Reused per-batch event indices, rebuilt on every ingest.
+    index: BatchIndex,
     /// Event stamping, telemetry and sink fan-out.
     audit: AuditLog,
     /// Deterministic fault injection (inactive unless a plan is loaded).
@@ -109,6 +132,7 @@ pub struct RunnerBuilder {
     record: bool,
     shards: usize,
     eager_decode: bool,
+    external: bool,
 }
 
 impl RunnerBuilder {
@@ -123,7 +147,20 @@ impl RunnerBuilder {
             record: false,
             shards: 1,
             eager_decode: false,
+            external: false,
         }
+    }
+
+    /// Builds the runner around an [`ExternalSource`] instead of the
+    /// in-process simulator: [`Runner::step`] will not advance on its own,
+    /// and observation batches must be pushed via [`Runner::ingest`] —
+    /// the `vcountd` service shape. The source is a deployment knob,
+    /// never a semantics knob: fed the batches a [`SimulatorSource`] for
+    /// the same scenario produces, the event stream is byte-identical to
+    /// the in-process run.
+    pub fn external(mut self, on: bool) -> Self {
+        self.external = on;
+        self
     }
 
     /// Forces every discarded delivery to be parsed anyway, disabling the
@@ -218,6 +255,7 @@ impl RunnerBuilder {
             self.faults,
             self.record,
             self.shards,
+            self.external,
         )?;
         runner.set_eager_decode(self.eager_decode);
         Ok(runner)
@@ -245,17 +283,20 @@ impl Runner {
         fault_plan: Option<FaultPlan>,
         record: bool,
         shards: usize,
+        external: bool,
     ) -> Result<Self, String> {
         let shards = shards.max(1);
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("scenario map must be valid");
-        let mut sim = Simulator::new(net, scenario.sim.clone(), scenario.demand.clone());
-        sim.set_detect_shards(shards);
-        let n = sim.net().node_count();
-        let cps: Vec<Checkpoint> = sim
-            .net()
+        let source: Box<dyn ObservationSource> = if external {
+            Box::new(ExternalSource::new())
+        } else {
+            Box::new(SimulatorSource::from_scenario(scenario, shards))
+        };
+        let n = net.node_count();
+        let cps: Vec<Checkpoint> = net
             .node_ids()
-            .map(|node| Checkpoint::new(sim.net(), node, scenario.protocol))
+            .map(|node| Checkpoint::new(&net, node, scenario.protocol))
             .collect();
         // Protocol-side randomness (seed selection, channel draws) is
         // decoupled from traffic randomness but derived from the same seed
@@ -264,18 +305,10 @@ impl Runner {
         let mut proto_rng =
             ReplayRng::seed_from_u64(engine::snapshot::proto_seed(scenario.sim.seed));
 
-        if scenario.patrol.cars > 0 {
-            let cycle = edge_covering_cycle(sim.net(), NodeId(0))
-                .expect("validated map admits an edge-covering patrol cycle");
-            for off in cycle.even_offsets(scenario.patrol.cars) {
-                sim.add_patrol_car(cycle.edges.clone(), off);
-            }
-        }
-
         let seeds: Vec<NodeId> = match &scenario.seeds {
             SeedSpec::Explicit(list) => list.iter().map(|i| NodeId(*i)).collect(),
             SeedSpec::AllBorder => {
-                let border = sim.net().border_nodes();
+                let border = net.border_nodes();
                 if border.is_empty() {
                     vec![NodeId(proto_rng.gen_range(0..n as u32))]
                 } else {
@@ -293,16 +326,21 @@ impl Runner {
             }
         };
 
-        let vehicles = sim.vehicles().len();
         let faults = match fault_plan {
             Some(plan) => FaultLayer::from_plan(plan, n)?,
             None => FaultLayer::none(),
         };
-        let mut exchange = Exchange::new(vehicles, n);
+        // Vehicle-indexed capacity starts at zero and grows as batches
+        // announce the population (capacity is not semantics).
+        let mut exchange = Exchange::new(0, n);
         exchange.set_partition(engine::RegionPartition::new(n, shards));
         let mut runner = Runner {
             scenario: scenario.clone(),
-            sim,
+            net,
+            source,
+            classes: ClassTable::new(),
+            now: 0.0,
+            steps: 0,
             cps,
             channel: scenario.channel.build(),
             proto_rng,
@@ -314,7 +352,8 @@ impl Runner {
             exchange,
             naive: NaiveIntervalCounter::new(scenario.protocol.filter),
             dedup: ClassDedupCounter::new(scenario.protocol.filter),
-            batch: TrafficBatch::default(),
+            batch: ObservationBatch::default(),
+            index: BatchIndex::default(),
             audit: AuditLog::new(scenario.sim.seed, ring_capacity, sinks),
             faults,
             recorder: ActionRecorder::new(record),
@@ -342,6 +381,28 @@ impl Runner {
         sinks: Vec<Box<dyn EventSink + Send>>,
         ring_capacity: usize,
     ) -> Runner {
+        Runner::resume_core(snap, sinks, ring_capacity, false)
+    }
+
+    /// Resumes a deployment from a snapshot around an [`ExternalSource`]:
+    /// the run continues exactly where it froze, but batches must be
+    /// pushed via [`Runner::ingest`] — the service restart path. The
+    /// source is pre-seeded with the snapshot's traffic state so the run
+    /// can be re-frozen before the feeder's first refresh.
+    pub fn resume_external(
+        snap: &EngineSnapshot,
+        sinks: Vec<Box<dyn EventSink + Send>>,
+        ring_capacity: usize,
+    ) -> Runner {
+        Runner::resume_core(snap, sinks, ring_capacity, true)
+    }
+
+    fn resume_core(
+        snap: &EngineSnapshot,
+        sinks: Vec<Box<dyn EventSink + Send>>,
+        ring_capacity: usize,
+        external: bool,
+    ) -> Runner {
         let scenario = snap.scenario.clone();
         let net = scenario.map.build(scenario.closed);
         net.validate().expect("snapshot scenario map must be valid");
@@ -351,17 +412,14 @@ impl Runner {
             "snapshot checkpoint count must match the scenario map"
         );
         let shards = snap.shards.max(1);
-        let mut sim = Simulator::restore(
-            net,
-            scenario.sim.clone(),
-            scenario.demand.clone(),
-            &snap.sim,
-        );
-        sim.set_detect_shards(shards);
-        let mut cps: Vec<Checkpoint> = sim
-            .net()
+        let source: Box<dyn ObservationSource> = if external {
+            Box::new(ExternalSource::with_sim_state(snap.sim.clone()))
+        } else {
+            Box::new(SimulatorSource::resume_from(&scenario, &snap.sim, shards))
+        };
+        let mut cps: Vec<Checkpoint> = net
             .node_ids()
-            .map(|node| Checkpoint::new(sim.net(), node, scenario.protocol))
+            .map(|node| Checkpoint::new(&net, node, scenario.protocol))
             .collect();
         for (cp, state) in cps.iter_mut().zip(&snap.checkpoints) {
             cp.restore_state(state.clone());
@@ -379,7 +437,11 @@ impl Runner {
             filter: scenario.protocol.filter,
             adjust_mode: scenario.protocol.adjust_mode,
             scenario,
-            sim,
+            net,
+            source,
+            classes: ClassTable::from_snapshot(&snap.sim),
+            now: snap.sim.time_s,
+            steps: snap.sim.steps,
             cps,
             channel,
             proto_rng,
@@ -388,7 +450,8 @@ impl Runner {
             exchange,
             naive: snap.naive.clone(),
             dedup: snap.dedup.clone(),
-            batch: TrafficBatch::default(),
+            batch: ObservationBatch::default(),
+            index: BatchIndex::default(),
             audit: AuditLog::new(snap.scenario.sim.seed, ring_capacity, sinks),
             faults: match (&snap.fault_plan, &snap.faults) {
                 (Some(plan), Some(fs)) => FaultLayer::restore(plan.clone(), fs),
@@ -409,13 +472,26 @@ impl Runner {
     /// round-trip is exact — a self-check that regional ownership covers
     /// the whole engine state.
     pub fn snapshot(&self) -> EngineSnapshot {
+        self.try_snapshot()
+            .expect("source must hold traffic state to snapshot")
+    }
+
+    /// Like [`Runner::snapshot`], but reports a source without traffic
+    /// state (an [`ExternalSource`] the feeder never refreshed) as an
+    /// error instead of panicking — the service path.
+    pub fn try_snapshot(&self) -> Result<EngineSnapshot, String> {
+        let sim = self.source.sim_state().ok_or_else(|| {
+            "observation source holds no traffic state; \
+             supply one (service: a Snapshot request carries it) before freezing"
+                .to_string()
+        })?;
         let snap = EngineSnapshot {
             schema: engine::SNAPSHOT_SCHEMA.to_string(),
             scenario: self.scenario.clone(),
             seeds: self.seeds.clone(),
             proto_rng_draws: self.proto_rng.draws(),
             channel_state: self.channel.save_state(),
-            sim: self.sim.snapshot(),
+            sim,
             checkpoints: self.cps.iter().map(Checkpoint::export_state).collect(),
             exchange: self.exchange.snapshot(),
             ledger: self.oracle.ledger().clone(),
@@ -436,7 +512,22 @@ impl Runner {
             assert_eq!(reports, snap.exchange.pending_reports);
             assert_eq!(patrol, snap.exchange.pending_patrol);
         }
-        snap
+        Ok(snap)
+    }
+
+    /// Hands externally produced ground truth to the observation source
+    /// (push-fed runs; a no-op on the in-process simulator, which knows
+    /// its own truth). Verification and the reported true population use
+    /// whatever the source last supplied.
+    pub fn provide_truth(&mut self, truth: TruthSnapshot) {
+        self.source.provide_truth(truth);
+    }
+
+    /// Hands externally produced traffic state to the observation source
+    /// so [`Runner::try_snapshot`] can freeze the run (push-fed runs; a
+    /// no-op on the in-process simulator).
+    pub fn provide_sim_state(&mut self, snap: SimSnapshot) {
+        self.source.provide_sim_state(snap);
     }
 
     /// The engine's shard (worker) count.
@@ -454,7 +545,8 @@ impl Runner {
     /// Builds a stage context over this runner's state and runs `f` in it.
     fn with_ctx<R>(&mut self, now: f64, f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
         let Runner {
-            sim,
+            net,
+            classes,
             cps,
             channel,
             proto_rng,
@@ -473,7 +565,8 @@ impl Runner {
         } = self;
         let mut ctx = StepCtx {
             now,
-            sim,
+            net,
+            classes,
             cps,
             exchange,
             oracle,
@@ -494,12 +587,16 @@ impl Runner {
 
     /// The road network under simulation.
     pub fn net(&self) -> &RoadNetwork {
-        self.sim.net()
+        &self.net
     }
 
     /// The traffic simulator (read access for examples and tests).
+    /// Panics when the runner is driven by an external observation
+    /// source — there is no in-process simulator to read then.
     pub fn simulator(&self) -> &Simulator {
-        &self.sim
+        self.source
+            .simulator()
+            .expect("runner is driven by an external observation source")
     }
 
     /// A checkpoint's state machine.
@@ -517,9 +614,9 @@ impl Runner {
         &self.oracle
     }
 
-    /// Simulated time, seconds.
+    /// Simulated time, seconds (of the last ingested batch).
     pub fn time_s(&self) -> f64 {
-        self.sim.time_s()
+        self.now
     }
 
     /// Whether every checkpoint's non-interaction counting stabilized.
@@ -560,41 +657,58 @@ impl Runner {
         })
     }
 
-    /// Ground truth: matching civilian vehicles currently inside.
+    /// Ground truth: matching civilian vehicles currently inside. Zero
+    /// when the observation source holds no truth (an [`ExternalSource`]
+    /// the feeder never supplied) — see [`Runner::provide_truth`].
     pub fn true_population(&self) -> usize {
-        let filter = self.filter;
-        self.sim.civilian_population_where(|c| filter.matches(c))
+        self.source.truth().map(|t| t.population()).unwrap_or(0)
     }
 
-    /// Runs per-vehicle verification (see [`Oracle::verify`]).
+    /// Runs per-vehicle verification (see [`Oracle::verify`]). Empty when
+    /// the observation source holds no ground truth — nothing to verify
+    /// against; push the feeder's [`TruthSnapshot`] first for a real
+    /// verdict.
     pub fn verify(&self) -> Vec<crate::oracle::Violation> {
-        let filter = self.filter;
-        let pop: Vec<(VehicleId, bool)> = self
-            .sim
-            .vehicles()
-            .iter()
-            .filter(|v| !v.is_patrol() && filter.matches(&v.class))
-            .map(|v| (v.id, v.is_inside()))
-            .collect();
-        self.oracle.verify(pop)
+        match self.source.truth() {
+            Some(truth) => self.oracle.verify(truth.vehicles),
+            None => Vec::new(),
+        }
     }
 
-    /// Advances one simulation step: the five engine stages in order
-    /// (observe invokes dispatch and audit per interaction; exchange
-    /// delivers due relay traffic end-of-step).
-    pub fn step(&mut self) {
+    /// Advances one step by pulling the next batch from the observation
+    /// source and ingesting it. Returns `false` (without ingesting) when
+    /// the source cannot advance on its own — an [`ExternalSource`]
+    /// waiting for pushed batches.
+    pub fn step(&mut self) -> bool {
         let t_traffic = Instant::now();
-        engine::traffic_step(&mut self.sim, &mut self.batch);
-        self.exchange
-            .ensure_vehicle_capacity(self.sim.vehicles().len());
+        let mut batch = std::mem::take(&mut self.batch);
+        let advanced = self.source.next_batch(&mut batch);
         self.audit
             .counters
             .add_phase(Phase::TrafficStep, t_traffic.elapsed());
+        if advanced {
+            self.ingest(&batch);
+        }
+        self.batch = batch;
+        advanced
+    }
 
+    /// The step-driven core: consumes one observation batch through the
+    /// engine stages — fault transitions, observe (which invokes dispatch
+    /// and audit per interaction), then end-of-step exchange delivery.
+    /// This is the only way protocol state advances; [`Runner::step`] is
+    /// just a pull wrapper around it, and the service pushes batches here
+    /// directly.
+    pub fn ingest(&mut self, batch: &ObservationBatch) {
+        self.classes.learn(&batch.new_classes);
+        self.exchange.ensure_vehicle_capacity(self.classes.len());
         // Events are timestamped at the end of the step they occurred in.
-        let now = self.sim.time_s();
+        self.now = batch.now;
+        self.steps = batch.steps;
+        self.index.rebuild(&batch.events);
         let Runner {
-            sim,
+            net,
+            classes,
             cps,
             channel,
             proto_rng,
@@ -605,7 +719,7 @@ impl Runner {
             exchange,
             naive,
             dedup,
-            batch,
+            index,
             audit,
             faults,
             recorder,
@@ -613,8 +727,9 @@ impl Runner {
             ..
         } = self;
         let mut ctx = StepCtx {
-            now,
-            sim,
+            now: batch.now,
+            net,
+            classes,
             cps,
             exchange,
             oracle,
@@ -635,7 +750,7 @@ impl Runner {
         // advance, before any observation — where checkpoint event buffers
         // are provably drained.
         crate::faults::fault_step(&mut ctx);
-        engine::observe(&mut ctx, batch);
+        engine::observe(&mut ctx, batch, index);
         ctx.audit
             .counters
             .add_phase(Phase::Protocol, t_protocol.elapsed());
@@ -664,10 +779,12 @@ impl Runner {
     pub fn run(&mut self, goal: Goal, max_time_s: f64) -> RunMetrics {
         let mut constitution_done: Option<f64> = None;
         let mut collection_done: Option<f64> = None;
-        while self.sim.time_s() < max_time_s {
-            self.step();
+        while self.now < max_time_s {
+            if !self.step() {
+                break;
+            }
             if constitution_done.is_none() && self.all_stable() {
-                constitution_done = Some(self.sim.time_s());
+                constitution_done = Some(self.now);
                 if goal == Goal::Constitution {
                     break;
                 }
@@ -678,7 +795,7 @@ impl Runner {
                 && self.all_collected()
                 && !self.reports_in_flight()
             {
-                collection_done = Some(self.sim.time_s());
+                collection_done = Some(self.now);
                 break;
             }
         }
@@ -796,8 +913,8 @@ impl Runner {
             overtake_adjustments: self.cps.iter().map(|c| c.counters().overtake_total()).sum(),
             baseline_naive: self.naive.total(),
             baseline_dedup: self.dedup.total(),
-            elapsed_s: self.sim.time_s(),
-            steps: self.sim.steps(),
+            elapsed_s: self.now,
+            steps: self.steps,
             degraded: self.faults.degraded(),
             telemetry: self.telemetry(),
         }
@@ -832,7 +949,7 @@ impl Runner {
     /// A point-in-time progress view of the deployment.
     pub fn progress(&self) -> ProgressSnapshot {
         ProgressSnapshot {
-            time_s: self.sim.time_s(),
+            time_s: self.now,
             active: self.cps.iter().filter(|c| c.is_active()).count(),
             stable: self.cps.iter().filter(|c| c.is_stable()).count(),
             collected_seeds: self
@@ -844,5 +961,16 @@ impl Runner {
             distributed_count: self.distributed_count(),
             population: self.true_population(),
         }
+    }
+}
+
+/// Shutdown guard: whatever ends a run — clean completion, an early
+/// `break`, a panic unwinding past an externally driven loop, or a service
+/// tenant disconnecting mid-run — the configured sinks are flushed, so a
+/// buffered trace file never loses its tail. Flushing twice is harmless
+/// ([`Runner::run`] also flushes on the clean path).
+impl Drop for Runner {
+    fn drop(&mut self) {
+        self.flush_sinks();
     }
 }

@@ -1,0 +1,665 @@
+//! The service contract (DESIGN.md §10): transport is a deployment knob,
+//! never a semantics knob. A scenario driven through the `vcountd`
+//! [`RunManager`] by a simulator-fed client must produce a *byte-identical*
+//! protocol event stream, final counts, and counter telemetry to the same
+//! scenario under the in-process batch runner — for every protocol variant,
+//! under fault injection, with tenants interleaved, and across a
+//! snapshot/restart through the service.
+//!
+//! The only fields allowed to differ are the wall-clock phase timings: the
+//! service never runs the traffic substrate (the feeder does), so its
+//! `traffic_step_secs` is legitimately zero. They are normalized out
+//! before comparison, exactly as the sharding tests do.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use vcount_core::{CheckpointConfig, ProtocolVariant};
+use vcount_obs::{EventRecord, EventSink};
+use vcount_roadnet::builders::ManhattanConfig;
+use vcount_sim::{
+    CrashFault, FaultPlan, Goal, ObservationBatch, ObservationSource, RunManager, RunMetrics,
+    Runner, Scenario, ServiceConfig, ServiceRequest, ServiceResponse, SimulatorSource,
+};
+use vcount_sim::{MapSpec, PatrolSpec, SeedSpec, TransportMode};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::ChannelKind;
+
+struct VecSink(Arc<Mutex<Vec<String>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.0.lock().unwrap().push(rec.to_json());
+    }
+}
+
+/// 64-bit FNV-1a over the JSONL stream — one order-sensitive digest per
+/// run, so a mismatch report stays readable even for long streams.
+fn fnv_digest(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A 4×4 closed grid, as the sharding identity tests use.
+fn grid_scenario(variant: ProtocolVariant, seed: u64) -> Scenario {
+    let mut s = Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 130.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            seed,
+            detect_overtakes: true,
+            speed_factor_range: (0.6, 1.0),
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::for_variant(variant),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 2 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 1500.0,
+    };
+    if variant == ProtocolVariant::Extended {
+        s.transport = TransportMode::VehicleWithPatrolFallback;
+        s.patrol = PatrolSpec { cars: 1 };
+    }
+    s
+}
+
+/// The open-system family: border checkpoints, live entry/exit tracking.
+fn open_scenario(seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Manhattan(ManhattanConfig::small()),
+        closed: false,
+        sim: SimConfig {
+            seed,
+            spawn_rate_hz: 0.2,
+            detect_overtakes: true,
+            ..Default::default()
+        },
+        demand: Demand::at_volume(50.0),
+        protocol: CheckpointConfig::for_variant(ProtocolVariant::Open),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::AllBorder,
+        transport: Default::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 900.0,
+    }
+}
+
+fn boundary_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 11,
+        crashes: vec![
+            CrashFault {
+                node: 7,
+                at_s: 60.0,
+                recover_s: 240.0,
+            },
+            CrashFault {
+                node: 8,
+                at_s: 90.0,
+                recover_s: 300.0,
+            },
+        ],
+        blackouts: Vec::new(),
+        chaos: None,
+        image_every_s: 60.0,
+    }
+}
+
+/// The in-process reference: the classic `vcount run` shape, driven by
+/// [`Runner::run`] itself, reporting through the same `metrics_now` face
+/// the service uses.
+fn capture_batch(
+    scen: &Scenario,
+    plan: Option<FaultPlan>,
+    goal: Goal,
+) -> (Vec<String>, RunMetrics) {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let mut builder = Runner::builder(scen).sink(Box::new(VecSink(lines.clone())));
+    if let Some(p) = plan {
+        builder = builder.faults(p);
+    }
+    let mut runner = builder.build();
+    let _ = runner.run(goal, scen.max_time_s);
+    let metrics = runner.metrics_now();
+    let out = lines.lock().unwrap().clone();
+    (out, metrics)
+}
+
+/// Applies one request and splits the answer per the framing contract:
+/// event lines are appended to `events`, the single terminal response is
+/// returned. Panics on a service [`ServiceResponse::Error`].
+fn call(mgr: &mut RunManager, req: ServiceRequest, events: &mut Vec<String>) -> ServiceResponse {
+    let mut out = Vec::new();
+    mgr.handle(req, &mut out);
+    let mut terminal = None;
+    for resp in out {
+        match resp {
+            ServiceResponse::Event { line, .. } => events.push(line),
+            ServiceResponse::Error { run, message } => {
+                panic!("service error for run {run:?}: {message}")
+            }
+            other => {
+                assert!(terminal.is_none(), "more than one terminal response");
+                terminal = Some(other);
+            }
+        }
+    }
+    terminal.expect("framing: every request ends in one terminal response")
+}
+
+/// Drives `scen` through a [`RunManager`] exactly as a `vcount feed`
+/// client would: Start, one Observe per simulator tick until the service
+/// reports the run done, then Finish with ground truth.
+fn capture_service(
+    scen: &Scenario,
+    plan: Option<FaultPlan>,
+    goal: Goal,
+    cfg: ServiceConfig,
+) -> (Vec<String>, RunMetrics) {
+    let mut mgr = RunManager::new(cfg);
+    let mut events = Vec::new();
+    let started = call(
+        &mut mgr,
+        ServiceRequest::Start {
+            run: "t".into(),
+            scenario: Box::new(scen.clone()),
+            goal: Some(goal),
+            shards: 0,
+            eager_decode: false,
+            faults: plan,
+        },
+        &mut events,
+    );
+    assert!(matches!(started, ServiceResponse::Started { .. }));
+
+    let mut source = SimulatorSource::from_scenario(scen, 1);
+    let mut batch = ObservationBatch::default();
+    let mut done = false;
+    while !done && source.next_batch(&mut batch) {
+        loop {
+            let resp = call(
+                &mut mgr,
+                ServiceRequest::Observe {
+                    run: "t".into(),
+                    batch: batch.clone(),
+                },
+                &mut events,
+            );
+            match resp {
+                ServiceResponse::Accepted { done: d, .. } => {
+                    done = d;
+                    break;
+                }
+                ServiceResponse::Throttled { .. } => {
+                    call(&mut mgr, ServiceRequest::Pump { budget: None }, &mut events);
+                }
+                other => panic!("Observe answered with {other:?}"),
+            }
+        }
+    }
+
+    let finished = call(
+        &mut mgr,
+        ServiceRequest::Finish {
+            run: "t".into(),
+            truth: source.truth(),
+        },
+        &mut events,
+    );
+    let ServiceResponse::Finished { metrics, .. } = finished else {
+        panic!("Finish answered with {finished:?}");
+    };
+    (events, *metrics)
+}
+
+/// Compares two runs' metrics, skipping only the wall-clock phase timings
+/// (nondeterministic, and attributed to the feeder in service mode).
+fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
+    let normalized = |m: &RunMetrics| {
+        let mut t = m.telemetry;
+        t.traffic_step_secs = 0.0;
+        t.protocol_secs = 0.0;
+        t.relay_secs = 0.0;
+        t
+    };
+    assert_eq!(a.constitution_done_s, b.constitution_done_s, "{what}");
+    assert_eq!(a.collection_done_s, b.collection_done_s, "{what}");
+    assert_eq!(a.global_count, b.global_count, "{what}");
+    assert_eq!(a.true_population, b.true_population, "{what}");
+    assert_eq!(a.oracle_violations, b.oracle_violations, "{what}");
+    assert_eq!(a.handoff_failures, b.handoff_failures, "{what}");
+    assert_eq!(a.overtake_adjustments, b.overtake_adjustments, "{what}");
+    assert_eq!(a.baseline_naive, b.baseline_naive, "{what}");
+    assert_eq!(a.baseline_dedup, b.baseline_dedup, "{what}");
+    assert_eq!(a.degraded, b.degraded, "{what}");
+    assert_eq!(a.elapsed_s, b.elapsed_s, "{what}");
+    assert_eq!(a.steps, b.steps, "{what}");
+    assert_eq!(normalized(a), normalized(b), "{what}");
+}
+
+fn assert_service_matches_batch(scen: &Scenario, plan: Option<FaultPlan>, what: &str) {
+    let (batch_stream, batch_metrics) = capture_batch(scen, plan.clone(), Goal::Collection);
+    assert!(
+        !batch_stream.is_empty(),
+        "{what}: reference emitted no events"
+    );
+    let (service_stream, service_metrics) =
+        capture_service(scen, plan, Goal::Collection, ServiceConfig::default());
+    assert_eq!(
+        fnv_digest(&service_stream),
+        fnv_digest(&batch_stream),
+        "{what}: event digest diverged between transports"
+    );
+    assert_eq!(
+        service_stream, batch_stream,
+        "{what}: event stream diverged between transports"
+    );
+    assert_metrics_identical(&service_metrics, &batch_metrics, what);
+}
+
+#[test]
+fn simple_variant_is_transport_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 52);
+    assert_service_matches_batch(&scen, None, "simple");
+}
+
+#[test]
+fn extended_variant_is_transport_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Extended, 53);
+    assert_service_matches_batch(&scen, None, "extended");
+}
+
+#[test]
+fn open_variant_is_transport_invariant() {
+    let scen = open_scenario(54);
+    assert_service_matches_batch(&scen, None, "open");
+}
+
+#[test]
+fn faulted_run_is_transport_invariant() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 55);
+    assert_service_matches_batch(&scen, Some(boundary_plan()), "boundary faults");
+}
+
+/// Two interleaved tenants with different seeds and protocol variants:
+/// each tenant's event stream and metrics must be byte-identical to its
+/// own solo batch run — tenants share a manager, never state.
+#[test]
+fn interleaved_tenants_match_their_solo_runs() {
+    let scen_a = grid_scenario(ProtocolVariant::Simple, 61);
+    let scen_b = open_scenario(62);
+    let (solo_a, metrics_a) = capture_batch(&scen_a, None, Goal::Collection);
+    let (solo_b, metrics_b) = capture_batch(&scen_b, None, Goal::Collection);
+
+    let mut mgr = RunManager::new(ServiceConfig::default());
+    let mut events: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut finished: BTreeMap<String, RunMetrics> = BTreeMap::new();
+    let sift = |out: Vec<ServiceResponse>,
+                events: &mut BTreeMap<String, Vec<String>>,
+                finished: &mut BTreeMap<String, RunMetrics>|
+     -> Option<ServiceResponse> {
+        let mut terminal = None;
+        for resp in out {
+            match resp {
+                ServiceResponse::Event { run, line } => events.entry(run).or_default().push(line),
+                ServiceResponse::Error { run, message } => {
+                    panic!("service error for run {run:?}: {message}")
+                }
+                ServiceResponse::Finished { run, metrics } => {
+                    finished.insert(run, *metrics);
+                }
+                other => terminal = Some(other),
+            }
+        }
+        terminal
+    };
+
+    for (run, scen) in [("a", &scen_a), ("b", &scen_b)] {
+        let mut out = Vec::new();
+        mgr.handle(
+            ServiceRequest::Start {
+                run: run.into(),
+                scenario: Box::new(scen.clone()),
+                goal: Some(Goal::Collection),
+                shards: 0,
+                eager_decode: false,
+                faults: None,
+            },
+            &mut out,
+        );
+        sift(out, &mut events, &mut finished);
+    }
+
+    let mut src_a = SimulatorSource::from_scenario(&scen_a, 1);
+    let mut src_b = SimulatorSource::from_scenario(&scen_b, 1);
+    let mut batch = ObservationBatch::default();
+    let (mut done_a, mut done_b) = (false, false);
+    while !done_a || !done_b {
+        for (run, src, done) in [
+            ("a", &mut src_a as &mut SimulatorSource, &mut done_a),
+            ("b", &mut src_b, &mut done_b),
+        ] {
+            if *done || !src.next_batch(&mut batch) {
+                continue;
+            }
+            let mut out = Vec::new();
+            mgr.handle(
+                ServiceRequest::Observe {
+                    run: run.into(),
+                    batch: batch.clone(),
+                },
+                &mut out,
+            );
+            match sift(out, &mut events, &mut finished) {
+                Some(ServiceResponse::Accepted { done: d, .. }) => *done = d,
+                other => panic!("Observe answered with {other:?}"),
+            }
+        }
+    }
+    for (run, src) in [("a", &src_a), ("b", &src_b)] {
+        let mut out = Vec::new();
+        mgr.handle(
+            ServiceRequest::Finish {
+                run: run.into(),
+                truth: src.truth(),
+            },
+            &mut out,
+        );
+        sift(out, &mut events, &mut finished);
+    }
+
+    assert_eq!(events["a"], solo_a, "tenant a diverged from its solo run");
+    assert_eq!(events["b"], solo_b, "tenant b diverged from its solo run");
+    assert_eq!(
+        fnv_digest(&events["a"]),
+        fnv_digest(&solo_a),
+        "tenant a digest"
+    );
+    assert_eq!(
+        fnv_digest(&events["b"]),
+        fnv_digest(&solo_b),
+        "tenant b digest"
+    );
+    assert_metrics_identical(&finished["a"], &metrics_a, "tenant a metrics");
+    assert_metrics_identical(&finished["b"], &metrics_b, "tenant b metrics");
+}
+
+/// The bounded ingest queue enforces *explicit* backpressure: an over-rate
+/// producer gets a deterministic Throttled response (the batch is not
+/// enqueued), and once the queue drains every accepted batch is ingested
+/// exactly once — nothing is silently dropped.
+#[test]
+fn over_rate_producer_gets_explicit_backpressure() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 71);
+    // Manual ingest: nothing is consumed until an explicit Pump, so the
+    // queue fills deterministically.
+    let cfg = ServiceConfig {
+        queue_capacity: 2,
+        pump_budget: 0,
+    };
+    let mut mgr = RunManager::new(cfg);
+    let mut events = Vec::new();
+    call(
+        &mut mgr,
+        ServiceRequest::Start {
+            run: "t".into(),
+            scenario: Box::new(scen.clone()),
+            goal: Some(Goal::Collection),
+            shards: 0,
+            eager_decode: false,
+            faults: None,
+        },
+        &mut events,
+    );
+
+    // Start itself emits the seed-activation events at t=0; only ingest
+    // may add to the stream after this point.
+    let activation_events = events.len();
+
+    let mut source = SimulatorSource::from_scenario(&scen, 1);
+    let mut batches = Vec::new();
+    for _ in 0..3 {
+        let mut b = ObservationBatch::default();
+        assert!(source.next_batch(&mut b));
+        batches.push(b);
+    }
+
+    let observe = |b: &ObservationBatch| ServiceRequest::Observe {
+        run: "t".into(),
+        batch: b.clone(),
+    };
+    // Two batches fill the queue...
+    for (i, b) in batches.iter().take(2).enumerate() {
+        match call(&mut mgr, observe(b), &mut events) {
+            ServiceResponse::Accepted { queued, done, .. } => {
+                assert_eq!(queued, i + 1);
+                assert!(!done);
+            }
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+    }
+    // ...and the third is rejected loudly, not enqueued and not dropped.
+    match call(&mut mgr, observe(&batches[2]), &mut events) {
+        ServiceResponse::Throttled {
+            queued, capacity, ..
+        } => {
+            assert_eq!((queued, capacity), (2, 2));
+        }
+        other => panic!("expected Throttled, got {other:?}"),
+    }
+    assert_eq!(
+        events.len(),
+        activation_events,
+        "nothing may be ingested before an explicit Pump"
+    );
+
+    // Draining one slot lets the identical resend through.
+    match call(
+        &mut mgr,
+        ServiceRequest::Pump { budget: Some(1) },
+        &mut events,
+    ) {
+        ServiceResponse::Pumped { ingested } => assert_eq!(ingested, 1),
+        other => panic!("expected Pumped, got {other:?}"),
+    }
+    match call(&mut mgr, observe(&batches[2]), &mut events) {
+        ServiceResponse::Accepted { queued, .. } => assert_eq!(queued, 2),
+        other => panic!("expected Accepted after drain, got {other:?}"),
+    }
+    match call(&mut mgr, ServiceRequest::Pump { budget: None }, &mut events) {
+        ServiceResponse::Pumped { ingested } => assert_eq!(ingested, 2),
+        other => panic!("expected Pumped, got {other:?}"),
+    }
+
+    // Every accepted batch went through the engine exactly once.
+    let finished = call(
+        &mut mgr,
+        ServiceRequest::Finish {
+            run: "t".into(),
+            truth: source.truth(),
+        },
+        &mut events,
+    );
+    let ServiceResponse::Finished { metrics, .. } = finished else {
+        panic!("Finish answered with {finished:?}");
+    };
+    assert_eq!(metrics.steps, 3, "all three batches ingested, none dropped");
+}
+
+/// A run frozen through the service (the feeder supplies its traffic
+/// state) and restarted on a fresh manager — a daemon restart — must
+/// resume byte-identically to the uninterrupted batch run.
+#[test]
+fn service_snapshot_restart_resumes_byte_identically() {
+    let scen = grid_scenario(ProtocolVariant::Simple, 81);
+    let prefix_batches = 200usize;
+    let (reference, ref_metrics) = capture_batch(&scen, None, Goal::Collection);
+    assert!(!reference.is_empty(), "reference emitted no events");
+
+    // First life: feed a prefix, freeze, stop.
+    let mut mgr = RunManager::new(ServiceConfig::default());
+    let mut prefix = Vec::new();
+    call(
+        &mut mgr,
+        ServiceRequest::Start {
+            run: "t".into(),
+            scenario: Box::new(scen.clone()),
+            goal: Some(Goal::Collection),
+            shards: 0,
+            eager_decode: false,
+            faults: None,
+        },
+        &mut prefix,
+    );
+    let mut source = SimulatorSource::from_scenario(&scen, 1);
+    let mut batch = ObservationBatch::default();
+    for _ in 0..prefix_batches {
+        assert!(source.next_batch(&mut batch));
+        match call(
+            &mut mgr,
+            ServiceRequest::Observe {
+                run: "t".into(),
+                batch: batch.clone(),
+            },
+            &mut prefix,
+        ) {
+            ServiceResponse::Accepted { done, .. } => {
+                assert!(!done, "prefix must end before the goal for a real resume")
+            }
+            other => panic!("Observe answered with {other:?}"),
+        }
+    }
+    let snap = match call(
+        &mut mgr,
+        ServiceRequest::Snapshot {
+            run: "t".into(),
+            sim: source.sim_state(),
+        },
+        &mut prefix,
+    ) {
+        ServiceResponse::Snapshot { snapshot, .. } => snapshot,
+        other => panic!("Snapshot answered with {other:?}"),
+    };
+    call(
+        &mut mgr,
+        ServiceRequest::Stop { run: "t".into() },
+        &mut prefix,
+    );
+    drop(mgr);
+
+    // Second life: a fresh manager resumes the frozen run; the feeder
+    // restores its simulator from the same snapshot.
+    let mut mgr = RunManager::new(ServiceConfig::default());
+    let mut tail = Vec::new();
+    let mut source = SimulatorSource::resume_from(&snap.scenario, &snap.sim, 1);
+    call(
+        &mut mgr,
+        ServiceRequest::Resume {
+            run: "t2".into(),
+            snapshot: snap,
+            goal: Some(Goal::Collection),
+        },
+        &mut tail,
+    );
+    let mut done = false;
+    while !done && source.next_batch(&mut batch) {
+        match call(
+            &mut mgr,
+            ServiceRequest::Observe {
+                run: "t2".into(),
+                batch: batch.clone(),
+            },
+            &mut tail,
+        ) {
+            ServiceResponse::Accepted { done: d, .. } => done = d,
+            other => panic!("Observe answered with {other:?}"),
+        }
+    }
+    let finished = call(
+        &mut mgr,
+        ServiceRequest::Finish {
+            run: "t2".into(),
+            truth: source.truth(),
+        },
+        &mut tail,
+    );
+    let ServiceResponse::Finished { metrics, .. } = finished else {
+        panic!("Finish answered with {finished:?}");
+    };
+
+    let mut stitched = prefix;
+    stitched.extend(tail);
+    assert_eq!(
+        fnv_digest(&stitched),
+        fnv_digest(&reference),
+        "service snapshot/restart diverged from the uninterrupted run"
+    );
+    assert_eq!(stitched, reference);
+    // The snapshot deliberately excludes the telemetry counters ("a
+    // resumed run audits its own tail"), so only the state-derived
+    // metrics must survive the restart.
+    assert_eq!(metrics.global_count, ref_metrics.global_count);
+    assert_eq!(metrics.true_population, ref_metrics.true_population);
+    assert_eq!(metrics.oracle_violations, ref_metrics.oracle_violations);
+    assert_eq!(metrics.baseline_naive, ref_metrics.baseline_naive);
+    assert_eq!(metrics.baseline_dedup, ref_metrics.baseline_dedup);
+    assert_eq!(metrics.degraded, ref_metrics.degraded);
+    assert_eq!(metrics.elapsed_s, ref_metrics.elapsed_s);
+    assert_eq!(metrics.steps, ref_metrics.steps);
+    assert_eq!(metrics.constitution_done_s, ref_metrics.constitution_done_s);
+    assert_eq!(metrics.collection_done_s, ref_metrics.collection_done_s);
+}
+
+/// The shutdown guard (satellite of the service work): dropping a runner
+/// mid-run — an aborted tenant, a panic unwinding past an external drive
+/// loop — flushes its sinks, so a buffered trace never loses its tail.
+#[test]
+fn dropping_a_runner_mid_run_flushes_sinks() {
+    struct FlagSink {
+        records: usize,
+        flushed: Arc<Mutex<bool>>,
+    }
+    impl EventSink for FlagSink {
+        fn record(&mut self, _rec: &EventRecord) {
+            self.records += 1;
+        }
+        fn flush(&mut self) {
+            *self.flushed.lock().unwrap() = true;
+        }
+    }
+
+    let flushed = Arc::new(Mutex::new(false));
+    let scen = grid_scenario(ProtocolVariant::Simple, 91);
+    let mut runner = Runner::builder(&scen)
+        .sink(Box::new(FlagSink {
+            records: 0,
+            flushed: flushed.clone(),
+        }))
+        .build();
+    for _ in 0..5 {
+        runner.step();
+    }
+    assert!(!*flushed.lock().unwrap(), "no flush while mid-run");
+    drop(runner);
+    assert!(
+        *flushed.lock().unwrap(),
+        "dropping the runner must flush its sinks"
+    );
+}

@@ -179,6 +179,72 @@ print(f"sweep fault axis ok: {len(cells)} cell(s), "
       f"degraded replicates {[c['degraded'] for c in cells]}")
 EOF
 
+# Serve smoke: transport is a deployment knob, never a semantics knob
+# (DESIGN.md §10) — a scenario driven through `vcount serve` by a
+# simulator-fed client must return the byte-identical event trace that
+# `vcount run --trace` writes, and an over-rate feed against a tiny
+# queue must get an explicit Throttled response (never a silent drop).
+serve_dir="$tmp_root/serve"
+mkdir "$serve_dir"
+echo "+ vcount run|feed|serve on scen.json (byte-diff event traces)"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$snap_dir/scen.json" --goal constitution \
+    --trace "$serve_dir/batch.jsonl" > "$serve_dir/mbatch.json"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    feed "$snap_dir/scen.json" --goal constitution \
+    --emit "$serve_dir/cmds.jsonl" \
+    --trace "$serve_dir/feed.jsonl" > "$serve_dir/mfeed.json"
+run cmp "$serve_dir/batch.jsonl" "$serve_dir/feed.jsonl"
+echo "+ vcount serve < cmds.jsonl (stdin-transport replay, byte-diff)"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    serve < "$serve_dir/cmds.jsonl" > "$serve_dir/responses.jsonl"
+run python3 - "$serve_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+batch = open(f"{d}/batch.jsonl", "rb").read()
+lines = []
+throttled = 0
+for raw in open(f"{d}/responses.jsonl", encoding="utf-8"):
+    resp = json.loads(raw)
+    if "Event" in resp:
+        lines.append(resp["Event"]["line"])
+    elif "Throttled" in resp:
+        throttled += 1
+    assert "Error" not in resp, resp
+replay = ("\n".join(lines) + "\n").encode() if lines else b""
+assert replay == batch, "stdin-transport replay diverged from vcount run --trace"
+assert throttled == 0, "default queue must absorb a single-tenant feed"
+mb = json.load(open(f"{d}/mbatch.json"))
+mf = json.load(open(f"{d}/mfeed.json"))
+assert mb["global_count"] == mf["global_count"], (mb["global_count"], mf["global_count"])
+assert mf["oracle_violations"] == 0
+print(f"serve smoke ok: {len(lines)} event lines byte-identical across "
+      f"run/feed/serve, count {mf['global_count']}")
+EOF
+# Over-rate feed: replay the same command stream with ingest made fully
+# manual (--pump-budget 0) against a 2-batch queue; with no Pump requests
+# in the stream, the queue must fill and every further batch must be
+# answered Throttled.
+echo "+ vcount serve --queue-capacity 2 --pump-budget 0 < cmds.jsonl (backpressure)"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    serve --queue-capacity 2 --pump-budget 0 < "$serve_dir/cmds.jsonl" \
+    > "$serve_dir/throttled.jsonl"
+run python3 - "$serve_dir/throttled.jsonl" <<'EOF'
+import json, sys
+accepted = throttled = 0
+for raw in open(sys.argv[1], encoding="utf-8"):
+    resp = json.loads(raw)
+    if "Accepted" in resp:
+        accepted += 1
+        assert resp["Accepted"]["queued"] <= 2, resp
+    elif "Throttled" in resp:
+        throttled += 1
+        assert resp["Throttled"] == {"run": "run-1", "queued": 2, "capacity": 2}, resp
+assert accepted == 2, f"exactly the queue capacity is accepted, got {accepted}"
+assert throttled > 0, "over-rate feed was never throttled"
+print(f"backpressure smoke ok: {accepted} accepted, {throttled} explicit Throttled")
+EOF
+
 # Bench smoke: the hotpath bin must run end to end, emit well-formed JSON,
 # and stay within 5% of the committed throughput baseline — both
 # steps/sec and events/sec per case (tiny grid, a few hundred steps —
