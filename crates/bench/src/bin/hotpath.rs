@@ -36,6 +36,9 @@ use vcount_core::CheckpointConfig;
 use vcount_roadnet::builders::grid;
 use vcount_sim::{replay_trace, Blackout, ChaosFault, CrashFault, FaultPlan};
 use vcount_sim::{MapSpec, PatrolSpec, Runner, Scenario, SeedSpec, TransportMode};
+use vcount_sim::{
+    ObservationBatch, ObservationSource, RunManager, ServiceConfig, ServiceRequest, SimulatorSource,
+};
 use vcount_traffic::{Demand, SimConfig, Simulator};
 use vcount_v2x::ChannelKind;
 
@@ -249,6 +252,17 @@ fn engine_scenario(cols: usize, rows: usize, demand_pct: f64, seed: u64) -> Scen
     }
 }
 
+/// The engine scenario, but with a finite time horizon: the service case
+/// ships its scenarios over the wire as JSON, and `serde_json` renders
+/// non-finite floats as `null` — an infinite `max_time_s` would be
+/// rejected at the trust boundary as a malformed request.
+fn service_scenario(cols: usize, rows: usize, demand_pct: f64, seed: u64) -> Scenario {
+    Scenario {
+        max_time_s: 1.0e9,
+        ..engine_scenario(cols, rows, demand_pct, seed)
+    }
+}
+
 /// The message-plane stress scenario behind the `fanout…` case: a
 /// directed ring (`cols` nodes, the canonical patrol-cycle map) with
 /// overtake detection off (the traffic step shrinks to pure movement),
@@ -283,6 +297,160 @@ fn fanout_scenario(nodes: usize, demand_pct: f64, seed: u64) -> Scenario {
         },
         patrol: PatrolSpec { cars: 120 },
         max_time_s: f64::INFINITY,
+    }
+}
+
+/// The `vcountd` service hot path under concurrent tenancy: `runs`
+/// independent tenants of the same grid (different seeds) fed round-robin
+/// through [`RunManager::handle_line`] — the exact wire path: request
+/// JSON parsed, batch validated at the trust boundary, ingested, and
+/// every response (streamed event lines included) re-serialized. A tenant
+/// that reaches its goal is Finished and replaced by a fresh Start with
+/// the next seed (tenant turnover), so the daemon does real protocol work
+/// for the entire measured window. `steps` counts requests handled;
+/// `events` counts event lines emitted; so `steps_per_sec` is service
+/// requests/sec and `events_per_sec` is the daemon's event-line
+/// throughput under multi-tenant load.
+#[allow(clippy::too_many_arguments)]
+fn run_service_case(
+    name: &str,
+    cols: usize,
+    rows: usize,
+    demand_pct: f64,
+    seed: u64,
+    warmup: u64,
+    steps: u64,
+    runs: usize,
+) -> Case {
+    struct ServiceBench {
+        mgr: RunManager,
+        sources: Vec<SimulatorSource>,
+        batch: ObservationBatch,
+        out: Vec<vcount_sim::ServiceResponse>,
+        cols: usize,
+        rows: usize,
+        demand_pct: f64,
+        next_seed: u64,
+    }
+    impl ServiceBench {
+        fn send(&mut self, req: &ServiceRequest) -> (u64, bool) {
+            let line = serde_json::to_string(req).expect("request serializes");
+            self.out.clear();
+            self.mgr.handle_line(&line, &mut self.out);
+            let mut events = 0u64;
+            let mut done = false;
+            for resp in &self.out {
+                // Responses are re-serialized as `serve_stream` would; the
+                // black_box keeps the encoder on the clock.
+                let json = serde_json::to_string(resp).expect("response serializes");
+                std::hint::black_box(json.len());
+                match resp {
+                    vcount_sim::ServiceResponse::Event { .. } => events += 1,
+                    vcount_sim::ServiceResponse::Accepted { done: d, .. } => done = *d,
+                    vcount_sim::ServiceResponse::Error { message, .. } => {
+                        panic!("service bench hit an error: {message}")
+                    }
+                    _ => {}
+                }
+            }
+            (events, done)
+        }
+
+        /// Replaces tenant `i` with a fresh run on the next seed.
+        fn recycle(&mut self, i: usize) -> u64 {
+            let scen = service_scenario(self.cols, self.rows, self.demand_pct, self.next_seed);
+            self.next_seed += 1;
+            let (finish_events, _) = self.send(&ServiceRequest::Finish {
+                run: format!("r{i}"),
+                truth: self.sources[i].truth(),
+            });
+            let (start_events, _) = self.send(&ServiceRequest::Start {
+                run: format!("r{i}"),
+                scenario: Box::new(scen.clone()),
+                goal: None,
+                shards: 0,
+                eager_decode: false,
+                faults: None,
+                trace: None,
+            });
+            self.sources[i] = SimulatorSource::from_scenario(&scen, 1);
+            finish_events + start_events
+        }
+
+        /// One round = one Observe per tenant (plus turnover when a tenant
+        /// completes). Returns (requests, event lines, traffic peak).
+        fn drive(&mut self, rounds: u64) -> (u64, u64, usize) {
+            let (mut requests, mut events, mut peak) = (0u64, 0u64, 0usize);
+            for round in 0..rounds {
+                for i in 0..self.sources.len() {
+                    let mut batch = std::mem::take(&mut self.batch);
+                    assert!(self.sources[i].next_batch(&mut batch));
+                    let req = ServiceRequest::Observe {
+                        run: format!("r{i}"),
+                        batch,
+                    };
+                    let (new_events, done) = self.send(&req);
+                    let ServiceRequest::Observe { batch, .. } = req else {
+                        unreachable!()
+                    };
+                    self.batch = batch;
+                    requests += 1;
+                    events += new_events;
+                    if done {
+                        events += self.recycle(i);
+                        requests += 2;
+                    }
+                    if round % 32 == 0 {
+                        let sim = self.sources[i].simulator().expect("simulator source");
+                        peak = peak.max(sim.civilian_population());
+                    }
+                }
+            }
+            (requests, events, peak)
+        }
+    }
+
+    let mut bench = ServiceBench {
+        mgr: RunManager::new(ServiceConfig::default()),
+        sources: Vec::new(),
+        batch: ObservationBatch::default(),
+        out: Vec::new(),
+        cols,
+        rows,
+        demand_pct,
+        next_seed: seed,
+    };
+    for i in 0..runs {
+        let scen = service_scenario(cols, rows, demand_pct, bench.next_seed);
+        bench.next_seed += 1;
+        bench.send(&ServiceRequest::Start {
+            run: format!("r{i}"),
+            scenario: Box::new(scen.clone()),
+            goal: None,
+            shards: 0,
+            eager_decode: false,
+            faults: None,
+            trace: None,
+        });
+        bench.sources.push(SimulatorSource::from_scenario(&scen, 1));
+    }
+    bench.drive(warmup);
+    let start = Instant::now();
+    let (requests, events, peak) = bench.drive(steps);
+    let wall_s = start.elapsed().as_secs_f64();
+    Case {
+        name: name.to_string(),
+        cols,
+        rows,
+        demand_pct,
+        seed,
+        steps: requests,
+        wall_s,
+        steps_per_sec: requests as f64 / wall_s.max(1e-12),
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-12),
+        peak_vehicles: peak,
+        shards: 1,
     }
 }
 
@@ -355,6 +523,9 @@ struct CaseSpec {
     /// `0` = legacy unsharded case (no name suffix, runs as 1 shard); a
     /// nonzero value names the case `…_sN` and drives N worker shards.
     shards: usize,
+    /// Nonzero = `vcountd` service case: this many concurrent tenants fed
+    /// round-robin through the wire path (see [`run_service_case`]).
+    service_runs: usize,
 }
 
 impl CaseSpec {
@@ -364,6 +535,12 @@ impl CaseSpec {
         } else {
             String::new()
         };
+        if self.service_runs > 0 {
+            return format!(
+                "service_runs{}_{}x{}_v{:.0}",
+                self.service_runs, self.cols, self.rows, self.demand_pct
+            );
+        }
         if self.replay {
             return format!(
                 "actions_replay{}x{}_v{:.0}{shard_suffix}",
@@ -391,7 +568,18 @@ impl CaseSpec {
 
     fn run(&self, warmup: u64, steps: u64) -> Case {
         let (name, seed) = (self.name(), self.seed());
-        if self.replay {
+        if self.service_runs > 0 {
+            run_service_case(
+                &name,
+                self.cols,
+                self.rows,
+                self.demand_pct,
+                seed,
+                warmup,
+                steps,
+                self.service_runs,
+            )
+        } else if self.replay {
             run_replay_case(
                 &name,
                 self.cols,
@@ -585,6 +773,7 @@ fn main() {
                     replay: false,
                     fanout: false,
                     shards: 0,
+                    service_runs: 0,
                 });
             }
         }
@@ -609,6 +798,7 @@ fn main() {
                 replay: false,
                 fanout: false,
                 shards: 0,
+                service_runs: 0,
             });
         }
     }
@@ -623,6 +813,7 @@ fn main() {
         replay: false,
         fanout: false,
         shards: 0,
+        service_runs: 0,
     });
     // The machine-only action-replay case (both modes, same name):
     // records a trace and measures pure-machine re-application throughput.
@@ -635,6 +826,7 @@ fn main() {
         replay: true,
         fanout: false,
         shards: 0,
+        service_runs: 0,
     });
     // The message-plane stress case (both modes, same name, so the smoke
     // guard has a committed reference): a 100-node patrol ring with
@@ -651,6 +843,25 @@ fn main() {
         replay: false,
         fanout: true,
         shards: 0,
+        service_runs: 0,
+    });
+    // The `vcountd` service case (both modes, same name, so the smoke
+    // guard has a committed reference): two concurrent tenants fed
+    // round-robin through the wire path — JSON parse, trust-boundary
+    // validation, ingest, and response serialization all on the clock.
+    // This is the case the concurrent-daemon work is pinned by: a
+    // regression in request handling or wire validation drops
+    // requests/sec (steps) or event-line throughput (events) here.
+    specs.push(CaseSpec {
+        cols: 3,
+        rows: 3,
+        demand_pct: 60.0,
+        engine: false,
+        faults: false,
+        replay: false,
+        fanout: false,
+        shards: 0,
+        service_runs: 2,
     });
     // The sharded family: same grid and seed at 1/2/4 worker shards, so
     // the committed baseline records how region sharding scales (on a
@@ -666,6 +877,7 @@ fn main() {
         replay: false,
         fanout: false,
         shards: 2,
+        service_runs: 0,
     });
     if !smoke {
         for &shards in &[1usize, 2, 4] {
@@ -678,6 +890,7 @@ fn main() {
                 replay: false,
                 fanout: false,
                 shards,
+                service_runs: 0,
             });
         }
         specs.push(CaseSpec {
@@ -689,6 +902,7 @@ fn main() {
             replay: false,
             fanout: false,
             shards: 4,
+            service_runs: 0,
         });
     }
 

@@ -2,16 +2,18 @@
 
 use crate::args::Args;
 use crate::{build_scenario, drive, SnapshotCfg};
-use std::io::{BufRead, Write};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 use vcount_obs::{EventFilter, EventSink, JsonlSink};
 use vcount_roadnet::builders::{manhattan, ManhattanConfig};
 use vcount_roadnet::travel_time_diameter;
 use vcount_sim::runner::DEFAULT_RING_CAPACITY;
 use vcount_sim::service::DEFAULT_QUEUE_CAPACITY;
 use vcount_sim::{
-    replay_trace, sweep_with_faults, ActionTrace, EngineSnapshot, FaultPlan, Goal,
-    ObservationBatch, ObservationSource, RunManager, Runner, Scenario, ServiceConfig,
-    ServiceRequest, ServiceResponse, SimulatorSource, SweepConfig,
+    replay_trace, serve_connections, serve_stream, sweep_with_faults, ActionTrace, Conn,
+    EngineSnapshot, FaultPlan, Goal, Listener, ObservationBatch, ObservationSource, RunManager,
+    Runner, Scenario, ServiceConfig, ServiceRequest, ServiceResponse, SimulatorSource, SweepConfig,
+    WireClient,
 };
 
 /// Top-level usage text.
@@ -79,34 +81,46 @@ USAGE:
       same fault plan into every replicate; each cell reports how many
       replicates ended degraded.
 
-  vcount serve [--socket PATH] [--once] [--queue-capacity N] [--pump-budget N]
+  vcount serve [--socket PATH | --listen HOST:PORT] [--once | --max-conns N]
+               [--queue-capacity N] [--pump-budget N]
       Run the vcountd multi-tenant service: newline-delimited JSON
-      requests in, responses (protocol events included) out. Without
-      --socket the service answers on stdin/stdout — `vcount serve <
+      requests in, responses (protocol events included) out. Without a
+      listener the service answers on stdin/stdout — `vcount serve <
       commands.jsonl` replays a recorded command stream. With --socket
-      it listens on a Unix socket, serving feeder connections one at a
-      time; --once exits after the first connection closes. A feeder
+      it listens on a Unix socket, with --listen on TCP (port 0 picks a
+      free port; the bound address is printed to stderr) — both serve
+      concurrent feeder connections, each on its own thread over the
+      shared run manager. --once exits after one connection; --max-conns
+      N exits after N (connections already accepted finish first, and
+      every tenant's sinks are flushed on the way out). A feeder
       disconnecting mid-run leaves every tenant's sinks flushed and the
-      runs alive for a reconnect. --queue-capacity bounds each tenant's
-      ingest queue (default 64); a batch arriving at a full queue gets an
-      explicit Throttled response, never a silent drop. --pump-budget
-      caps batches ingested per request (default: drain fully; 0 makes
-      ingest manual via Pump requests).
+      runs alive for a reconnect. A malformed request — unparseable
+      JSON, or a batch that violates the engine's indexing contracts —
+      is answered with an Error response for that run only: it never
+      kills the daemon or another tenant. --queue-capacity bounds each
+      tenant's ingest queue (default 64); a batch arriving at a full
+      queue gets an explicit Throttled response, never a silent drop.
+      --pump-budget caps batches ingested per request (default: drain
+      fully; 0 makes ingest manual via Pump requests).
       Transport is a deployment knob, never a semantics knob: a scenario
       driven through the service produces the byte-identical event
       stream and counts `vcount run` produces.
 
-  vcount feed SCENARIO.json (--socket PATH | --emit FILE) [--run ID]
-              [--goal constitution|collection] [--shards N]
+  vcount feed SCENARIO.json (--socket PATH | --connect HOST:PORT | --emit FILE)
+              [--run ID] [--goal constitution|collection] [--shards N]
               [--eager-decode] [--faults PLAN.json] [--trace FILE.jsonl]
+              [--server-trace FILE.jsonl]
       Drive a scenario through the service as a simulator-fed client:
       Start the run, push one observation batch per tick (resending
       after any Throttled backpressure), then Finish with ground truth
       and print the metrics JSON. --socket connects to a `vcount serve
-      --socket` daemon; --emit instead serves an in-process manager and
-      records the exact wire command stream to FILE for later `vcount
-      serve < FILE` replay. --trace writes the returned protocol-event
-      lines as JSONL, byte-identical to `vcount run --trace`.
+      --socket` daemon, --connect to a `vcount serve --listen` TCP
+      daemon; --emit instead serves an in-process manager and records
+      the exact wire command stream to FILE for later `vcount serve <
+      FILE` replay. --trace writes the returned protocol-event lines as
+      JSONL, byte-identical to `vcount run --trace`; --server-trace asks
+      the daemon to write the same trace on its side (flushed even if
+      this feeder dies mid-run).
 
   vcount map [--preset paper|small] [--speed-mph MPH]
       Build the synthetic midtown map and print its statistics.
@@ -305,104 +319,72 @@ pub fn replay(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("machine-only replay diverged from the recording: {e}"))
 }
 
+/// Removes the Unix socket file on every exit path — clean shutdown,
+/// accept-loop failure, or an error unwinding out of `serve` — so a dead
+/// daemon never leaves a stale socket behind.
+struct SocketCleanup<'a>(&'a str);
+
+impl Drop for SocketCleanup<'_> {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(self.0);
+    }
+}
+
 /// `vcount serve`.
 pub fn serve(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["socket", "once", "queue-capacity", "pump-budget"])?;
+    args.reject_unknown(&[
+        "socket",
+        "listen",
+        "once",
+        "max-conns",
+        "queue-capacity",
+        "pump-budget",
+    ])?;
     let cfg = ServiceConfig {
         queue_capacity: args.flag_or("queue-capacity", DEFAULT_QUEUE_CAPACITY)?,
-        pump_budget: args.flag_or("pump-budget", usize::MAX)?,
+        pump_budget: args.flag_or("pump-budget", u64::MAX)?,
     };
     if cfg.queue_capacity == 0 {
         return Err("--queue-capacity must be at least 1".into());
     }
-    let mut mgr = RunManager::new(cfg);
-    match args.flag("socket") {
-        None => {
-            if args.switch("once") {
-                return Err("--once requires --socket".into());
+    let max_conns = match (args.switch("once"), args.flag_parsed::<u64>("max-conns")?) {
+        (true, Some(_)) => return Err("--once and --max-conns are mutually exclusive".into()),
+        (true, None) => Some(1),
+        (false, Some(0)) => return Err("--max-conns must be at least 1".into()),
+        (false, n) => n,
+    };
+    let mgr = Arc::new(Mutex::new(RunManager::new(cfg)));
+    let listener = match (args.flag("socket"), args.flag("listen")) {
+        (Some(_), Some(_)) => return Err("--socket and --listen are mutually exclusive".into()),
+        (None, None) => {
+            if max_conns.is_some() {
+                return Err("--once/--max-conns require --socket or --listen".into());
             }
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stream(&mut mgr, stdin.lock(), stdout.lock())
+            return serve_stream(&mgr, stdin.lock(), stdout.lock());
         }
-        Some(path) => {
-            // A stale socket file from a previous daemon would make bind
-            // fail; it cannot be a live listener we would disturb, because
-            // binding a bound path errors either way.
-            let _ = std::fs::remove_file(path);
-            let listener =
-                std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("vcountd listening on {path}");
-            loop {
-                let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
-                let reader = std::io::BufReader::new(
-                    stream.try_clone().map_err(|e| format!("socket: {e}"))?,
-                );
-                // One broken feeder must not kill the daemon (or the
-                // other tenants): report and go back to accepting.
-                if let Err(e) = serve_stream(&mut mgr, reader, &stream) {
-                    eprintln!("connection error: {e}");
-                }
-                if args.switch("once") {
-                    break;
-                }
-            }
-            let _ = std::fs::remove_file(path);
-            Ok(())
-        }
-    }
+        (Some(path), None) => Listener::bind_unix(path)?,
+        (None, Some(addr)) => Listener::bind_tcp(addr)?,
+    };
+    // Installed immediately after a successful bind: whatever ends the
+    // accept loop — connection limit, persistent accept failure, a panic —
+    // the socket file is removed (a no-op for TCP).
+    let _cleanup = args.flag("socket").map(SocketCleanup);
+    eprintln!("vcountd listening on {}", listener.local_addr());
+    serve_connections(&listener, &mgr, max_conns)
 }
 
-/// Answers newline-delimited requests from `reader` on `writer` until EOF,
-/// then flushes every tenant's sinks — the disconnect guard: a feeder
-/// going away mid-run leaves complete trace files behind.
-fn serve_stream(
-    mgr: &mut RunManager,
-    reader: impl BufRead,
-    writer: impl Write,
-) -> Result<(), String> {
-    let result = pump_requests(mgr, reader, writer);
-    mgr.flush_all();
-    result
-}
-
-fn pump_requests(
-    mgr: &mut RunManager,
-    reader: impl BufRead,
-    mut writer: impl Write,
-) -> Result<(), String> {
-    let mut out = Vec::new();
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("read: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        out.clear();
-        mgr.handle_line(&line, &mut out);
-        for resp in &out {
-            let json = serde_json::to_string(resp).map_err(|e| e.to_string())?;
-            writeln!(writer, "{json}").map_err(|e| format!("write: {e}"))?;
-        }
-        // Flush per request: the client decides what to send next from
-        // these responses (backpressure, done), so they cannot sit in a
-        // buffer.
-        writer.flush().map_err(|e| format!("write: {e}"))?;
-    }
-    Ok(())
-}
-
-/// The feeder's connection to a service: a real Unix socket, or an
-/// in-process manager that additionally records the exact wire command
-/// stream for later `vcount serve < FILE` replay.
+/// The feeder's connection to a service: a dialed socket (Unix or TCP,
+/// via [`WireClient`]), or an in-process manager that additionally
+/// records the exact wire command stream for later `vcount serve < FILE`
+/// replay.
 enum FeedTransport {
     InProcess {
         mgr: RunManager,
         emit: std::io::BufWriter<std::fs::File>,
     },
-    Socket {
-        reader: std::io::BufReader<std::os::unix::net::UnixStream>,
-        writer: std::os::unix::net::UnixStream,
-    },
+    Wire(WireClient),
 }
 
 impl FeedTransport {
@@ -416,52 +398,29 @@ impl FeedTransport {
     }
 
     fn socket(path: &str) -> Result<Self, String> {
-        let stream =
-            std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
-        let reader =
-            std::io::BufReader::new(stream.try_clone().map_err(|e| format!("socket: {e}"))?);
-        Ok(FeedTransport::Socket {
-            reader,
-            writer: stream,
-        })
+        WireClient::new(Conn::connect_unix(path)?).map(FeedTransport::Wire)
+    }
+
+    fn tcp(addr: &str) -> Result<Self, String> {
+        WireClient::new(Conn::connect_tcp(addr)?).map(FeedTransport::Wire)
     }
 
     /// Sends one request and collects its full answer: zero or more Event
     /// lines closed by exactly one terminal response (the wire framing
     /// contract).
     fn call(&mut self, req: &ServiceRequest) -> Result<Vec<ServiceResponse>, String> {
-        let json = serde_json::to_string(req).map_err(|e| e.to_string())?;
         match self {
             FeedTransport::InProcess { mgr, emit } => {
                 // Record the exact wire line, then hand that same line to
                 // the manager through the parse path `vcount serve` uses —
                 // the emitted file replays byte-identically.
+                let json = serde_json::to_string(req).map_err(|e| e.to_string())?;
                 writeln!(emit, "{json}").map_err(|e| format!("emit: {e}"))?;
                 let mut out = Vec::new();
                 mgr.handle_line(&json, &mut out);
                 Ok(out)
             }
-            FeedTransport::Socket { reader, writer } => {
-                writeln!(writer, "{json}").map_err(|e| format!("send: {e}"))?;
-                writer.flush().map_err(|e| format!("send: {e}"))?;
-                let mut out = Vec::new();
-                loop {
-                    let mut line = String::new();
-                    let n = reader
-                        .read_line(&mut line)
-                        .map_err(|e| format!("receive: {e}"))?;
-                    if n == 0 {
-                        return Err("service closed the connection".into());
-                    }
-                    let resp: ServiceResponse = serde_json::from_str(line.trim_end())
-                        .map_err(|e| format!("bad response: {e}"))?;
-                    let is_event = matches!(resp, ServiceResponse::Event { .. });
-                    out.push(resp);
-                    if !is_event {
-                        return Ok(out);
-                    }
-                }
-            }
+            FeedTransport::Wire(client) => client.call(req),
         }
     }
 
@@ -472,7 +431,7 @@ impl FeedTransport {
             FeedTransport::InProcess { mut emit, .. } => {
                 emit.flush().map_err(|e| format!("emit: {e}"))
             }
-            FeedTransport::Socket { .. } => Ok(()),
+            FeedTransport::Wire(_) => Ok(()),
         }
     }
 }
@@ -510,8 +469,29 @@ pub fn feed(args: &Args) -> Result<(), String> {
         "faults",
         "emit",
         "socket",
+        "connect",
         "trace",
+        "server-trace",
     ])?;
+    // Destination flags are validated before any filesystem access so a
+    // bad invocation is reported as such, not as a missing file.
+    enum Dest<'a> {
+        Emit(&'a str),
+        Socket(&'a str),
+        Tcp(&'a str),
+    }
+    let dest = match (args.flag("emit"), args.flag("socket"), args.flag("connect")) {
+        (Some(emit), None, None) => Dest::Emit(emit),
+        (None, Some(sock), None) => Dest::Socket(sock),
+        (None, None, Some(addr)) => Dest::Tcp(addr),
+        (None, None, None) => {
+            return Err(
+                "feed needs a destination: --socket PATH, --connect HOST:PORT, or --emit FILE"
+                    .into(),
+            )
+        }
+        _ => return Err("--emit, --socket, and --connect are mutually exclusive".into()),
+    };
     let path = args.positional(0).ok_or("missing SCENARIO.json argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let scenario: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -524,11 +504,10 @@ pub fn feed(args: &Args) -> Result<(), String> {
     let shards = args.flag_or("shards", 0usize)?;
     let eager_decode = args.switch("eager-decode");
     let faults = load_fault_plan(args)?;
-    let mut client = match (args.flag("emit"), args.flag("socket")) {
-        (Some(_), Some(_)) => return Err("--emit and --socket are mutually exclusive".into()),
-        (None, None) => return Err("feed needs a destination: --socket PATH or --emit FILE".into()),
-        (Some(emit), None) => FeedTransport::in_process(emit)?,
-        (None, Some(sock)) => FeedTransport::socket(sock)?,
+    let mut client = match dest {
+        Dest::Emit(emit) => FeedTransport::in_process(emit)?,
+        Dest::Socket(sock) => FeedTransport::socket(sock)?,
+        Dest::Tcp(addr) => FeedTransport::tcp(addr)?,
     };
     let mut trace = match args.flag("trace") {
         Some(p) => Some(std::io::BufWriter::new(
@@ -546,6 +525,7 @@ pub fn feed(args: &Args) -> Result<(), String> {
         shards,
         eager_decode,
         faults,
+        trace: args.flag("server-trace").map(String::from),
     };
     match sift_responses(client.call(&start)?, &mut trace)? {
         ServiceResponse::Started { .. } => {}

@@ -210,6 +210,178 @@ fn feed_then_serve_replay_match_batch_run() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Spawns the daemon and returns it along with the address it printed;
+/// reading the banner doubles as the "bind finished" barrier.
+fn spawn_daemon(args: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = bin()
+        .arg("serve")
+        .args(args)
+        .stdin(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    std::io::BufReader::new(child.stderr.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("vcountd listening on ")
+        .unwrap_or_else(|| panic!("unexpected daemon banner: {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// A `--socket --once` daemon serves one feeder and then removes its
+/// socket file on the way out — a dead daemon never leaves a stale
+/// socket behind (the cleanup guard runs on every exit path).
+#[test]
+fn serve_once_cleans_up_socket_file() {
+    let dir = std::env::temp_dir().join(format!("vcount-cli-sock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("fig1.json");
+    let sock = dir.join("vcountd.sock");
+    let out = bin()
+        .args(["scenario", "--preset=fig1", "--rng=21", "--out"])
+        .arg(&scenario)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let (mut daemon, addr) = spawn_daemon(&["--socket", sock.to_str().unwrap(), "--once"]);
+    assert_eq!(addr, sock.to_str().unwrap());
+    assert!(sock.exists(), "daemon bound but socket file is missing");
+
+    let out = bin()
+        .args(["feed", scenario.to_str().unwrap(), "--socket"])
+        .arg(&sock)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(metrics["oracle_violations"], 0);
+    assert_eq!(metrics["global_count"], metrics["true_population"]);
+
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+    assert!(
+        !sock.exists(),
+        "daemon exited without cleaning up its socket file"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The TCP transport end to end: `serve --listen 127.0.0.1:0` prints the
+/// ephemeral port it bound, `feed --connect` drives a run through it, and
+/// the returned event trace is byte-identical to `vcount run --trace`.
+#[test]
+fn serve_listen_feed_connect_matches_batch_run() {
+    let dir = std::env::temp_dir().join(format!("vcount-cli-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("fig1.json");
+    let run_trace = dir.join("run.jsonl");
+    let feed_trace = dir.join("feed.jsonl");
+    let out = bin()
+        .args(["scenario", "--preset=fig1", "--rng=23", "--out"])
+        .arg(&scenario)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["run", scenario.to_str().unwrap(), "--trace"])
+        .arg(&run_trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let batch_metrics: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+
+    let (mut daemon, addr) = spawn_daemon(&["--listen", "127.0.0.1:0", "--once"]);
+    let out = bin()
+        .args([
+            "feed",
+            scenario.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--trace",
+        ])
+        .arg(&feed_trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let feed_metrics: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(daemon.wait().unwrap().success());
+
+    let run_lines = std::fs::read_to_string(&run_trace).unwrap();
+    let feed_lines = std::fs::read_to_string(&feed_trace).unwrap();
+    assert!(!run_lines.is_empty());
+    assert_eq!(
+        run_lines, feed_lines,
+        "TCP-fed event trace must be byte-identical to the batch run"
+    );
+    assert_eq!(batch_metrics["global_count"], feed_metrics["global_count"]);
+    assert_eq!(feed_metrics["oracle_violations"], 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_flag_combinations_are_validated() {
+    for (args, want) in [
+        (
+            &[
+                "serve",
+                "--once",
+                "--max-conns",
+                "2",
+                "--listen",
+                "127.0.0.1:0",
+            ][..],
+            "--once and --max-conns are mutually exclusive",
+        ),
+        (
+            &["serve", "--max-conns", "0", "--listen", "127.0.0.1:0"][..],
+            "--max-conns must be at least 1",
+        ),
+        (
+            &["serve", "--once"][..],
+            "--once/--max-conns require --socket or --listen",
+        ),
+        (
+            &[
+                "serve",
+                "--socket",
+                "/tmp/x.sock",
+                "--listen",
+                "127.0.0.1:0",
+            ][..],
+            "--socket and --listen are mutually exclusive",
+        ),
+        (
+            &["feed", "x.json", "--emit", "a.jsonl", "--socket", "b.sock"][..],
+            "--emit, --socket, and --connect are mutually exclusive",
+        ),
+        (&["feed", "x.json"][..], "feed needs a destination"),
+    ] {
+        let out = bin().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(want), "{args:?} gave: {err}");
+    }
+}
+
 #[test]
 fn fig1_preset_runs_with_event_trace() {
     let dir = std::env::temp_dir().join(format!("vcount-cli-trace-{}", std::process::id()));

@@ -26,8 +26,13 @@
 //!   byte for byte;
 //! * [`service`] — the `vcountd` multi-tenant run manager: many
 //!   independent runs keyed by run id, newline-delimited JSON commands,
-//!   bounded ingest queues with explicit backpressure, live per-run
-//!   snapshot/restart;
+//!   bounded ingest queues with explicit backpressure, wire-input
+//!   validation (a malformed feeder gets an `Error`, never a panic),
+//!   live per-run snapshot/restart;
+//! * [`server`] — the daemon around the manager: Unix-socket and TCP
+//!   listeners behind one framing contract, a thread-per-connection
+//!   accept loop over a shared `Mutex<RunManager>`, disconnect and
+//!   shutdown flush guards;
 //! * [`replay`] — action record/replay: a recorded run's protocol-input
 //!   stream re-drives the pure machines without the simulator, pinning
 //!   byte-identical dispatches and final counts.
@@ -43,6 +48,7 @@ pub mod oracle;
 pub mod replay;
 pub mod runner;
 pub mod scenario;
+pub mod server;
 pub mod service;
 pub mod source;
 
@@ -56,6 +62,7 @@ pub use replay::{
 };
 pub use runner::{Goal, Runner, RunnerBuilder};
 pub use scenario::{MapSpec, PatrolSpec, Scenario, SeedSpec, TransportMode};
+pub use server::{serve_connections, serve_stream, Conn, Listener, WireClient};
 pub use service::{RunManager, ServiceConfig, ServiceRequest, ServiceResponse};
 pub use source::{
     BatchIndex, ClassTable, ExternalSource, ObservationBatch, ObservationSource, SimulatorSource,

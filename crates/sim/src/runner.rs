@@ -590,6 +590,13 @@ impl Runner {
         &self.net
     }
 
+    /// Vehicles announced to the engine so far (the dense-id population
+    /// the next batch's class announcements must start at) — what the
+    /// service boundary validates wire batches against.
+    pub fn announced_vehicles(&self) -> usize {
+        self.classes.len()
+    }
+
     /// The traffic simulator (read access for examples and tests).
     /// Panics when the runner is driven by an external observation
     /// source — there is no in-process simulator to read then.

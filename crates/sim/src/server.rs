@@ -1,0 +1,301 @@
+//! The networked face of the `vcountd` service: listeners, connections,
+//! and the concurrent accept loop.
+//!
+//! The [`crate::service::RunManager`] is a pure request → responses core;
+//! this module is everything around it that touches a socket. Two
+//! transports speak the same newline-delimited JSON framing contract —
+//! Unix domain sockets and TCP — and the transport is a deployment knob,
+//! never a semantics knob, exactly like the stdin mode.
+//!
+//! ## Concurrency model
+//!
+//! [`serve_connections`] accepts connections and serves each on its own
+//! thread over one shared `Arc<Mutex<RunManager>>`:
+//!
+//! * **One lock per request.** A connection thread locks the manager,
+//!   applies one request, and releases the lock before writing the
+//!   responses — requests from concurrent feeders interleave at request
+//!   granularity, and each tenant's event stream stays byte-identical to
+//!   its solo run (tenants share the manager, never state).
+//! * **Per-connection write serialization.** Every connection owns its
+//!   stream writer exclusively: a request's Event lines and terminal
+//!   response are written by the one thread that read the request, so
+//!   interleaved tenants can never corrupt each other's framing.
+//! * **Disconnect and shutdown guards.** When a connection ends — EOF,
+//!   error, or a feeder killed mid-run — that thread flushes every
+//!   tenant's sinks, so server-side trace files are complete and the
+//!   runs stay alive for a reconnect. The accept loop itself joins every
+//!   connection thread and flushes again before returning: graceful
+//!   shutdown never leaves a buffered tail behind.
+//!
+//! A malformed or hostile feeder is answered with
+//! [`ServiceResponse::Error`] by the manager's wire validation (see
+//! [`crate::service`]) and at worst kills its own connection thread —
+//! never the daemon, never another tenant.
+
+use crate::service::{RunManager, ServiceRequest, ServiceResponse};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Mutex};
+
+/// Consecutive `accept` failures tolerated before the loop gives up. A
+/// transient error (EMFILE under load, an aborted handshake) must not
+/// kill the daemon, but a persistently broken listener must not spin.
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 16;
+
+/// A bound service endpoint: Unix domain socket or TCP.
+pub enum Listener {
+    /// A Unix domain socket listener.
+    Unix(UnixListener),
+    /// A TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a Unix domain socket at `path`. A stale socket file from a
+    /// previous daemon is removed first — it cannot be a live listener we
+    /// would disturb, because binding a bound path errors either way.
+    pub fn bind_unix(path: &str) -> Result<Self, String> {
+        let _ = std::fs::remove_file(path);
+        UnixListener::bind(path)
+            .map(Listener::Unix)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Binds a TCP listener at `addr` (`HOST:PORT`; port 0 picks a free
+    /// port — read it back with [`Listener::local_addr`]).
+    pub fn bind_tcp(addr: &str) -> Result<Self, String> {
+        TcpListener::bind(addr)
+            .map(Listener::Tcp)
+            .map_err(|e| format!("{addr}: {e}"))
+    }
+
+    /// The bound address, printable (the socket path, or `IP:PORT`).
+    pub fn local_addr(&self) -> String {
+        match self {
+            Listener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+                .unwrap_or_else(|| "<unix>".to_string()),
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<tcp>".to_string()),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// One accepted (or dialed) connection, transport-erased.
+pub enum Conn {
+    /// A Unix domain socket stream.
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Dials a `vcountd` Unix socket.
+    pub fn connect_unix(path: &str) -> Result<Self, String> {
+        UnixStream::connect(path)
+            .map(Conn::Unix)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Dials a `vcountd` TCP endpoint (`HOST:PORT`).
+    pub fn connect_tcp(addr: &str) -> Result<Self, String> {
+        TcpStream::connect(addr)
+            .map(Conn::Tcp)
+            .map_err(|e| format!("{addr}: {e}"))
+    }
+
+    /// A second handle onto the same stream (reader/writer split).
+    pub fn try_clone(&self) -> std::io::Result<Self> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A feeder's line-framed connection to a service: send one request, read
+/// zero or more `Event` lines closed by exactly one terminal response.
+pub struct WireClient {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl WireClient {
+    /// Wraps a dialed connection into a framed client.
+    pub fn new(conn: Conn) -> Result<Self, String> {
+        let reader = BufReader::new(conn.try_clone().map_err(|e| format!("socket: {e}"))?);
+        Ok(WireClient {
+            reader,
+            writer: conn,
+        })
+    }
+
+    /// Sends one request and collects its full answer per the framing
+    /// contract: zero or more [`ServiceResponse::Event`] lines followed by
+    /// exactly one terminal (non-`Event`) response.
+    pub fn call(&mut self, req: &ServiceRequest) -> Result<Vec<ServiceResponse>, String> {
+        let json = serde_json::to_string(req).map_err(|e| e.to_string())?;
+        writeln!(self.writer, "{json}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut out = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("receive: {e}"))?;
+            if n == 0 {
+                return Err("service closed the connection".into());
+            }
+            let resp: ServiceResponse =
+                serde_json::from_str(line.trim_end()).map_err(|e| format!("bad response: {e}"))?;
+            let is_event = matches!(resp, ServiceResponse::Event { .. });
+            out.push(resp);
+            if !is_event {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+/// Answers newline-delimited requests from `reader` on `writer` until EOF,
+/// then flushes every tenant's sinks — the disconnect guard: a feeder
+/// going away mid-run leaves complete trace files behind. The manager is
+/// locked once per request, released before the responses are written, so
+/// concurrent connections interleave at request granularity.
+pub fn serve_stream(
+    mgr: &Mutex<RunManager>,
+    reader: impl BufRead,
+    writer: impl Write,
+) -> Result<(), String> {
+    let result = pump_requests(mgr, reader, writer);
+    mgr.lock().expect("run manager poisoned").flush_all();
+    result
+}
+
+fn pump_requests(
+    mgr: &Mutex<RunManager>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> Result<(), String> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.clear();
+        mgr.lock()
+            .expect("run manager poisoned")
+            .handle_line(&line, &mut out);
+        for resp in &out {
+            let json = serde_json::to_string(resp).map_err(|e| e.to_string())?;
+            writeln!(writer, "{json}").map_err(|e| format!("write: {e}"))?;
+        }
+        // Flush per request: the client decides what to send next from
+        // these responses (backpressure, done), so they cannot sit in a
+        // buffer.
+        writer.flush().map_err(|e| format!("write: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The concurrent accept loop: serves each accepted connection on its own
+/// thread over the shared manager, until `max_conns` connections have been
+/// accepted (`None` = forever) or the listener breaks persistently. One
+/// broken feeder kills at most its own connection thread. On the way out —
+/// limit reached or listener dead — every connection thread is joined and
+/// every tenant's sinks are flushed: graceful shutdown, complete traces.
+pub fn serve_connections(
+    listener: &Listener,
+    mgr: &Arc<Mutex<RunManager>>,
+    max_conns: Option<u64>,
+) -> Result<(), String> {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    let mut consecutive_errors = 0u32;
+    let mut fatal: Option<String> = None;
+    while max_conns.is_none_or(|n| accepted < n) {
+        let conn = match listener.accept() {
+            Ok(conn) => {
+                consecutive_errors = 0;
+                conn
+            }
+            Err(e) => {
+                // A transient accept failure must not kill the daemon (or
+                // skip the shutdown path below) — log and keep accepting,
+                // up to a persistence limit.
+                eprintln!("accept error: {e}");
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                    fatal = Some(format!("accept failed {consecutive_errors} times: {e}"));
+                    break;
+                }
+                continue;
+            }
+        };
+        accepted += 1;
+        let mgr = Arc::clone(mgr);
+        handles.push(std::thread::spawn(move || {
+            let reader = match conn.try_clone() {
+                Ok(r) => BufReader::new(r),
+                Err(e) => {
+                    eprintln!("connection error: socket: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = serve_stream(&mgr, reader, conn) {
+                eprintln!("connection error: {e}");
+            }
+        }));
+    }
+    // Graceful shutdown: every in-flight connection finishes, then every
+    // tenant's sinks are flushed once more (connection threads flush on
+    // their own exit too; flushing twice is harmless).
+    for handle in handles {
+        let _ = handle.join();
+    }
+    mgr.lock().expect("run manager poisoned").flush_all();
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

@@ -39,8 +39,9 @@ use crate::scenario::Scenario;
 use crate::source::{ObservationBatch, TruthSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
-use vcount_obs::{EventRecord, EventSink};
+use vcount_obs::{EventFilter, EventRecord, EventSink, JsonlSink};
 use vcount_traffic::SimSnapshot;
 
 /// Default bound of each tenant's ingest queue, in batches.
@@ -53,17 +54,18 @@ pub struct ServiceConfig {
     /// rejected with [`ServiceResponse::Throttled`].
     pub queue_capacity: usize,
     /// Batches ingested per tenant while handling one request. The
-    /// default (`usize::MAX`) drains the queue inline; `0` makes ingest
+    /// default (`u64::MAX`) drains the queue inline; `0` makes ingest
     /// fully manual via [`ServiceRequest::Pump`] — deterministic
-    /// backpressure tests use that.
-    pub pump_budget: usize,
+    /// backpressure tests use that. Kept as the wire's `u64` end to end
+    /// so a 32-bit host cannot silently truncate a feeder's budget.
+    pub pump_budget: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            pump_budget: usize::MAX,
+            pump_budget: u64::MAX,
         }
     }
 }
@@ -92,6 +94,11 @@ pub enum ServiceRequest {
         /// Optional fault-injection plan.
         #[serde(default)]
         faults: Option<FaultPlan>,
+        /// Optional server-side JSONL trace file for this tenant's
+        /// protocol events — written and flushed by the daemon, so a
+        /// feeder that dies mid-run still leaves a complete trace behind.
+        #[serde(default)]
+        trace: Option<String>,
     },
     /// Recreates tenant `run` from a frozen snapshot (service restart).
     Resume {
@@ -103,6 +110,9 @@ pub enum ServiceRequest {
         /// Goal the resumed run drives toward (default: collection).
         #[serde(default)]
         goal: Option<Goal>,
+        /// Optional server-side JSONL trace file for the resumed tail.
+        #[serde(default)]
+        trace: Option<String>,
     },
     /// Pushes one observation batch into `run`'s ingest queue.
     Observe {
@@ -258,9 +268,9 @@ impl Tenant {
     /// the scenario's time budget) exactly where `vcount run`'s loop
     /// would; remaining batches are dropped then — they correspond to
     /// steps the batch run never executes.
-    fn pump(&mut self, budget: usize) -> u64 {
+    fn pump(&mut self, budget: u64) -> u64 {
         let mut ingested = 0u64;
-        while ingested < budget as u64 && !self.done {
+        while ingested < budget && !self.done {
             let Some(batch) = self.queue.pop_front() else {
                 break;
             };
@@ -273,6 +283,19 @@ impl Tenant {
             self.queue.clear();
         }
         ingested
+    }
+
+    /// The dense-id population a newly arriving batch must announce from:
+    /// what the engine has ingested plus what the queue already accepted
+    /// (queued batches were acknowledged — their announcements are part of
+    /// the run's committed history even though they are not ingested yet).
+    fn announced_with_queue(&self) -> usize {
+        self.runner.announced_vehicles()
+            + self
+                .queue
+                .iter()
+                .map(|b| b.new_classes.len())
+                .sum::<usize>()
     }
 }
 
@@ -332,12 +355,23 @@ impl RunManager {
                 shards,
                 eager_decode,
                 faults,
-            } => self.start(run, scenario, goal, shards, eager_decode, faults, out),
+                trace,
+            } => self.start(
+                run,
+                scenario,
+                goal,
+                shards,
+                eager_decode,
+                faults,
+                trace,
+                out,
+            ),
             ServiceRequest::Resume {
                 run,
                 snapshot,
                 goal,
-            } => self.resume(run, snapshot, goal, out),
+                trace,
+            } => self.resume(run, snapshot, goal, trace, out),
             ServiceRequest::Observe { run, batch } => self.observe(run, batch, out),
             ServiceRequest::Pump { budget } => self.pump_all(budget, out),
             ServiceRequest::Snapshot { run, sim } => self.snapshot(run, sim, out),
@@ -364,6 +398,7 @@ impl RunManager {
         shards: usize,
         eager_decode: bool,
         faults: Option<FaultPlan>,
+        trace: Option<String>,
         out: &mut Vec<ServiceResponse>,
     ) {
         if self.tenants.contains_key(&run) {
@@ -374,16 +409,36 @@ impl RunManager {
             return;
         }
         let events: SharedLines = Arc::default();
-        let mut builder = Runner::builder(&scenario)
-            .external(true)
-            .shards(shards.max(1))
-            .eager_decode(eager_decode)
-            .sink(Box::new(BufferSink(events.clone())));
-        if let Some(plan) = faults {
-            builder = builder.faults(plan);
-        }
-        let runner = match builder.try_build() {
-            Ok(r) => r,
+        let trace_sink = match trace_sink(trace.as_deref()) {
+            Ok(sink) => sink,
+            Err(e) => {
+                out.push(ServiceResponse::Error { message: e, run });
+                return;
+            }
+        };
+        // Scenario construction is a trust boundary: a wire scenario that
+        // violates an internal contract (an invalid map, an out-of-range
+        // explicit seed) must answer this request with an Error, not kill
+        // the daemon and every other tenant with it.
+        let buffer = events.clone();
+        let built = catch_panic_message(AssertUnwindSafe(move || {
+            let mut builder = Runner::builder(&scenario)
+                .external(true)
+                .shards(shards.max(1))
+                .eager_decode(eager_decode)
+                .sink(Box::new(BufferSink(buffer)));
+            if let Some(sink) = trace_sink {
+                builder = builder.sink(sink);
+            }
+            if let Some(plan) = faults {
+                builder = builder.faults(plan);
+            }
+            builder
+                .try_build()
+                .map(|runner| (runner, scenario.max_time_s))
+        }));
+        let (runner, max_time_s) = match built {
+            Ok(pair) => pair,
             Err(e) => {
                 out.push(ServiceResponse::Error {
                     message: format!("start failed: {e}"),
@@ -396,7 +451,7 @@ impl RunManager {
             runner,
             queue: VecDeque::new(),
             goal: goal.unwrap_or(Goal::Collection),
-            max_time_s: scenario.max_time_s,
+            max_time_s,
             done: false,
             events,
         };
@@ -410,6 +465,7 @@ impl RunManager {
         run: String,
         snapshot: Box<EngineSnapshot>,
         goal: Option<Goal>,
+        trace: Option<String>,
         out: &mut Vec<ServiceResponse>,
     ) {
         if self.tenants.contains_key(&run) {
@@ -420,10 +476,37 @@ impl RunManager {
             return;
         }
         let events: SharedLines = Arc::default();
-        let sinks: Vec<Box<dyn EventSink + Send>> = vec![Box::new(BufferSink(events.clone()))];
-        let max_time_s = snapshot.scenario.max_time_s;
-        let runner =
-            Runner::resume_external(&snapshot, sinks, crate::runner::DEFAULT_RING_CAPACITY);
+        let trace_sink = match trace_sink(trace.as_deref()) {
+            Ok(sink) => sink,
+            Err(e) => {
+                out.push(ServiceResponse::Error { message: e, run });
+                return;
+            }
+        };
+        let buffer = events.clone();
+        // Same trust boundary as Start: a corrupt snapshot answers with an
+        // Error instead of unwinding through the daemon.
+        let built = catch_panic_message(AssertUnwindSafe(move || {
+            let mut sinks: Vec<Box<dyn EventSink + Send>> = vec![Box::new(BufferSink(buffer))];
+            if let Some(sink) = trace_sink {
+                sinks.push(sink);
+            }
+            let max_time_s = snapshot.scenario.max_time_s;
+            Ok((
+                Runner::resume_external(&snapshot, sinks, crate::runner::DEFAULT_RING_CAPACITY),
+                max_time_s,
+            ))
+        }));
+        let (runner, max_time_s) = match built {
+            Ok(pair) => pair,
+            Err(e) => {
+                out.push(ServiceResponse::Error {
+                    message: format!("resume failed: {e}"),
+                    run,
+                });
+                return;
+            }
+        };
         let tenant = Tenant {
             runner,
             queue: VecDeque::new(),
@@ -461,6 +544,21 @@ impl RunManager {
             });
             return;
         }
+        // The wire trust boundary: every indexing contract the engine
+        // would otherwise enforce by panicking is checked here, and a
+        // malformed batch poisons only this request — the tenant (and
+        // every other tenant) keeps serving.
+        if let Err(e) = batch.validate(
+            tenant.announced_with_queue(),
+            tenant.runner.net().node_count(),
+            tenant.runner.net().edge_count(),
+        ) {
+            out.push(ServiceResponse::Error {
+                message: format!("malformed batch: {e}"),
+                run,
+            });
+            return;
+        }
         tenant.queue.push_back(batch);
         tenant.pump(budget);
         drain_events(&tenant.events, &run, out);
@@ -472,7 +570,9 @@ impl RunManager {
     }
 
     fn pump_all(&mut self, budget: Option<u64>, out: &mut Vec<ServiceResponse>) {
-        let budget = budget.map(|b| b as usize).unwrap_or(usize::MAX);
+        // The budget stays u64 end to end: `as usize` here would silently
+        // truncate a feeder's budget on a 32-bit host.
+        let budget = budget.unwrap_or(u64::MAX);
         let mut ingested = 0u64;
         for (run, tenant) in &mut self.tenants {
             ingested += tenant.pump(budget);
@@ -486,9 +586,17 @@ impl RunManager {
             out.push(unknown_run(run));
             return;
         };
+        // Drain the queue before freezing: queued batches were answered
+        // Accepted, so they are committed history — a snapshot taken
+        // behind them would silently lose them across a restart + Resume
+        // (the feeder was told they were in). The feeder's sim state is
+        // the post-production state, so draining first is also what keeps
+        // the frozen engine and the frozen simulator at the same step.
+        tenant.pump(u64::MAX);
         if let Some(sim) = sim {
             tenant.runner.provide_sim_state(sim);
         }
+        drain_events(&tenant.events, &run, out);
         match tenant.runner.try_snapshot() {
             Ok(snapshot) => out.push(ServiceResponse::Snapshot {
                 run,
@@ -511,7 +619,7 @@ impl RunManager {
             out.push(unknown_run(run));
             return;
         };
-        tenant.pump(usize::MAX);
+        tenant.pump(u64::MAX);
         if let Some(truth) = truth {
             tenant.runner.provide_truth(truth);
         }
@@ -526,11 +634,45 @@ impl RunManager {
             out.push(unknown_run(run));
             return;
         };
-        drain_events(&tenant.events, &run, out);
         // Dropping the tenant drops the runner, whose drop guard flushes
         // the sinks — the mid-run abort leaves no buffered tail behind.
+        // The event buffer outlives the tenant (the Arc is cloned first)
+        // so lines emitted *by* that flush are drained too, not silently
+        // discarded.
+        let events = tenant.events.clone();
         drop(tenant);
+        drain_events(&events, &run, out);
         out.push(ServiceResponse::Stopped { run });
+    }
+}
+
+/// Opens the optional server-side JSONL trace sink of a tenant.
+fn trace_sink(path: Option<&str>) -> Result<Option<Box<dyn EventSink + Send>>, String> {
+    match path {
+        None => Ok(None),
+        Some(p) => JsonlSink::to_file(std::path::Path::new(p), EventFilter::all())
+            .map(|s| Some(Box::new(s) as Box<dyn EventSink + Send>))
+            .map_err(|e| format!("trace {p}: {e}")),
+    }
+}
+
+/// Runs fallible construction behind a panic boundary, converting an
+/// unwind into the error message the wire expects. The daemon must survive
+/// inputs that violate internal contracts deep inside construction — those
+/// panics are debug aids for in-process callers, not a wire protocol.
+fn catch_panic_message<T>(
+    f: AssertUnwindSafe<impl FnOnce() -> Result<T, String>>,
+) -> Result<T, String> {
+    match std::panic::catch_unwind(f) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "construction panicked".to_string());
+            Err(msg)
+        }
     }
 }
 

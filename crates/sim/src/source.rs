@@ -63,14 +63,143 @@ impl ObservationBatch {
 
     /// The captured end-of-step in-transit order on `edge`, leader first.
     /// Panics if the producer did not capture that edge — every `Departed
-    /// { onto }` edge of the step must be covered.
+    /// { onto }` edge of the step must be covered. These panics are
+    /// *debug contracts* against the in-process [`SimulatorSource`]; a
+    /// batch arriving over the wire is checked first by
+    /// [`ObservationBatch::validate`] at the service boundary.
     pub fn in_transit(&self, edge: EdgeId) -> &[VehicleId] {
         let (_, start, len) = self
             .in_transit_index
             .iter()
             .find(|(e, _, _)| *e == edge)
             .unwrap_or_else(|| panic!("batch carries no in-transit capture for edge {edge:?}"));
-        &self.in_transit_vehicles[*start as usize..(*start + *len) as usize]
+        // usize arithmetic: a hostile (start, len) pair must not overflow
+        // u32 on its way to the slice bounds check.
+        &self.in_transit_vehicles[*start as usize..*start as usize + *len as usize]
+    }
+
+    /// Validates a batch that crossed a trust boundary (the `vcountd`
+    /// wire) against the engine's indexing contracts, so that a malformed
+    /// feeder is answered with an error instead of panicking the process:
+    ///
+    /// * `now` is finite (event timestamps and the completion predicate
+    ///   do arithmetic with it);
+    /// * [`Self::new_classes`] announces dense vehicle ids in order,
+    ///   starting at `announced` (the engine's current population);
+    /// * every vehicle id referenced anywhere is below the announced-after
+    ///   population, every node id below `nodes`, every edge id below
+    ///   `edges`;
+    /// * every [`Self::in_transit_index`] slice lies inside
+    ///   [`Self::in_transit_vehicles`] (checked without u32 overflow);
+    /// * every `Departed { onto }` edge of the step is covered by an
+    ///   in-transit capture (the observe stage's reconstruction demands
+    ///   it).
+    ///
+    /// The engine-internal panics on these same conditions remain as
+    /// debug contracts for in-process sources, which are trusted.
+    pub fn validate(&self, announced: usize, nodes: usize, edges: usize) -> Result<(), String> {
+        if !self.now.is_finite() {
+            return Err(format!("non-finite batch timestamp {:?}", self.now));
+        }
+        for (i, &(v, _)) in self.new_classes.iter().enumerate() {
+            let expect = announced + i;
+            if v.index() != expect {
+                return Err(format!(
+                    "class announcements must be dense and in id order: \
+                     position {i} announces vehicle {} but {expect} is next",
+                    v.index()
+                ));
+            }
+        }
+        let population = announced + self.new_classes.len();
+        let check_vehicle = |v: VehicleId, what: &str| -> Result<(), String> {
+            if v.index() >= population {
+                return Err(format!(
+                    "{what} references vehicle {} but only {population} are announced",
+                    v.index()
+                ));
+            }
+            Ok(())
+        };
+        let check_node = |n: NodeId, what: &str| -> Result<(), String> {
+            if n.index() >= nodes {
+                return Err(format!(
+                    "{what} references node {} but the map has {nodes} nodes",
+                    n.index()
+                ));
+            }
+            Ok(())
+        };
+        let check_edge = |e: EdgeId, what: &str| -> Result<(), String> {
+            if e.index() >= edges {
+                return Err(format!(
+                    "{what} references edge {} but the map has {edges} edges",
+                    e.index()
+                ));
+            }
+            Ok(())
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            let what = format!("event {i}");
+            match *ev {
+                TrafficEvent::Entered {
+                    vehicle,
+                    node,
+                    from,
+                } => {
+                    check_vehicle(vehicle, &what)?;
+                    check_node(node, &what)?;
+                    if let Some(e) = from {
+                        check_edge(e, &what)?;
+                    }
+                }
+                TrafficEvent::Departed {
+                    vehicle,
+                    node,
+                    onto,
+                } => {
+                    check_vehicle(vehicle, &what)?;
+                    check_node(node, &what)?;
+                    check_edge(onto, &what)?;
+                    if !self.in_transit_index.iter().any(|(e, _, _)| *e == onto) {
+                        return Err(format!(
+                            "{what} departs onto edge {} with no in-transit capture",
+                            onto.index()
+                        ));
+                    }
+                }
+                TrafficEvent::Exited { vehicle, node } => {
+                    check_vehicle(vehicle, &what)?;
+                    check_node(node, &what)?;
+                }
+                TrafficEvent::Overtake {
+                    edge,
+                    overtaker,
+                    overtaken,
+                } => {
+                    check_edge(edge, &what)?;
+                    check_vehicle(overtaker, &what)?;
+                    check_vehicle(overtaken, &what)?;
+                }
+            }
+        }
+        for &(edge, start, len) in &self.in_transit_index {
+            check_edge(edge, "in-transit capture")?;
+            // u64 arithmetic: `start + len` must not overflow u32 before
+            // the bounds comparison.
+            if u64::from(start) + u64::from(len) > self.in_transit_vehicles.len() as u64 {
+                return Err(format!(
+                    "in-transit capture for edge {} spans {start}..{start}+{len} \
+                     but only {} vehicles are stored",
+                    edge.index(),
+                    self.in_transit_vehicles.len()
+                ));
+            }
+        }
+        for &v in &self.in_transit_vehicles {
+            check_vehicle(v, "in-transit capture")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,301 @@
+//! Chaos at the daemon boundary: a feeder killed mid-run (connection
+//! dropped with no Finish) must leave its tenant alive, its server-side
+//! trace file complete up to the last acknowledged batch (the disconnect
+//! flush guard), and the run resumable — a reconnecting feeder freezes
+//! it, restarts it, and drives it to a byte-identical completion.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vcount_core::{CheckpointConfig, ProtocolVariant};
+use vcount_obs::{EventRecord, EventSink};
+use vcount_sim::{
+    serve_connections, Conn, Goal, Listener, ObservationBatch, ObservationSource, RunManager,
+    RunMetrics, Runner, Scenario, ServiceConfig, ServiceRequest, ServiceResponse, SimulatorSource,
+    WireClient,
+};
+use vcount_sim::{MapSpec, PatrolSpec, SeedSpec, TransportMode};
+use vcount_traffic::{Demand, SimConfig};
+use vcount_v2x::ChannelKind;
+
+struct VecSink(Arc<Mutex<Vec<String>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.0.lock().unwrap().push(rec.to_json());
+    }
+}
+
+/// 64-bit FNV-1a over the JSONL stream, as the identity tests use.
+fn fnv_digest(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn grid_scenario(seed: u64) -> Scenario {
+    Scenario {
+        map: MapSpec::Grid {
+            cols: 4,
+            rows: 4,
+            spacing_m: 130.0,
+            lanes: 2,
+            speed_mps: 10.0,
+        },
+        closed: true,
+        sim: SimConfig {
+            seed,
+            detect_overtakes: true,
+            speed_factor_range: (0.6, 1.0),
+            ..Default::default()
+        },
+        demand: Demand::at_volume(60.0),
+        protocol: CheckpointConfig::for_variant(ProtocolVariant::Simple),
+        channel: ChannelKind::PAPER,
+        seeds: SeedSpec::Random { count: 2 },
+        transport: TransportMode::default(),
+        patrol: PatrolSpec::default(),
+        max_time_s: 1500.0,
+    }
+}
+
+fn capture_batch(scen: &Scenario) -> (Vec<String>, RunMetrics) {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let mut runner = Runner::builder(scen)
+        .sink(Box::new(VecSink(lines.clone())))
+        .build();
+    let _ = runner.run(Goal::Collection, scen.max_time_s);
+    let metrics = runner.metrics_now();
+    let out = lines.lock().unwrap().clone();
+    (out, metrics)
+}
+
+fn wire_call(
+    client: &mut WireClient,
+    req: &ServiceRequest,
+    events: &mut Vec<String>,
+) -> ServiceResponse {
+    let mut terminal = None;
+    for resp in client.call(req).expect("wire call failed") {
+        match resp {
+            ServiceResponse::Event { line, .. } => events.push(line),
+            ServiceResponse::Error { run, message } => {
+                panic!("service error for run {run:?}: {message}")
+            }
+            other => {
+                assert!(terminal.is_none(), "more than one terminal response");
+                terminal = Some(other);
+            }
+        }
+    }
+    terminal.expect("framing: every request ends in one terminal response")
+}
+
+fn trace_lines(path: &std::path::Path) -> Vec<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text.lines().map(String::from).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Waits (bounded) for the daemon's disconnect guard to flush `path` up
+/// to exactly `want` lines. The flush runs on the server's connection
+/// thread after it sees EOF, so the test must tolerate scheduling delay —
+/// but not an incomplete file.
+fn await_flushed_trace(path: &std::path::Path, want: &[String]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let got = trace_lines(path);
+        if got.len() >= want.len() {
+            assert_eq!(
+                got, want,
+                "server-side trace diverged from the feeder's received stream"
+            );
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect flush guard never completed the trace file \
+             ({} of {} lines)",
+            got.len(),
+            want.len()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The full chaos scenario, over real TCP:
+///
+/// 1. feeder 1 starts run "t" with a server-side trace, pushes a prefix of
+///    batches, and is killed (connection dropped, no Finish);
+/// 2. the daemon's disconnect guard flushes the tenant's trace file —
+///    verified complete (byte-identical to the events feeder 1 was sent)
+///    *before* anything else touches the daemon;
+/// 3. feeder 2 reconnects, freezes the orphaned run (supplying the
+///    simulator state it inherited), stops it, resumes it under a new id
+///    with a second trace, and drives it to completion;
+/// 4. the stitched event stream, the stitched trace files, and the final
+///    metrics are byte-identical to the uninterrupted solo run.
+#[test]
+fn killed_feeder_leaves_flushed_trace_and_resumable_run() {
+    let scen = grid_scenario(141);
+    let prefix_batches = 200usize;
+    let (reference, ref_metrics) = capture_batch(&scen);
+    assert!(reference.len() > 10, "reference emitted too few events");
+
+    let dir = std::env::temp_dir();
+    let trace1 = dir.join(format!("vcountd-chaos-{}-1.jsonl", std::process::id()));
+    let trace2 = dir.join(format!("vcountd-chaos-{}-2.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace1);
+    let _ = std::fs::remove_file(&trace2);
+
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr();
+    let mgr = Arc::new(Mutex::new(RunManager::new(ServiceConfig::default())));
+    let server_mgr = Arc::clone(&mgr);
+    let server = std::thread::spawn(move || {
+        serve_connections(&listener, &server_mgr, Some(2)).expect("serve_connections")
+    });
+
+    // Life 1: feeder 1 pushes a prefix, then dies without Finish.
+    let mut source = SimulatorSource::from_scenario(&scen, 1);
+    let mut batch = ObservationBatch::default();
+    let mut prefix = Vec::new();
+    {
+        let mut client =
+            WireClient::new(Conn::connect_tcp(&addr).expect("connect")).expect("client");
+        let started = wire_call(
+            &mut client,
+            &ServiceRequest::Start {
+                run: "t".into(),
+                scenario: Box::new(scen.clone()),
+                goal: Some(Goal::Collection),
+                shards: 0,
+                eager_decode: false,
+                faults: None,
+                trace: Some(trace1.to_str().expect("utf-8 temp path").into()),
+            },
+            &mut prefix,
+        );
+        assert!(matches!(started, ServiceResponse::Started { .. }));
+        for _ in 0..prefix_batches {
+            assert!(source.next_batch(&mut batch));
+            match wire_call(
+                &mut client,
+                &ServiceRequest::Observe {
+                    run: "t".into(),
+                    batch: batch.clone(),
+                },
+                &mut prefix,
+            ) {
+                ServiceResponse::Accepted { done, .. } => {
+                    assert!(!done, "prefix must end before the goal for a real resume")
+                }
+                other => panic!("Observe answered with {other:?}"),
+            }
+        }
+        // The kill: drop the connection. No Finish, no Stop, no goodbye.
+    }
+
+    // The disconnect guard must complete the server-side trace on its own.
+    await_flushed_trace(&trace1, &prefix);
+
+    // Life 2: a fresh feeder adopts the orphan.
+    let mut client = WireClient::new(Conn::connect_tcp(&addr).expect("connect")).expect("client");
+    let mut tail = Vec::new();
+    let snap = match wire_call(
+        &mut client,
+        &ServiceRequest::Snapshot {
+            run: "t".into(),
+            sim: source.sim_state(),
+        },
+        &mut tail,
+    ) {
+        ServiceResponse::Snapshot { snapshot, .. } => snapshot,
+        other => panic!("Snapshot answered with {other:?}"),
+    };
+    assert!(matches!(
+        wire_call(
+            &mut client,
+            &ServiceRequest::Stop { run: "t".into() },
+            &mut tail
+        ),
+        ServiceResponse::Stopped { .. }
+    ));
+    let mut source = SimulatorSource::resume_from(&snap.scenario, &snap.sim, 1);
+    assert!(matches!(
+        wire_call(
+            &mut client,
+            &ServiceRequest::Resume {
+                run: "t2".into(),
+                snapshot: snap,
+                goal: Some(Goal::Collection),
+                trace: Some(trace2.to_str().expect("utf-8 temp path").into()),
+            },
+            &mut tail,
+        ),
+        ServiceResponse::Resumed { .. }
+    ));
+    let mut done = false;
+    while !done && source.next_batch(&mut batch) {
+        match wire_call(
+            &mut client,
+            &ServiceRequest::Observe {
+                run: "t2".into(),
+                batch: batch.clone(),
+            },
+            &mut tail,
+        ) {
+            ServiceResponse::Accepted { done: d, .. } => done = d,
+            other => panic!("Observe answered with {other:?}"),
+        }
+    }
+    let finished = wire_call(
+        &mut client,
+        &ServiceRequest::Finish {
+            run: "t2".into(),
+            truth: source.truth(),
+        },
+        &mut tail,
+    );
+    let ServiceResponse::Finished { metrics, .. } = finished else {
+        panic!("Finish answered with {finished:?}");
+    };
+    drop(client);
+    server.join().expect("server thread");
+
+    // The stitched wire streams are byte-identical to the solo run...
+    let mut stitched = prefix.clone();
+    stitched.extend(tail.clone());
+    assert_eq!(
+        fnv_digest(&stitched),
+        fnv_digest(&reference),
+        "kill + reconnect + resume diverged from the uninterrupted run"
+    );
+    assert_eq!(stitched, reference);
+    // ...and so are the stitched server-side trace files (the second one
+    // is complete after the daemon's graceful shutdown).
+    let mut traces = trace_lines(&trace1);
+    traces.extend(trace_lines(&trace2));
+    assert_eq!(
+        traces, reference,
+        "stitched server-side traces diverged from the uninterrupted run"
+    );
+    // State-derived metrics survive the kill (telemetry counters are
+    // audited per life, as the snapshot schema documents).
+    assert_eq!(metrics.global_count, ref_metrics.global_count);
+    assert_eq!(metrics.true_population, ref_metrics.true_population);
+    assert_eq!(metrics.oracle_violations, ref_metrics.oracle_violations);
+    assert_eq!(metrics.elapsed_s, ref_metrics.elapsed_s);
+    assert_eq!(metrics.steps, ref_metrics.steps);
+
+    let _ = std::fs::remove_file(&trace1);
+    let _ = std::fs::remove_file(&trace2);
+}

@@ -18,8 +18,9 @@ use vcount_core::{CheckpointConfig, ProtocolVariant};
 use vcount_obs::{EventRecord, EventSink};
 use vcount_roadnet::builders::ManhattanConfig;
 use vcount_sim::{
-    CrashFault, FaultPlan, Goal, ObservationBatch, ObservationSource, RunManager, RunMetrics,
-    Runner, Scenario, ServiceConfig, ServiceRequest, ServiceResponse, SimulatorSource,
+    serve_connections, Conn, CrashFault, FaultPlan, Goal, Listener, ObservationBatch,
+    ObservationSource, RunManager, RunMetrics, Runner, Scenario, ServiceConfig, ServiceRequest,
+    ServiceResponse, SimulatorSource, WireClient,
 };
 use vcount_sim::{MapSpec, PatrolSpec, SeedSpec, TransportMode};
 use vcount_traffic::{Demand, SimConfig};
@@ -184,6 +185,7 @@ fn capture_service(
             shards: 0,
             eager_decode: false,
             faults: plan,
+            trace: None,
         },
         &mut events,
     );
@@ -341,6 +343,7 @@ fn interleaved_tenants_match_their_solo_runs() {
                 shards: 0,
                 eager_decode: false,
                 faults: None,
+                trace: None,
             },
             &mut out,
         );
@@ -425,6 +428,7 @@ fn over_rate_producer_gets_explicit_backpressure() {
             shards: 0,
             eager_decode: false,
             faults: None,
+            trace: None,
         },
         &mut events,
     );
@@ -525,6 +529,7 @@ fn service_snapshot_restart_resumes_byte_identically() {
             shards: 0,
             eager_decode: false,
             faults: None,
+            trace: None,
         },
         &mut prefix,
     );
@@ -575,6 +580,7 @@ fn service_snapshot_restart_resumes_byte_identically() {
             run: "t2".into(),
             snapshot: snap,
             goal: Some(Goal::Collection),
+            trace: None,
         },
         &mut tail,
     );
@@ -625,6 +631,161 @@ fn service_snapshot_restart_resumes_byte_identically() {
     assert_eq!(metrics.steps, ref_metrics.steps);
     assert_eq!(metrics.constitution_done_s, ref_metrics.constitution_done_s);
     assert_eq!(metrics.collection_done_s, ref_metrics.collection_done_s);
+}
+
+/// Splits one wire call's responses per the framing contract: event lines
+/// are appended to `events`, the single terminal response is returned.
+fn wire_call(
+    client: &mut WireClient,
+    req: ServiceRequest,
+    events: &mut Vec<String>,
+) -> ServiceResponse {
+    let responses = client.call(&req).expect("wire call failed");
+    let mut terminal = None;
+    for resp in responses {
+        match resp {
+            ServiceResponse::Event { line, .. } => events.push(line),
+            ServiceResponse::Error { run, message } => {
+                panic!("service error for run {run:?}: {message}")
+            }
+            other => {
+                assert!(terminal.is_none(), "more than one terminal response");
+                terminal = Some(other);
+            }
+        }
+    }
+    terminal.expect("framing: every request ends in one terminal response")
+}
+
+/// Drives `scen` to completion over an already-dialed connection, exactly
+/// as a `vcount feed` client would: Start, one Observe per simulator tick
+/// (resending after Throttled), then Finish with ground truth.
+fn drive_wire(conn: Conn, run: &str, scen: &Scenario) -> (Vec<String>, RunMetrics) {
+    let mut client = WireClient::new(conn).expect("wire client");
+    let mut events = Vec::new();
+    let started = wire_call(
+        &mut client,
+        ServiceRequest::Start {
+            run: run.into(),
+            scenario: Box::new(scen.clone()),
+            goal: Some(Goal::Collection),
+            shards: 0,
+            eager_decode: false,
+            faults: None,
+            trace: None,
+        },
+        &mut events,
+    );
+    assert!(matches!(started, ServiceResponse::Started { .. }));
+
+    let mut source = SimulatorSource::from_scenario(scen, 1);
+    let mut batch = ObservationBatch::default();
+    let mut done = false;
+    while !done && source.next_batch(&mut batch) {
+        loop {
+            let resp = wire_call(
+                &mut client,
+                ServiceRequest::Observe {
+                    run: run.into(),
+                    batch: batch.clone(),
+                },
+                &mut events,
+            );
+            match resp {
+                ServiceResponse::Accepted { done: d, .. } => {
+                    done = d;
+                    break;
+                }
+                ServiceResponse::Throttled { .. } => {
+                    wire_call(
+                        &mut client,
+                        ServiceRequest::Pump { budget: None },
+                        &mut events,
+                    );
+                }
+                other => panic!("Observe answered with {other:?}"),
+            }
+        }
+    }
+    let finished = wire_call(
+        &mut client,
+        ServiceRequest::Finish {
+            run: run.into(),
+            truth: source.truth(),
+        },
+        &mut events,
+    );
+    let ServiceResponse::Finished { metrics, .. } = finished else {
+        panic!("Finish answered with {finished:?}");
+    };
+    (events, *metrics)
+}
+
+/// The tentpole contract, over real sockets: two feeders on *concurrent
+/// connections* to one daemon — each tenant's event stream and metrics
+/// must be byte-identical to its own solo batch run, on both transports.
+/// Requests interleave at request granularity under the shared manager
+/// lock; per-connection write serialization keeps each feeder's framing
+/// intact.
+fn concurrent_feeders_match_solo(listener: Listener, dial: impl Fn() -> Conn + Send + Sync) {
+    let scen_a = grid_scenario(ProtocolVariant::Simple, 61);
+    let scen_b = open_scenario(62);
+    let (solo_a, metrics_a) = capture_batch(&scen_a, None, Goal::Collection);
+    let (solo_b, metrics_b) = capture_batch(&scen_b, None, Goal::Collection);
+
+    let mgr = Arc::new(Mutex::new(RunManager::new(ServiceConfig::default())));
+    let server_mgr = Arc::clone(&mgr);
+    let server = std::thread::spawn(move || {
+        serve_connections(&listener, &server_mgr, Some(2)).expect("serve_connections")
+    });
+    let ((events_a, got_a), (events_b, got_b)) = std::thread::scope(|s| {
+        let feeder_a = s.spawn(|| drive_wire(dial(), "a", &scen_a));
+        let feeder_b = s.spawn(|| drive_wire(dial(), "b", &scen_b));
+        (
+            feeder_a.join().expect("feeder a"),
+            feeder_b.join().expect("feeder b"),
+        )
+    });
+    server.join().expect("server thread");
+
+    assert_eq!(
+        fnv_digest(&events_a),
+        fnv_digest(&solo_a),
+        "tenant a digest diverged from its solo run"
+    );
+    assert_eq!(events_a, solo_a, "tenant a diverged from its solo run");
+    assert_eq!(
+        fnv_digest(&events_b),
+        fnv_digest(&solo_b),
+        "tenant b digest diverged from its solo run"
+    );
+    assert_eq!(events_b, solo_b, "tenant b diverged from its solo run");
+    assert_metrics_identical(&got_a, &metrics_a, "tenant a metrics");
+    assert_metrics_identical(&got_b, &metrics_b, "tenant b metrics");
+    assert!(
+        mgr.lock().unwrap().runs().next().is_none(),
+        "both tenants finished and were removed"
+    );
+}
+
+#[test]
+fn concurrent_tcp_feeders_match_their_solo_runs() {
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr();
+    concurrent_feeders_match_solo(listener, move || Conn::connect_tcp(&addr).expect("connect"));
+}
+
+#[test]
+fn concurrent_unix_feeders_match_their_solo_runs() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("vcountd-identity-{}.sock", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path").to_string();
+    let listener = Listener::bind_unix(&path).expect("bind");
+    let dial_path = path.clone();
+    concurrent_feeders_match_solo(listener, move || {
+        Conn::connect_unix(&dial_path).expect("connect")
+    });
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The shutdown guard (satellite of the service work): dropping a runner

@@ -245,6 +245,116 @@ assert throttled > 0, "over-rate feed was never throttled"
 print(f"backpressure smoke ok: {accepted} accepted, {throttled} explicit Throttled")
 EOF
 
+# Malformed-line smoke: the wire is a trust boundary (DESIGN.md §10) — a
+# garbage line, a Start that would panic engine assembly (out-of-range
+# seed node), and an Observe failing batch validation (out-of-range node
+# id) must each get an explicit Error response, and the good tenant fed
+# by the very same stream must still produce the byte-identical trace.
+echo "+ vcount serve < poisoned cmds.jsonl (trust-boundary errors, byte-diff good run)"
+run python3 - "$serve_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+good = open(f"{d}/cmds.jsonl", encoding="utf-8").read().splitlines()
+start = json.loads(good[0])
+assert "Start" in start, "first recorded command is the Start"
+hostile = json.loads(good[0])
+hostile["Start"]["run"] = "adv"
+hostile["Start"]["scenario"]["seeds"] = {"Explicit": [9999]}
+
+def poison_nodes(v):
+    if isinstance(v, dict):
+        return {k: (4294967295 if k == "node" else poison_nodes(x)) for k, x in v.items()}
+    if isinstance(v, list):
+        return [poison_nodes(x) for x in v]
+    return v
+
+out = ["this is not json", json.dumps(hostile)]
+poisoned = False
+for line in good:
+    cmd = json.loads(line)
+    if not poisoned and "Observe" in cmd and cmd["Observe"]["batch"]["events"]:
+        out.append(json.dumps(poison_nodes(cmd)))
+        poisoned = True
+    out.append(line)
+assert poisoned, "recorded stream has no Observe with events to poison"
+open(f"{d}/poisoned.jsonl", "w", encoding="utf-8").write("\n".join(out) + "\n")
+EOF
+# stderr holds the contained panic's backtrace (the default hook prints
+# it even under catch_unwind) — expected noise, kept out of the CI log.
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    serve < "$serve_dir/poisoned.jsonl" > "$serve_dir/poisoned_responses.jsonl" \
+    2> "$serve_dir/poisoned_stderr.log"
+run python3 - "$serve_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+batch = open(f"{d}/batch.jsonl", "rb").read()
+lines, errors = [], []
+for raw in open(f"{d}/poisoned_responses.jsonl", encoding="utf-8"):
+    resp = json.loads(raw)
+    if "Event" in resp:
+        lines.append(resp["Event"]["line"])
+    elif "Error" in resp:
+        errors.append(resp["Error"])
+replay = ("\n".join(lines) + "\n").encode() if lines else b""
+assert replay == batch, "poison lines perturbed the good tenant's stream"
+msgs = [e["message"] for e in errors]
+assert any("malformed request" in m for m in msgs), msgs
+assert any("start failed" in m for m in msgs), msgs
+assert any("malformed batch" in m for m in msgs), msgs
+print(f"malformed-line smoke ok: {len(errors)} explicit Errors, "
+      f"good stream byte-identical ({len(lines)} events)")
+EOF
+
+# Concurrent-feeders smoke: one daemon, two tenants over the Unix socket
+# at once — each feeder's returned trace must be byte-identical to its
+# own solo `vcount run --trace`, and the daemon must remove its socket
+# file on exit (DESIGN.md §10).
+echo "+ vcount serve --socket --max-conns 2 & two concurrent feeds (byte-diff)"
+run cargo run --release -q -p vcount-cli --bin vcount -- \
+    scenario --preset closed --volume 40 --seeds 2 --rng 10 --out "$serve_dir/scen_b.json"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    run "$serve_dir/scen_b.json" --goal constitution \
+    --trace "$serve_dir/batch_b.jsonl" > "$serve_dir/mbatch_b.json"
+vcountd_sock="$serve_dir/vcountd.sock"
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    serve --socket "$vcountd_sock" --max-conns 2 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 100); do
+    [ -S "$vcountd_sock" ] && break
+    sleep 0.1
+done
+[ -S "$vcountd_sock" ] || { echo "daemon never bound $vcountd_sock" >&2; exit 1; }
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    feed "$snap_dir/scen.json" --goal constitution --run a \
+    --socket "$vcountd_sock" --trace "$serve_dir/feed_a.jsonl" \
+    > "$serve_dir/mfeed_a.json" &
+feed_a_pid=$!
+cargo run --release -q -p vcount-cli --bin vcount -- \
+    feed "$serve_dir/scen_b.json" --goal constitution --run b \
+    --socket "$vcountd_sock" --trace "$serve_dir/feed_b.jsonl" \
+    > "$serve_dir/mfeed_b.json" &
+feed_b_pid=$!
+wait "$feed_a_pid"
+wait "$feed_b_pid"
+wait "$serve_pid"
+run cmp "$serve_dir/batch.jsonl" "$serve_dir/feed_a.jsonl"
+run cmp "$serve_dir/batch_b.jsonl" "$serve_dir/feed_b.jsonl"
+if [ -e "$vcountd_sock" ]; then
+    echo "daemon exited without removing $vcountd_sock" >&2
+    exit 1
+fi
+run python3 - "$serve_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+for tag in ("a", "b"):
+    ref = json.load(open(f"{d}/mbatch.json" if tag == "a" else f"{d}/mbatch_b.json"))
+    fed = json.load(open(f"{d}/mfeed_{tag}.json"))
+    assert fed["global_count"] == ref["global_count"], (tag, fed["global_count"])
+    assert fed["oracle_violations"] == 0, (tag, fed)
+print("concurrent-feeders smoke ok: both tenants byte-identical to solo runs, "
+      "socket file cleaned up")
+EOF
+
 # Bench smoke: the hotpath bin must run end to end, emit well-formed JSON,
 # and stay within 5% of the committed throughput baseline — both
 # steps/sec and events/sec per case (tiny grid, a few hundred steps —
